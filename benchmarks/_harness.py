@@ -1,0 +1,36 @@
+"""Helpers shared by the benchmark files.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the same rows/series the paper reports (run with ``-s`` to see
+them).  Each runs its experiment once (``rounds=1``) — the quantity of
+interest is the *reproduced result*, not the harness's wall time, but
+pytest-benchmark still records timing so simulator performance
+regressions show up.
+
+Full-paper-scale runs (class B/C with all 20 iterations) are enabled by
+setting ``REPRO_FULL_SCALE=1``; the default scaled runs preserve the
+normalized crescendos (iterations are statistically identical) while
+keeping the whole suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+
+FULL_SCALE = os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark; return its result."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_result(result) -> None:
+    """Emit the experiment's rendered tables (visible with ``pytest -s``)."""
+    print()
+    print(result.render())
+
+
+def comparison_map(result):
+    """quantity → Comparison for assertion convenience."""
+    return {c.quantity: c for c in result.comparisons}

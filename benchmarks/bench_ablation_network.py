@@ -1,0 +1,79 @@
+"""Ablation: chunked link contention vs whole-message FIFO transfers.
+
+DESIGN.md §6: with chunk-granularity contention (the default), the
+transpose's 14-into-1 incast shares the root's link approximately fairly
+and every sender alternates transmit/blocked phases.  Making the chunk as
+large as a whole block turns the incast into strict message-at-a-time
+FIFO: the aggregate delay barely changes (the root link is the bottleneck
+either way — total bytes/bandwidth), but per-sender completion times
+spread out dramatically, which is what the chunking choice actually
+models.
+"""
+
+import numpy as np
+
+from benchmarks._harness import run_once
+from repro.analysis.report import format_table
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.hardware.cluster import Cluster
+from repro.hardware.network import NetworkConfig
+from repro.simmpi import run_spmd
+from repro.util.units import KIB, MIB
+
+
+N_SENDERS = 6
+BLOCK = 4 * MIB
+
+
+def _incast_finish_times(chunk_bytes: int):
+    calibration = DEFAULT_CALIBRATION.with_overrides(
+        network=NetworkConfig(chunk_bytes=chunk_bytes)
+    )
+    cluster = Cluster.build(N_SENDERS + 1, calibration=calibration)
+    finish = {}
+
+    def program(comm):
+        if comm.rank == 0:
+            # Post every receive up front so all rendezvous transfers are
+            # cleared to send and the *links* arbitrate (sequential
+            # blocking recvs would serialise via the CTS handshake and
+            # mask the transfer model entirely).
+            reqs = [comm.irecv(source=src) for src in range(1, N_SENDERS + 1)]
+            yield from comm.waitall(reqs)
+            return None
+        yield from comm.send(None, dest=0, nbytes=BLOCK)
+        finish[comm.rank] = comm.wtime()
+        return None
+
+    result = run_spmd(cluster, program)
+    return result.duration, sorted(finish.values())
+
+
+def bench_ablation_network_chunking(benchmark):
+    def experiment():
+        return {
+            "128 KiB chunks (default)": _incast_finish_times(128 * KIB),
+            "whole-message FIFO": _incast_finish_times(BLOCK),
+        }
+
+    outcomes = run_once(benchmark, experiment)
+    rows = []
+    for name, (duration, finishes) in outcomes.items():
+        spread = np.std(finishes)
+        rows.append([name, f"{duration:.2f} s", f"{spread:.2f} s"])
+    print()
+    print(
+        format_table(
+            ["transfer model", "incast total time", "sender-finish spread"],
+            rows,
+            title=f"ablation: {N_SENDERS}-into-1 incast of {BLOCK // MIB} MiB blocks",
+        )
+    )
+
+    d_chunked, f_chunked = outcomes["128 KiB chunks (default)"]
+    d_fifo, f_fifo = outcomes["whole-message FIFO"]
+    # Aggregate time is bandwidth-bound either way (within ~10 %)...
+    assert abs(d_chunked - d_fifo) / d_fifo < 0.10
+    # ...but FIFO spreads sender completions; chunked sharing clusters
+    # them near the end.
+    assert np.std(f_fifo) > 2 * np.std(f_chunked)

@@ -1,0 +1,55 @@
+"""Extension: DVS taxonomy across the NPB-style suite.
+
+Five kernels with different bottlenecks must land on the slack spectrum
+exactly where the paper's microbenchmark analysis (Figs 6-8) predicts.
+"""
+
+from benchmarks._harness import run_once
+from repro.analysis.report import format_table
+from repro.analysis.runner import static_crescendo
+from repro.experiments.common import normalize_series, points_of
+from repro.util.units import MHZ
+from repro.workloads import HaloStencil, NasCG, NasEP, NasFT, NasMG
+
+
+def bench_extension_npb_suite(benchmark):
+    def experiment():
+        suite = {
+            "FT": NasFT("A", n_ranks=8, iterations=2),
+            "CG": NasCG("A", n_ranks=8, iterations=10),
+            "MG": NasMG(n=512, n_ranks=8, v_cycles=2),
+            "stencil": HaloStencil(n=2048, n_ranks=8, sweeps=6),
+            "EP": NasEP("S", n_ranks=8, pairs_override=1 << 21),
+        }
+        out = {}
+        for name, workload in suite.items():
+            runs = static_crescendo(workload, [600 * MHZ, 1400 * MHZ])
+            normed = normalize_series({"stat": points_of(runs)})["stat"]
+            out[name] = normed[0]  # the 600 MHz point
+        return out
+
+    slow_points = run_once(benchmark, experiment)
+    rows = [
+        [name, f"{p.delay:.2f}x", f"{(1 - p.energy) * 100:.1f}%"]
+        for name, p in slow_points.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["kernel", "delay @600MHz", "energy saved @600MHz"],
+            rows,
+            title="suite taxonomy at the bottom of the ladder",
+        )
+    )
+
+    d = {name: p.delay for name, p in slow_points.items()}
+    saved = {name: 1 - p.energy for name, p in slow_points.items()}
+    # The spectrum's endpoints:
+    assert d["EP"] > 2.2 and saved["EP"] < 0.10
+    assert d["FT"] < 1.15 and saved["FT"] > 0.30
+    # Everything else sits strictly between them in delay sensitivity.
+    for name in ("CG", "MG", "stencil"):
+        assert d["FT"] - 0.05 < d[name] < d["EP"], name
+    # And savings order inversely with delay sensitivity.
+    assert saved["EP"] < saved["stencil"] <= saved["MG"] + 0.05
+    assert saved["MG"] < saved["FT"] + 0.10

@@ -1,0 +1,24 @@
+"""Figure 1: SPEC-like mgrid/swim energy-delay crescendos."""
+
+from benchmarks._harness import print_result, run_once
+from repro.experiments import run_experiment
+from repro.experiments.common import find_static
+
+
+def bench_fig1_spec_crescendo(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("fig1", iterations=10))
+    print_result(result)
+
+    mgrid = result.series["mgrid"].points
+    swim = result.series["swim"].points
+    # Fig 1a: mgrid pays a large slowdown for a small energy saving.
+    m600 = find_static(mgrid, 600)
+    assert m600.delay > 1.6
+    assert m600.energy > 0.85
+    # Fig 1b: swim converts small slowdowns into steady savings.
+    s600 = find_static(swim, 600)
+    assert s600.delay < 1.35
+    assert s600.energy < 0.70
+    # Energy falls monotonically with frequency for swim.
+    energies = [p.energy for p in swim]
+    assert energies == sorted(energies)

@@ -1,0 +1,19 @@
+"""Figure 2: weighted-ED²P iso-efficiency trade-off curves."""
+
+import pytest
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+
+
+def bench_fig2_weighted_tradeoff(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("fig2"))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # §2.2: 5% slowdown at δ=0.2 needs ~13.1% savings.
+    c = cmp["required_savings_delta0.2_at_5pct_delay"]
+    assert c.measured == pytest.approx(c.paper, abs=0.01)
+    # §2.2: 10% slowdown at δ=0.4 needs ~32% savings.
+    c = cmp["required_savings_delta0.4_at_10pct_delay"]
+    assert c.measured == pytest.approx(c.paper, abs=0.05)

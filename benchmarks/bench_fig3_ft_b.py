@@ -1,0 +1,37 @@
+"""Figure 3: NAS FT class B on 8 nodes — cpuspeed vs static DVS."""
+
+import pytest
+
+from benchmarks._harness import FULL_SCALE, comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+from repro.experiments.common import find_static
+
+
+def bench_fig3_ft_b(benchmark):
+    iterations = None if FULL_SCALE else 4
+    result = run_once(
+        benchmark, lambda: run_experiment("fig3", iterations=iterations)
+    )
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # The headline: big savings at 600 MHz with modest slowdown.
+    assert cmp["stat600_energy"].measured == pytest.approx(
+        cmp["stat600_energy"].paper, abs=0.06
+    )
+    assert cmp["stat600_delay"].measured == pytest.approx(
+        cmp["stat600_delay"].paper, abs=0.05
+    )
+    # cpuspeed is pinned near the fastest point by busy-wait accounting.
+    assert cmp["cpuspeed_energy"].measured > 0.95
+    assert abs(cmp["cpuspeed_delay"].measured - 1.0) < 0.05
+
+    # Crescendo monotonicity (who wins at every rung).
+    stat = result.series["stat"].points
+    energies = [p.energy for p in stat]
+    delays = [p.delay for p in stat]
+    assert energies == sorted(energies)
+    assert delays == sorted(delays, reverse=True)
+    # 800 MHz sits between the extremes, as in the figure.
+    p800 = find_static(stat, 800)
+    assert 0.65 < p800.energy < 0.85

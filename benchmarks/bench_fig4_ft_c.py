@@ -1,0 +1,48 @@
+"""Figure 4: NAS FT class C — cpuspeed / static / dynamic strategies."""
+
+import pytest
+
+from benchmarks._harness import FULL_SCALE, comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+from repro.experiments.common import find_static
+
+
+def bench_fig4_ft_c(benchmark):
+    iterations = None if FULL_SCALE else 2
+    result = run_once(
+        benchmark, lambda: run_experiment("fig4", iterations=iterations)
+    )
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # Static savings land near the paper's numbers.
+    assert cmp["stat800_energy_saving"].measured == pytest.approx(
+        cmp["stat800_energy_saving"].paper, abs=0.05
+    )
+    assert cmp["stat600_energy_saving"].measured == pytest.approx(
+        cmp["stat600_energy_saving"].paper, abs=0.06
+    )
+    # Dynamic from 1.4 GHz: ~1/3 of the energy gone for <10% slowdown.
+    assert cmp["dyn1400_energy_saving"].measured == pytest.approx(
+        cmp["dyn1400_energy_saving"].paper, abs=0.06
+    )
+    assert cmp["dyn1400_delay_increase"].measured == pytest.approx(
+        cmp["dyn1400_delay_increase"].paper, abs=0.04
+    )
+
+    stat = result.series["stat"].points
+    dyn = result.series["dyn"].points
+    # Dynamic beats static on energy at every base point except the
+    # bottom rung (where they coincide)...
+    for mhz in (800, 1000, 1200, 1400):
+        assert find_static(dyn, mhz).energy < find_static(stat, mhz).energy
+    # ...at a small delay cost (transition overhead), as in the paper.
+    for mhz in (1000, 1200, 1400):
+        assert find_static(dyn, mhz).delay >= find_static(stat, mhz).delay
+    # Dynamic is nearly flat across base frequencies.
+    dyn_e = [p.energy for p in dyn]
+    assert max(dyn_e) - min(dyn_e) < 0.1
+    # The weighted-ED2P efficiency gain at the HPC point is double-digit.
+    assert cmp["hpc_improvement"].measured == pytest.approx(
+        cmp["hpc_improvement"].paper, abs=0.05
+    )

@@ -1,0 +1,37 @@
+"""Figure 5: 12K×12K parallel matrix transpose on 15 processors."""
+
+import pytest
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+from repro.experiments.common import find_static
+
+
+def bench_fig5_transpose(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("fig5"))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # Static 600: ~20 % savings for ~2-3 % slowdown.
+    assert cmp["stat600_energy_saving"].measured == pytest.approx(
+        cmp["stat600_energy_saving"].paper, abs=0.04
+    )
+    assert cmp["stat600_delay_increase"].measured == pytest.approx(
+        cmp["stat600_delay_increase"].paper, abs=0.02
+    )
+    # Transpose saves markedly less than FT (load imbalance leaves the
+    # blocked senders near idle power already): savings < 25 %.
+    assert cmp["stat600_energy_saving"].measured < 0.25
+    # Best energy point is static 600 MHz, as in the paper.
+    assert cmp["best_energy_mhz"].measured == 600
+
+    stat = result.series["stat"].points
+    dyn = result.series["dyn"].points
+    # Dynamic energy below static at every base point, delay at or above.
+    for mhz in (800, 1000, 1200, 1400):
+        s, d = find_static(stat, mhz), find_static(dyn, mhz)
+        assert d.energy < s.energy
+        assert d.delay >= s.delay
+    # cpuspeed helps far less than the static optimum.
+    cpuspeed_saving = cmp["cpuspeed_energy_saving"].measured
+    assert cpuspeed_saving < cmp["stat600_energy_saving"].measured

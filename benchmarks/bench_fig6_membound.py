@@ -1,0 +1,25 @@
+"""Figure 6: memory-bound microbenchmark (32 MB buffer, 128 B stride)."""
+
+import pytest
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+
+
+def bench_fig6_membound(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("fig6"))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # E(600) ≈ 0.593 and D(600) ≈ 1.054 — the calibration anchors.
+    assert cmp["e600"].measured == pytest.approx(cmp["e600"].paper, abs=0.03)
+    assert cmp["d600"].measured == pytest.approx(cmp["d600"].paper, abs=0.01)
+    # "40.7% more efficient": the energy saving at the best energy point.
+    assert cmp["improvement_600"].measured == pytest.approx(
+        cmp["improvement_600"].paper, abs=0.03
+    )
+    # Energy decreases monotonically with frequency; delay barely moves.
+    points = result.series["stat"].points
+    energies = [p.energy for p in points]
+    assert energies == sorted(energies)
+    assert all(p.delay < 1.06 for p in points)

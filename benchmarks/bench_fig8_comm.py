@@ -1,0 +1,28 @@
+"""Figure 8: communication microbenchmarks (MPI round trips)."""
+
+import pytest
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+from repro.experiments.common import find_static
+
+
+def bench_fig8_comm(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("fig8"))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # Both message shapes: steep energy fall, nearly flat delay.
+    for key, fig in (("256KB", "fig8a"), ("4KBstride64", "fig8b")):
+        e600 = cmp[f"{key}_e600"]
+        d600 = cmp[f"{key}_d600"]
+        assert e600.measured == pytest.approx(e600.paper, abs=0.10)
+        assert d600.measured == pytest.approx(d600.paper, abs=0.04)
+        points = result.series[key].points
+        energies = [p.energy for p in points]
+        assert energies == sorted(energies)
+    # The strided 4 KB message pays a packing cost, so its delay
+    # crescendo is steeper than the contiguous 256 KB one.
+    d_strided = find_static(result.series["4KBstride64"].points, 600).delay
+    d_contig = find_static(result.series["256KB"].points, 600).delay
+    assert d_strided > d_contig

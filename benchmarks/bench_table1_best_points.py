@@ -1,0 +1,21 @@
+"""Table 1: best operating points for mgrid-like and swim-like codes."""
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+
+
+def bench_table1_best_points(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("table1", iterations=10))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    # All six selections must match the paper's Table 1 exactly.
+    for key in (
+        "mgrid_hpc_mhz",
+        "mgrid_energy_mhz",
+        "mgrid_performance_mhz",
+        "swim_hpc_mhz",
+        "swim_energy_mhz",
+        "swim_performance_mhz",
+    ):
+        assert cmp[key].measured == cmp[key].paper, key

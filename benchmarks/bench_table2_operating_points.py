@@ -1,0 +1,16 @@
+"""Table 2: the Pentium M frequency/voltage ladder."""
+
+import pytest
+
+from benchmarks._harness import comparison_map, print_result, run_once
+from repro.experiments import run_experiment
+
+
+def bench_table2_operating_points(benchmark):
+    result = run_once(benchmark, lambda: run_experiment("table2"))
+    print_result(result)
+
+    cmp = comparison_map(result)
+    for mhz in (600, 800, 1000, 1200, 1400):
+        c = cmp[f"voltage_at_{mhz}MHz"]
+        assert c.measured == pytest.approx(c.paper)

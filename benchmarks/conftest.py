@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest (helpers live in ``benchmarks._harness``)."""

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Beyond the paper: an adaptive runtime that learns where to scale.
+
+The paper's dynamic strategy needs a human to mark the slack-heavy
+function.  The :class:`~repro.dvs.adaptive.AdaptiveStrategy` automates
+the choice: per region it probes one execution at the base frequency and
+one at the low frequency, keeps the low point only when the measured
+slowdown is within tolerance, and then applies the decision for the rest
+of the run — the research direction (slack-directed runtime DVS) this
+paper opened.
+
+The example runs NAS FT under (a) static max, (b) the paper's hand-tuned
+dynamic strategy, and (c) the adaptive runtime, and also shows the
+per-region energy breakdown plus a cluster power sparkline.
+
+Run with::
+
+    python examples/adaptive_runtime.py
+"""
+
+from repro.analysis import (
+    TrackedStrategy,
+    format_table,
+    phase_breakdown,
+    run_measured,
+)
+from repro.dvs import AdaptiveStrategy, DynamicStrategy, StaticStrategy
+from repro.measurement import cluster_power_profile, profile_summary
+from repro.util.units import MHZ
+from repro.workloads import NasFT
+
+
+def make_workload():
+    return NasFT("A", n_ranks=8, iterations=6)
+
+
+def main() -> None:
+    print("running NAS FT class A (8 ranks, 6 iterations) three ways...\n")
+
+    runs = {
+        "static 1.4 GHz": run_measured(make_workload(), StaticStrategy(1400 * MHZ)),
+        "dynamic (hand-tuned fft)": run_measured(
+            make_workload(), DynamicStrategy(1400 * MHZ, regions=["fft"])
+        ),
+        "adaptive (learned)": run_measured(
+            make_workload(), AdaptiveStrategy(1400 * MHZ)
+        ),
+    }
+    base = runs["static 1.4 GHz"].point
+    rows = []
+    for name, run in runs.items():
+        p = run.point
+        rows.append(
+            [
+                name,
+                f"{p.energy:.0f} J",
+                f"{p.delay:.2f} s",
+                f"{(1 - p.energy / base.energy) * 100:.1f}%",
+                f"{(p.delay / base.delay - 1) * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "energy", "delay", "energy saved", "slowdown"],
+            rows,
+            title="strategy comparison",
+        )
+    )
+
+    # Where does the energy go? Re-run static with region tracking.
+    tracked = TrackedStrategy(StaticStrategy(1400 * MHZ))
+    run = run_measured(make_workload(), tracked)
+    phases = phase_breakdown(run.cluster, tracked.intervals(), run.spmd)
+    print()
+    print(
+        format_table(
+            ["region", "energy", "rank-seconds", "executions"],
+            [
+                [p.name, f"{p.energy:.0f} J", f"{p.time:.1f}", p.occurrences]
+                for p in phases.values()
+            ],
+            title="per-region breakdown (static 1.4 GHz)",
+        )
+    )
+    print()
+    profile = cluster_power_profile(
+        run.cluster, run.spmd.start, run.spmd.end, dt=run.spmd.duration / 200
+    )
+    print(profile_summary(profile, width=60))
+    print()
+    adaptive = runs["adaptive (learned)"].strategy
+    decisions = {
+        name: ctl.decision_for(name)
+        for ctl in adaptive.controllers
+        for name in ctl.regions
+    }
+    print(f"adaptive decisions: {decisions} "
+          "(True = region runs at 600 MHz after calibration)")
+
+
+if __name__ == "__main__":
+    main()

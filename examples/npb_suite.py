@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The DVS taxonomy across an NPB-style suite.
+
+The paper studies FT and a matrix transpose; this example widens the lens
+across five distributed kernels with different bottlenecks — FT
+(network-bandwidth), CG (reduction-latency), MG (memory with level-varying
+halos), the halo stencil (balanced), and EP (pure compute) — and shows
+where each lands on the slack spectrum: its delay/energy at 600 MHz and
+its HPC-best operating point.
+
+Run with::
+
+    python examples/npb_suite.py
+"""
+
+from repro.analysis import format_table, static_crescendo
+from repro.experiments.common import LADDER_FREQUENCIES, normalize_series, points_of
+from repro.metrics import DELTA_HPC, best_operating_point
+from repro.workloads import HaloStencil, NasCG, NasEP, NasFT, NasMG
+
+
+def suite():
+    return {
+        "FT (all-to-all bandwidth)": NasFT("A", n_ranks=8, iterations=3),
+        "CG (reduction latency)": NasCG("A", n_ranks=8, iterations=20),
+        "MG (multigrid halos)": NasMG(n=1024, n_ranks=8, v_cycles=3),
+        "stencil (balanced halos)": HaloStencil(n=4096, n_ranks=8, sweeps=12),
+        "EP (pure compute)": NasEP("S", n_ranks=8, pairs_override=1 << 22),
+    }
+
+
+def main() -> None:
+    print("sweeping 5 kernels x 5 operating points on 8 simulated nodes...\n")
+    rows = []
+    for name, workload in suite().items():
+        runs = static_crescendo(workload, LADDER_FREQUENCIES)
+        normed = normalize_series({"stat": points_of(runs)})["stat"]
+        slow = normed[0]
+        best = best_operating_point(normed, DELTA_HPC)
+        rows.append(
+            [
+                name,
+                f"{slow.delay:.2f}x",
+                f"{(1 - slow.energy) * 100:.1f}%",
+                f"{best.point.frequency / 1e6:.0f} MHz",
+                f"{best.improvement_vs_reference * 100:.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "kernel",
+                "delay @600MHz",
+                "energy saved @600MHz",
+                "HPC best point",
+                "wED2P gain",
+            ],
+            rows,
+            title="DVS behaviour across the suite (normalized to 1.4 GHz)",
+        )
+    )
+    print()
+    print(
+        "reading: the suite spans the whole spectrum the paper's "
+        "microbenchmarks predicted — from EP (delay 2.33x, nothing to "
+        "save, best point 1.4 GHz) to FT (delay ~1.09x, a third of the "
+        "energy free)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: measure one parallel application under three DVS strategies.
+
+Builds an 8-node simulated Pentium M cluster, runs a small NAS FT job
+under the cpuspeed daemon, a static 800 MHz setting, and the paper's
+dynamic (application-directed) strategy, then picks "best" operating
+points with the weighted ED²P metric.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.analysis import format_best_points, format_crescendo, full_strategy_sweep
+from repro.experiments.common import LADDER_FREQUENCIES, normalize_series, points_of
+from repro.metrics import select_paper_rows
+from repro.workloads import NasFT
+
+
+def main() -> None:
+    # NAS FT class A on 8 simulated nodes; the "fft" region is the
+    # communication-heavy function the dynamic strategy scales down.
+    workload = NasFT("A", n_ranks=8, iterations=4)
+
+    print(f"running {workload.name} on {workload.n_ranks} nodes "
+          f"across {len(LADDER_FREQUENCIES)} operating points...\n")
+    sweep = full_strategy_sweep(workload, LADDER_FREQUENCIES, regions=["fft"])
+
+    raw = {name: points_of(runs) for name, runs in sweep.items()}
+    normed = normalize_series(raw)
+    print(format_crescendo(raw, title="energy-delay crescendo "
+                                      "(normalized to static 1.4 GHz)"))
+    print()
+
+    rows = select_paper_rows(list(normed["stat"]) + list(normed["dyn"]))
+    print(format_best_points(rows, title="best operating points "
+                                         "(weighted ED2P; HPC = delta 0.2)"))
+    print()
+
+    hpc = rows["HPC"]
+    print(f"-> the HPC-weighted best point is {hpc.point.label}: "
+          f"{(1 - hpc.point.energy) * 100:.1f}% energy saved for "
+          f"{(hpc.point.delay - 1) * 100:.1f}% slowdown "
+          f"({hpc.improvement_vs_reference * 100:.1f}% better weighted ED2P "
+          f"than static 1.4 GHz)")
+
+
+if __name__ == "__main__":
+    main()

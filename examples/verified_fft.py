@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Run the distributed FFT with real data and verify it against numpy.
+
+The simulated MPI moves *actual numpy arrays*: this example runs NAS FT
+class W (128×128×32) on 8 simulated nodes in verification mode, checks
+every rank's pencil of the final transform against ``numpy.fft.fftn``,
+and prints the per-iteration checksums alongside the timing/energy the
+simulation produced — demonstrating that the performance model and the
+numerics share one code path.
+
+Run with::
+
+    python examples/verified_fft.py
+"""
+
+from repro.analysis import format_table
+from repro.hardware import Cluster
+from repro.simmpi import run_spmd
+from repro.workloads import NasFT, verify_distributed_fft
+
+
+def main() -> None:
+    workload = NasFT("W", n_ranks=8, verify=True)
+    p = workload.problem
+    print(
+        f"NAS FT class {p.name}: {p.nx}x{p.ny}x{p.nz} grid, "
+        f"{p.iterations} iterations, {workload.n_ranks} ranks "
+        f"(real complex slabs through the simulated all-to-all)\n"
+    )
+
+    cluster = Cluster.build(workload.n_ranks)
+    result = run_spmd(cluster, workload.bind_plain())
+    energy = cluster.total_energy(result.start, result.end)
+
+    verify_distributed_fft(workload, result.returns)
+    print("verification: every rank's pencil matches numpy.fft.fftn  [OK]\n")
+
+    reference_sums = [
+        complex(workload.reference_result(it).sum())
+        for it in range(1, p.iterations + 1)
+    ]
+    rows = []
+    for i, (measured, expected) in enumerate(
+        zip(result.returns[0]["checksums"], reference_sums), start=1
+    ):
+        err = abs(measured - expected) / max(1e-30, abs(expected))
+        rows.append([i, f"{measured:.6e}", f"{err:.1e}"])
+    print(
+        format_table(
+            ["iteration", "distributed checksum", "rel. error vs numpy"],
+            rows,
+            title="per-iteration checksums",
+        )
+    )
+    print()
+    print(
+        f"simulated time-to-solution: {result.duration:.2f} s; "
+        f"cluster energy: {energy:.0f} J "
+        f"({energy / result.duration:.1f} W average across 8 nodes)"
+    )
+    print(
+        f"bytes moved through the fabric: "
+        f"{cluster.fabric.bytes_transferred / 2**20:.1f} MiB"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""repro — reproduction of *Improvement of Power-Performance Efficiency
+for High-End Computing* (Ge, Feng, Cameron; IPPS 2005).
+
+A PowerPack-style framework for analysing and optimising the
+power-performance of distributed scientific applications under dynamic
+voltage scaling, built on a calibrated discrete-event simulation of the
+paper's platform (16 Pentium M laptops, 100 Mb Ethernet, MPICH-1).
+
+Layers (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation kernel;
+* :mod:`repro.hardware` — DVFS ladder, CMOS power model, CPU/memory/
+  network models, cluster assembly;
+* :mod:`repro.simmpi` — simulated MPI (eager/rendezvous, collectives,
+  progress-engine wait policy);
+* :mod:`repro.dvs` — CPUFreq interface, cpuspeed daemon, the paper's
+  three DVS strategies;
+* :mod:`repro.measurement` — ACPI battery and Baytech meter emulation,
+  PowerPack session, data alignment;
+* :mod:`repro.metrics` — ED²P and weighted ED²P, operating-point
+  selection, trade-off curves;
+* :mod:`repro.workloads` — NAS FT, parallel matrix transpose, SPEC-like
+  kernels, microbenchmarks;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — crescendo sweeps,
+  reporting, and one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

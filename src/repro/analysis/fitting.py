@@ -1,0 +1,141 @@
+"""Calibration fitting: derive model constants from paper targets.
+
+DESIGN.md §4 explains *why* the default calibration values are what they
+are; this module makes those derivations executable, so anyone porting
+the model to a different DVFS ladder (or fitting against their own
+measurements through :mod:`repro.realhw`) can re-run them:
+
+* :func:`golden_section` — a dependency-free scalar minimiser;
+* :func:`fit_activity_factor` — fit one activity-power factor so a
+  measured quantity hits a target (e.g. MEMSTALL from Fig 6's E(600));
+* :func:`base_power_window` — the interval of node base power that keeps
+  the CPU-bound energy minimum at an interior ladder point (Fig 7's
+  structural constraint);
+* measurement helpers producing the quantities the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.analysis.runner import static_crescendo
+from repro.hardware.activity import CpuActivity
+from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hardware.dvfs import DVFSTable, PENTIUM_M_1400
+from repro.util.units import MHZ
+from repro.workloads.micro import MemoryBoundMicro
+
+__all__ = [
+    "golden_section",
+    "membound_e600",
+    "fit_activity_factor",
+    "cpu_bound_energy_curve",
+    "base_power_window",
+]
+
+_PHI = (5**0.5 - 1) / 2
+
+
+def golden_section(
+    fn: Callable[[float], float],
+    lo: float,
+    hi: float,
+    tol: float = 1e-4,
+    max_iter: int = 200,
+) -> float:
+    """Minimise a unimodal scalar function on [lo, hi]."""
+    if hi <= lo:
+        raise ValueError(f"invalid bracket [{lo}, {hi}]")
+    a, b = lo, hi
+    c = b - _PHI * (b - a)
+    d = a + _PHI * (b - a)
+    fc, fd = fn(c), fn(d)
+    for _ in range(max_iter):
+        if b - a < tol:
+            break
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - _PHI * (b - a)
+            fc = fn(c)
+        else:
+            a, c, fc = c, d, fd
+            d = a + _PHI * (b - a)
+            fd = fn(d)
+    return (a + b) / 2
+
+
+def membound_e600(calibration: Calibration, passes: int = 30) -> float:
+    """Normalized E(600 MHz) of the Fig-6 memory walk under ``calibration``."""
+    runs = static_crescendo(
+        MemoryBoundMicro(passes=passes),
+        [600 * MHZ, 1400 * MHZ],
+        calibration=calibration,
+    )
+    return runs[0].point.energy / runs[1].point.energy
+
+
+def fit_activity_factor(
+    state: CpuActivity,
+    measure: Callable[[Calibration], float],
+    target: float,
+    bounds: Tuple[float, float] = (0.05, 1.0),
+    base: Optional[Calibration] = None,
+    tol: float = 1e-3,
+) -> float:
+    """Fit one activity factor so ``measure(calibration)`` hits ``target``."""
+    base = base or DEFAULT_CALIBRATION
+
+    def objective(factor: float) -> float:
+        factors = dict(base.activity_factors)
+        factors[state] = factor
+        cal = base.with_overrides(activity_factors=factors)
+        return abs(measure(cal) - target)
+
+    return golden_section(objective, bounds[0], bounds[1], tol=tol)
+
+
+def cpu_bound_energy_curve(
+    base_power: float,
+    cpu_max_power: float = 21.0,
+    table: DVFSTable = PENTIUM_M_1400,
+) -> List[Tuple[float, float]]:
+    """Analytic (frequency, energy) curve of a pure-ACTIVE loop.
+
+    ``E(f) = (base + P_cpu·relfv2(f)) · f_max/f`` — the closed form behind
+    the Fig-7 structure; no simulation needed.
+    """
+    fastest = table.fastest.frequency
+    return [
+        (
+            p.frequency,
+            (base_power + cpu_max_power * table.relative_fv2(p))
+            * (fastest / p.frequency),
+        )
+        for p in table
+    ]
+
+
+def base_power_window(
+    minimum_mhz: float = 800.0,
+    cpu_max_power: float = 21.0,
+    table: DVFSTable = PENTIUM_M_1400,
+    lo: float = 1.0,
+    hi: float = 20.0,
+    step: float = 0.01,
+) -> Tuple[float, float]:
+    """Base-power interval placing the CPU-bound energy minimum at
+    ``minimum_mhz`` (Fig 7's structural constraint on the calibration)."""
+    window: List[float] = []
+    base = lo
+    while base <= hi:
+        curve = cpu_bound_energy_curve(base, cpu_max_power, table)
+        best = min(curve, key=lambda fe: fe[1])[0]
+        if abs(best - minimum_mhz * MHZ) < 1:
+            window.append(base)
+        base = round(base + step, 10)
+    if not window:
+        raise ValueError(
+            f"no base power in [{lo}, {hi}] puts the minimum at "
+            f"{minimum_mhz} MHz"
+        )
+    return (window[0], window[-1])

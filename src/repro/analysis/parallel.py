@@ -1,0 +1,118 @@
+"""Parallel experiment sweeps across OS processes.
+
+Every run in a crescendo is an independent simulation with no shared
+state, so sweeps parallelise embarrassingly across cores.  Because the
+simulator is fully deterministic, a parallel sweep returns *bit-identical*
+results to the serial one — asserted in the tests — so callers can use
+whichever fits their machine.
+
+Workers receive a picklable task description and build their own cluster;
+only the resulting :class:`~repro.metrics.records.EnergyDelayPoint`
+travels back.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.dvs.strategy import (
+    CpuspeedStrategy,
+    DVSStrategy,
+    DynamicStrategy,
+    StaticStrategy,
+)
+from repro.hardware.calibration import Calibration
+from repro.metrics.records import EnergyDelayPoint
+from repro.workloads.base import Workload
+
+__all__ = ["SweepTask", "run_sweep", "parallel_full_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One run: a workload plus a strategy recipe (picklable)."""
+
+    workload: Workload
+    strategy_kind: str  #: "stat" | "dyn" | "cpuspeed"
+    frequency: Optional[float] = None  #: static/dynamic base frequency (Hz)
+    regions: Optional[tuple] = None  #: dynamic-region names
+    calibration: Optional[Calibration] = None
+
+    def build_strategy(self) -> DVSStrategy:
+        if self.strategy_kind == "stat":
+            if self.frequency is None:
+                raise ValueError("static task needs a frequency")
+            return StaticStrategy(self.frequency)
+        if self.strategy_kind == "dyn":
+            if self.frequency is None:
+                raise ValueError("dynamic task needs a base frequency")
+            return DynamicStrategy(
+                self.frequency,
+                regions=list(self.regions) if self.regions else None,
+            )
+        if self.strategy_kind == "cpuspeed":
+            return CpuspeedStrategy()
+        raise ValueError(f"unknown strategy kind {self.strategy_kind!r}")
+
+
+def _execute(task: SweepTask) -> EnergyDelayPoint:
+    """Worker body: run one task on a fresh cluster."""
+    from repro.analysis.runner import run_measured
+
+    run = run_measured(
+        task.workload, task.build_strategy(), calibration=task.calibration
+    )
+    return run.point
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    n_workers: Optional[int] = None,
+) -> List[EnergyDelayPoint]:
+    """Run tasks, preserving input order.
+
+    ``n_workers=0`` (or 1 task) runs in-process; otherwise a process pool
+    of ``n_workers`` (default: ``os.cpu_count()``) is used.
+    """
+    if n_workers == 0 or len(tasks) <= 1:
+        return [_execute(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(_execute, tasks))
+
+
+def parallel_full_sweep(
+    workload: Workload,
+    frequencies: Sequence[float],
+    regions: Optional[Sequence[str]] = None,
+    calibration: Optional[Calibration] = None,
+    include_dynamic: bool = True,
+    n_workers: Optional[int] = None,
+) -> Dict[str, List[EnergyDelayPoint]]:
+    """The parallel counterpart of
+    :func:`repro.analysis.runner.full_strategy_sweep`."""
+    tasks: List[SweepTask] = [
+        SweepTask(workload, "cpuspeed", calibration=calibration)
+    ]
+    for f in frequencies:
+        tasks.append(SweepTask(workload, "stat", frequency=f, calibration=calibration))
+    if include_dynamic:
+        for f in frequencies:
+            tasks.append(
+                SweepTask(
+                    workload,
+                    "dyn",
+                    frequency=f,
+                    regions=tuple(regions) if regions else None,
+                    calibration=calibration,
+                )
+            )
+    points = run_sweep(tasks, n_workers=n_workers)
+
+    out: Dict[str, List[EnergyDelayPoint]] = {"cpuspeed": [points[0]]}
+    n = len(frequencies)
+    out["stat"] = points[1 : 1 + n]
+    if include_dynamic:
+        out["dyn"] = points[1 + n : 1 + 2 * n]
+    return out

@@ -1,0 +1,158 @@
+"""Per-region energy attribution (PowerPack's profiling role).
+
+The paper's §4 analysis rests on knowing *where* time and energy go —
+"most execution time and slack time resides in function fft()".  This
+module reuses the workloads' existing region markers (the same ones the
+dynamic DVS strategy consumes) to attribute wall time and energy to named
+program regions, per rank, from the nodes' ground-truth power timelines.
+
+Usage::
+
+    strategy = TrackedStrategy(StaticStrategy(frequency))
+    run = run_measured(workload, strategy)
+    table = phase_breakdown(run.cluster, strategy.intervals(), run.spmd)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dvs.controller import ControlGen, DvsController
+from repro.dvs.strategy import DVSStrategy
+from repro.hardware.cluster import Cluster
+from repro.simmpi.launcher import SpmdResult
+
+__all__ = [
+    "PhaseInterval",
+    "PhaseEnergy",
+    "TrackingController",
+    "TrackedStrategy",
+    "phase_breakdown",
+]
+
+
+@dataclass(frozen=True)
+class PhaseInterval:
+    """One execution of a marked region on one rank."""
+
+    name: str
+    rank: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class PhaseEnergy:
+    """Aggregated energy/time for one region name."""
+
+    name: str
+    energy: float = 0.0
+    time: float = 0.0  #: summed across ranks (rank-seconds)
+    occurrences: int = 0
+
+
+class TrackingController(DvsController):
+    """Delegates to an inner controller while recording region intervals.
+
+    The interval includes the inner controller's transition costs on both
+    edges (they are part of choosing to treat the region specially).
+    """
+
+    def __init__(self, inner: DvsController, engine, rank: int):
+        self.inner = inner
+        self.engine = engine
+        self.rank = rank
+        self.intervals: List[PhaseInterval] = []
+        self._open: List[Tuple[str, float]] = []
+
+    def region_enter(self, name: str) -> ControlGen:
+        self._open.append((name, self.engine.now))
+        yield from self.inner.region_enter(name)
+
+    def region_exit(self, name: str) -> ControlGen:
+        yield from self.inner.region_exit(name)
+        if not self._open or self._open[-1][0] != name:
+            raise RuntimeError(
+                f"region_exit({name!r}) does not match the open region stack"
+            )
+        _, start = self._open.pop()
+        self.intervals.append(
+            PhaseInterval(name=name, rank=self.rank, start=start, end=self.engine.now)
+        )
+
+
+class TrackedStrategy(DVSStrategy):
+    """Wraps any strategy so every rank's regions are recorded."""
+
+    def __init__(self, inner: DVSStrategy):
+        super().__init__()
+        self.inner = inner
+        self.trackers: List[TrackingController] = []
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.inner.kind
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    def prepare(self, cluster: Cluster) -> None:
+        self._cluster = cluster
+        self.inner.prepare(cluster)
+
+    def teardown(self, cluster: Cluster) -> None:
+        self.inner.teardown(cluster)
+
+    def controller(self, comm) -> TrackingController:
+        tracker = TrackingController(
+            self.inner.controller(comm), comm.engine, comm.rank
+        )
+        self.trackers.append(tracker)
+        return tracker
+
+    def intervals(self) -> List[PhaseInterval]:
+        out: List[PhaseInterval] = []
+        for tracker in self.trackers:
+            out.extend(tracker.intervals)
+        return out
+
+    # needed because DVSStrategy.prepare fills _cpufreqs; delegate instead
+    def cpufreq_for(self, rank: int):  # pragma: no cover - passthrough
+        return self.inner.cpufreq_for(rank)
+
+
+def phase_breakdown(
+    cluster: Cluster,
+    intervals: List[PhaseInterval],
+    spmd: Optional[SpmdResult] = None,
+) -> Dict[str, PhaseEnergy]:
+    """Aggregate energy and time per region name.
+
+    When ``spmd`` is given, an ``(other)`` row covers everything outside
+    marked regions, so rows sum to the job's total energy.
+    """
+    phases: Dict[str, PhaseEnergy] = {}
+    for iv in intervals:
+        timeline = cluster.nodes[iv.rank].timeline
+        entry = phases.setdefault(iv.name, PhaseEnergy(iv.name))
+        entry.energy += timeline.energy(iv.start, iv.end)
+        entry.time += iv.duration
+        entry.occurrences += 1
+
+    if spmd is not None:
+        total = cluster.total_energy(spmd.start, spmd.end)
+        covered = sum(p.energy for p in phases.values())
+        # total rank-time = duration per participating node
+        marked_time = sum(p.time for p in phases.values())
+        n_ranks = len({iv.rank for iv in intervals}) or cluster.n_nodes
+        other = PhaseEnergy("(other)")
+        other.energy = max(0.0, total - covered)
+        other.time = max(0.0, spmd.duration * n_ranks - marked_time)
+        phases["(other)"] = other
+    return phases

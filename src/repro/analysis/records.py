@@ -1,0 +1,110 @@
+"""Serializable experiment records (JSON in/out).
+
+Experiment drivers return :class:`ExperimentResult`; benches print it and
+EXPERIMENTS.md is generated from the same structures, so "what the paper
+says" vs "what we measured" lives in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.records import EnergyDelayPoint
+
+__all__ = ["SeriesData", "Comparison", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class SeriesData:
+    """One strategy's crescendo, normalized and raw."""
+
+    strategy: str
+    points: List[EnergyDelayPoint]
+
+    def to_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "points": [asdict(p) for p in self.points],
+        }
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-reported quantity vs our measurement."""
+
+    quantity: str
+    paper: Optional[float]
+    measured: float
+
+    @property
+    def abs_difference(self) -> Optional[float]:
+        if self.paper is None:
+            return None
+        return abs(self.measured - self.paper)
+
+    def to_dict(self) -> dict:
+        return {
+            "quantity": self.quantity,
+            "paper": self.paper,
+            "measured": self.measured,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment_id: str  #: e.g. "fig3"
+    title: str
+    series: Dict[str, SeriesData] = field(default_factory=dict)
+    comparisons: List[Comparison] = field(default_factory=list)
+    tables: Dict[str, str] = field(default_factory=dict)  #: rendered text
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(self, strategy: str, points: List[EnergyDelayPoint]) -> None:
+        self.series[strategy] = SeriesData(strategy, list(points))
+
+    def compare(self, quantity: str, paper: Optional[float], measured: float) -> None:
+        self.comparisons.append(Comparison(quantity, paper, measured))
+
+    # ------------------------------------------------------------------
+    def to_json(self, indent: int = 2) -> str:
+        payload = {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "series": {k: v.to_dict() for k, v in self.series.items()},
+            "comparisons": [c.to_dict() for c in self.comparisons],
+            "notes": self.notes,
+        }
+        return json.dumps(payload, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        payload = json.loads(text)
+        result = cls(
+            experiment_id=payload["experiment_id"], title=payload["title"]
+        )
+        for name, data in payload.get("series", {}).items():
+            points = [EnergyDelayPoint(**p) for p in data["points"]]
+            result.add_series(name, points)
+        for c in payload.get("comparisons", []):
+            result.compare(c["quantity"], c["paper"], c["measured"])
+        result.notes = list(payload.get("notes", []))
+        return result
+
+    def render(self) -> str:
+        """Full text report for CLI / bench output."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables.values():
+            lines.append(table)
+            lines.append("")
+        if self.comparisons:
+            lines.append("paper vs measured:")
+            for c in self.comparisons:
+                paper = "n/a" if c.paper is None else f"{c.paper:.3f}"
+                lines.append(f"  {c.quantity}: paper={paper} measured={c.measured:.3f}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

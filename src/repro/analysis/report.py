@@ -1,0 +1,115 @@
+"""Text reporting: tables and ASCII crescendo charts.
+
+Experiments print the same rows the paper's figures plot — normalized
+energy and delay per operating point per strategy — plus the Table-1/3
+best-operating-point selections, in plain text so benches and the CLI
+need no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.selection import BestPoint
+from repro.util.units import pretty_freq
+
+__all__ = [
+    "format_table",
+    "format_crescendo",
+    "format_best_points",
+    "ascii_series_chart",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """A fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_crescendo(
+    series: Mapping[str, Sequence[EnergyDelayPoint]],
+    title: str = "",
+    normalize: bool = True,
+    reference: Optional[EnergyDelayPoint] = None,
+) -> str:
+    """Normalized E/D rows per strategy — the data behind the figures.
+
+    When normalising, the reference defaults to the fastest *static*
+    point (the paper's convention); pass ``reference`` to override.
+    """
+    if normalize and reference is None:
+        statics = series.get("stat") or next(iter(series.values()))
+        reference = max(
+            (p for p in statics if p.frequency is not None),
+            key=lambda p: p.frequency,
+            default=statics[-1],
+        )
+    rows: List[List[object]] = []
+    for name, points in series.items():
+        shown = (
+            [p.normalized_to(reference) for p in points] if normalize else list(points)
+        )
+        for p in shown:
+            freq = pretty_freq(p.frequency) if p.frequency else "-"
+            rows.append([name, freq, f"{p.energy:.3f}", f"{p.delay:.3f}"])
+    unit = "(normalized)" if normalize else "(J, s)"
+    return format_table(
+        ["strategy", "freq", f"energy {unit}", f"delay {unit}"], rows, title=title
+    )
+
+
+def format_best_points(rows: Mapping[str, BestPoint], title: str = "") -> str:
+    """The Table-1/3 layout: best operating point per δ setting."""
+    body = []
+    for name, best in rows.items():
+        freq = (
+            pretty_freq(best.point.frequency) if best.point.frequency else best.point.label
+        )
+        body.append(
+            [
+                name,
+                freq,
+                best.point.label,
+                f"{best.improvement_vs_reference * 100:.1f}%",
+            ]
+        )
+    return format_table(
+        ["setting", "operating point", "strategy", "efficiency gain vs fastest"],
+        body,
+        title=title,
+    )
+
+
+def ascii_series_chart(
+    series: Mapping[str, Sequence[float]],
+    labels: Sequence[str],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """A crude horizontal bar chart, one row per (series, label) pair."""
+    values = [v for vs in series.values() for v in vs]
+    if not values:
+        return title
+    peak = max(values)
+    lines = [title] if title else []
+    for name, vs in series.items():
+        for label, v in zip(labels, vs):
+            bar = "#" * max(1, int(round(width * v / peak))) if peak > 0 else ""
+            lines.append(f"{name:>10} {label:>9} |{bar} {v:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Measured runs and crescendo sweeps.
+
+A *crescendo* (the paper's term for its normalized energy/delay curves)
+is one workload measured across operating points and strategies.  Every
+run gets a fresh cluster (fresh engine, fresh accounting) so runs cannot
+contaminate each other; energy is the exact integral of all node power
+timelines over the job interval — i.e. what the paper's instruments
+estimate, without their quantization (their behaviour is validated
+separately in the measurement layer's tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.dvs.cpuspeed import CpuspeedConfig
+from repro.dvs.strategy import (
+    CpuspeedStrategy,
+    DVSStrategy,
+    DynamicStrategy,
+    StaticStrategy,
+)
+from repro.hardware.calibration import Calibration
+from repro.hardware.cluster import Cluster
+from repro.metrics.records import EnergyDelayPoint
+from repro.simmpi import SpmdResult, run_spmd
+from repro.workloads.base import Workload
+
+__all__ = [
+    "MeasuredRun",
+    "run_measured",
+    "static_crescendo",
+    "dynamic_crescendo",
+    "cpuspeed_run",
+    "full_strategy_sweep",
+]
+
+
+@dataclass
+class MeasuredRun:
+    """One workload execution with its energy/delay point."""
+
+    point: EnergyDelayPoint
+    spmd: SpmdResult
+    cluster: Cluster
+    strategy: DVSStrategy
+
+    @property
+    def returns(self) -> List[object]:
+        return self.spmd.returns
+
+
+def run_measured(
+    workload: Workload,
+    strategy: DVSStrategy,
+    calibration: Optional[Calibration] = None,
+    cluster_factory: Optional[Callable[[], Cluster]] = None,
+) -> MeasuredRun:
+    """Run ``workload`` under ``strategy`` on a fresh cluster and measure."""
+    cluster = (
+        cluster_factory()
+        if cluster_factory is not None
+        else Cluster.build(workload.n_ranks, calibration=calibration)
+    )
+    if cluster.n_nodes < workload.n_ranks:
+        raise ValueError(
+            f"cluster has {cluster.n_nodes} nodes; workload needs "
+            f"{workload.n_ranks}"
+        )
+    strategy.prepare(cluster)
+    result = run_spmd(cluster, workload.bind(strategy), n_ranks=workload.n_ranks)
+    strategy.teardown(cluster)
+    energy = cluster.total_energy(result.start, result.end)
+    frequency = getattr(strategy, "frequency", None)
+    if frequency is None:
+        frequency = getattr(strategy, "base_frequency", None)
+    point = EnergyDelayPoint(
+        label=strategy.name,
+        energy=energy,
+        delay=result.duration,
+        frequency=frequency,
+    )
+    return MeasuredRun(point=point, spmd=result, cluster=cluster, strategy=strategy)
+
+
+def static_crescendo(
+    workload: Workload,
+    frequencies: Sequence[float],
+    calibration: Optional[Calibration] = None,
+) -> List[MeasuredRun]:
+    """One static run per frequency (slowest..fastest order preserved)."""
+    return [
+        run_measured(workload, StaticStrategy(f), calibration=calibration)
+        for f in frequencies
+    ]
+
+
+def dynamic_crescendo(
+    workload: Workload,
+    frequencies: Sequence[float],
+    low_frequency: Optional[float] = None,
+    regions: Optional[List[str]] = None,
+    calibration: Optional[Calibration] = None,
+) -> List[MeasuredRun]:
+    """One dynamic run per base frequency (regions drop to the low point)."""
+    return [
+        run_measured(
+            workload,
+            DynamicStrategy(f, low_frequency=low_frequency, regions=regions),
+            calibration=calibration,
+        )
+        for f in frequencies
+    ]
+
+
+def cpuspeed_run(
+    workload: Workload,
+    config: Optional[CpuspeedConfig] = None,
+    calibration: Optional[Calibration] = None,
+) -> MeasuredRun:
+    """One run under the cpuspeed daemons."""
+    return run_measured(
+        workload, CpuspeedStrategy(config=config), calibration=calibration
+    )
+
+
+def full_strategy_sweep(
+    workload: Workload,
+    frequencies: Sequence[float],
+    regions: Optional[List[str]] = None,
+    calibration: Optional[Calibration] = None,
+    include_dynamic: bool = True,
+) -> Dict[str, List[MeasuredRun]]:
+    """The paper's full comparison: cpuspeed + static (+ dynamic) series."""
+    out: Dict[str, List[MeasuredRun]] = {
+        "cpuspeed": [cpuspeed_run(workload, calibration=calibration)],
+        "stat": static_crescendo(workload, frequencies, calibration=calibration),
+    }
+    if include_dynamic:
+        out["dyn"] = dynamic_crescendo(
+            workload, frequencies, regions=regions, calibration=calibration
+        )
+    return out

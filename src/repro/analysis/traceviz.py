@@ -1,0 +1,114 @@
+"""Export simulation activity as Chrome trace-event JSON.
+
+``chrome://tracing`` / Perfetto read a simple JSON array of events; this
+module converts a run's region intervals, frequency transitions and power
+levels into that format so a reproduced experiment can be inspected on a
+real timeline viewer — the modern counterpart of PowerPack's aligned
+profile plots.
+
+Event mapping:
+
+* region intervals → complete events (``ph="X"``), one track per rank;
+* DVS transitions → counter events (``ph="C"``) with the frequency in MHz;
+* node power      → counter events with watts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.phases import PhaseInterval
+from repro.hardware.cluster import Cluster
+
+__all__ = ["trace_events", "export_chrome_trace"]
+
+_US = 1e6  # trace-event timestamps are microseconds
+
+
+def trace_events(
+    cluster: Cluster,
+    intervals: Optional[Sequence[PhaseInterval]] = None,
+    t0: float = 0.0,
+    t1: Optional[float] = None,
+    power_resolution: float = 0.05,
+) -> List[Dict]:
+    """Build the trace-event list for one run."""
+    if t1 is None:
+        t1 = max(node.timeline.last_change for node in cluster.nodes)
+    if t1 < t0:
+        raise ValueError(f"trace interval reversed: [{t0}, {t1}]")
+    events: List[Dict] = []
+
+    # Process metadata: one "process" per node.
+    for node in cluster.nodes:
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": node.node_id,
+                "args": {"name": f"node{node.node_id}"},
+            }
+        )
+
+    # Region intervals as complete events.
+    for iv in intervals or []:
+        events.append(
+            {
+                "ph": "X",
+                "name": iv.name,
+                "pid": iv.rank,
+                "tid": 0,
+                "ts": iv.start * _US,
+                "dur": iv.duration * _US,
+                "cat": "region",
+            }
+        )
+
+    # Power levels as counters (sampled at segment change points, clipped
+    # to the window and thinned to power_resolution).
+    for node in cluster.nodes:
+        last_emitted = None
+        for time, watts in node.timeline.segments():
+            if time < t0 or time > t1:
+                continue
+            if last_emitted is not None and time - last_emitted < power_resolution:
+                continue
+            last_emitted = time
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "power_w",
+                    "pid": node.node_id,
+                    "ts": time * _US,
+                    "args": {"watts": round(watts, 3)},
+                }
+            )
+
+    # Frequency as counters from the trace recorder, if it captured any.
+    for record in cluster.trace.select("node.power"):
+        if not t0 <= record.time <= t1:
+            continue
+        events.append(
+            {
+                "ph": "C",
+                "name": "freq_mhz",
+                "pid": record.fields.get("node", 0),
+                "ts": record.time * _US,
+                "args": {"mhz": record.fields.get("mhz", 0)},
+            }
+        )
+    return events
+
+
+def export_chrome_trace(
+    path: str,
+    cluster: Cluster,
+    intervals: Optional[Sequence[PhaseInterval]] = None,
+    **kwargs,
+) -> int:
+    """Write the trace to ``path``; returns the number of events."""
+    events = trace_events(cluster, intervals, **kwargs)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)

@@ -1,0 +1,37 @@
+"""DVS control substrate: CPUFreq interface, cpuspeed daemon emulation,
+and the paper's three distributed DVS strategies (cpuspeed / static /
+dynamic application-directed control)."""
+
+from repro.dvs.adaptive import AdaptiveConfig, AdaptiveController, AdaptiveStrategy
+from repro.dvs.controller import DvsController, DynamicController, NullController
+from repro.dvs.cpufreq import CpuFreq
+from repro.dvs.cpuspeed import CpuspeedConfig, CpuspeedDaemon
+from repro.dvs.ondemand import OndemandConfig, OndemandGovernor, OndemandStrategy
+from repro.dvs.policy import cpuspeed_decision, proportional_decision
+from repro.dvs.strategy import (
+    CpuspeedStrategy,
+    DVSStrategy,
+    DynamicStrategy,
+    StaticStrategy,
+)
+
+__all__ = [
+    "CpuFreq",
+    "CpuspeedConfig",
+    "CpuspeedDaemon",
+    "DvsController",
+    "NullController",
+    "DynamicController",
+    "DVSStrategy",
+    "StaticStrategy",
+    "CpuspeedStrategy",
+    "DynamicStrategy",
+    "OndemandConfig",
+    "OndemandGovernor",
+    "OndemandStrategy",
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveStrategy",
+    "cpuspeed_decision",
+    "proportional_decision",
+]

@@ -1,0 +1,102 @@
+"""Application-directed DVS control (the paper's *dynamic* strategy).
+
+The paper inserts PowerPack library calls "before (to lowest speed) and
+after (to original speed) the function fft()".  Workload programs in this
+repo mark such slack-heavy regions with::
+
+    yield from dvs.region_enter("fft")
+    ...  # communication-dominated work
+    yield from dvs.region_exit("fft")
+
+What happens at those markers depends on the controller the strategy
+installed: the :class:`NullController` ignores them (static / cpuspeed
+runs), the :class:`DynamicController` drops to a low frequency on entry
+and restores the original on exit, paying the transition cost both ways.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.dvs.cpufreq import CpuFreq
+from repro.sim.events import Event
+
+__all__ = ["DvsController", "NullController", "DynamicController"]
+
+ControlGen = Generator[Event, object, None]
+
+
+class DvsController:
+    """Interface seen by workload programs at region markers."""
+
+    def region_enter(self, name: str) -> ControlGen:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def region_exit(self, name: str) -> ControlGen:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class NullController(DvsController):
+    """Markers are no-ops (static and cpuspeed strategies)."""
+
+    def region_enter(self, name: str) -> ControlGen:
+        return
+        yield  # pragma: no cover - makes this a generator function
+
+    def region_exit(self, name: str) -> ControlGen:
+        return
+        yield  # pragma: no cover
+
+
+class DynamicController(DvsController):
+    """Scale down inside marked regions, restore outside.
+
+    Parameters
+    ----------
+    cpufreq:
+        The rank's node frequency interface.
+    low_frequency:
+        Target inside regions (Hz); the paper uses the ladder's minimum.
+    regions:
+        When given, only markers with these names trigger transitions
+        (others are ignored) — lets one workload expose several regions
+        while an experiment scales only some.
+    """
+
+    def __init__(
+        self,
+        cpufreq: CpuFreq,
+        low_frequency: float,
+        regions: Optional[List[str]] = None,
+    ):
+        self.cpufreq = cpufreq
+        self.low_frequency = low_frequency
+        self.regions = set(regions) if regions is not None else None
+        self._saved: List[Tuple[str, float]] = []
+        #: transition log: (time, region, direction)
+        self.events: List[Tuple[float, str, str]] = []
+
+    def _active_for(self, name: str) -> bool:
+        return self.regions is None or name in self.regions
+
+    def region_enter(self, name: str) -> ControlGen:
+        if not self._active_for(name):
+            return
+        original = self.cpufreq.current_frequency
+        self._saved.append((name, original))
+        yield from self.cpufreq.set_speed(self.low_frequency)
+        self.events.append((self.cpufreq.node.engine.now, name, "enter"))
+
+    def region_exit(self, name: str) -> ControlGen:
+        if not self._active_for(name):
+            return
+        if not self._saved or self._saved[-1][0] != name:
+            raise RuntimeError(
+                f"region_exit({name!r}) does not match the innermost "
+                f"region_enter ({self._saved[-1][0]!r} open)"
+                if self._saved
+                else f"region_exit({name!r}) with no open region"
+            )
+        _, original = self._saved.pop()
+        yield from self.cpufreq.set_speed(original)
+        self.events.append((self.cpufreq.node.engine.now, name, "exit"))

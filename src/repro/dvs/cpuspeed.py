@@ -1,0 +1,106 @@
+"""Emulation of the Fedora ``cpuspeed`` daemon (paper's first strategy).
+
+The real daemon wakes periodically, derives CPU utilisation from
+``/proc/stat``, jumps to the maximum frequency when the CPU looks busy and
+steps down one P-state when it looks idle.  Because MPICH-1 busy-waits,
+``/proc/stat`` shows communication-bound MPI ranks as ~100 % busy, so the
+daemon almost never scales down — the paper's Figure 3 negative result.
+
+The daemon runs *per node* and acts independently (paper §4: "the default
+strategy allowing the cpuspeed daemon complete control over the DVS of
+each individual node independently").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.dvs.cpufreq import CpuFreq
+from repro.hardware.node import Node
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["CpuspeedConfig", "CpuspeedDaemon"]
+
+
+@dataclass(frozen=True)
+class CpuspeedConfig:
+    """Daemon tuning knobs (defaults mirror the Fedora Core 2 package)."""
+
+    interval: float = 1.0  #: seconds between utilisation checks
+    up_threshold: float = 0.90  #: utilisation at/above which → max speed
+    down_threshold: float = 0.25  #: utilisation at/below which → one step down
+
+    def __post_init__(self) -> None:
+        check_positive("interval", self.interval)
+        check_fraction("up_threshold", self.up_threshold)
+        check_fraction("down_threshold", self.down_threshold)
+        if self.down_threshold >= self.up_threshold:
+            raise ValueError(
+                "down_threshold must be below up_threshold "
+                f"({self.down_threshold} >= {self.up_threshold})"
+            )
+
+
+class CpuspeedDaemon:
+    """One node's cpuspeed instance."""
+
+    def __init__(
+        self,
+        node: Node,
+        cpufreq: CpuFreq,
+        config: Optional[CpuspeedConfig] = None,
+    ):
+        self.node = node
+        self.cpufreq = cpufreq
+        self.config = config or CpuspeedConfig()
+        self._process: Optional[Process] = None
+        self._stopped = False
+        #: decision log: (time, utilization, chosen frequency Hz)
+        self.decisions: list = []
+
+    # ------------------------------------------------------------------
+    def start(self, engine: Engine) -> Process:
+        """Launch the daemon loop as a simulated process."""
+        if self._process is not None:
+            raise RuntimeError("daemon already started")
+        self._process = engine.process(
+            self._run(engine), name=f"cpuspeed[node{self.node.node_id}]"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        """Ask the daemon loop to exit at its next wake-up."""
+        self._stopped = True
+
+    def _run(self, engine: Engine) -> Generator[Event, object, None]:
+        from repro.dvs.policy import cpuspeed_decision
+
+        table = self.node.table
+        prev = self.node.procstat.snapshot()
+        while not self._stopped:
+            yield engine.timeout(self.config.interval)
+            if self._stopped:
+                return
+            # The open accounting segment must be folded in, or a rank
+            # that has been spinning since before our last wake-up would
+            # look idle.
+            self.node.cpu.finalize()
+            current = self.node.procstat.snapshot()
+            util = current.utilization_since(prev)
+            prev = current
+
+            freq = self.node.cpu.frequency
+            target = cpuspeed_decision(
+                util,
+                freq,
+                table.frequencies,
+                up_threshold=self.config.up_threshold,
+                down_threshold=self.config.down_threshold,
+            )
+            if target != freq:
+                self.cpufreq.set_speed_now(target)
+            self.decisions.append((engine.now, util, target))

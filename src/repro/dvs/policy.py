@@ -1,0 +1,67 @@
+"""Pure governor decision rules, shared by simulated and real backends.
+
+The cpuspeed algorithm is a three-way decision on observed utilisation;
+keeping it as a pure function lets the simulated daemon
+(:mod:`repro.dvs.cpuspeed`) and the real sysfs-backed daemon
+(:mod:`repro.realhw.daemon`) provably run the same policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.validation import check_fraction
+
+__all__ = ["cpuspeed_decision", "proportional_decision"]
+
+
+def cpuspeed_decision(
+    utilization: float,
+    current_hz: float,
+    available_hz: Sequence[float],
+    up_threshold: float = 0.90,
+    down_threshold: float = 0.25,
+) -> float:
+    """The cpuspeed rule: jump to max when busy, step down when idle.
+
+    Parameters
+    ----------
+    utilization:
+        Busy fraction over the last observation window.
+    current_hz:
+        Current frequency.
+    available_hz:
+        Legal frequencies, any order.
+    """
+    check_fraction("utilization", utilization)
+    ladder = sorted(available_hz)
+    if not ladder:
+        raise ValueError("available_hz must not be empty")
+    if utilization >= up_threshold:
+        return ladder[-1]
+    if utilization <= down_threshold:
+        below = [f for f in ladder if f < current_hz]
+        return below[-1] if below else ladder[0]
+    return current_hz
+
+
+def proportional_decision(
+    utilization: float,
+    available_hz: Sequence[float],
+    headroom: float = 1.0,
+) -> float:
+    """Ondemand-style rule: slowest frequency covering the busy share.
+
+    Picks the slowest legal frequency at least ``utilization · headroom``
+    of the maximum — the policy Linux's later ``ondemand`` governor
+    popularised, included as a comparison point.
+    """
+    check_fraction("utilization", utilization)
+    ladder = sorted(available_hz)
+    if not ladder:
+        raise ValueError("available_hz must not be empty")
+    needed = utilization * headroom * ladder[-1]
+    for freq in ladder:
+        if freq >= needed:
+            return freq
+    return ladder[-1]

@@ -1,0 +1,111 @@
+"""Command-line entry point: ``repro-experiment``.
+
+Examples::
+
+    repro-experiment --list
+    repro-experiment fig3
+    repro-experiment fig6 fig7 fig8 --json out.json
+    repro-experiment all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description=(
+            "Regenerate tables and figures from 'Improvement of Power-"
+            "Performance Efficiency for High-End Computing' (IPPS 2005) "
+            "on the simulated DVS cluster."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (fig1..fig8, table1..table3) or 'all'",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write results as JSON lines to PATH",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "experiment keyword argument, e.g. --param iterations=2 "
+            "(values parsed as Python literals; repeatable; applied to "
+            "every selected experiment that accepts the keyword)"
+        ),
+    )
+    return parser
+
+
+def parse_params(pairs: List[str]) -> dict:
+    """Parse ``--param KEY=VALUE`` pairs into a kwargs dict."""
+    import ast
+
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(f"--param needs KEY=VALUE, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            value = raw  # plain string
+        out[key.strip()] = value
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        for key, title in list_experiments().items():
+            print(f"{key:8s} {title}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; use --list")
+    try:
+        params = parse_params(args.param)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    json_lines = []
+    for experiment_id in ids:
+        import inspect
+
+        fn = EXPERIMENTS[experiment_id]
+        accepted = set(inspect.signature(fn).parameters)
+        kwargs = {k: v for k, v in params.items() if k in accepted}
+        result = run_experiment(experiment_id, **kwargs)
+        print(result.render())
+        print()
+        json_lines.append(result.to_json(indent=None if args.json else 2))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(json_lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

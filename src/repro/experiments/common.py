@@ -1,0 +1,82 @@
+"""Shared helpers for experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.report import format_best_points, format_crescendo
+from repro.analysis.runner import MeasuredRun
+from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.selection import select_paper_rows
+
+__all__ = [
+    "LADDER_FREQUENCIES",
+    "points_of",
+    "normalize_series",
+    "find_static",
+    "energy_saving",
+    "delay_increase",
+    "attach_standard_tables",
+]
+
+#: The Table-2 ladder, slowest first (Hz).
+LADDER_FREQUENCIES = PENTIUM_M_1400.frequencies
+
+
+def points_of(runs: Sequence[MeasuredRun]) -> List[EnergyDelayPoint]:
+    return [run.point for run in runs]
+
+
+def normalize_series(
+    series: Mapping[str, Sequence[EnergyDelayPoint]],
+    reference: Optional[EnergyDelayPoint] = None,
+) -> Dict[str, List[EnergyDelayPoint]]:
+    """Normalize every series to the fastest static point (paper style)."""
+    if reference is None:
+        statics = series.get("stat")
+        if not statics:
+            raise ValueError("normalize_series needs a 'stat' series or reference")
+        reference = max(statics, key=lambda p: p.frequency or 0.0)
+    return {
+        name: [p.normalized_to(reference) for p in points]
+        for name, points in series.items()
+    }
+
+
+def find_static(
+    points: Sequence[EnergyDelayPoint], mhz: float
+) -> EnergyDelayPoint:
+    """The static point at ``mhz`` from a crescendo."""
+    for p in points:
+        if p.frequency is not None and abs(p.frequency - mhz * 1e6) < 1:
+            return p
+    raise KeyError(f"no point at {mhz} MHz in {[p.label for p in points]}")
+
+
+def energy_saving(normalized: EnergyDelayPoint) -> float:
+    """1 − normalized energy (the paper's 'energy savings')."""
+    return 1.0 - normalized.energy
+
+
+def delay_increase(normalized: EnergyDelayPoint) -> float:
+    """normalized delay − 1 (the paper's 'performance impact')."""
+    return normalized.delay - 1.0
+
+
+def attach_standard_tables(
+    result: ExperimentResult,
+    series: Mapping[str, Sequence[EnergyDelayPoint]],
+    best_from: str = "stat",
+    crescendo_title: str = "",
+) -> None:
+    """Render the crescendo table and the best-operating-point table."""
+    result.tables["crescendo"] = format_crescendo(
+        series, title=crescendo_title or result.title
+    )
+    if best_from in series:
+        rows = select_paper_rows(list(series[best_from]))
+        result.tables["best_points"] = format_best_points(
+            rows, title=f"best operating points (from {best_from} series)"
+        )

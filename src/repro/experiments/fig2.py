@@ -1,0 +1,56 @@
+"""Figure 2: the weighted-ED²P iso-efficiency trade-off curves.
+
+Purely analytic — the energy fraction that keeps weighted ED²P constant
+as delay grows, one curve per δ.  Also checks the two worked examples in
+§2.2 (δ=0.2 @ 5 % delay → ≥13 % savings; δ=0.4 @ 10 % → ≈32 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.report import format_table
+from repro.experiments.paper_targets import target
+from repro.metrics.tradeoff import required_energy_savings, tradeoff_curves
+
+__all__ = ["run", "FIG2_DELTAS"]
+
+#: The δ family the figure plots.
+FIG2_DELTAS = (-1.0, -0.6, -0.2, 0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def run(n_points: int = 11, max_delay_factor: float = 1.5) -> ExperimentResult:
+    """Regenerate Figure 2's curve family."""
+    result = ExperimentResult(
+        "fig2", "weight factor trade-off between energy and performance"
+    )
+    factors = np.linspace(1.0, max_delay_factor, n_points)
+    curves = tradeoff_curves(factors, FIG2_DELTAS)
+
+    headers = ["delay factor"] + [f"δ={d:+.1f}" for d, _ in curves]
+    rows = []
+    for i, f in enumerate(factors):
+        row = [f"{f:.2f}"]
+        for _, curve in curves:
+            value = curve[i]
+            row.append("0" if value == 0 else f"{100 * value:.1f}%")
+        rows.append(row)
+    result.tables["curves"] = format_table(
+        headers, rows, title="energy fraction keeping weighted ED2P constant"
+    )
+
+    result.compare(
+        "required_savings_delta0.2_at_5pct_delay",
+        target("fig2", "savings_delta02_5pct"),
+        required_energy_savings(1.05, 0.2),
+    )
+    result.compare(
+        "required_savings_delta0.4_at_10pct_delay",
+        target("fig2", "savings_delta04_10pct"),
+        required_energy_savings(1.10, 0.4),
+    )
+    result.notes.append(
+        "larger δ demands more savings for the same slowdown (curve order)"
+    )
+    return result

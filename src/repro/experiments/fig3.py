@@ -1,0 +1,57 @@
+"""Figure 3 / Table 3: NAS FT class B on 8 nodes — cpuspeed vs static.
+
+The paper's key numbers: static 600 MHz lands at (E, D) ≈ (0.655, 1.068)
+normalized to static 1.4 GHz; the cpuspeed daemon ends up at
+≈(0.966, 0.988) — indistinguishable from running flat out, because the
+busy-waiting progress engine keeps ``/proc/stat`` pegged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.runner import cpuspeed_run, static_crescendo
+from repro.experiments.common import (
+    LADDER_FREQUENCIES,
+    attach_standard_tables,
+    find_static,
+    normalize_series,
+    points_of,
+)
+from repro.experiments.paper_targets import target
+from repro.workloads.nas_ft import NasFT
+
+__all__ = ["run"]
+
+
+def run(iterations: Optional[int] = 4, n_ranks: int = 8) -> ExperimentResult:
+    """Regenerate Figure 3 (pass ``iterations=None`` for the full 20)."""
+    result = ExperimentResult(
+        "fig3", f"NAS FT class B on {n_ranks} nodes: cpuspeed vs static DVS"
+    )
+    workload = NasFT("B", n_ranks=n_ranks, iterations=iterations)
+
+    raw = {
+        "stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES)),
+        "cpuspeed": [cpuspeed_run(workload).point],
+    }
+    normed = normalize_series(raw)
+    for name, points in normed.items():
+        result.add_series(name, points)
+    attach_standard_tables(result, normed)
+
+    stat600 = find_static(normed["stat"], 600)
+    cpuspeed = normed["cpuspeed"][0]
+    result.compare("stat600_energy", target("fig3", "stat600_energy"), stat600.energy)
+    result.compare("stat600_delay", target("fig3", "stat600_delay"), stat600.delay)
+    result.compare(
+        "cpuspeed_energy", target("fig3", "cpuspeed_energy"), cpuspeed.energy
+    )
+    result.compare("cpuspeed_delay", target("fig3", "cpuspeed_delay"), cpuspeed.delay)
+    if iterations is not None:
+        result.notes.append(
+            f"run with {iterations} iterations instead of the class-B 20 "
+            "(normalized crescendos are iteration-count invariant)"
+        )
+    return result

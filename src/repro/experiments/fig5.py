@@ -1,0 +1,101 @@
+"""Figure 5: 12K×12K parallel matrix transpose on 15 processors.
+
+cpuspeed / static / dynamic (regions: steps 2-3).  Paper numbers: static
+800 saves 16.2 % energy for 0.78 % delay; static 600 saves 19.7 % for
+2.4 %; cpuspeed saves only 1.9 %; best HPC point is static 800 MHz
+(11.5 % more efficient than static 1.4 GHz); best energy point static
+600 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.runner import cpuspeed_run, dynamic_crescendo, static_crescendo
+from repro.experiments.common import (
+    LADDER_FREQUENCIES,
+    attach_standard_tables,
+    delay_increase,
+    energy_saving,
+    find_static,
+    normalize_series,
+    points_of,
+)
+from repro.experiments.paper_targets import target
+from repro.metrics.ed2p import DELTA_ENERGY, DELTA_HPC
+from repro.metrics.selection import best_operating_point
+from repro.workloads.transpose import ParallelTranspose
+
+__all__ = ["run"]
+
+
+def run(matrix_n: int = 12_000, iterations: int = 1) -> ExperimentResult:
+    """Regenerate Figure 5 (paper geometry by default)."""
+    result = ExperimentResult(
+        "fig5",
+        f"parallel matrix transpose {matrix_n}x{matrix_n} on 15 processors",
+    )
+    workload = ParallelTranspose(
+        matrix_n=matrix_n, grid_rows=5, grid_cols=3, iterations=iterations
+    )
+
+    raw = {
+        "stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES)),
+        "dyn": points_of(
+            dynamic_crescendo(
+                workload, LADDER_FREQUENCIES, regions=["step2", "step3"]
+            )
+        ),
+        "cpuspeed": [cpuspeed_run(workload).point],
+    }
+    normed = normalize_series(raw)
+    for name, points in normed.items():
+        result.add_series(name, points)
+    attach_standard_tables(result, normed)
+
+    for mhz, key in ((800, "stat800"), (600, "stat600")):
+        p = find_static(normed["stat"], mhz)
+        result.compare(
+            f"{key}_energy_saving",
+            target("fig5", f"{key}_energy_saving"),
+            energy_saving(p),
+        )
+        result.compare(
+            f"{key}_delay_increase",
+            target("fig5", f"{key}_delay_increase"),
+            delay_increase(p),
+        )
+    cp = normed["cpuspeed"][0]
+    result.compare(
+        "cpuspeed_energy_saving",
+        target("fig5", "cpuspeed_energy_saving"),
+        energy_saving(cp),
+    )
+    result.compare(
+        "cpuspeed_delay_increase",
+        target("fig5", "cpuspeed_delay_increase"),
+        delay_increase(cp),
+    )
+
+    best_hpc = best_operating_point(list(normed["stat"]), DELTA_HPC)
+    best_energy = best_operating_point(
+        list(normed["stat"]) + list(normed["dyn"]), DELTA_ENERGY
+    )
+    result.compare(
+        "best_hpc_mhz",
+        target("fig5", "best_hpc_mhz"),
+        (best_hpc.point.frequency or 0) / 1e6,
+    )
+    result.compare(
+        "hpc_improvement",
+        target("fig5", "hpc_improvement"),
+        best_hpc.improvement_vs_reference,
+    )
+    result.compare(
+        "best_energy_mhz",
+        target("fig5", "best_energy_mhz"),
+        (best_energy.point.frequency or 0) / 1e6,
+    )
+    result.notes.append(
+        f"best HPC: {best_hpc.point.label}; best energy: {best_energy.point.label}"
+    )
+    return result

@@ -1,0 +1,69 @@
+"""Figure 7: the CPU-bound microbenchmark crescendos.
+
+The L2-resident walk (256 KB buffer, 128 B stride) is pure on-die work:
+delay scales as 1/f (+134 % at 600 MHz in the paper) and energy has an
+interior minimum at 800 MHz (−10 %) before *rising* at 600 MHz — slowing
+down costs more base-energy than the voltage drop saves.  The
+register-resident variant is even starker: the slowest point consumes the
+most energy and runs ~245 % of the fastest time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.runner import static_crescendo
+from repro.experiments.common import (
+    LADDER_FREQUENCIES,
+    attach_standard_tables,
+    find_static,
+    normalize_series,
+    points_of,
+)
+from repro.experiments.paper_targets import target
+from repro.metrics.ed2p import DELTA_ENERGY
+from repro.metrics.selection import best_operating_point
+from repro.workloads.micro import L2BoundMicro, RegisterMicro
+
+__all__ = ["run"]
+
+
+def run(
+    l2_passes: int = 2000, register_ops: int = 20_000_000_000
+) -> ExperimentResult:
+    """Regenerate Figure 7 (both CPU-bound variants)."""
+    result = ExperimentResult(
+        "fig7", "CPU-bound microbenchmarks (L2 walk; register loop)"
+    )
+    l2 = L2BoundMicro(passes=l2_passes)
+    reg = RegisterMicro(total_ops=register_ops)
+
+    l2_points = points_of(static_crescendo(l2, LADDER_FREQUENCIES))
+    reg_points = points_of(static_crescendo(reg, LADDER_FREQUENCIES))
+    l2_normed = normalize_series({"stat": l2_points})["stat"]
+    reg_normed = normalize_series({"stat": reg_points})["stat"]
+    result.add_series("l2", l2_normed)
+    result.add_series("register", reg_normed)
+    attach_standard_tables(
+        result, {"l2": l2_normed, "register": reg_normed}, best_from="l2"
+    )
+
+    p600 = find_static(l2_normed, 600)
+    result.compare("d600", target("fig7", "d600"), p600.delay)
+    best = best_operating_point(list(l2_normed), DELTA_ENERGY)
+    result.compare(
+        "min_energy_mhz",
+        target("fig7", "min_energy_mhz"),
+        (best.point.frequency or 0) / 1e6,
+    )
+    p800 = find_static(l2_normed, 800)
+    result.compare("e800", target("fig7", "e800"), p800.energy)
+
+    r600 = find_static(reg_normed, 600)
+    result.compare("register_d600", target("fig7", "register_d600"), r600.delay)
+    result.compare("register_e600_vs_e800", None, r600.energy)
+    result.notes.append(
+        "shape: L2 energy minimum at "
+        f"{(best.point.frequency or 0) / 1e6:.0f} MHz; "
+        f"E(600)={find_static(l2_normed, 600).energy:.3f} rises past it"
+    )
+    return result

@@ -1,0 +1,56 @@
+"""Registry of all paper experiments (one per table and figure)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.analysis.records import ExperimentResult
+from repro.experiments import (
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    headline,
+    tables,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+#: experiment id → zero-argument runner with paper-faithful defaults
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "table1": tables.run_table1,
+    "table2": tables.run_table2,
+    "table3": tables.run_table3,
+    "headline": headline.run,
+}
+
+
+def list_experiments() -> Dict[str, str]:
+    """Experiment ids with their one-line titles (without running them)."""
+    docs = {}
+    for key, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()
+        docs[key] = doc[0] if doc else ""
+    return docs
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)

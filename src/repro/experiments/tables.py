@@ -1,0 +1,95 @@
+"""Tables 1-3: operating-point selections and the platform ladder.
+
+* Table 1 — best operating points for mgrid/swim under δ ∈ {0.2, −1, +1};
+* Table 2 — the Pentium M frequency/voltage ladder (a platform constant
+  here; the experiment verifies the paper's pairs and the Eq.-1 trend);
+* Table 3 — best operating points for FT class B (from the Fig-3 sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.report import format_best_points, format_table
+from repro.analysis.runner import static_crescendo
+from repro.experiments.common import LADDER_FREQUENCIES, normalize_series, points_of
+from repro.experiments.paper_targets import target
+from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.metrics.selection import select_paper_rows
+from repro.workloads.nas_ft import NasFT
+from repro.workloads.spec_like import MgridLike, SwimLike
+
+__all__ = ["run_table1", "run_table2", "run_table3"]
+
+
+def run_table1(iterations: int = 10) -> ExperimentResult:
+    """Regenerate Table 1 (mgrid/swim best operating points)."""
+    result = ExperimentResult(
+        "table1", "best operating points for mgrid-like and swim-like codes"
+    )
+    for key, workload in (
+        ("mgrid", MgridLike(iterations=iterations)),
+        ("swim", SwimLike(iterations=iterations)),
+    ):
+        points = points_of(static_crescendo(workload, LADDER_FREQUENCIES))
+        rows = select_paper_rows(points)
+        result.add_series(key, points)
+        result.tables[key] = format_best_points(rows, title=f"{key}-like")
+        for setting in ("HPC", "energy", "performance"):
+            measured = (rows[setting].point.frequency or 0) / 1e6
+            result.compare(
+                f"{key}_{setting.lower()}_mhz",
+                target("table1", f"{key}_{setting.lower()}_mhz"),
+                measured,
+            )
+    return result
+
+
+def run_table2() -> ExperimentResult:
+    """Regenerate Table 2 (frequency / supply-voltage pairs)."""
+    result = ExperimentResult(
+        "table2", "Pentium M 1.4 GHz operating points (frequency, voltage)"
+    )
+    rows = [
+        [f"{p.mhz:.0f} MHz", f"{p.voltage:.3f} V", f"{p.fv2() / PENTIUM_M_1400.fastest.fv2():.3f}"]
+        for p in reversed(PENTIUM_M_1400.points)
+    ]
+    result.tables["ladder"] = format_table(
+        ["frequency", "supply voltage", "relative f·V²"], rows, title=result.title
+    )
+    # Verify the paper's exact pairs.
+    expected = {1400: 1.484, 1200: 1.436, 1000: 1.308, 800: 1.180, 600: 0.956}
+    for point in PENTIUM_M_1400:
+        result.compare(f"voltage_at_{point.mhz:.0f}MHz", expected[point.mhz], point.voltage)
+    result.notes.append(
+        "600 MHz runs at 17.8% of the peak dynamic-power term f·V² — the "
+        "headroom every DVS saving in this paper comes from"
+    )
+    return result
+
+
+def run_table3(iterations: Optional[int] = 4, n_ranks: int = 8) -> ExperimentResult:
+    """Regenerate Table 3 (FT class B best operating points)."""
+    result = ExperimentResult(
+        "table3", f"best operating points for FT class B on {n_ranks} nodes"
+    )
+    workload = NasFT("B", n_ranks=n_ranks, iterations=iterations)
+    points = points_of(static_crescendo(workload, LADDER_FREQUENCIES))
+    normed = normalize_series({"stat": points})["stat"]
+    rows = select_paper_rows(list(normed))
+    result.add_series("stat", normed)
+    result.tables["best_points"] = format_best_points(rows, title=result.title)
+    for setting, key in (
+        ("HPC", "hpc_mhz"),
+        ("energy", "energy_mhz"),
+        ("performance", "performance_mhz"),
+    ):
+        measured = (rows[setting].point.frequency or 0) / 1e6
+        result.compare(key, target("table3", key), measured)
+    result.compare(
+        "hpc_improvement",
+        target("table3", "hpc_improvement"),
+        rows["HPC"].improvement_vs_reference,
+    )
+    return result

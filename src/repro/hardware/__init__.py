@@ -1,0 +1,66 @@
+"""Hardware models of the paper's platform.
+
+A 16-node Beowulf cluster of Pentium M 1.4 GHz laptops on 100 Mb switched
+Ethernet, reconstructed as calibrated analytic models: the DVFS ladder of
+paper Table 2, a CMOS ``P ∝ f·V²`` power model with per-activity factors,
+a frequency-rescalable CPU execution engine with ``/proc/stat`` accounting,
+a memory-hierarchy timing model, and a chunked store-and-forward Ethernet
+fabric with per-link contention.
+"""
+
+from repro.hardware.activity import BUSY_STATES, CpuActivity, is_busy_for_procstat
+from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hardware.cluster import Cluster
+from repro.hardware.cpu import SimCPU
+from repro.hardware.dvfs import (
+    DVFSTable,
+    OperatingPoint,
+    PENTIUM_M_1400,
+    alpha_power_frequency,
+)
+from repro.hardware.memory import AccessCost, MemoryHierarchy, PENTIUM_M_MEMORY
+from repro.hardware.network import NetworkConfig, NetworkFabric
+from repro.hardware.node import Node
+from repro.hardware.power import (
+    ActivityFactors,
+    CpuPowerModel,
+    DEFAULT_FACTORS,
+    NodePowerModel,
+)
+from repro.hardware.procstat import ProcStat, ProcStatSample
+from repro.hardware.reliability import (
+    ReliabilityModel,
+    StrategyReliability,
+    compare_reliability,
+)
+from repro.hardware.timeline import PowerTimeline
+
+__all__ = [
+    "CpuActivity",
+    "BUSY_STATES",
+    "is_busy_for_procstat",
+    "OperatingPoint",
+    "DVFSTable",
+    "PENTIUM_M_1400",
+    "alpha_power_frequency",
+    "ActivityFactors",
+    "CpuPowerModel",
+    "NodePowerModel",
+    "DEFAULT_FACTORS",
+    "PowerTimeline",
+    "ProcStat",
+    "ProcStatSample",
+    "SimCPU",
+    "AccessCost",
+    "MemoryHierarchy",
+    "PENTIUM_M_MEMORY",
+    "NetworkConfig",
+    "NetworkFabric",
+    "Node",
+    "Cluster",
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "ReliabilityModel",
+    "StrategyReliability",
+    "compare_reliability",
+]

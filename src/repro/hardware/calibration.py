@@ -1,0 +1,126 @@
+"""Central calibration constants for the simulated platform.
+
+Everything tunable about the model lives here, in one frozen dataclass, so
+that (a) experiments are reproducible by construction and (b) the
+calibration that matches the paper's published crescendos is explicit and
+reviewable.  DESIGN.md §4 derives the defaults; EXPERIMENTS.md records the
+resulting paper-vs-measured comparison.
+
+Rationale for the defaults:
+
+* ``cpu_max_power = 21 W`` — the Pentium M 1.4 "Banias" TDP; a fully
+  active CPU-bound loop sits near it.
+* ``base_power = 8.2 W`` — chipset + 1 GB DDR refresh + disk idle + PSU
+  loss of the Inspiron 8600 with the display off.  Together with the TDP
+  this puts the CPU-bound energy minimum at 800 MHz (paper Fig 7), which
+  requires ``7.8 W < base < 8.7 W`` under the Table-2 ladder.
+* activity factors — see :mod:`repro.hardware.power`; SPIN ≈ 0.4 is what
+  the FT crescendo implies for the MPICH-1 progress engine's polling loop.
+* ``proto_cycles_per_byte = 12`` — the classic "1 GHz per Gb/s" TCP rule
+  of thumb, giving ~10 % CPU utilisation feeding a saturated 100 Mb link
+  at 1.4 GHz (and ~24 % at 600 MHz, still below saturation, hence the
+  paper's near-flat communication delay crescendos).
+* ``transition_penalty = 1.5 ms`` — effective per-transition cost of a
+  SpeedStep switch as seen by applications (voltage ramp + re-warming),
+  far above the 10 µs architectural floor the datasheet quotes; this is
+  what makes the paper's *dynamic* strategy slightly slower than static
+  at the same operating point (Fig 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.hardware.activity import CpuActivity
+from repro.hardware.dvfs import DVFSTable
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.network import NetworkConfig
+from repro.hardware.power import ActivityFactors, CpuPowerModel, NodePowerModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["Calibration", "DEFAULT_CALIBRATION"]
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All tunable constants of the simulated platform."""
+
+    # --- power -------------------------------------------------------
+    cpu_max_power: float = 21.0
+    base_power: float = 8.2
+    nic_active_power: float = 0.6
+    activity_factors: Mapping[CpuActivity, float] = field(
+        default_factory=lambda: {
+            CpuActivity.ACTIVE: 1.00,
+            CpuActivity.MEMSTALL: 0.45,
+            CpuActivity.PROTO: 0.70,
+            CpuActivity.SPIN: 0.40,
+            CpuActivity.IDLE: 0.12,
+        }
+    )
+
+    # --- memory & network ---------------------------------------------
+    memory: MemoryHierarchy = field(default_factory=MemoryHierarchy)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    # --- MPI software costs --------------------------------------------
+    #: kernel+MPI protocol cycles charged per payload byte moved,
+    #: overlappable with transmission (checksums, socket copies)
+    proto_cycles_per_byte: float = 12.0
+    #: non-overlappable receive-side cycles per byte (unpack after the
+    #: data has fully arrived) — the source of the paper's small but
+    #: nonzero communication delay crescendo (Fig 8)
+    serial_cycles_per_byte: float = 3.0
+    #: per-message software overhead (envelope handling, matching), cycles
+    message_overhead_cycles: float = 6_000.0
+    #: messages at most this large are sent eagerly (buffered); larger
+    #: ones use the rendezvous protocol
+    eager_threshold_bytes: int = 64 * 1024
+    #: seconds of busy-wait polling before a waiting rank blocks in the
+    #: kernel (MPICH-1 select loop behaviour)
+    spin_block_threshold: float = 0.005
+    #: whether /proc/stat reports busy-wait time as busy (reality: yes;
+    #: flipping this is the accounting ablation of DESIGN.md §6)
+    procstat_spin_is_busy: bool = True
+
+    # --- DVS transitions -------------------------------------------------
+    #: architectural P-state switch latency (paper: ~10 µs lower bound)
+    transition_latency: float = 10e-6
+    #: effective application-visible per-transition penalty (voltage ramp,
+    #: pipeline drain, cache re-warming)
+    transition_penalty: float = 1.5e-3
+
+    def __post_init__(self) -> None:
+        check_positive("cpu_max_power", self.cpu_max_power)
+        check_nonnegative("base_power", self.base_power)
+        check_nonnegative("nic_active_power", self.nic_active_power)
+        check_nonnegative("proto_cycles_per_byte", self.proto_cycles_per_byte)
+        check_nonnegative("serial_cycles_per_byte", self.serial_cycles_per_byte)
+        check_nonnegative("message_overhead_cycles", self.message_overhead_cycles)
+        check_positive("eager_threshold_bytes", self.eager_threshold_bytes)
+        check_nonnegative("spin_block_threshold", self.spin_block_threshold)
+        check_nonnegative("transition_latency", self.transition_latency)
+        check_nonnegative("transition_penalty", self.transition_penalty)
+
+    # ------------------------------------------------------------------
+    def node_power_model(self, table: DVFSTable) -> NodePowerModel:
+        """Build the node power model for a given DVFS ladder."""
+        cpu = CpuPowerModel(
+            table,
+            max_power=self.cpu_max_power,
+            factors=ActivityFactors(dict(self.activity_factors)),
+        )
+        return NodePowerModel(
+            cpu=cpu,
+            base_power=self.base_power,
+            nic_active_power=self.nic_active_power,
+        )
+
+    def with_overrides(self, **kwargs: object) -> "Calibration":
+        """A copy with some fields replaced (ablation experiments)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+#: The calibration used throughout the reproduction.
+DEFAULT_CALIBRATION = Calibration()

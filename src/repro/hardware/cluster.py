@@ -1,0 +1,106 @@
+"""Cluster assembly: nodes + interconnect against one engine.
+
+:func:`Cluster.build` is the main entry point used by experiments,
+examples, and the SPMD launcher: it creates the engine, the nodes (with
+identical DVFS ladders and power models, as in the paper's homogeneous
+16-laptop cluster) and the Ethernet fabric, and wires NIC activity into
+node power timelines.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.hardware.dvfs import DVFSTable, PENTIUM_M_1400
+from repro.hardware.network import NetworkFabric
+from repro.hardware.node import Node
+from repro.sim.engine import Engine
+from repro.sim.trace import NullRecorder, TraceRecorder
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A homogeneous DVS-capable Beowulf cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nodes: List[Node],
+        fabric: NetworkFabric,
+        calibration: Calibration,
+        trace: TraceRecorder,
+    ):
+        self.engine = engine
+        self.nodes = nodes
+        self.fabric = fabric
+        self.calibration = calibration
+        self.trace = trace
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        n_nodes: int,
+        calibration: Optional[Calibration] = None,
+        table: Optional[DVFSTable] = None,
+        trace: Optional[TraceRecorder] = None,
+        engine: Optional[Engine] = None,
+    ) -> "Cluster":
+        """Construct a cluster of ``n_nodes`` identical nodes."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        cal = calibration or DEFAULT_CALIBRATION
+        ladder = table or PENTIUM_M_1400
+        eng = engine or Engine()
+        tracer = trace if trace is not None else NullRecorder()
+
+        power_model = cal.node_power_model(ladder)
+        nodes = [
+            Node(
+                eng,
+                node_id=i,
+                table=ladder,
+                power_model=power_model,
+                memory=cal.memory,
+                spin_block_threshold=cal.spin_block_threshold,
+                trace=tracer,
+                spin_counts_busy=cal.procstat_spin_is_busy,
+            )
+            for i in range(n_nodes)
+        ]
+        fabric = NetworkFabric(eng, n_nodes, cal.network)
+        for node in nodes:
+            fabric.add_activity_listener(
+                node.node_id,
+                _nic_listener(fabric, node),
+            )
+        return cls(eng, nodes, fabric, cal, tracer)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def table(self) -> DVFSTable:
+        return self.nodes[0].table
+
+    def finalize(self) -> None:
+        """Close all nodes' accounting at the end of a run."""
+        for node in self.nodes:
+            node.finalize()
+
+    def total_energy(self, t0: float, t1: float) -> float:
+        """Exact total cluster energy (joules) over ``[t0, t1]``."""
+        return sum(node.timeline.energy(t0, t1) for node in self.nodes)
+
+
+def _nic_listener(fabric: NetworkFabric, node: Node):
+    """Closure translating fabric activity flips into node NIC power."""
+
+    def listener() -> None:
+        node.set_nic_active(fabric.traffic_active(node.node_id))
+
+    return listener

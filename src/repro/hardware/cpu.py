@@ -1,0 +1,246 @@
+"""The simulated DVS-capable CPU.
+
+:class:`SimCPU` executes *work* for the single MPI rank pinned to its node
+(the paper runs one process per laptop).  Work comes in three shapes:
+
+* :meth:`run_cycles` — frequency-dependent computation: ``cycles`` of
+  retirement work take ``cycles / f`` seconds, and a frequency change in
+  the middle re-times the remainder (this is what makes DVS transitions
+  mid-phase behave correctly under the cpuspeed daemon);
+* :meth:`stall` — frequency-*independent* wall time in a given activity
+  state (a DRAM stall, protocol work pinned to the NIC's pace);
+* :meth:`wait_event` — MPICH-1-style message waiting: busy-poll (SPIN)
+  up to a threshold, then block in the kernel (IDLE).
+
+Every state, utilization, or frequency change closes an accounting segment:
+the duration is charged to the node's ``/proc/stat`` emulation and the node
+is notified so it can record the new power level on its timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.hardware.activity import CpuActivity
+from repro.hardware.dvfs import DVFSTable, OperatingPoint
+from repro.hardware.procstat import ProcStat
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.util.validation import check_fraction, check_nonnegative
+
+__all__ = ["SimCPU"]
+
+#: Minimum leftover cycles treated as "done" (guards float dust when a
+#: frequency change lands at the exact end of a work quantum).
+_CYCLE_EPSILON = 1e-6
+
+
+class SimCPU:
+    """Single-core CPU with Enhanced-SpeedStep-style frequency scaling.
+
+    Parameters
+    ----------
+    engine:
+        Simulation engine.
+    table:
+        The DVFS ladder.
+    procstat:
+        The node's ``/proc/stat`` accounting sink.
+    on_change:
+        Callback invoked (with no arguments) after every accounting-relevant
+        change; the node uses it to update its power timeline.
+    spin_block_threshold:
+        Seconds of busy-wait polling before a waiting receive falls back to
+        blocking in the kernel.  ``inf`` reproduces a pure spin-wait MPI
+        implementation, ``0`` a pure blocking one.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        table: DVFSTable,
+        procstat: Optional[ProcStat] = None,
+        on_change: Optional[Callable[[], None]] = None,
+        spin_block_threshold: float = 0.005,
+    ):
+        self.engine = engine
+        self.table = table
+        self.procstat = procstat if procstat is not None else ProcStat()
+        self._on_change = on_change or (lambda: None)
+        check_nonnegative("spin_block_threshold", spin_block_threshold)
+        self.spin_block_threshold = spin_block_threshold
+
+        self._point: OperatingPoint = table.fastest
+        self._state: CpuActivity = CpuActivity.IDLE
+        self._utilization: float = 1.0
+        self._floor: CpuActivity = CpuActivity.IDLE
+        self._segment_start: float = engine.now
+        self._freq_event: Event = engine.event()
+        #: cumulative number of completed frequency transitions
+        self.transition_count: int = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return self._point
+
+    @property
+    def frequency(self) -> float:
+        """Current clock frequency in Hz."""
+        return self._point.frequency
+
+    @property
+    def state(self) -> CpuActivity:
+        return self._state
+
+    @property
+    def utilization(self) -> float:
+        return self._utilization
+
+    @property
+    def floor(self) -> CpuActivity:
+        """The state blended with ``state`` for the idle share of time."""
+        return self._floor
+
+    @property
+    def freq_changed(self) -> Event:
+        """Event firing at the next P-state transition (for wait loops)."""
+        return self._freq_event
+
+    # ------------------------------------------------------------------
+    # accounting plumbing
+    # ------------------------------------------------------------------
+    def _close_segment(self) -> None:
+        now = self.engine.now
+        duration = now - self._segment_start
+        if duration > 0:
+            self.procstat.account(
+                duration, self._state, self._utilization, self._floor
+            )
+        self._segment_start = now
+
+    def set_state(
+        self,
+        state: CpuActivity,
+        utilization: float = 1.0,
+        floor: CpuActivity = CpuActivity.IDLE,
+    ) -> None:
+        """Switch activity state (closing the accounting segment)."""
+        check_fraction("utilization", utilization)
+        if (
+            state is self._state
+            and utilization == self._utilization
+            and floor is self._floor
+        ):
+            return
+        self._close_segment()
+        self._state = state
+        self._utilization = utilization
+        self._floor = floor
+        self._on_change()
+
+    def set_frequency(self, point: OperatingPoint) -> None:
+        """Instantaneous P-state switch.
+
+        Transition *latency* (the µs the core is unavailable) is modelled
+        by the CPUFreq layer in :mod:`repro.dvs.cpufreq`, which is the only
+        sanctioned caller in experiments; tests may call this directly.
+        """
+        if point.frequency == self._point.frequency:
+            return
+        self.table.point_for(point.frequency)  # must be a legal point
+        self._close_segment()
+        self._point = point
+        self.transition_count += 1
+        self._on_change()
+        # Wake anything racing work completion against a frequency change.
+        old_event, self._freq_event = self._freq_event, self.engine.event()
+        old_event.succeed(point)
+
+    def finalize(self) -> None:
+        """Close the open accounting segment (call at end of simulation)."""
+        self._close_segment()
+
+    # ------------------------------------------------------------------
+    # work primitives (generators — use with ``yield from``)
+    # ------------------------------------------------------------------
+    def run_cycles(
+        self,
+        cycles: float,
+        state: CpuActivity = CpuActivity.ACTIVE,
+    ) -> Generator[Event, object, None]:
+        """Execute ``cycles`` of frequency-dependent work.
+
+        The work takes ``cycles / f`` seconds at the current frequency; a
+        mid-run P-state change re-times the remainder at the new frequency,
+        exactly as a real core slows down under the daemon's feet.
+        """
+        check_nonnegative("cycles", cycles)
+        remaining = float(cycles)
+        self.set_state(state, 1.0)
+        try:
+            while remaining > _CYCLE_EPSILON:
+                freq = self._point.frequency
+                started = self.engine.now
+                done = self.engine.timeout(remaining / freq)
+                change = self._freq_event
+                yield self.engine.any_of([done, change])
+                if done.processed:
+                    remaining = 0.0
+                else:
+                    remaining -= (self.engine.now - started) * freq
+        finally:
+            self.set_state(CpuActivity.IDLE, 1.0)
+
+    def stall(
+        self,
+        duration: float,
+        state: CpuActivity = CpuActivity.MEMSTALL,
+        utilization: float = 1.0,
+    ) -> Generator[Event, object, None]:
+        """Spend frequency-independent wall time in ``state``.
+
+        Used for DRAM stalls (latency set by the memory, not the clock) and
+        for protocol work paced by the NIC (``state=PROTO`` with the
+        utilization the CPU needs to keep the link fed).
+        """
+        check_nonnegative("duration", duration)
+        self.set_state(state, utilization)
+        try:
+            if duration > 0:
+                yield self.engine.timeout(duration)
+        finally:
+            self.set_state(CpuActivity.IDLE, 1.0)
+
+    def wait_event(
+        self,
+        event: Event,
+        spin_threshold: Optional[float] = None,
+    ) -> Generator[Event, object, object]:
+        """Wait for ``event`` the way MPICH-1 waits for a message.
+
+        Busy-polls (SPIN — *busy* in ``/proc/stat``, ~40 % of active power)
+        for up to ``spin_threshold`` seconds, then blocks in the kernel
+        (IDLE).  Returns the event's value.
+        """
+        threshold = (
+            self.spin_block_threshold if spin_threshold is None else spin_threshold
+        )
+        check_nonnegative("spin_threshold", threshold)
+        self.set_state(CpuActivity.SPIN, 1.0)
+        try:
+            if threshold == float("inf"):
+                yield event
+                return event.value
+            if threshold > 0:
+                give_up = self.engine.timeout(threshold)
+                yield self.engine.any_of([event, give_up])
+                if event.processed:
+                    return event.value
+            self.set_state(CpuActivity.IDLE, 1.0)
+            yield event
+            return event.value
+        finally:
+            self.set_state(CpuActivity.IDLE, 1.0)

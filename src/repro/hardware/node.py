@@ -1,0 +1,97 @@
+"""A cluster node: CPU + memory + NIC + power accounting.
+
+The node is the unit the paper measures (one laptop, one battery, one
+Baytech outlet).  It wires the CPU's activity changes and the fabric's NIC
+activity into a ground-truth :class:`~repro.hardware.timeline.PowerTimeline`
+that the emulated instruments sample.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.cpu import SimCPU
+from repro.hardware.dvfs import DVFSTable
+from repro.hardware.memory import MemoryHierarchy
+from repro.hardware.power import NodePowerModel
+from repro.hardware.procstat import ProcStat
+from repro.hardware.timeline import PowerTimeline
+from repro.sim.engine import Engine
+from repro.sim.trace import NullRecorder, TraceRecorder
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One simulated laptop of the Beowulf cluster."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        node_id: int,
+        table: DVFSTable,
+        power_model: NodePowerModel,
+        memory: MemoryHierarchy,
+        spin_block_threshold: float = 0.005,
+        trace: Optional[TraceRecorder] = None,
+        spin_counts_busy: bool = True,
+    ):
+        self.engine = engine
+        self.node_id = node_id
+        self.table = table
+        self.power_model = power_model
+        self.memory = memory
+        self.trace = trace if trace is not None else NullRecorder()
+
+        self.procstat = ProcStat(spin_counts_busy=spin_counts_busy)
+        self.cpu = SimCPU(
+            engine,
+            table,
+            procstat=self.procstat,
+            on_change=self._update_power,
+            spin_block_threshold=spin_block_threshold,
+        )
+        self._nic_active = False
+        self.timeline = PowerTimeline(
+            start_time=engine.now, initial_power=self._current_power()
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def nic_active(self) -> bool:
+        return self._nic_active
+
+    def set_nic_active(self, active: bool) -> None:
+        """Fabric callback: the node's tx/rx activity flipped."""
+        if active == self._nic_active:
+            return
+        self._nic_active = active
+        self._update_power()
+
+    def _current_power(self) -> float:
+        return self.power_model.power(
+            self.cpu.operating_point,
+            self.cpu.state,
+            self.cpu.utilization,
+            nic_active=self._nic_active,
+            floor=self.cpu.floor,
+        )
+
+    def _update_power(self) -> None:
+        watts = self._current_power()
+        self.timeline.set_power(self.engine.now, watts)
+        self.trace.record(
+            self.engine.now,
+            "node.power",
+            node=self.node_id,
+            watts=round(watts, 6),
+            state=str(self.cpu.state),
+            mhz=self.cpu.frequency / 1e6,
+        )
+
+    def finalize(self) -> None:
+        """Close open accounting segments at the end of a run."""
+        self.cpu.finalize()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node {self.node_id} f={self.cpu.frequency / 1e6:.0f}MHz>"

@@ -1,0 +1,163 @@
+"""CMOS power models (paper §2.1, Eqs. 1-3).
+
+The paper's analysis rests on ``P ∝ c·f·V²`` for the dynamic power of a
+CMOS processor.  We model the CPU's power at an operating point ``(f, V)``
+in activity state ``s`` as::
+
+    P_cpu(s, f, V) = α(s) · P_max · (f·V²)/(f_max·V_max²)      for busy states
+    P_cpu(IDLE, f, V) = α(IDLE) · P_max · (V/V_max)²           when halted
+
+where ``P_max`` is the fully-active draw at the fastest point and ``α(s)``
+is a per-activity factor (see :mod:`repro.hardware.activity`).  The idle
+state scales only with ``V²`` because a halted core's clock is gated —
+what remains is leakage, which tracks supply voltage.
+
+Node power adds a frequency-independent base (chipset, DRAM refresh, disk,
+display off, PSU loss) and a small NIC-active term.  The base term is what
+bounds achievable energy savings: as frequency drops, CPU power shrinks but
+the base keeps integrating over the (slightly longer) run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.hardware.activity import CpuActivity
+from repro.hardware.dvfs import DVFSTable, OperatingPoint
+from repro.util.validation import check_fraction, check_nonnegative, check_positive
+
+__all__ = ["ActivityFactors", "CpuPowerModel", "NodePowerModel", "DEFAULT_FACTORS"]
+
+
+#: Default per-activity power factors, calibrated against the paper's
+#: microbenchmark crescendos (see DESIGN.md §4 and EXPERIMENTS.md).
+DEFAULT_FACTORS: Mapping[CpuActivity, float] = {
+    CpuActivity.ACTIVE: 1.00,
+    CpuActivity.MEMSTALL: 0.45,
+    CpuActivity.PROTO: 0.70,
+    CpuActivity.SPIN: 0.40,
+    CpuActivity.IDLE: 0.12,
+}
+
+
+@dataclass(frozen=True)
+class ActivityFactors:
+    """Per-activity scaling of CPU power relative to fully active."""
+
+    factors: Mapping[CpuActivity, float] = field(
+        default_factory=lambda: dict(DEFAULT_FACTORS)
+    )
+
+    def __post_init__(self) -> None:
+        missing = set(CpuActivity) - set(self.factors)
+        if missing:
+            raise ValueError(f"missing activity factors for {sorted(s.value for s in missing)}")
+        for state, value in self.factors.items():
+            check_fraction(f"activity factor for {state}", value)
+
+    def __getitem__(self, state: CpuActivity) -> float:
+        return self.factors[state]
+
+
+class CpuPowerModel:
+    """Power draw of the DVS-capable CPU.
+
+    Parameters
+    ----------
+    table:
+        The processor's DVFS ladder (used for normalisation constants).
+    max_power:
+        Fully-active power (watts) at the fastest operating point.
+    factors:
+        Per-activity scaling factors.
+    """
+
+    def __init__(
+        self,
+        table: DVFSTable,
+        max_power: float = 21.0,
+        factors: ActivityFactors | None = None,
+    ):
+        self.table = table
+        self.max_power = check_positive("max_power", max_power)
+        self.factors = factors or ActivityFactors()
+
+    def power(
+        self,
+        point: OperatingPoint,
+        state: CpuActivity,
+        utilization: float = 1.0,
+        floor: CpuActivity = CpuActivity.IDLE,
+    ) -> float:
+        """Instantaneous CPU power in watts.
+
+        ``utilization`` blends ``state`` with the ``floor`` state: a CPU
+        doing protocol work for 40 % of the wall time and halted otherwise
+        is ``(PROTO, 0.4, floor=IDLE)``; the MPICH-1 progress engine doing
+        the same byte-work but busy-polling between chunks is
+        ``(PROTO, 0.4, floor=SPIN)``.
+        """
+        check_fraction("utilization", utilization)
+        busy = self._state_power(point, state)
+        rest = self._state_power(point, floor)
+        return utilization * busy + (1.0 - utilization) * rest
+
+    def _state_power(self, point: OperatingPoint, state: CpuActivity) -> float:
+        alpha = self.factors[state]
+        if state is CpuActivity.IDLE:
+            return alpha * self.max_power * self.table.relative_v2(point)
+        return alpha * self.max_power * self.table.relative_fv2(point)
+
+
+@dataclass(frozen=True)
+class NodePowerModel:
+    """Whole-node power: base + CPU + NIC.
+
+    Attributes
+    ----------
+    cpu:
+        The CPU power model.
+    base_power:
+        Frequency-independent node power in watts (chipset, DRAM refresh,
+        disk, PSU loss; laptop display assumed off as in the paper's
+        measurement protocol).
+    nic_active_power:
+        Extra draw while the NIC is transmitting or receiving.
+    """
+
+    cpu: CpuPowerModel
+    base_power: float = 8.2
+    nic_active_power: float = 0.6
+
+    def __post_init__(self) -> None:
+        check_nonnegative("base_power", self.base_power)
+        check_nonnegative("nic_active_power", self.nic_active_power)
+
+    def power(
+        self,
+        point: OperatingPoint,
+        state: CpuActivity,
+        utilization: float = 1.0,
+        nic_active: bool = False,
+        floor: CpuActivity = CpuActivity.IDLE,
+    ) -> float:
+        """Instantaneous node power in watts."""
+        total = self.base_power + self.cpu.power(point, state, utilization, floor)
+        if nic_active:
+            total += self.nic_active_power
+        return total
+
+    def breakdown(
+        self,
+        point: OperatingPoint,
+        state: CpuActivity,
+        utilization: float = 1.0,
+        nic_active: bool = False,
+    ) -> Dict[str, float]:
+        """Per-component power, for reporting and the PowerPack profiles."""
+        return {
+            "base": self.base_power,
+            "cpu": self.cpu.power(point, state, utilization),
+            "nic": self.nic_active_power if nic_active else 0.0,
+        }

@@ -1,0 +1,124 @@
+"""Thermal / reliability model (the paper's §1 motivation, quantified).
+
+The introduction argues the case for DVS partly on failure rates:
+*"Commodity components fail at an annual rate of 2-3 %. … Component life
+expectancy decreases 50 % for every 10 °C (18 °F) temperature increase.
+Reducing a component's operating temperature the same amount (consuming
+less energy) doubles the life expectancy."*
+
+This module turns those sentences into a model so experiments can report
+the reliability consequence of an energy-saving operating point:
+
+* steady-state component temperature rises linearly with dissipated
+  power (a thermal resistance in °C/W — laptop-class cooling);
+* life expectancy follows the paper's rule: ×2 per 10 °C decrease
+  (the classic Arrhenius-rule-of-thumb the paper cites);
+* a cluster's expected annual failures scale inversely with per-node
+  life expectancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["ReliabilityModel", "StrategyReliability", "compare_reliability"]
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Thermal and failure-rate constants.
+
+    Attributes
+    ----------
+    ambient_c:
+        Machine-room ambient temperature.
+    thermal_resistance_c_per_w:
+        Steady-state °C rise per watt dissipated in the node (laptop
+        heatsink + chassis; ~1 °C/W is typical for this class).
+    annual_failure_rate:
+        Baseline annual failure probability per node at the reference
+        temperature (paper: 2-3 %).
+    reference_power_w:
+        Node power at which ``annual_failure_rate`` applies.
+    doubling_celsius:
+        Temperature decrease that doubles life expectancy (paper: 10 °C).
+    """
+
+    ambient_c: float = 22.0
+    thermal_resistance_c_per_w: float = 1.0
+    annual_failure_rate: float = 0.025
+    reference_power_w: float = 29.2  # node flat-out at 1.4 GHz
+    doubling_celsius: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_nonnegative("ambient_c", self.ambient_c)
+        check_positive("thermal_resistance_c_per_w", self.thermal_resistance_c_per_w)
+        check_positive("annual_failure_rate", self.annual_failure_rate)
+        check_positive("reference_power_w", self.reference_power_w)
+        check_positive("doubling_celsius", self.doubling_celsius)
+
+    # ------------------------------------------------------------------
+    def temperature(self, average_power_w: float) -> float:
+        """Steady-state component temperature at ``average_power_w``."""
+        check_nonnegative("average_power_w", average_power_w)
+        return self.ambient_c + self.thermal_resistance_c_per_w * average_power_w
+
+    def life_expectancy_factor(self, average_power_w: float) -> float:
+        """Life expectancy relative to the reference power (×2 / −10 °C)."""
+        delta = self.temperature(self.reference_power_w) - self.temperature(
+            average_power_w
+        )
+        return 2.0 ** (delta / self.doubling_celsius)
+
+    def failure_rate(self, average_power_w: float) -> float:
+        """Annual per-node failure probability at ``average_power_w``."""
+        return self.annual_failure_rate / self.life_expectancy_factor(
+            average_power_w
+        )
+
+    def cluster_failures_per_year(
+        self, average_power_w: float, n_nodes: int
+    ) -> float:
+        """Expected annual hardware failures across the cluster."""
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        return self.failure_rate(average_power_w) * n_nodes
+
+
+@dataclass(frozen=True)
+class StrategyReliability:
+    """Reliability consequence of one measured operating point."""
+
+    label: str
+    average_power_w: float
+    temperature_c: float
+    life_factor: float
+    failures_per_year: float
+
+
+def compare_reliability(
+    points,
+    n_nodes: int,
+    model: ReliabilityModel = ReliabilityModel(),
+) -> list:
+    """Reliability rows for a crescendo of EnergyDelayPoints.
+
+    ``average_power`` per node is ``E / (D · n_nodes)`` — Eq. 3 rearranged.
+    """
+    rows = []
+    for p in points:
+        avg_power = p.energy / (p.delay * n_nodes)
+        rows.append(
+            StrategyReliability(
+                label=p.label,
+                average_power_w=avg_power,
+                temperature_c=model.temperature(avg_power),
+                life_factor=model.life_expectancy_factor(avg_power),
+                failures_per_year=model.cluster_failures_per_year(
+                    avg_power, n_nodes
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,105 @@
+"""Ground-truth power timeline of a node.
+
+The simulator knows the exact instantaneous power of every node at every
+moment (piecewise-constant between state changes).  :class:`PowerTimeline`
+records those segments; energy over any interval is an exact integral.
+
+The *measurement* layer (:mod:`repro.measurement`) never reads this
+directly in experiments — it samples it through emulated instruments (ACPI
+battery, Baytech meter) exactly the way the paper's PowerPack did, with the
+corresponding quantization and refresh-rate error.  Tests compare the
+instruments against this ground truth.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+from repro.util.validation import check_nonnegative
+
+__all__ = ["PowerTimeline"]
+
+
+class PowerTimeline:
+    """Piecewise-constant power trace with exact energy integration."""
+
+    def __init__(self, start_time: float = 0.0, initial_power: float = 0.0):
+        check_nonnegative("initial_power", initial_power)
+        self._times: List[float] = [start_time]
+        self._watts: List[float] = [initial_power]
+
+    # ------------------------------------------------------------------
+    def set_power(self, time: float, watts: float) -> None:
+        """Record that the node's power changed to ``watts`` at ``time``.
+
+        Multiple changes at the same instant collapse to the last one.
+        Out-of-order appends are a modelling bug and raise.
+        """
+        check_nonnegative("watts", watts)
+        last_t = self._times[-1]
+        if time < last_t:
+            raise ValueError(
+                f"power timeline must be appended in time order "
+                f"(got t={time} after t={last_t})"
+            )
+        if time == last_t:
+            self._watts[-1] = watts
+            return
+        if watts == self._watts[-1]:
+            return  # no change; avoid zero-length bookkeeping
+        self._times.append(time)
+        self._watts.append(watts)
+
+    # ------------------------------------------------------------------
+    @property
+    def start_time(self) -> float:
+        return self._times[0]
+
+    @property
+    def last_change(self) -> float:
+        return self._times[-1]
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous power at ``time`` (watts)."""
+        if time < self._times[0]:
+            raise ValueError(f"t={time} precedes timeline start {self._times[0]}")
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._watts[idx]
+
+    def energy(self, t0: float, t1: float) -> float:
+        """Exact energy in joules consumed over ``[t0, t1]``.
+
+        The final segment is treated as extending indefinitely (the node
+        keeps drawing its last-known power), which is how a real meter
+        would see it.
+        """
+        if t1 < t0:
+            raise ValueError(f"energy interval reversed: [{t0}, {t1}]")
+        if t0 < self._times[0]:
+            raise ValueError(f"t0={t0} precedes timeline start {self._times[0]}")
+        total = 0.0
+        idx = bisect.bisect_right(self._times, t0) - 1
+        cursor = t0
+        while cursor < t1:
+            seg_end = (
+                self._times[idx + 1] if idx + 1 < len(self._times) else float("inf")
+            )
+            upto = min(seg_end, t1)
+            total += self._watts[idx] * (upto - cursor)
+            cursor = upto
+            idx += 1
+        return total
+
+    def average_power(self, t0: float, t1: float) -> float:
+        """Average power over ``[t0, t1]`` (Eq. 3: ``E = P_avg × D``)."""
+        if t1 == t0:
+            return self.power_at(t0)
+        return self.energy(t0, t1) / (t1 - t0)
+
+    def segments(self) -> List[Tuple[float, float]]:
+        """The ``(time, watts)`` change points, oldest first."""
+        return list(zip(self._times, self._watts))
+
+    def __len__(self) -> int:
+        return len(self._times)

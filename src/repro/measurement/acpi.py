@@ -1,0 +1,111 @@
+"""ACPI smart-battery emulation (the paper's primary instrument).
+
+Paper §3: *"An ACPI smart battery records battery states to report
+remaining capacity in mWh (1 mWh = 3.6 Joules).  This technique provides
+polling data updated every 15-20 seconds."*
+
+The emulated battery integrates the node's ground-truth power timeline,
+but exposes it the way the real instrument does: remaining capacity
+quantized to whole milliwatt-hours, refreshed only every
+``refresh_interval`` seconds.  Those two error sources (±0.5 mWh
+quantization, up to one refresh interval of staleness) are exactly why
+the paper measures long runs and iterates applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.hardware.node import Node
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.util.units import JOULES_PER_MWH
+from repro.util.validation import check_positive
+
+__all__ = ["BatteryReading", "SmartBattery"]
+
+
+@dataclass(frozen=True)
+class BatteryReading:
+    """One ACPI poll result."""
+
+    time: float  #: simulation time of the *refresh* this reading reflects
+    remaining_mwh: int  #: quantized remaining capacity
+
+    def joules_consumed_since(self, earlier: "BatteryReading") -> float:
+        """Energy between two readings (the paper's measurement, Eq. 3)."""
+        return (earlier.remaining_mwh - self.remaining_mwh) * JOULES_PER_MWH
+
+
+class SmartBattery:
+    """One laptop's battery, discharging through the node's power draw."""
+
+    def __init__(
+        self,
+        node: Node,
+        full_capacity_mwh: int = 53_000,  # Inspiron 8600 ~53 Wh pack
+        refresh_interval: float = 17.5,
+    ):
+        check_positive("full_capacity_mwh", full_capacity_mwh)
+        check_positive("refresh_interval", refresh_interval)
+        self.node = node
+        self.engine: Engine = node.engine
+        self.full_capacity_mwh = int(full_capacity_mwh)
+        self.refresh_interval = refresh_interval
+        self._attach_time: Optional[float] = None
+        self._last_reading: Optional[BatteryReading] = None
+        self._process: Optional[Process] = None
+        self._stopped = False
+        #: every refresh the battery produced, oldest first
+        self.history: List[BatteryReading] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        """Begin discharging (the paper's "disconnect from wall power")."""
+        if self._process is not None:
+            raise RuntimeError("battery already started")
+        self._attach_time = self.engine.now
+        self._last_reading = BatteryReading(
+            time=self.engine.now, remaining_mwh=self.full_capacity_mwh
+        )
+        self.history.append(self._last_reading)
+        self._process = self.engine.process(
+            self._refresh_loop(), name=f"battery[node{self.node.node_id}]"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _refresh_loop(self) -> Generator[Event, object, None]:
+        while not self._stopped:
+            yield self.engine.timeout(self.refresh_interval)
+            if self._stopped:
+                return
+            self._refresh()
+
+    def _refresh(self) -> None:
+        assert self._attach_time is not None
+        joules = self.node.timeline.energy(self._attach_time, self.engine.now)
+        remaining = self.full_capacity_mwh - round(joules / JOULES_PER_MWH)
+        if remaining < 0:
+            raise RuntimeError(
+                f"battery on node {self.node.node_id} ran out of charge"
+            )
+        self._last_reading = BatteryReading(
+            time=self.engine.now, remaining_mwh=int(remaining)
+        )
+        self.history.append(self._last_reading)
+
+    # ------------------------------------------------------------------
+    def read(self) -> BatteryReading:
+        """What ACPI reports *right now*: the last refresh's value."""
+        if self._last_reading is None:
+            raise RuntimeError("battery not started")
+        return self._last_reading
+
+    def true_energy(self, t0: float, t1: float) -> float:
+        """Ground truth for tests (not available on real hardware)."""
+        return self.node.timeline.energy(t0, t1)

@@ -1,0 +1,123 @@
+"""Baytech remote power-strip emulation (the paper's second instrument).
+
+Paper §3: *"With Baytech proprietary hardware and software (GPML50),
+power related polling data is updated each minute for all outlets.  Data
+is reported to a management unit using the SNMP protocol."*
+
+Each outlet reports the average power over the last polling interval —
+coarse, but independent of the battery path, which is how the paper
+cross-checks ACPI numbers.  The management unit aggregates outlets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.hardware.node import Node
+from repro.sim.engine import Engine
+from repro.sim.events import Event
+from repro.sim.process import Process
+from repro.util.validation import check_positive
+
+__all__ = ["OutletSample", "BaytechOutlet", "BaytechUnit"]
+
+
+@dataclass(frozen=True)
+class OutletSample:
+    """One SNMP poll: average power over the preceding interval."""
+
+    time: float  #: end of the averaging interval
+    watts: float  #: average power over the interval
+
+
+class BaytechOutlet:
+    """One metered outlet feeding one node."""
+
+    def __init__(self, node: Node, poll_interval: float = 60.0):
+        check_positive("poll_interval", poll_interval)
+        self.node = node
+        self.engine: Engine = node.engine
+        self.poll_interval = poll_interval
+        self.samples: List[OutletSample] = []
+        self._process: Optional[Process] = None
+        self._stopped = False
+        self._window_start: Optional[float] = None
+        #: whether the outlet supplies power (PowerPack also uses the
+        #: Baytech gear to disconnect wall power before battery runs)
+        self.switched_on = True
+
+    # ------------------------------------------------------------------
+    def start(self) -> Process:
+        if self._process is not None:
+            raise RuntimeError("outlet already started")
+        self._window_start = self.engine.now
+        self._process = self.engine.process(
+            self._poll_loop(), name=f"baytech[node{self.node.node_id}]"
+        )
+        return self._process
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def switch(self, on: bool) -> None:
+        """Remote on/off control (used by the measurement protocol)."""
+        self.switched_on = on
+
+    def _poll_loop(self) -> Generator[Event, object, None]:
+        while not self._stopped:
+            yield self.engine.timeout(self.poll_interval)
+            if self._stopped:
+                return
+            assert self._window_start is not None
+            now = self.engine.now
+            watts = (
+                self.node.timeline.average_power(self._window_start, now)
+                if self.switched_on
+                else 0.0
+            )
+            self.samples.append(OutletSample(time=now, watts=watts))
+            self._window_start = now
+
+    # ------------------------------------------------------------------
+    def energy_estimate(self, t0: float, t1: float) -> float:
+        """Joules over ``[t0, t1]`` reconstructed from minute samples.
+
+        Uses the samples whose averaging windows overlap the interval,
+        weighting each by the overlap — the best one can do with the
+        instrument's resolution.
+        """
+        if t1 < t0:
+            raise ValueError(f"interval reversed: [{t0}, {t1}]")
+        total = 0.0
+        for sample in self.samples:
+            w_start = sample.time - self.poll_interval
+            overlap = min(t1, sample.time) - max(t0, w_start)
+            if overlap > 0:
+                total += sample.watts * overlap
+        return total
+
+
+class BaytechUnit:
+    """The management unit: many outlets polled over SNMP."""
+
+    def __init__(self, nodes: List[Node], poll_interval: float = 60.0):
+        if not nodes:
+            raise ValueError("BaytechUnit needs at least one outlet")
+        self.outlets = [BaytechOutlet(node, poll_interval) for node in nodes]
+
+    def start(self) -> None:
+        for outlet in self.outlets:
+            outlet.start()
+
+    def stop(self) -> None:
+        for outlet in self.outlets:
+            outlet.stop()
+
+    def switch_all(self, on: bool) -> None:
+        for outlet in self.outlets:
+            outlet.switch(on)
+
+    def total_energy_estimate(self, t0: float, t1: float) -> float:
+        """Cluster-wide joules over ``[t0, t1]``."""
+        return sum(outlet.energy_estimate(t0, t1) for outlet in self.outlets)

@@ -1,0 +1,101 @@
+"""Power profiles: the power-vs-time view PowerPack produces.
+
+The paper's tool suite records per-node power traces and aligns them with
+application events (that is how Figs 3-8 were assembled from raw data).
+This module extracts those profiles from the simulation — either from the
+exact node timelines or from instrument samples — onto a common grid, and
+renders compact text summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import Cluster
+from repro.measurement.alignment import align_profiles
+
+__all__ = ["PowerProfile", "cluster_power_profile", "profile_summary"]
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Aligned per-node power traces over one interval."""
+
+    grid: np.ndarray  #: sample times (seconds)
+    node_power: np.ndarray  #: shape (n_nodes, len(grid)), watts
+
+    @property
+    def total_power(self) -> np.ndarray:
+        """Cluster power at each grid point."""
+        return self.node_power.sum(axis=0)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.node_power.shape[0]
+
+    def energy(self) -> float:
+        """Trapezoid-free energy estimate (zero-order hold, like meters)."""
+        if len(self.grid) < 2:
+            return 0.0
+        dt = float(self.grid[1] - self.grid[0])
+        return float(self.total_power[:-1].sum() * dt)
+
+    def node_energy(self, node: int) -> float:
+        if len(self.grid) < 2:
+            return 0.0
+        dt = float(self.grid[1] - self.grid[0])
+        return float(self.node_power[node, :-1].sum() * dt)
+
+
+def cluster_power_profile(
+    cluster: Cluster,
+    t0: float,
+    t1: float,
+    dt: float = 0.1,
+) -> PowerProfile:
+    """Sample every node's ground-truth timeline onto a common grid."""
+    profiles: Dict[int, List[Tuple[float, float]]] = {}
+    for node in cluster.nodes:
+        segments = node.timeline.segments()
+        # Ensure a sample at/before t0 exists (segments start at time 0).
+        profiles[node.node_id] = segments
+    grid, matrix = align_profiles(profiles, t0, t1, dt)
+    return PowerProfile(grid=grid, node_power=matrix)
+
+
+def profile_summary(
+    profile: PowerProfile,
+    markers: Optional[Dict[str, float]] = None,
+    width: int = 50,
+) -> str:
+    """A text sparkline of cluster power plus per-node statistics."""
+    total = profile.total_power
+    lines = []
+    lo, hi = float(total.min()), float(total.max())
+    span = hi - lo if hi > lo else 1.0
+    glyphs = " .:-=+*#%@"
+    # Downsample the trace to `width` columns.
+    idx = np.linspace(0, len(total) - 1, width).astype(int)
+    chars = "".join(
+        glyphs[min(len(glyphs) - 1, int((total[i] - lo) / span * (len(glyphs) - 1)))]
+        for i in idx
+    )
+    lines.append(
+        f"cluster power [{lo:.1f}..{hi:.1f} W] over "
+        f"[{profile.grid[0]:.1f}s..{profile.grid[-1]:.1f}s]:"
+    )
+    lines.append(f"|{chars}|")
+    means = profile.node_power.mean(axis=1)
+    lines.append(
+        "per-node mean power (W): "
+        + " ".join(f"{m:.1f}" for m in means)
+    )
+    if markers:
+        ordered = sorted(markers.items(), key=lambda kv: kv[1])
+        lines.append(
+            "markers: " + ", ".join(f"{name}@{t:.1f}s" for name, t in ordered)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""Power-performance efficiency metrics (the paper's §2 contribution):
+ED²P, the user-weighted ED²P generalisation, best-operating-point
+selection, and the iso-efficiency trade-off curves of Figure 2."""
+
+from repro.metrics.ed2p import (
+    DELTA_ED2P,
+    DELTA_ENERGY,
+    DELTA_HPC,
+    DELTA_PERFORMANCE,
+    check_delta,
+    ed2p,
+    weighted_ed2p,
+)
+from repro.metrics.records import EnergyDelayPoint, normalize_points
+from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
+from repro.metrics.tradeoff import (
+    iso_efficiency_energy_fraction,
+    required_energy_savings,
+    tradeoff_curves,
+)
+
+__all__ = [
+    "ed2p",
+    "weighted_ed2p",
+    "check_delta",
+    "DELTA_ENERGY",
+    "DELTA_ED2P",
+    "DELTA_HPC",
+    "DELTA_PERFORMANCE",
+    "EnergyDelayPoint",
+    "normalize_points",
+    "BestPoint",
+    "best_operating_point",
+    "select_paper_rows",
+    "iso_efficiency_energy_fraction",
+    "required_energy_savings",
+    "tradeoff_curves",
+]

@@ -1,0 +1,65 @@
+"""The ED²P family of power-performance metrics (paper §2.2).
+
+* Eq. 4, ``ED2P = E · D²`` — Martonosi et al.'s energy-delay-squared
+  product, the DVS-appropriate efficiency metric: under ideal scaling
+  (``P ∝ f³``, ``D ∝ 1/f``) it is frequency-invariant, so any *real*
+  improvement reflects exploited slack rather than mere slowdown.
+* Eq. 5, ``weighted ED2P = E^(1-δ) · D^(2(1+δ))`` with δ ∈ [-1, 1] —
+  the paper's generalisation.  δ>0 weights performance more heavily,
+  δ<0 weights energy; the extremes degenerate to pure energy² (δ=-1)
+  and pure delay⁴ (δ=+1); δ=0 recovers Eq. 4.
+
+The paper's HPC setting is δ=0.2 (:data:`DELTA_HPC`): for two operating
+points 5 % apart in performance, the slower one must save ≥13 % energy to
+win — "significant yet practically feasible".
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "DELTA_ENERGY",
+    "DELTA_HPC",
+    "DELTA_ED2P",
+    "DELTA_PERFORMANCE",
+    "ed2p",
+    "weighted_ed2p",
+    "check_delta",
+]
+
+#: All weight on energy: metric degenerates to E² (paper's "energy" rows).
+DELTA_ENERGY = -1.0
+#: The plain ED2P of Eq. 4.
+DELTA_ED2P = 0.0
+#: The paper's experimentally chosen HPC weighting.
+DELTA_HPC = 0.2
+#: All weight on performance: metric degenerates to D⁴ ("performance").
+DELTA_PERFORMANCE = 1.0
+
+
+def check_delta(delta: float) -> float:
+    """Validate the user weight factor (−1 ≤ δ ≤ 1)."""
+    if not -1.0 <= delta <= 1.0:
+        raise ValueError(f"delta must be in [-1, 1], got {delta!r}")
+    return delta
+
+
+def ed2p(energy: float, delay: float) -> float:
+    """Energy-delay-squared product (Eq. 4)."""
+    check_positive("energy", energy)
+    check_positive("delay", delay)
+    return energy * delay * delay
+
+
+def weighted_ed2p(energy: float, delay: float, delta: float = DELTA_ED2P) -> float:
+    """Weighted ED²P, ``E^(1-δ) · D^(2(1+δ))`` (Eq. 5).
+
+    Lower is better.  Absolute values are only comparable at equal δ;
+    the paper always compares operating points of one application under
+    one δ.
+    """
+    check_positive("energy", energy)
+    check_positive("delay", delay)
+    check_delta(delta)
+    return energy ** (1.0 - delta) * delay ** (2.0 * (1.0 + delta))

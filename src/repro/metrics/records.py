@@ -1,0 +1,73 @@
+"""Energy/delay records shared by the metrics and analysis layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.units import pretty_freq
+from repro.util.validation import check_positive
+
+__all__ = ["EnergyDelayPoint", "normalize_points"]
+
+
+@dataclass(frozen=True)
+class EnergyDelayPoint:
+    """One measured operating point: the (E, D) pair of a complete run.
+
+    Attributes
+    ----------
+    label:
+        Strategy/operating-point label, e.g. ``"stat@800MHz"``.
+    frequency:
+        Nominal CPU frequency of the point in Hz (for static/dynamic
+        strategies this is the x-axis of the paper's crescendos); ``None``
+        for strategies without a single frequency (cpuspeed).
+    energy:
+        Total energy in joules (cluster-wide for distributed runs).
+    delay:
+        Time-to-solution in seconds.
+    """
+
+    label: str
+    energy: float
+    delay: float
+    frequency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive("energy", self.energy)
+        check_positive("delay", self.delay)
+
+    def normalized_to(self, reference: "EnergyDelayPoint") -> "EnergyDelayPoint":
+        """This point with E and D expressed relative to ``reference``."""
+        return EnergyDelayPoint(
+            label=self.label,
+            energy=self.energy / reference.energy,
+            delay=self.delay / reference.delay,
+            frequency=self.frequency,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        freq = f" ({pretty_freq(self.frequency)})" if self.frequency else ""
+        return f"{self.label}{freq}: E={self.energy:.4g}J D={self.delay:.4g}s"
+
+
+def normalize_points(
+    points: Sequence[EnergyDelayPoint],
+    reference: Optional[EnergyDelayPoint] = None,
+) -> List[EnergyDelayPoint]:
+    """Normalise a crescendo to a reference point.
+
+    The paper normalises everything to the *fastest* operating point; when
+    ``reference`` is omitted, the point with the highest frequency is used
+    (falling back to the lowest delay when frequencies are absent).
+    """
+    if not points:
+        raise ValueError("cannot normalise an empty point list")
+    if reference is None:
+        with_freq = [p for p in points if p.frequency is not None]
+        if with_freq:
+            reference = max(with_freq, key=lambda p: p.frequency)
+        else:
+            reference = min(points, key=lambda p: p.delay)
+    return [p.normalized_to(reference) for p in points]

@@ -1,0 +1,94 @@
+"""Best-operating-point selection (paper Eq. 6 and Tables 1/3).
+
+Given a crescendo — the (E, D) pairs of one application across operating
+points — the "best" point under a weight δ is the one minimising weighted
+ED²P.  The paper reports three selections per application:
+
+* *energy* (δ = −1),
+* *performance* (δ = +1),
+* *HPC* (δ = 0.2),
+
+plus the efficiency improvement of the best point over the fastest one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.metrics.ed2p import (
+    DELTA_ENERGY,
+    DELTA_HPC,
+    DELTA_PERFORMANCE,
+    check_delta,
+    weighted_ed2p,
+)
+from repro.metrics.records import EnergyDelayPoint
+
+__all__ = ["BestPoint", "best_operating_point", "select_paper_rows"]
+
+
+@dataclass(frozen=True)
+class BestPoint:
+    """The winning operating point under one δ."""
+
+    delta: float
+    point: EnergyDelayPoint
+    metric: float  #: its weighted ED²P value
+    #: efficiency improvement over the reference (fastest) point:
+    #: ``1 − metric(best)/metric(reference)``; 0 when the fastest wins.
+    improvement_vs_reference: float
+
+
+def best_operating_point(
+    points: Sequence[EnergyDelayPoint],
+    delta: float,
+    reference: Optional[EnergyDelayPoint] = None,
+) -> BestPoint:
+    """Minimise weighted ED²P over ``points`` (Eq. 6).
+
+    ``reference`` defaults to the highest-frequency point (the paper's
+    normalisation); the reported improvement is relative to it.  Ties
+    break toward the higher frequency, matching the paper's preference
+    for performance at equal efficiency.
+    """
+    check_delta(delta)
+    if not points:
+        raise ValueError("cannot select from an empty crescendo")
+    if reference is None:
+        with_freq = [p for p in points if p.frequency is not None]
+        reference = (
+            max(with_freq, key=lambda p: p.frequency)
+            if with_freq
+            else min(points, key=lambda p: p.delay)
+        )
+
+    def key(p: EnergyDelayPoint):
+        freq = p.frequency if p.frequency is not None else 0.0
+        return (weighted_ed2p(p.energy, p.delay, delta), -freq)
+
+    winner = min(points, key=key)
+    best_metric = weighted_ed2p(winner.energy, winner.delay, delta)
+    ref_metric = weighted_ed2p(reference.energy, reference.delay, delta)
+    improvement = 1.0 - best_metric / ref_metric if ref_metric > 0 else 0.0
+    return BestPoint(
+        delta=delta,
+        point=winner,
+        metric=best_metric,
+        improvement_vs_reference=improvement,
+    )
+
+
+def select_paper_rows(
+    points: Sequence[EnergyDelayPoint],
+    hpc_delta: float = DELTA_HPC,
+) -> Dict[str, BestPoint]:
+    """The three rows of the paper's Tables 1 and 3.
+
+    Returns ``{"HPC": ..., "energy": ..., "performance": ...}``.
+    """
+    return {
+        "HPC": best_operating_point(points, hpc_delta),
+        "energy": best_operating_point(points, DELTA_ENERGY),
+        "performance": best_operating_point(points, DELTA_PERFORMANCE),
+    }

@@ -1,0 +1,72 @@
+"""Iso-efficiency trade-off curves (paper Figure 2).
+
+Figure 2 plots, for each weight δ, the *remaining energy fraction* an
+operating point may consume — as a function of its delay factor — while
+still matching the efficiency of the reference point.  Setting the
+weighted ED²P of the candidate equal to the reference's (E=D=1) gives::
+
+    e^(1-δ) · d^(2(1+δ)) = 1   ⇒   e = d^( -2(1+δ)/(1-δ) )
+
+Larger δ makes the curve fall faster: a performance-weighted user demands
+much larger energy savings for the same slowdown.  At δ=+1 no finite
+saving compensates any slowdown; at δ=−1 delay is irrelevant.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.ed2p import check_delta
+
+__all__ = [
+    "iso_efficiency_energy_fraction",
+    "required_energy_savings",
+    "tradeoff_curves",
+]
+
+
+def iso_efficiency_energy_fraction(delay_factor: float, delta: float) -> float:
+    """Max energy fraction (relative to the reference) at ``delay_factor``.
+
+    This is the y-axis of Figure 2 (as a fraction, not percent).
+    """
+    check_delta(delta)
+    if delay_factor <= 0:
+        raise ValueError(f"delay_factor must be positive, got {delay_factor}")
+    if delta == 1.0:
+        # Pure performance: any slowdown is unacceptable, any speedup free.
+        if delay_factor > 1.0:
+            return 0.0
+        if delay_factor < 1.0:
+            return np.inf
+        return 1.0
+    exponent = -2.0 * (1.0 + delta) / (1.0 - delta)
+    return float(delay_factor**exponent)
+
+
+def required_energy_savings(delay_factor: float, delta: float) -> float:
+    """Minimum energy saving (fraction) needed to justify ``delay_factor``.
+
+    The paper's worked example: at δ=0.2 a 5 % slowdown needs ≥13 %
+    savings; at δ=0.4 a 10 % slowdown needs ≈32 %.
+    """
+    fraction = iso_efficiency_energy_fraction(delay_factor, delta)
+    if np.isinf(fraction):
+        return 0.0
+    return max(0.0, 1.0 - fraction)
+
+
+def tradeoff_curves(
+    delay_factors: Sequence[float],
+    deltas: Sequence[float],
+) -> List[Tuple[float, np.ndarray]]:
+    """The full Figure-2 family: one energy-fraction curve per δ."""
+    out = []
+    for delta in deltas:
+        curve = np.array(
+            [iso_efficiency_energy_fraction(d, delta) for d in delay_factors]
+        )
+        out.append((delta, curve))
+    return out

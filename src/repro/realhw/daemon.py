@@ -1,0 +1,81 @@
+"""A real userspace DVS governor running the shared cpuspeed policy.
+
+Drives actual hardware through :class:`~repro.realhw.sysfs_cpufreq.SysfsCpuFreq`
+using the *same* decision rule as the simulated daemon
+(:func:`repro.dvs.policy.cpuspeed_decision`), which is what makes the
+simulation's cpuspeed results transferable claims rather than artifacts
+of a reimplementation.
+
+The loop is dependency-injected (clock, sleeper, stat reader) so tests
+drive it deterministically without threads or real sysfs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.dvs.policy import cpuspeed_decision
+from repro.hardware.procstat import ProcStatSample
+from repro.realhw.procstat import read_proc_stat
+from repro.realhw.sysfs_cpufreq import SysfsCpuFreq
+
+__all__ = ["RealCpuspeedDaemon"]
+
+
+class RealCpuspeedDaemon:
+    """cpuspeed for real hardware (single CPU)."""
+
+    def __init__(
+        self,
+        cpufreq: SysfsCpuFreq,
+        interval: float = 1.0,
+        up_threshold: float = 0.90,
+        down_threshold: float = 0.25,
+        stat_reader: Optional[Callable[[], ProcStatSample]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.cpufreq = cpufreq
+        self.interval = interval
+        self.up_threshold = up_threshold
+        self.down_threshold = down_threshold
+        self._read_stat = stat_reader or (
+            lambda: read_proc_stat(cpu=cpufreq.cpu)
+        )
+        self._sleep = sleep
+        self._stopped = False
+        #: (utilization, chosen Hz) per tick
+        self.decisions: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        self._stopped = True
+
+    def tick(self, prev: ProcStatSample) -> ProcStatSample:
+        """One decision step; returns the new baseline sample."""
+        current = self._read_stat()
+        util = current.utilization_since(prev)
+        target = cpuspeed_decision(
+            util,
+            self.cpufreq.current_frequency,
+            self.cpufreq.available_frequencies,
+            up_threshold=self.up_threshold,
+            down_threshold=self.down_threshold,
+        )
+        if target != self.cpufreq.current_frequency:
+            self.cpufreq.set_speed_now(target)
+        self.decisions.append((util, target))
+        return current
+
+    def run(self, max_ticks: Optional[int] = None) -> None:
+        """The daemon loop (blocking; use a thread for background runs)."""
+        prev = self._read_stat()
+        ticks = 0
+        while not self._stopped:
+            if max_ticks is not None and ticks >= max_ticks:
+                return
+            self._sleep(self.interval)
+            prev = self.tick(prev)
+            ticks += 1

@@ -1,0 +1,89 @@
+"""Energy measurement via Intel RAPL (the modern battery/multimeter).
+
+The paper measured node energy with ACPI batteries and Baytech meters;
+on current hardware the equivalent instrument is the RAPL energy counter
+exposed through powercap::
+
+    /sys/class/powercap/intel-rapl:0/energy_uj
+    /sys/class/powercap/intel-rapl:0/max_energy_range_uj
+
+``energy_uj`` is a monotonically increasing µJ counter that wraps at
+``max_energy_range_uj``; :class:`RaplMeter` handles the wrap and exposes
+the same begin/measure protocol as the emulated instruments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["RaplMeter", "RaplError"]
+
+
+class RaplError(RuntimeError):
+    """A RAPL read failed or no domain is available."""
+
+
+class RaplMeter:
+    """Energy meter over one RAPL domain."""
+
+    def __init__(
+        self,
+        domain: str = "intel-rapl:0",
+        root: str = "/sys/class/powercap",
+    ):
+        self.root = root
+        self.domain = domain
+        self._dir = os.path.join(root, domain)
+        self._last_uj: Optional[float] = None
+        self._accumulated_uj = 0.0
+
+    # ------------------------------------------------------------------
+    def _read_file(self, name: str) -> float:
+        path = os.path.join(self._dir, name)
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                return float(fh.read().strip())
+        except OSError as exc:
+            raise RaplError(f"cannot read {path}: {exc}") from exc
+
+    @property
+    def available(self) -> bool:
+        return os.path.isfile(os.path.join(self._dir, "energy_uj"))
+
+    @property
+    def name(self) -> str:
+        """The domain's human-readable name (e.g. ``package-0``)."""
+        path = os.path.join(self._dir, "name")
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                return fh.read().strip()
+        except OSError:
+            return self.domain
+
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        """Start (or restart) accumulation at the current counter value."""
+        self._last_uj = self._read_file("energy_uj")
+        self._accumulated_uj = 0.0
+
+    def sample(self) -> float:
+        """Accumulate since the previous call; returns joules so far.
+
+        Call at least once per counter wrap period (minutes at package
+        power levels) for correct wrap handling.
+        """
+        if self._last_uj is None:
+            raise RaplError("sample() before begin()")
+        now_uj = self._read_file("energy_uj")
+        delta = now_uj - self._last_uj
+        if delta < 0:  # counter wrapped
+            delta += self._read_file("max_energy_range_uj")
+        self._accumulated_uj += delta
+        self._last_uj = now_uj
+        return self.energy_joules
+
+    @property
+    def energy_joules(self) -> float:
+        """Energy accumulated since :meth:`begin` (joules)."""
+        return self._accumulated_uj / 1e6

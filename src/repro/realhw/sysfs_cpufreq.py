@@ -1,0 +1,110 @@
+"""Real Linux CPUFreq control through sysfs.
+
+The modern equivalent of the paper's platform interface: the kernel's
+``cpufreq`` subsystem exposed under
+``/sys/devices/system/cpu/cpu<N>/cpufreq``.  This class mirrors the
+simulated :class:`repro.dvs.cpufreq.CpuFreq` API so the PowerPack-style
+framework can drive *actual hardware* where available (the ``userspace``
+governor plus ``scaling_setspeed``, exactly how the paper's PowerPack
+libraries set frequencies).
+
+All paths are parameterised by a root directory so tests can exercise the
+full read/write logic against a fake sysfs tree; nothing here imports
+hardware-specific modules.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+__all__ = ["SysfsCpuFreq", "CpufreqError"]
+
+
+class CpufreqError(RuntimeError):
+    """A sysfs cpufreq read or write failed."""
+
+
+class SysfsCpuFreq:
+    """Frequency control for one logical CPU via sysfs.
+
+    Frequencies are **Hz** at this API (converted from the kernel's kHz),
+    matching the simulated interface.
+    """
+
+    def __init__(self, cpu: int = 0, root: str = "/sys/devices/system/cpu"):
+        if cpu < 0:
+            raise ValueError(f"cpu index must be >= 0, got {cpu}")
+        self.cpu = cpu
+        self.root = root
+        self._dir = os.path.join(root, f"cpu{cpu}", "cpufreq")
+
+    # ------------------------------------------------------------------
+    def _path(self, name: str) -> str:
+        return os.path.join(self._dir, name)
+
+    def _read(self, name: str) -> str:
+        try:
+            with open(self._path(name), "r", encoding="ascii") as fh:
+                return fh.read().strip()
+        except OSError as exc:
+            raise CpufreqError(f"cannot read {self._path(name)}: {exc}") from exc
+
+    def _write(self, name: str, value: str) -> None:
+        try:
+            with open(self._path(name), "w", encoding="ascii") as fh:
+                fh.write(value)
+        except OSError as exc:
+            raise CpufreqError(f"cannot write {self._path(name)}: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def available(self) -> bool:
+        """Whether this CPU exposes cpufreq at all."""
+        return os.path.isdir(self._dir)
+
+    @property
+    def current_frequency(self) -> float:
+        """``scaling_cur_freq`` in Hz."""
+        return float(self._read("scaling_cur_freq")) * 1e3
+
+    @property
+    def available_frequencies(self) -> List[float]:
+        """``scaling_available_frequencies`` in Hz, slowest first.
+
+        Falls back to the min/max bounds when the detailed list is absent
+        (some drivers, e.g. intel_pstate, do not publish it).
+        """
+        try:
+            text = self._read("scaling_available_frequencies")
+            freqs = sorted(float(tok) * 1e3 for tok in text.split())
+            if freqs:
+                return freqs
+        except CpufreqError:
+            pass
+        lo = float(self._read("cpuinfo_min_freq")) * 1e3
+        hi = float(self._read("cpuinfo_max_freq")) * 1e3
+        return [lo, hi] if lo != hi else [lo]
+
+    @property
+    def governor(self) -> str:
+        return self._read("scaling_governor")
+
+    def set_governor(self, governor: str) -> None:
+        self._write("scaling_governor", governor)
+
+    def set_speed_now(self, frequency: float) -> None:
+        """Snap to the nearest legal frequency via ``scaling_setspeed``.
+
+        Requires the ``userspace`` governor; this method switches to it if
+        needed (what the paper's static/dynamic strategies did).
+        """
+        if self.governor != "userspace":
+            self.set_governor("userspace")
+        ladder = self.available_frequencies
+        target = min(ladder, key=lambda f: abs(f - frequency))
+        self._write("scaling_setspeed", str(int(round(target / 1e3))))
+
+    def resolve(self, frequency: float) -> float:
+        """Nearest legal frequency in Hz (API parity with the simulator)."""
+        return min(self.available_frequencies, key=lambda f: abs(f - frequency))

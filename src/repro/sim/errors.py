@@ -1,0 +1,62 @@
+"""Exception types used by the discrete-event simulation kernel.
+
+The kernel distinguishes three failure modes:
+
+* :class:`SimulationError` — a structural misuse of the kernel (scheduling
+  into the past, re-triggering an event, ...).  These are programming errors
+  in the model and are never caught by the kernel itself.
+* :class:`Interrupt` — an asynchronous exception thrown *into* a simulated
+  process by another process (e.g. a DVS governor preempting a compute
+  phase).  Models are expected to catch it.
+* :class:`StopSimulation` — internal control-flow signal used by
+  :meth:`repro.sim.engine.Engine.run` to terminate the event loop when the
+  ``until`` event fires.  User code never sees it.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "Interrupt", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """A structural misuse of the simulation kernel.
+
+    Raised, for example, when an event is triggered twice, when a timeout
+    with a negative delay is requested, or when ``run()`` is re-entered.
+    """
+
+
+class Interrupt(Exception):
+    """Asynchronous interruption of a simulated process.
+
+    Thrown into the generator of a :class:`repro.sim.process.Process` when
+    another process calls :meth:`~repro.sim.process.Process.interrupt`.
+
+    Parameters
+    ----------
+    cause:
+        Arbitrary payload describing why the interrupt happened.  For the
+        DVS substrate this is typically a frequency-change notification.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The payload passed to :meth:`Process.interrupt`."""
+        return self.args[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Interrupt(cause={self.args[0]!r})"
+
+
+class StopSimulation(Exception):
+    """Internal signal that terminates :meth:`Engine.run`."""
+
+    def __init__(self, value: object = None):
+        super().__init__(value)
+
+    @property
+    def value(self) -> object:
+        return self.args[0]

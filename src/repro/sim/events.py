@@ -1,0 +1,217 @@
+"""Core event primitives for the discrete-event simulation kernel.
+
+The design follows the classic process-interaction style (as popularised by
+SimPy) but is intentionally small and dependency-free: an :class:`Event` is a
+one-shot triggerable with a value or an exception; processes *yield* events
+to wait for them; composite conditions (:class:`AnyOf` / :class:`AllOf`)
+allow waiting on several events at once, which the CPU model uses to race a
+work-completion timeout against a frequency-change notification.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+from repro.sim.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Engine
+
+__all__ = ["PENDING", "Event", "Timeout", "Condition", "AnyOf", "AllOf"]
+
+
+class _Pending:
+    """Sentinel for "event has no value yet"."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Life cycle::
+
+        created -> triggered (succeed/fail) -> processed (callbacks ran)
+
+    ``callbacks`` is a list of callables ``cb(event)`` invoked when the
+    engine processes the event; it is set to ``None`` afterwards, which is
+    how waiters detect that they missed the event and must resume
+    immediately instead of registering a callback.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok")
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: object = PENDING
+        self._ok: bool = True
+
+    # ------------------------------------------------------------------
+    # state inspection
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has a value (it may not be processed yet)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """Whether the event's callbacks have already been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the event succeeded, ``False`` when it failed."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The event's value (or the exception instance when it failed)."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # ------------------------------------------------------------------
+    # triggering
+    # ------------------------------------------------------------------
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully and schedule its callbacks."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.engine.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        Waiting processes will have ``exception`` thrown into them.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(
+                f"fail() requires an exception instance, got {exception!r}"
+            )
+        self._ok = False
+        self._value = exception
+        self.engine.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror the outcome of another (triggered) event onto this one."""
+        if event._value is PENDING:
+            raise SimulationError(f"cannot mirror untriggered event {event!r}")
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed"
+            if self.processed
+            else ("triggered" if self.triggered else "pending")
+        )
+        return f"<{type(self).__name__} {state} at t={self.engine.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` time units from now."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float, value: object = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(engine)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        engine.schedule(self, delay=delay)
+
+
+class Condition(Event):
+    """Waits for a combination of events.
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, in trigger order — enough for waiters to find out
+    which branch of an :class:`AnyOf` fired.
+
+    A failure of any constituent fails the condition immediately.
+    """
+
+    __slots__ = ("_events", "_count_needed", "_num_ok")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        events: Iterable[Event],
+        count_needed: Optional[int] = None,
+    ):
+        super().__init__(engine)
+        self._events: List[Event] = list(events)
+        for ev in self._events:
+            if ev.engine is not engine:
+                raise SimulationError(
+                    "all events of a condition must belong to the same engine"
+                )
+        n = len(self._events) if count_needed is None else count_needed
+        self._count_needed = n
+        self._num_ok = 0
+
+        if n == 0:
+            self.succeed({})
+            return
+
+        for ev in self._events:
+            if ev.callbacks is None:
+                # Already processed: account for it right away.
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)  # type: ignore[arg-type]
+            return
+        self._num_ok += 1
+        if self._num_ok >= self._count_needed:
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        # Only *processed* events count as having occurred: a Timeout carries
+        # its value from creation, so `triggered` alone would wrongly include
+        # timeouts that have not fired yet.
+        return {ev: ev._value for ev in self._events if ev.processed and ev._ok}
+
+
+class AnyOf(Condition):
+    """Triggers as soon as *one* of the events triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        events = list(events)
+        super().__init__(engine, events, count_needed=min(1, len(events)))
+
+
+class AllOf(Condition):
+    """Triggers once *all* of the events have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, events, count_needed=None)

@@ -1,0 +1,100 @@
+"""Structured trace recording for simulations.
+
+Every subsystem (CPU state changes, DVS transitions, MPI message events,
+meter samples) can emit trace records through a shared
+:class:`TraceRecorder`.  Records are plain dicts so they serialise to JSON
+lines without ceremony; the analysis layer consumes them for timeline
+alignment and debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "TraceRecorder", "NullRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace event.
+
+    Attributes
+    ----------
+    time:
+        Simulation time in seconds.
+    category:
+        Dotted subsystem name, e.g. ``"cpu.state"`` or ``"mpi.send"``.
+    fields:
+        Arbitrary JSON-serialisable payload.
+    """
+
+    time: float
+    category: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        payload = {"t": self.time, "cat": self.category}
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceRecord` objects, optionally filtered.
+
+    Parameters
+    ----------
+    categories:
+        When given, only records whose category starts with one of these
+        prefixes are kept.  ``None`` keeps everything.
+    """
+
+    def __init__(self, categories: Optional[List[str]] = None):
+        self._records: List[TraceRecord] = []
+        self._prefixes = tuple(categories) if categories else None
+
+    def record(self, time: float, category: str, **fields: object) -> None:
+        """Append a record (subject to the category filter)."""
+        if self._prefixes is not None and not category.startswith(self._prefixes):
+            return
+        self._records.append(TraceRecord(time, category, dict(fields)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records filtered by category prefix and/or predicate."""
+        out = []
+        for rec in self._records:
+            if category is not None and not rec.category.startswith(category):
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def to_jsonl(self) -> str:
+        """All records as JSON-lines text."""
+        return "\n".join(rec.to_json() for rec in self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+class NullRecorder(TraceRecorder):
+    """A recorder that drops everything (zero overhead bookkeeping)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def record(self, time: float, category: str, **fields: object) -> None:
+        return None

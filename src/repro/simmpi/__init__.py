@@ -1,0 +1,47 @@
+"""Simulated MPI (MPICH-1.2.5-over-TCP semantics) on the cluster model.
+
+Point-to-point with eager/rendezvous protocols, nonblocking requests,
+MPICH-era collective algorithms, and the progress-engine CPU wait policy
+that makes communication look *busy* to ``/proc/stat`` — the substrate
+the paper's DVS study runs on.
+"""
+
+from repro.simmpi.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    bcast,
+    gather,
+    reduce,
+    scatter,
+)
+from repro.simmpi.communicator import COLLECTIVE_TAG_BASE, Communicator
+from repro.simmpi.datatypes import VectorType
+from repro.simmpi.launcher import SpmdResult, run_spmd
+from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Status, payload_nbytes
+from repro.simmpi.request import Request
+from repro.simmpi.world import World
+
+__all__ = [
+    "World",
+    "Communicator",
+    "Request",
+    "Message",
+    "Status",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "payload_nbytes",
+    "VectorType",
+    "COLLECTIVE_TAG_BASE",
+    "SpmdResult",
+    "run_spmd",
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]

@@ -1,0 +1,265 @@
+"""Collective operations built on simulated point-to-point.
+
+Algorithms follow the MPICH-1 era choices that shaped the paper's traffic
+patterns:
+
+* ``barrier`` — dissemination (⌈log₂p⌉ rounds of 0-byte sendrecv);
+* ``bcast`` / ``reduce`` — binomial trees;
+* ``allreduce`` — reduce to 0 + bcast;
+* ``gather`` / ``scatter`` — linear to/from the root (this serialisation
+  on the root's link is the transpose experiment's load imbalance);
+* ``allgather`` — ring;
+* ``alltoall`` — pairwise exchange (p−1 simultaneous sendrecv steps),
+  which keeps every node's links busy for the whole operation — the
+  traffic pattern behind NAS FT's communication phase.
+
+Every collective supports real payloads (lists/arrays move and the result
+is semantically correct) and synthetic mode (``nbytes``/``nbytes_each``
+given, ``None`` payloads travel) for full-scale problem classes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hardware.activity import CpuActivity
+from repro.sim.events import Event
+
+__all__ = [
+    "barrier",
+    "bcast",
+    "reduce",
+    "allreduce",
+    "gather",
+    "scatter",
+    "allgather",
+    "alltoall",
+]
+
+#: frequency-dependent cycles charged per byte combined in a reduction
+REDUCE_CYCLES_PER_BYTE = 1.0
+
+CollGen = Generator[Event, object, object]
+
+
+def _combine(a: object, b: object, op: Optional[Callable] = None) -> object:
+    """Element-wise combination for reductions (default: sum)."""
+    if a is None or b is None:
+        return None  # synthetic mode
+    if op is not None:
+        return op(a, b)
+    if isinstance(a, np.ndarray):
+        return a + b
+    return a + b
+
+
+def _charge_copy(comm, nbytes: int) -> CollGen:
+    """Charge a local memcpy (self-exchange part of collectives)."""
+    cost = comm.memory.stream_copy_cost(int(nbytes))
+    yield from comm.cpu.run_cycles(cost.cpu_cycles, state=CpuActivity.ACTIVE)
+    yield from comm.cpu.stall(cost.stall_seconds, CpuActivity.MEMSTALL)
+    return None
+
+
+def _charge_reduce_op(comm, nbytes: int) -> CollGen:
+    yield from comm.cpu.run_cycles(
+        nbytes * REDUCE_CYCLES_PER_BYTE, state=CpuActivity.ACTIVE
+    )
+    return None
+
+
+def barrier(comm) -> CollGen:
+    """Dissemination barrier: ⌈log₂p⌉ rounds of zero-byte exchanges."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return None
+    step = 1
+    while step < size:
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        yield from comm.sendrecv(None, dest=dst, source=src, tag=tag, nbytes=0)
+        step <<= 1
+    return None
+
+
+def bcast(
+    comm, payload: object = None, root: int = 0, nbytes: Optional[int] = None
+) -> CollGen:
+    """Binomial-tree broadcast; returns the payload on every rank."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return payload
+    relrank = (rank - root) % size
+
+    mask = 1
+    received = payload if rank == root else None
+    while mask < size:
+        if relrank & mask:
+            src = (rank - mask) % size
+            received = yield from comm.recv(source=src, tag=tag)
+            break
+        mask <<= 1
+    # After the loop, ``mask`` is either the bit we received on or (for the
+    # root) the first power of two >= size; fan out on all lower bits.
+    mask >>= 1
+    while mask > 0:
+        if relrank + mask < size:
+            dst = (rank + mask) % size
+            yield from comm.send(received, dest=dst, tag=tag, nbytes=nbytes)
+        mask >>= 1
+    return received
+
+
+def reduce(
+    comm,
+    value: object,
+    root: int = 0,
+    nbytes: Optional[int] = None,
+    op: Optional[Callable] = None,
+) -> CollGen:
+    """Binomial-tree reduction; returns the result on the root, else None."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    from repro.simmpi.message import payload_nbytes
+
+    block = payload_nbytes(value) if nbytes is None else int(nbytes)
+    relrank = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            dst = (relrank - mask + root) % size
+            yield from comm.send(acc, dest=dst, tag=tag, nbytes=nbytes)
+            acc = None
+            break
+        peer_rel = relrank | mask
+        if peer_rel < size:
+            src = (peer_rel + root) % size
+            other = yield from comm.recv(source=src, tag=tag)
+            yield from _charge_reduce_op(comm, block)
+            acc = _combine(acc, other, op)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def allreduce(
+    comm, value: object, nbytes: Optional[int] = None, op: Optional[Callable] = None
+) -> CollGen:
+    """Reduce to rank 0 then broadcast (the MPICH-1 composition)."""
+    result = yield from reduce(comm, value, root=0, nbytes=nbytes, op=op)
+    result = yield from bcast(comm, result, root=0, nbytes=nbytes)
+    return result
+
+
+def gather(
+    comm, value: object, root: int = 0, nbytes: Optional[int] = None
+) -> CollGen:
+    """Linear gather: everyone sends to the root; root returns the list."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if rank != root:
+        yield from comm.send(value, dest=root, tag=tag, nbytes=nbytes)
+        return None
+    from repro.simmpi.message import payload_nbytes
+
+    results: List[object] = [None] * size
+    results[root] = value
+    block = nbytes if nbytes is not None else payload_nbytes(value)
+    yield from _charge_copy(comm, block)
+    for src in range(size):
+        if src == root:
+            continue
+        results[src] = yield from comm.recv(source=src, tag=tag)
+    return results
+
+
+def scatter(
+    comm,
+    values: Optional[Sequence[object]],
+    root: int = 0,
+    nbytes: Optional[int] = None,
+) -> CollGen:
+    """Linear scatter from the root; returns this rank's element."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if rank == root:
+        if values is None:
+            values = [None] * size
+        if len(values) != size:
+            raise ValueError(
+                f"scatter needs {size} values at the root, got {len(values)}"
+            )
+        from repro.simmpi.message import payload_nbytes
+
+        for dst in range(size):
+            if dst == root:
+                continue
+            yield from comm.send(values[dst], dest=dst, tag=tag, nbytes=nbytes)
+        block = nbytes if nbytes is not None else payload_nbytes(values[root])
+        yield from _charge_copy(comm, block)
+        return values[root]
+    return (yield from comm.recv(source=root, tag=tag))
+
+
+def allgather(comm, value: object, nbytes: Optional[int] = None) -> CollGen:
+    """Ring allgather: p−1 steps, passing the newest block rightward."""
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    results: List[object] = [None] * size
+    results[rank] = value
+    if size == 1:
+        return results
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry = value
+    for step in range(size - 1):
+        # Same tag each step: successive messages from the same left
+        # neighbour are FIFO (non-overtaking), so steps cannot mix.
+        carry = yield from comm.sendrecv(
+            carry, dest=right, source=left, tag=tag, nbytes=nbytes
+        )
+        results[(rank - step - 1) % size] = carry
+    return results
+
+
+def alltoall(
+    comm,
+    values: Optional[Sequence[object]] = None,
+    nbytes_each: Optional[int] = None,
+) -> CollGen:
+    """Pairwise-exchange all-to-all; returns the per-source list.
+
+    Exactly one of ``values`` (length-p payload list) or ``nbytes_each``
+    (synthetic block size) must describe the data.
+    """
+    tag = comm.next_collective_tag()
+    size, rank = comm.size, comm.rank
+    if values is None and nbytes_each is None:
+        raise ValueError("alltoall needs values or nbytes_each")
+    if values is not None and len(values) != size:
+        raise ValueError(f"alltoall needs {size} values, got {len(values)}")
+
+    results: List[object] = [None] * size
+    own = values[rank] if values is not None else None
+    results[rank] = own
+    self_bytes = nbytes_each if nbytes_each is not None else 0
+    if values is not None and nbytes_each is None:
+        from repro.simmpi.message import payload_nbytes
+
+        self_bytes = payload_nbytes(own)
+    yield from _charge_copy(comm, self_bytes)
+
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        outgoing = values[dst] if values is not None else None
+        results[src] = yield from comm.sendrecv(
+            outgoing, dest=dst, source=src, tag=tag, nbytes=nbytes_each
+        )
+    return results

@@ -1,0 +1,120 @@
+"""Derived datatypes: the strided vector type (``MPI_Type_vector``).
+
+The paper's Figure 8b sends "a 4 Kbyte message with stride of 64 Bytes" —
+an MPI vector type whose packing gathers elements scattered across a
+larger extent.  :class:`VectorType` provides both halves of that story:
+
+* the *cost* of packing/unpacking through the memory model (the extra
+  frequency-sensitive work that steepens Fig 8b's delay crescendo vs the
+  contiguous 8a), and
+* *real* pack/unpack of numpy arrays, so verification-mode workloads can
+  move strided data correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.memory import AccessCost, MemoryHierarchy
+from repro.util.validation import check_positive
+
+__all__ = ["VectorType"]
+
+
+@dataclass(frozen=True)
+class VectorType:
+    """``count`` blocks of ``blocklength`` elements, ``stride`` apart.
+
+    All three are in *elements*, as in MPI; ``element_bytes`` sizes them.
+    """
+
+    count: int
+    blocklength: int = 1
+    stride: int = 1
+    element_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("count", self.count)
+        check_positive("blocklength", self.blocklength)
+        check_positive("element_bytes", self.element_bytes)
+        if self.stride < self.blocklength:
+            raise ValueError(
+                f"stride ({self.stride}) must be >= blocklength "
+                f"({self.blocklength}); blocks may not overlap"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def elements(self) -> int:
+        """Total payload elements."""
+        return self.count * self.blocklength
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes that travel on the wire."""
+        return self.elements * self.element_bytes
+
+    @property
+    def extent_elements(self) -> int:
+        """Memory span from the first to one past the last element."""
+        return (self.count - 1) * self.stride + self.blocklength
+
+    @property
+    def extent_bytes(self) -> int:
+        return self.extent_elements * self.element_bytes
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.stride == self.blocklength
+
+    # ------------------------------------------------------------------
+    def pack_cost(self, memory: MemoryHierarchy) -> AccessCost:
+        """CPU cost of gathering the payload into a contiguous buffer.
+
+        Contiguous types cost a plain stream copy; strided types pay a
+        per-element walk across the whole extent (defeating spatial
+        locality when the byte-stride reaches a cache line).
+        """
+        if self.is_contiguous:
+            return memory.stream_copy_cost(self.payload_bytes)
+        return memory.strided_walk_cost(
+            max(self.extent_bytes, self.stride * self.element_bytes),
+            self.stride * self.element_bytes,
+            self.elements,
+        )
+
+    # ------------------------------------------------------------------
+    def pack(self, source: np.ndarray) -> np.ndarray:
+        """Gather the typed elements from ``source`` (1-D, >= extent)."""
+        source = np.asarray(source)
+        if source.ndim != 1 or source.size < self.extent_elements:
+            raise ValueError(
+                f"source must be 1-D with >= {self.extent_elements} elements"
+            )
+        out = np.empty(self.elements, dtype=source.dtype)
+        for b in range(self.count):
+            start = b * self.stride
+            out[b * self.blocklength : (b + 1) * self.blocklength] = source[
+                start : start + self.blocklength
+            ]
+        return out
+
+    def unpack(self, packed: np.ndarray, target: np.ndarray) -> None:
+        """Scatter a packed buffer back into ``target`` in place."""
+        packed = np.asarray(packed)
+        if packed.size != self.elements:
+            raise ValueError(
+                f"packed buffer must hold {self.elements} elements, "
+                f"got {packed.size}"
+            )
+        if target.ndim != 1 or target.size < self.extent_elements:
+            raise ValueError(
+                f"target must be 1-D with >= {self.extent_elements} elements"
+            )
+        for b in range(self.count):
+            start = b * self.stride
+            target[start : start + self.blocklength] = packed[
+                b * self.blocklength : (b + 1) * self.blocklength
+            ]

@@ -1,0 +1,53 @@
+"""Nonblocking-operation requests (``MPI_Request`` equivalents)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simmpi.message import Status
+from repro.sim.events import Event
+
+__all__ = ["Request"]
+
+
+class Request:
+    """Handle for a pending isend/irecv.
+
+    Completion is an :class:`~repro.sim.events.Event` whose value is the
+    received payload (irecv) or ``None`` (isend).  The communicator's
+    ``wait``/``waitall`` drive the CPU wait-policy while these complete —
+    a bare ``yield request.completion`` would wait without burning the
+    busy-poll power a real MPICH rank pays.
+    """
+
+    __slots__ = ("completion", "kind", "_status")
+
+    def __init__(self, completion: Event, kind: str):
+        if kind not in ("send", "recv"):
+            raise ValueError(f"kind must be 'send' or 'recv', got {kind!r}")
+        self.completion = completion
+        self.kind = kind
+        self._status: Optional[Status] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def complete(self) -> bool:
+        """Whether the operation has finished (``MPI_Test`` semantics)."""
+        return self.completion.processed
+
+    @property
+    def status(self) -> Optional[Status]:
+        """The receive status, once complete (``None`` for sends)."""
+        return self._status
+
+    def _set_status(self, status: Status) -> None:
+        self._status = status
+
+    @property
+    def value(self) -> object:
+        """The received payload (requires completion)."""
+        return self.completion.value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "complete" if self.complete else "pending"
+        return f"<Request {self.kind} {state}>"

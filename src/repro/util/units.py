@@ -1,0 +1,73 @@
+"""Unit constants and formatting helpers.
+
+Internally the simulator uses SI base units throughout: seconds, hertz,
+bytes, watts, joules.  These helpers exist so that model code reads like the
+paper ("1.4 GHz", "32 MB buffer", "100 Mb/s") without magic numbers.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "MHZ",
+    "GHZ",
+    "KIB",
+    "MIB",
+    "GIB",
+    "JOULES_PER_MWH",
+    "mhz",
+    "mibps",
+    "pretty_bytes",
+    "pretty_freq",
+    "pretty_time",
+]
+
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: ACPI smart batteries report capacity in milliwatt-hours (paper §3:
+#: "1 mWh = 3.6 Joules").
+JOULES_PER_MWH = 3.6
+
+
+def mhz(value: float) -> float:
+    """Frequency in Hz from a value in MHz (e.g. ``mhz(1400)``)."""
+    return value * MHZ
+
+
+def mibps(value: float) -> float:
+    """Bytes/second from MiB/s."""
+    return value * MIB
+
+
+def pretty_freq(hz: float) -> str:
+    """Human-readable frequency, matching the paper's axis labels."""
+    if hz >= GHZ:
+        text = f"{hz / GHZ:.4g}"
+        return f"{text}GHz"
+    return f"{hz / MHZ:.4g}MHz"
+
+
+def pretty_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(n)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or suffix == "GiB":
+            return f"{value:.4g}{suffix}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def pretty_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds >= 60:
+        minutes, secs = divmod(seconds, 60)
+        return f"{int(minutes)}m{secs:.3g}s"
+    if seconds >= 1:
+        return f"{seconds:.4g}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.4g}ms"
+    return f"{seconds * 1e6:.4g}us"

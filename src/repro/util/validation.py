@@ -1,0 +1,43 @@
+"""Small argument-validation helpers used across the model layer.
+
+These raise ``ValueError`` with messages naming the offending parameter so
+configuration mistakes surface at model construction, not deep inside a
+simulation run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+__all__ = ["check_positive", "check_nonnegative", "check_fraction", "check_in"]
+
+T = TypeVar("T")
+
+
+def check_positive(name: str, value: float) -> float:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_nonnegative(name: str, value: float) -> float:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Require ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: T, allowed: Iterable[T]) -> T:
+    """Require ``value`` to be one of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value

@@ -1,0 +1,81 @@
+"""Workload abstraction shared by applications and microbenchmarks.
+
+A :class:`Workload` describes a complete program: how many ranks it wants,
+and a per-rank generator (``program``) that exercises the CPU, memory and
+MPI models.  Programs receive a :class:`~repro.dvs.controller.DvsController`
+and mark their slack-heavy regions with ``region_enter``/``region_exit`` —
+the hooks the paper's dynamic strategy uses.
+
+:func:`execute_cost` is the bridge from the memory model's
+:class:`~repro.hardware.memory.AccessCost` decomposition to the CPU: the
+frequency-dependent cycles run as ACTIVE work, the frequency-independent
+part stalls as MEMSTALL.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator
+
+from repro.dvs.controller import DvsController, NullController
+from repro.dvs.strategy import DVSStrategy
+from repro.hardware.activity import CpuActivity
+from repro.hardware.memory import AccessCost
+from repro.sim.events import Event
+
+__all__ = ["Workload", "execute_cost"]
+
+WorkGen = Generator[Event, object, object]
+
+
+def execute_cost(comm, cost: AccessCost) -> WorkGen:
+    """Run an :class:`AccessCost` on this rank's CPU.
+
+    Cycles are ACTIVE (scale with the DVS point); stall seconds are
+    MEMSTALL (fixed wall time, reduced power).
+    """
+    if cost.cpu_cycles > 0:
+        yield from comm.cpu.run_cycles(cost.cpu_cycles, state=CpuActivity.ACTIVE)
+    if cost.stall_seconds > 0:
+        yield from comm.cpu.stall(cost.stall_seconds, CpuActivity.MEMSTALL)
+    return None
+
+
+class Workload:
+    """Base class for runnable workloads."""
+
+    #: short identifier used in figures and reports
+    name: str = "workload"
+    #: number of MPI ranks the workload is defined for
+    n_ranks: int = 1
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        """The per-rank program body.  Subclasses must override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def bind(self, strategy: DVSStrategy) -> Callable:
+        """A rank-program callable for :func:`repro.simmpi.run_spmd`.
+
+        Wires each rank's DVS controller from the strategy.
+        """
+
+        def rank_program(comm):
+            dvs = strategy.controller(comm)
+            result = yield from self.program(comm, dvs)
+            return result
+
+        rank_program.__name__ = f"{self.name}_program"
+        return rank_program
+
+    def bind_plain(self) -> Callable:
+        """A rank program with DVS markers disabled (no strategy)."""
+
+        def rank_program(comm):
+            result = yield from self.program(comm, NullController())
+            return result
+
+        rank_program.__name__ = f"{self.name}_program"
+        return rank_program
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} np={self.n_ranks}>"

@@ -1,0 +1,185 @@
+"""PowerPack microbenchmarks (paper §4, Figs 6-8).
+
+The paper profiles the power behaviour of each subsystem in isolation:
+
+* **memory-bound** — read/write a 32 MB buffer with 128 B stride: every
+  reference misses to DRAM (Fig 6);
+* **CPU-bound (L2)** — the same walk over a 256 KB buffer: every
+  reference hits the on-die L2 (Fig 7);
+* **CPU-bound (register)** — a register-resident arithmetic loop: the
+  extreme case the paper quotes as 245 % slowdown at 600 MHz;
+* **communication-bound** — MPI round trips: (a) 256 KB messages,
+  (b) 4 KB messages gathered with a 64 B stride (an MPI vector type
+  whose packing touches a 32 KB extent) (Fig 8).
+"""
+
+from __future__ import annotations
+
+from repro.dvs.controller import DvsController
+from repro.hardware.memory import AccessCost, MemoryHierarchy
+from repro.util.units import KIB, MIB
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = [
+    "MemoryBoundMicro",
+    "L2BoundMicro",
+    "RegisterMicro",
+    "RoundtripMicro",
+]
+
+TAG_PING = 201
+TAG_PONG = 202
+
+
+class _WalkMicro(Workload):
+    """Common machinery for the strided-walk benchmarks."""
+
+    n_ranks = 1
+
+    def __init__(
+        self,
+        buffer_bytes: int,
+        stride_bytes: int,
+        passes: int,
+    ):
+        if passes < 1:
+            raise ValueError(f"passes must be >= 1, got {passes}")
+        self.buffer_bytes = buffer_bytes
+        self.stride_bytes = stride_bytes
+        self.passes = passes
+
+    @property
+    def refs_per_pass(self) -> int:
+        return self.buffer_bytes // self.stride_bytes
+
+    def cost_per_pass(self, memory: MemoryHierarchy) -> AccessCost:
+        return memory.strided_walk_cost(
+            self.buffer_bytes, self.stride_bytes, self.refs_per_pass
+        )
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        cost = self.cost_per_pass(comm.memory)
+        for _ in range(self.passes):
+            yield from execute_cost(comm, cost)
+        return None
+
+
+class MemoryBoundMicro(_WalkMicro):
+    """32 MB buffer, 128 B stride: every reference pays DRAM latency."""
+
+    name = "micro.membound"
+
+    def __init__(self, passes: int = 200, buffer_bytes: int = 32 * MIB,
+                 stride_bytes: int = 128):
+        super().__init__(buffer_bytes, stride_bytes, passes)
+
+
+class L2BoundMicro(_WalkMicro):
+    """256 KB buffer, 128 B stride: on-die hits, pure cycle cost."""
+
+    name = "micro.l2bound"
+
+    def __init__(self, passes: int = 20_000, buffer_bytes: int = 256 * KIB,
+                 stride_bytes: int = 128):
+        super().__init__(buffer_bytes, stride_bytes, passes)
+
+
+class RegisterMicro(Workload):
+    """Register-resident arithmetic: delay is exactly ∝ 1/f."""
+
+    name = "micro.register"
+    n_ranks = 1
+
+    def __init__(self, total_ops: int = 100_000_000_000, cycles_per_op: float = 1.0,
+                 chunks: int = 100):
+        if total_ops < 1 or chunks < 1:
+            raise ValueError("total_ops and chunks must be positive")
+        self.total_ops = total_ops
+        self.cycles_per_op = cycles_per_op
+        self.chunks = chunks
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        per_chunk = comm.memory.register_loop_cost(
+            self.total_ops // self.chunks, self.cycles_per_op
+        )
+        for _ in range(self.chunks):
+            yield from execute_cost(comm, per_chunk)
+        return None
+
+
+class RoundtripMicro(Workload):
+    """Two-rank ping-pong (paper Fig 8).
+
+    Parameters
+    ----------
+    message_bytes:
+        Payload per leg (256 KB in Fig 8a, 4 KB in Fig 8b).
+    round_trips:
+        Number of ping-pong pairs.
+    pack_stride_bytes:
+        When set, the message is a strided MPI datatype: each leg first
+        packs (and on receipt unpacks) ``message_bytes`` gathered with
+        this stride, touching an extent of
+        ``message_bytes * stride / element_size`` (Fig 8b: 64 B stride).
+    """
+
+    name = "micro.roundtrip"
+    n_ranks = 2
+
+    ELEMENT_BYTES = 8
+
+    def __init__(
+        self,
+        message_bytes: int = 256 * KIB,
+        round_trips: int = 1000,
+        pack_stride_bytes: int = 0,
+    ):
+        if message_bytes < 0 or round_trips < 1:
+            raise ValueError("invalid roundtrip parameters")
+        self.message_bytes = message_bytes
+        self.round_trips = round_trips
+        self.pack_stride_bytes = pack_stride_bytes
+        if pack_stride_bytes:
+            self.name = f"micro.roundtrip.{message_bytes}B.stride{pack_stride_bytes}"
+        else:
+            self.name = f"micro.roundtrip.{message_bytes}B"
+
+    def datatype(self) -> "VectorType | None":
+        """The MPI vector type this message uses (None when contiguous)."""
+        from repro.simmpi.datatypes import VectorType
+
+        if not self.pack_stride_bytes:
+            return None
+        return VectorType(
+            count=self.message_bytes // self.ELEMENT_BYTES,
+            blocklength=1,
+            stride=max(1, self.pack_stride_bytes // self.ELEMENT_BYTES),
+            element_bytes=self.ELEMENT_BYTES,
+        )
+
+    def pack_cost(self, memory: MemoryHierarchy) -> AccessCost:
+        """(Un)packing cost of one strided message, zero when contiguous."""
+        vector = self.datatype()
+        if vector is None:
+            return AccessCost(0.0, 0.0)
+        return vector.pack_cost(memory)
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != 2:
+            raise ValueError("roundtrip needs exactly 2 ranks")
+        pack = self.pack_cost(comm.memory)
+        other = 1 - comm.rank
+        for _ in range(self.round_trips):
+            if comm.rank == 0:
+                yield from execute_cost(comm, pack)  # pack outgoing
+                yield from comm.send(None, dest=other, tag=TAG_PING,
+                                     nbytes=self.message_bytes)
+                yield from comm.recv(source=other, tag=TAG_PONG)
+                yield from execute_cost(comm, pack)  # unpack reply
+            else:
+                yield from comm.recv(source=other, tag=TAG_PING)
+                yield from execute_cost(comm, pack)  # unpack incoming
+                yield from execute_cost(comm, pack)  # pack reply
+                yield from comm.send(None, dest=other, tag=TAG_PONG,
+                                     nbytes=self.message_bytes)
+        return None

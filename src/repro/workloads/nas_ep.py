@@ -1,0 +1,171 @@
+"""NAS EP (Embarrassingly Parallel) — extension workload.
+
+The paper evaluates FT and the transpose; EP is the *opposite* corner of
+the NPB suite: pure register/L1-resident computation (Marsaglia polar
+Gaussian-pair generation) with a single tiny reduction at the end.  It
+completes the strategy-space picture — on EP, DVS behaves like the
+paper's CPU-bound microbenchmark (Fig 7): big slowdowns, no savings.
+
+Verification mode runs the actual algorithm (an LCG stream partitioned by
+rank; annulus counts reduced across ranks) and checks that the distributed
+counts equal a single-pass reference — the partition-independence
+invariant real EP validates with its published sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.dvs.controller import DvsController
+from repro.hardware.memory import AccessCost
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["EPClass", "EP_CLASSES", "NasEP", "verify_ep"]
+
+
+@dataclass(frozen=True)
+class EPClass:
+    """One EP problem class (log2 of the pair count)."""
+
+    name: str
+    log2_pairs: int
+
+    @property
+    def pairs(self) -> int:
+        return 1 << self.log2_pairs
+
+
+EP_CLASSES: Dict[str, EPClass] = {
+    "S": EPClass("S", 24),
+    "W": EPClass("W", 25),
+    "A": EPClass("A", 28),
+    "B": EPClass("B", 30),
+    "C": EPClass("C", 32),
+}
+
+# LCG parameters (multiplicative congruential, modulus 2^31-1 variant —
+# a simplified but deterministic stand-in for NPB's 2^46 generator).
+_LCG_A = 16807
+_LCG_M = 2**31 - 1
+
+
+def _lcg_block(seed: int, count: int) -> np.ndarray:
+    """``count`` uniform (0,1) values starting from ``seed`` (exclusive)."""
+    out = np.empty(count, dtype=np.float64)
+    x = seed
+    for i in range(count):
+        x = (x * _LCG_A) % _LCG_M
+        out[i] = x / _LCG_M
+    return out
+
+
+def _advance(seed: int, steps: int) -> int:
+    """Jump the LCG ``steps`` ahead in O(log steps)."""
+    return (seed * pow(_LCG_A, steps, _LCG_M)) % _LCG_M
+
+
+class NasEP(Workload):
+    """EP on ``n_ranks`` ranks.
+
+    Parameters
+    ----------
+    problem_class:
+        NPB class letter; ``pairs_override`` substitutes an explicit pair
+        count (verification uses small counts).
+    cycles_per_pair:
+        Computation cost per generated pair (sqrt/log via library calls
+        on the Pentium M).
+    chunks:
+        Work is sliced so governors can observe the run in progress.
+    """
+
+    def __init__(
+        self,
+        problem_class: str = "S",
+        n_ranks: int = 8,
+        verify: bool = False,
+        pairs_override: Optional[int] = None,
+        cycles_per_pair: float = 60.0,
+        chunks: int = 50,
+    ):
+        if problem_class not in EP_CLASSES:
+            raise ValueError(
+                f"unknown EP class {problem_class!r}; pick from {sorted(EP_CLASSES)}"
+            )
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        self.problem = EP_CLASSES[problem_class]
+        self.pairs = (
+            int(pairs_override) if pairs_override is not None else self.problem.pairs
+        )
+        if self.pairs % n_ranks:
+            raise ValueError(
+                f"pair count {self.pairs} must divide evenly over {n_ranks} ranks"
+            )
+        if verify and self.pairs > 1 << 18:
+            raise ValueError(
+                "verification mode is limited to 2^18 pairs; pass "
+                "pairs_override to shrink the problem"
+            )
+        self.n_ranks = n_ranks
+        self.verify = verify
+        self.cycles_per_pair = cycles_per_pair
+        self.chunks = max(1, chunks)
+        self.name = f"ep.{self.problem.name}"
+
+    # ------------------------------------------------------------------
+    @property
+    def local_pairs(self) -> int:
+        return self.pairs // self.n_ranks
+
+    def compute_cost(self) -> AccessCost:
+        """This rank's full generation cost (register/L1 resident)."""
+        return AccessCost(
+            cpu_cycles=self.local_pairs * self.cycles_per_pair, stall_seconds=0.0
+        )
+
+    def _count_annuli(self, rank: int) -> np.ndarray:
+        """Real computation: Gaussian-pair annulus counts for this rank."""
+        seed = _advance(271_828_183 % _LCG_M, rank * 2 * self.local_pairs)
+        values = _lcg_block(seed, 2 * self.local_pairs)
+        x = 2.0 * values[0::2] - 1.0
+        y = 2.0 * values[1::2] - 1.0
+        t = x * x + y * y
+        accepted = t[(t > 0.0) & (t <= 1.0)]
+        # Marsaglia transform magnitude, binned into 10 annuli as NPB does.
+        gauss = np.sqrt(-2.0 * np.log(accepted) / accepted)
+        mags = np.concatenate([np.abs(x[(t > 0) & (t <= 1)] * gauss),
+                               np.abs(y[(t > 0) & (t <= 1)] * gauss)])
+        counts, _ = np.histogram(mags, bins=10, range=(0.0, 10.0))
+        return counts.astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        per_chunk = self.compute_cost().scaled(1.0 / self.chunks)
+        for _ in range(self.chunks):
+            yield from execute_cost(comm, per_chunk)
+        counts = self._count_annuli(comm.rank) if self.verify else None
+        total = yield from comm.allreduce(counts, nbytes=80)
+        return total
+
+
+def verify_ep(workload: NasEP, returns: List[object]) -> None:
+    """Distributed counts must equal a single-pass reference."""
+    if not workload.verify:
+        raise ValueError("verification requires verify=True mode")
+    reference = NasEP(
+        workload.problem.name,
+        n_ranks=1,
+        verify=True,
+        pairs_override=workload.pairs,
+    )._count_annuli(0)
+    for counts in returns:
+        np.testing.assert_array_equal(counts, reference)

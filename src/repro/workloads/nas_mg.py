@@ -1,0 +1,241 @@
+"""NAS MG (simplified multigrid) — extension workload.
+
+MG is the distributed cousin of Figure 1's sequential *mgrid*: V-cycles
+over a hierarchy of grids.  Its DVS profile is uniquely *level-dependent*
+— fine levels stream large panels (memory-bound, DVS-friendly), coarse
+levels exchange tiny halos (latency-bound, sensitive to per-message
+software cost) — which makes it the natural stress test for per-region
+strategies: a controller that treats "the whole V-cycle" as one region
+gets a blend; one that distinguishes levels can do better.
+
+Structure (2-D variant, 1-D row decomposition, as fits the framework's
+verification budget; the communication structure per level matches the
+3-D original):
+
+* at each level: one Jacobi smoothing sweep with halo exchange;
+* restriction (injection) down to the coarsest level the decomposition
+  supports (≥ 2 rows per rank), then prolongation (nearest-neighbour)
+  back up with another smoothing sweep per level.
+
+Verification mode runs the real numpy arithmetic and checks every rank's
+final panel against a single-array reference V-cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dvs.controller import DvsController
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["NasMG", "verify_mg"]
+
+TAG_UP = 401
+TAG_DOWN = 402
+FLOAT_BYTES = 8
+
+
+def _smooth(padded: np.ndarray) -> np.ndarray:
+    """Five-point Jacobi smoothing of the padded array's interior."""
+    return 0.25 * (
+        padded[:-2, 1:-1] + padded[2:, 1:-1] + padded[1:-1, :-2] + padded[1:-1, 2:]
+    )
+
+
+def _restrict(fine: np.ndarray) -> np.ndarray:
+    """Injection restriction (every second point)."""
+    return np.ascontiguousarray(fine[::2, ::2])
+
+
+def _prolong(coarse: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour prolongation (each point fills a 2x2 block)."""
+    return np.repeat(np.repeat(coarse, 2, axis=0), 2, axis=1)
+
+
+class NasMG(Workload):
+    """Simplified MG on an ``n × n`` grid across ``n_ranks`` row panels."""
+
+    def __init__(
+        self,
+        n: int = 1024,
+        n_ranks: int = 8,
+        v_cycles: int = 4,
+        verify: bool = False,
+        flops_per_point: float = 8.0,
+    ):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        if n % n_ranks:
+            raise ValueError(f"n={n} must divide over {n_ranks} ranks")
+        if n & (n - 1):
+            raise ValueError(f"n={n} must be a power of two")
+        # (n_ranks is then necessarily a power of two: it divides n.)
+        if v_cycles < 1:
+            raise ValueError(f"v_cycles must be >= 1, got {v_cycles}")
+        if n // n_ranks < 4:
+            raise ValueError("need at least 4 rows per rank on the fine grid")
+        if verify and n * n * FLOAT_BYTES > 64 << 20:
+            raise ValueError("grid too large for verification mode")
+        self.n = n
+        self.n_ranks = n_ranks
+        self.v_cycles = v_cycles
+        self.verify = verify
+        self.flops_per_point = flops_per_point
+        self.name = f"mg.{n}x{n}"
+
+    # ------------------------------------------------------------------
+    @property
+    def levels(self) -> int:
+        """Grid levels down to 2 rows per rank (level 0 = finest)."""
+        rows = self.n // self.n_ranks
+        count = 1
+        while rows // 2 >= 2 and (self.n >> count) >= 2:
+            rows //= 2
+            count += 1
+        return count
+
+    def level_n(self, level: int) -> int:
+        return self.n >> level
+
+    def rows_local(self, level: int) -> int:
+        return self.level_n(level) // self.n_ranks
+
+    def halo_bytes(self, level: int) -> int:
+        return self.level_n(level) * FLOAT_BYTES
+
+    def smooth_cost(self, memory, level: int):
+        panel_bytes = self.rows_local(level) * self.level_n(level) * FLOAT_BYTES
+        stream = memory.stream_copy_cost(2 * panel_bytes)
+        flops = memory.register_loop_cost(
+            int(self.rows_local(level) * self.level_n(level) * self.flops_per_point)
+        )
+        return stream + flops
+
+    # ------------------------------------------------------------------
+    def _initial_panel(self, rank: int) -> np.ndarray:
+        rows = self.rows_local(0)
+        r0 = rank * rows
+        i = np.arange(r0, r0 + rows, dtype=np.float64)[:, None]
+        j = np.arange(self.n, dtype=np.float64)[None, :]
+        return np.sin(0.02 * i) * np.cos(0.03 * j)
+
+    def _halo_exchange(self, comm, panel: Optional[np.ndarray], level: int,
+                       tag_base: int) -> WorkGen:
+        """Exchange boundary rows; returns (top, bottom) halo rows."""
+        rank, size = comm.rank, comm.size
+        up = rank - 1 if rank > 0 else None
+        down = rank + 1 if rank < size - 1 else None
+        nbytes = None if self.verify else self.halo_bytes(level)
+        reqs, order = [], []
+        if up is not None:
+            reqs.append(comm.irecv(source=up, tag=tag_base + TAG_DOWN))
+            order.append("top")
+            sreq = yield from comm.isend(
+                panel[0].copy() if panel is not None else None,
+                dest=up, tag=tag_base + TAG_UP, nbytes=nbytes,
+            )
+            reqs.append(sreq)
+            order.append(None)
+        if down is not None:
+            reqs.append(comm.irecv(source=down, tag=tag_base + TAG_UP))
+            order.append("bottom")
+            sreq = yield from comm.isend(
+                panel[-1].copy() if panel is not None else None,
+                dest=down, tag=tag_base + TAG_DOWN, nbytes=nbytes,
+            )
+            reqs.append(sreq)
+            order.append(None)
+        values = yield from comm.waitall(reqs)
+        halos = {"top": None, "bottom": None}
+        for key, value in zip(order, values):
+            if key is not None:
+                halos[key] = value
+        return halos["top"], halos["bottom"]
+
+    def _smooth_level(self, comm, panel, level, tag_base) -> WorkGen:
+        """One smoothing sweep at ``level`` (exchange + compute)."""
+        top, bottom = yield from self._halo_exchange(comm, panel, level, tag_base)
+        yield from execute_cost(comm, self.smooth_cost(comm.memory, level))
+        if panel is None:
+            return None
+        rows, cols = panel.shape
+        padded = np.zeros((rows + 2, cols + 2))
+        padded[1:-1, 1:-1] = panel
+        if top is not None:
+            padded[0, 1:-1] = top
+        if bottom is not None:
+            padded[-1, 1:-1] = bottom
+        return _smooth(padded)
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        panel = self._initial_panel(comm.rank) if self.verify else None
+        levels = self.levels
+        tag_stride = 1000
+        for cycle in range(self.v_cycles):
+            base = cycle * tag_stride * (2 * levels + 2)
+            stack: List[Optional[np.ndarray]] = []
+            # --- downsweep: smooth then restrict -----------------------
+            for level in range(levels - 1):
+                panel = yield from self._smooth_level(
+                    comm, panel, level, base + level * tag_stride
+                )
+                stack.append(panel)
+                panel = _restrict(panel) if panel is not None else None
+            # --- coarsest level: latency-bound region -------------------
+            yield from dvs.region_enter("coarse")
+            panel = yield from self._smooth_level(
+                comm, panel, levels - 1, base + (levels - 1) * tag_stride
+            )
+            yield from dvs.region_exit("coarse")
+            # --- upsweep: prolong then smooth ---------------------------
+            for level in range(levels - 2, -1, -1):
+                fine = stack.pop()
+                if panel is not None:
+                    panel = fine + _prolong(panel)
+                panel = yield from self._smooth_level(
+                    comm, panel, level, base + (levels + level) * tag_stride
+                )
+        return panel
+
+    # ------------------------------------------------------------------
+    def reference_field(self) -> np.ndarray:
+        """Single-array reference of the full grid after all V-cycles."""
+        field = np.concatenate(
+            [self._initial_panel(r) for r in range(self.n_ranks)], axis=0
+        )
+        levels = self.levels
+
+        def smooth_full(array: np.ndarray) -> np.ndarray:
+            padded = np.zeros((array.shape[0] + 2, array.shape[1] + 2))
+            padded[1:-1, 1:-1] = array
+            return _smooth(padded)
+
+        for _ in range(self.v_cycles):
+            stack = []
+            for _level in range(levels - 1):
+                field = smooth_full(field)
+                stack.append(field)
+                field = _restrict(field)
+            field = smooth_full(field)
+            for _level in range(levels - 2, -1, -1):
+                fine = stack.pop()
+                field = smooth_full(fine + _prolong(field))
+        return field
+
+
+def verify_mg(workload: NasMG, returns: List[object]) -> None:
+    """Distributed panels must tile the single-array reference."""
+    if not workload.verify:
+        raise ValueError("verification requires verify=True mode")
+    reference = workload.reference_field()
+    rows = workload.rows_local(0)
+    for rank, panel in enumerate(returns):
+        expected = reference[rank * rows : (rank + 1) * rows]
+        np.testing.assert_allclose(panel, expected, rtol=1e-12, atol=1e-12)

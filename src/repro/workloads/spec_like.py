@@ -1,0 +1,127 @@
+"""Sequential SPEC-CFP2000-like kernels (paper Figure 1, Table 1).
+
+The paper motivates weighted ED²P with two single-node codes:
+
+* **mgrid** — a multigrid solver whose working set is substantially
+  cache-resident: delay balloons as frequency drops, energy barely moves
+  (Fig 1a), so the HPC-best point stays at 1.4 GHz (Table 1);
+* **swim** — a shallow-water stencil streaming large arrays from DRAM:
+  delay is nearly flat, energy falls steadily (Fig 1b), so the HPC-best
+  point drops to 1.0 GHz.
+
+We model both as iterated kernels with an explicit cycles/stall split
+derived from their array sizes through the memory model, and provide tiny
+*real* numpy reference steps so tests can sanity-check that the modelled
+access pattern matches an actual implementation of the kernel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dvs.controller import DvsController
+from repro.hardware.memory import AccessCost, MemoryHierarchy
+from repro.util.units import KIB, MIB
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["SequentialKernel", "MgridLike", "SwimLike"]
+
+
+class SequentialKernel(Workload):
+    """A single-rank kernel repeating a fixed per-iteration cost."""
+
+    n_ranks = 1
+
+    def __init__(self, iterations: int):
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.iterations = iterations
+
+    def cost_per_iteration(self, memory: MemoryHierarchy) -> AccessCost:
+        raise NotImplementedError
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        cost = self.cost_per_iteration(comm.memory)
+        for _ in range(self.iterations):
+            yield from execute_cost(comm, cost)
+        return None
+
+
+class MgridLike(SequentialKernel):
+    """Multigrid V-cycles over a grid that mostly fits in L2.
+
+    The fine grid streams from DRAM once per cycle, but the bulk of the
+    stencil applications run out of L2/L1 — hence the CPU-bound crescendo.
+
+    Parameters are per V-cycle: ``cache_resident_refs`` strided references
+    that hit on-die cache, plus one streaming pass over ``grid_bytes``.
+    """
+
+    name = "mgrid-like"
+
+    def __init__(
+        self,
+        iterations: int = 40,
+        grid_bytes: int = 48 * MIB,
+        cache_resident_refs: int = 12_000_000,
+        stencil_flops_per_ref: float = 4.0,
+    ):
+        super().__init__(iterations)
+        self.grid_bytes = grid_bytes
+        self.cache_resident_refs = cache_resident_refs
+        self.stencil_flops_per_ref = stencil_flops_per_ref
+
+    def cost_per_iteration(self, memory: MemoryHierarchy) -> AccessCost:
+        cached = memory.strided_walk_cost(
+            min(memory.l2_bytes, 256 * KIB), memory.cache_line_bytes,
+            self.cache_resident_refs,
+        )
+        flops = memory.register_loop_cost(
+            int(self.cache_resident_refs * self.stencil_flops_per_ref)
+        )
+        stream = memory.stream_copy_cost(self.grid_bytes)
+        return cached + flops + stream
+
+    @staticmethod
+    def reference_step(grid: np.ndarray) -> np.ndarray:
+        """One real relaxation sweep (tests compare access behaviour)."""
+        out = grid.copy()
+        out[1:-1, 1:-1] = 0.25 * (
+            grid[:-2, 1:-1] + grid[2:, 1:-1] + grid[1:-1, :-2] + grid[1:-1, 2:]
+        )
+        return out
+
+
+class SwimLike(SequentialKernel):
+    """Shallow-water stencil streaming several large arrays from DRAM.
+
+    Working set far exceeds L2 (SPEC swim touches ~190 MB), so nearly
+    every reference is a DRAM-bandwidth-limited stream with a modest
+    arithmetic tail — the memory-bound crescendo.
+    """
+
+    name = "swim-like"
+
+    def __init__(
+        self,
+        iterations: int = 40,
+        array_bytes: int = 48 * MIB,
+        n_arrays: int = 4,
+        flops_per_point: float = 4.0,
+    ):
+        super().__init__(iterations)
+        self.array_bytes = array_bytes
+        self.n_arrays = n_arrays
+        self.flops_per_point = flops_per_point
+
+    def cost_per_iteration(self, memory: MemoryHierarchy) -> AccessCost:
+        streamed = self.n_arrays * self.array_bytes
+        stream = memory.stream_copy_cost(streamed)
+        points = self.array_bytes // 8
+        flops = memory.register_loop_cost(int(points * self.flops_per_point))
+        return stream + flops
+
+    @staticmethod
+    def reference_step(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """One real shallow-water-ish update (tests only)."""
+        return 0.5 * (np.roll(u, 1, axis=0) + np.roll(v, -1, axis=1))

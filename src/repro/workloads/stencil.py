@@ -1,0 +1,184 @@
+"""Halo-exchange Jacobi stencil — extension workload.
+
+A 2-D five-point Jacobi iteration with 1-D row decomposition: each sweep
+streams the local panel (memory-bound compute) and exchanges one halo row
+with each neighbour (latency-bound communication), with a residual
+allreduce every ``residual_every`` sweeps.  This is the canonical
+"regular scientific code" pattern between the paper's two extremes: more
+balanced than FT (which is communication-dominated on 100 Mb Ethernet)
+and than EP (pure compute), so its crescendo — and hence its best DVS
+operating point — falls in between.
+
+Verification mode runs the real numpy Jacobi update and checks the
+distributed field against a single-array reference sweep-for-sweep.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.dvs.controller import DvsController
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["HaloStencil", "verify_stencil"]
+
+TAG_UP = 301
+TAG_DOWN = 302
+FLOAT_BYTES = 8
+
+
+class HaloStencil(Workload):
+    """Jacobi sweeps on an ``n × n`` grid across ``n_ranks`` row panels."""
+
+    def __init__(
+        self,
+        n: int = 4096,
+        n_ranks: int = 8,
+        sweeps: int = 20,
+        residual_every: int = 5,
+        verify: bool = False,
+        flops_per_point: float = 6.0,
+    ):
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be positive, got {n_ranks}")
+        if n % n_ranks:
+            raise ValueError(f"n={n} must divide over {n_ranks} ranks")
+        if sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {sweeps}")
+        if residual_every < 1:
+            raise ValueError(f"residual_every must be >= 1, got {residual_every}")
+        if verify and n * n * FLOAT_BYTES > 64 << 20:
+            raise ValueError("grid too large for verification mode")
+        self.n = n
+        self.n_ranks = n_ranks
+        self.sweeps = sweeps
+        self.residual_every = residual_every
+        self.verify = verify
+        self.flops_per_point = flops_per_point
+        self.name = f"stencil.{n}x{n}"
+
+    # ------------------------------------------------------------------
+    @property
+    def rows_local(self) -> int:
+        return self.n // self.n_ranks
+
+    @property
+    def halo_bytes(self) -> int:
+        return self.n * FLOAT_BYTES
+
+    def sweep_cost(self, memory) -> "AccessCost":
+        """One local panel update: stream two arrays + stencil flops."""
+        panel_bytes = self.rows_local * self.n * FLOAT_BYTES
+        stream = memory.stream_copy_cost(2 * panel_bytes)
+        flops = memory.register_loop_cost(
+            int(self.rows_local * self.n * self.flops_per_point)
+        )
+        return stream + flops
+
+    # ------------------------------------------------------------------
+    def _initial_panel(self, rank: int) -> np.ndarray:
+        r0 = rank * self.rows_local
+        rows = np.arange(r0, r0 + self.rows_local, dtype=np.float64)[:, None]
+        cols = np.arange(self.n, dtype=np.float64)[None, :]
+        return np.sin(0.01 * rows) + np.cos(0.02 * cols)
+
+    @staticmethod
+    def _jacobi_interior(padded: np.ndarray) -> np.ndarray:
+        """Five-point average of the padded panel's interior."""
+        return 0.25 * (
+            padded[:-2, 1:-1]
+            + padded[2:, 1:-1]
+            + padded[1:-1, :-2]
+            + padded[1:-1, 2:]
+        )
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        rank, size = comm.rank, comm.size
+        up = rank - 1 if rank > 0 else None
+        down = rank + 1 if rank < size - 1 else None
+        panel = self._initial_panel(rank) if self.verify else None
+        cost = self.sweep_cost(comm.memory)
+
+        residuals: List[float] = []
+        for sweep in range(self.sweeps):
+            # --- halo exchange (marked as the slack region) -------------
+            yield from dvs.region_enter("halo")
+            top = bottom = None
+            reqs = []
+            if up is not None:
+                reqs.append(comm.irecv(source=up, tag=TAG_DOWN))
+                sreq = yield from comm.isend(
+                    panel[0] if panel is not None else None,
+                    dest=up,
+                    tag=TAG_UP,
+                    nbytes=None if self.verify else self.halo_bytes,
+                )
+                reqs.append(sreq)
+            if down is not None:
+                reqs.append(comm.irecv(source=down, tag=TAG_UP))
+                sreq = yield from comm.isend(
+                    panel[-1] if panel is not None else None,
+                    dest=down,
+                    tag=TAG_DOWN,
+                    nbytes=None if self.verify else self.halo_bytes,
+                )
+                reqs.append(sreq)
+            values = yield from comm.waitall(reqs)
+            if panel is not None:
+                it = iter(values)
+                if up is not None:
+                    top = next(it)
+                    next(it)  # send completion
+                if down is not None:
+                    bottom = next(it)
+            yield from dvs.region_exit("halo")
+
+            # --- local sweep ---------------------------------------------
+            yield from execute_cost(comm, cost)
+            if panel is not None:
+                padded = np.zeros((self.rows_local + 2, self.n + 2))
+                padded[1:-1, 1:-1] = panel
+                padded[0, 1:-1] = top if top is not None else 0.0
+                padded[-1, 1:-1] = bottom if bottom is not None else 0.0
+                new_panel = self._jacobi_interior(padded)
+                diff = float(np.abs(new_panel - panel).sum())
+                panel = new_panel
+            else:
+                diff = 0.0
+
+            # --- periodic residual allreduce -------------------------------
+            if (sweep + 1) % self.residual_every == 0:
+                total = yield from comm.allreduce(diff, nbytes=8)
+                residuals.append(total)
+        return {"panel": panel, "residuals": residuals}
+
+    # ------------------------------------------------------------------
+    def reference_field(self) -> np.ndarray:
+        """Single-array reference of the full grid after all sweeps."""
+        field = np.concatenate(
+            [self._initial_panel(r) for r in range(self.n_ranks)], axis=0
+        )
+        for _ in range(self.sweeps):
+            padded = np.zeros((self.n + 2, self.n + 2))
+            padded[1:-1, 1:-1] = field
+            field = self._jacobi_interior(padded)
+        return field
+
+
+def verify_stencil(workload: HaloStencil, returns: List[dict]) -> None:
+    """Distributed panels must tile the single-array reference exactly."""
+    if not workload.verify:
+        raise ValueError("verification requires verify=True mode")
+    reference = workload.reference_field()
+    rows = workload.rows_local
+    for rank, result in enumerate(returns):
+        panel = result["panel"]
+        expected = reference[rank * rows : (rank + 1) * rows]
+        np.testing.assert_allclose(panel, expected, rtol=1e-12, atol=1e-12)

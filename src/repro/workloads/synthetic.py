@@ -1,0 +1,113 @@
+"""A dial-a-mix synthetic workload for exploring the DVS design space.
+
+The paper's conclusion — savings "vary greatly with application,
+workload, system, and DVS strategy" — invites a map: given a workload's
+CPU / memory / communication mix, where does its best operating point
+land?  :class:`SyntheticMix` makes the mix an explicit three-way dial so
+examples and tests can sweep it (see
+``examples/workload_mix_explorer.py``).
+"""
+
+from __future__ import annotations
+
+from repro.dvs.controller import DvsController
+from repro.hardware.memory import AccessCost
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["SyntheticMix"]
+
+
+class SyntheticMix(Workload):
+    """Iterated phases with a chosen cpu/memory/communication balance.
+
+    Parameters
+    ----------
+    cpu_fraction, memory_fraction, comm_fraction:
+        Target shares of wall time at the *fastest* operating point;
+        must sum to 1.
+    iteration_seconds:
+        Wall time of one iteration at the fastest point.
+    iterations:
+        Number of iterations.
+    n_ranks:
+        Communication is an all-to-all among this many ranks (≥2 for a
+        nonzero comm fraction).
+    """
+
+    def __init__(
+        self,
+        cpu_fraction: float,
+        memory_fraction: float,
+        comm_fraction: float,
+        iteration_seconds: float = 1.0,
+        iterations: int = 4,
+        n_ranks: int = 4,
+        peak_frequency: float = 1.4e9,
+        payload_rate: float = 100e6 * 0.9 / 8,
+    ):
+        total = cpu_fraction + memory_fraction + comm_fraction
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+        for name, value in (
+            ("cpu_fraction", cpu_fraction),
+            ("memory_fraction", memory_fraction),
+            ("comm_fraction", comm_fraction),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0,1], got {value}")
+        if comm_fraction > 0 and n_ranks < 2:
+            raise ValueError("communication requires at least 2 ranks")
+        if iterations < 1 or iteration_seconds <= 0:
+            raise ValueError("iterations and iteration_seconds must be positive")
+        self.cpu_fraction = cpu_fraction
+        self.memory_fraction = memory_fraction
+        self.comm_fraction = comm_fraction
+        self.iteration_seconds = iteration_seconds
+        self.iterations = iterations
+        self.n_ranks = n_ranks
+        self.peak_frequency = peak_frequency
+        self.payload_rate = payload_rate
+        self.name = (
+            f"mix.c{cpu_fraction:.2f}m{memory_fraction:.2f}x{comm_fraction:.2f}"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def cpu_cycles_per_iteration(self) -> float:
+        return self.cpu_fraction * self.iteration_seconds * self.peak_frequency
+
+    @property
+    def stall_seconds_per_iteration(self) -> float:
+        return self.memory_fraction * self.iteration_seconds
+
+    @property
+    def alltoall_block_bytes(self) -> int:
+        """Block size so the exchange takes ~comm_fraction of an iteration.
+
+        In the pairwise exchange every rank sends (p−1) blocks at the
+        payload rate; blocks through distinct links overlap, so wall time
+        ≈ (p−1)·block/rate.
+        """
+        if self.comm_fraction == 0 or self.n_ranks < 2:
+            return 0
+        seconds = self.comm_fraction * self.iteration_seconds
+        return int(seconds * self.payload_rate / (self.n_ranks - 1))
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        cost = AccessCost(
+            cpu_cycles=self.cpu_cycles_per_iteration,
+            stall_seconds=self.stall_seconds_per_iteration,
+        )
+        block = self.alltoall_block_bytes
+        for _ in range(self.iterations):
+            yield from execute_cost(comm, cost)
+            if block > 0:
+                yield from dvs.region_enter("exchange")
+                yield from comm.alltoall(nbytes_each=block)
+                yield from dvs.region_exit("exchange")
+        return None

@@ -1,0 +1,242 @@
+"""Parallel matrix transpose with non-scattered (pure block) decomposition.
+
+The paper's second application (§4, Fig 5): a 12K×12K matrix on 15
+processors arranged as a 5×3 grid, each holding a 2400×4000 submatrix.
+The block at grid position (p, q) is
+
+1. transposed locally,
+2. sent to the node holding position (q, p) of the transposed grid
+   (diagonal blocks skip this step — the paper's example of load
+   imbalance: "node (0,0) can skip step 2"), and
+3. transmitted to the root processor for assembly.
+
+Step 3 serialises 14 senders on the root's 100 Mb link: everyone else
+sits backpressured (kernel-blocked, near-idle power) while one block
+flows — the slack the paper exploits with DVS.  Steps 2 and 3 are marked
+as dynamic-DVS regions, matching the paper's instrumentation.
+
+Verification mode moves real numpy blocks and asserts the assembled
+result equals ``A.T``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dvs.controller import DvsController
+from repro.workloads.base import Workload, WorkGen, execute_cost
+
+__all__ = ["ParallelTranspose", "verify_transpose"]
+
+FLOAT_BYTES = 8
+
+TAG_EXCHANGE = 101
+TAG_GATHER = 102
+
+
+class ParallelTranspose(Workload):
+    """Block matrix transpose on a ``grid_rows × grid_cols`` grid.
+
+    Parameters
+    ----------
+    matrix_n:
+        The (square) matrix dimension; the paper uses 12000.
+    grid_rows, grid_cols:
+        Process grid; the paper uses 5×3 = 15 ranks.
+    verify:
+        Move real float64 blocks (small sizes only).
+    iterations:
+        Whole-transpose repetitions (the paper iterates short codes so
+        the battery's 15-20 s refresh can resolve them).
+    """
+
+    def __init__(
+        self,
+        matrix_n: int = 12_000,
+        grid_rows: int = 5,
+        grid_cols: int = 3,
+        verify: bool = False,
+        iterations: int = 1,
+    ):
+        if matrix_n % grid_rows or matrix_n % grid_cols:
+            raise ValueError(
+                f"matrix_n={matrix_n} must be divisible by the grid "
+                f"({grid_rows}x{grid_cols})"
+            )
+        if iterations < 1:
+            raise ValueError(f"iterations must be >= 1, got {iterations}")
+        self.matrix_n = matrix_n
+        self.grid_rows = grid_rows
+        self.grid_cols = grid_cols
+        self.iterations = iterations
+        self.verify = verify
+        self.n_ranks = grid_rows * grid_cols
+        self.block_rows = matrix_n // grid_rows  # 2400 in the paper
+        self.block_cols = matrix_n // grid_cols  # 4000 in the paper
+        if verify and self.total_bytes > 64 << 20:
+            raise ValueError("matrix too large for verification mode")
+        self.name = f"transpose.{matrix_n}x{matrix_n}"
+
+    # ------------------------------------------------------------------
+    @property
+    def block_bytes(self) -> int:
+        return self.block_rows * self.block_cols * FLOAT_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.matrix_n * self.matrix_n * FLOAT_BYTES
+
+    def position(self, rank: int) -> Tuple[int, int]:
+        """Grid position (p, q) of ``rank`` (row-major)."""
+        return divmod(rank, self.grid_cols)
+
+    def rank_of(self, p: int, q: int) -> int:
+        return p * self.grid_cols + q
+
+    def send_peer(self, rank: int) -> Optional[int]:
+        """Destination of this rank's transposed block, or ``None`` when
+        the block stays put.
+
+        The transposed matrix lives on the *transposed grid*
+        (``grid_cols × grid_rows``, row-major over the same ranks), so the
+        block of original position (p, q) — which is block (q, p) of the
+        transposed matrix — goes to rank ``q * grid_rows + p``.  This
+        mapping is a permutation of the ranks but *not* an involution on a
+        non-square grid: the rank you send to is generally not the rank
+        you receive from.
+        """
+        p, q = self.position(rank)
+        peer = q * self.grid_rows + p
+        return None if peer == rank else peer
+
+    def recv_peer(self, rank: int) -> Optional[int]:
+        """Source of the block this rank owns after the exchange
+        (the inverse of :meth:`send_peer`), or ``None`` for fixed points.
+        """
+        # rank == q_s * grid_rows + p_s for the sender s = (p_s, q_s)
+        q_s, p_s = divmod(rank, self.grid_rows)
+        peer = self.rank_of(p_s, q_s)
+        return None if peer == rank else peer
+
+    def transposed_position(self, rank: int) -> Tuple[int, int]:
+        """Position (u, v) this rank owns in the transposed-grid layout."""
+        return divmod(rank, self.grid_rows)
+
+    # ------------------------------------------------------------------
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        rank = comm.rank
+        root = 0
+        assembled = None
+        for it in range(self.iterations):
+            # Per-iteration tags: without them a fast sender's next-round
+            # gather message could match the root's ANY_SOURCE receive of
+            # the previous round.
+            tag_exchange = TAG_EXCHANGE + 2 * it
+            tag_gather = TAG_GATHER + 2 * it
+            block = self._initial_block(rank) if self.verify else None
+
+            # --- step 1: local transpose (memory-bandwidth bound) ------
+            if block is not None:
+                block = np.ascontiguousarray(block.T)
+            yield from execute_cost(
+                comm, comm.memory.stream_copy_cost(2 * self.block_bytes)
+            )
+
+            # --- step 2: exchange along the grid-transpose permutation --
+            yield from dvs.region_enter("step2")
+            dest = self.send_peer(rank)
+            src = self.recv_peer(rank)
+            if dest is not None:
+                assert src is not None  # fixed points coincide
+                block = yield from comm.sendrecv(
+                    block,
+                    dest=dest,
+                    source=src,
+                    tag=tag_exchange,
+                    nbytes=None if self.verify else self.block_bytes,
+                )
+            yield from dvs.region_exit("step2")
+
+            # --- step 3: gather everything at the root ------------------
+            yield from dvs.region_enter("step3")
+            if rank == root:
+                blocks: List[object] = [None] * self.n_ranks
+                blocks[root] = block
+                yield from execute_cost(
+                    comm, comm.memory.stream_copy_cost(self.block_bytes)
+                )
+                for _ in range(self.n_ranks - 1):
+                    req = comm.irecv(tag=tag_gather)
+                    payload = yield from comm.wait(req)
+                    src = req.status.source
+                    blocks[src] = payload
+                    # assembly memcpy into the full matrix
+                    yield from execute_cost(
+                        comm, comm.memory.stream_copy_cost(self.block_bytes)
+                    )
+                if self.verify:
+                    assembled = self._assemble(blocks)
+            else:
+                yield from comm.send(
+                    block,
+                    dest=root,
+                    tag=tag_gather,
+                    nbytes=None if self.verify else self.block_bytes,
+                )
+            yield from dvs.region_exit("step3")
+        return assembled
+
+    # ------------------------------------------------------------------
+    # verification support
+    # ------------------------------------------------------------------
+    def full_matrix(self) -> np.ndarray:
+        """The deterministic global matrix A (verification mode)."""
+        n = self.matrix_n
+        return (
+            np.arange(n, dtype=np.float64)[:, None] * n
+            + np.arange(n, dtype=np.float64)[None, :]
+        )
+
+    def _initial_block(self, rank: int) -> np.ndarray:
+        p, q = self.position(rank)
+        a = self.full_matrix()
+        return np.ascontiguousarray(
+            a[
+                p * self.block_rows : (p + 1) * self.block_rows,
+                q * self.block_cols : (q + 1) * self.block_cols,
+            ]
+        )
+
+    def _assemble(self, blocks: List[object]) -> np.ndarray:
+        """Place each rank's post-exchange block into the result.
+
+        After step 2, rank r owns block (u, v) = divmod(r, grid_rows) of
+        the transposed matrix, whose block grid is grid_cols × grid_rows
+        with blocks of shape (block_cols, block_rows).
+        """
+        n = self.matrix_n
+        out = np.empty((n, n), dtype=np.float64)
+        for src, block in enumerate(blocks):
+            u, v = self.transposed_position(src)
+            out[
+                u * self.block_cols : (u + 1) * self.block_cols,
+                v * self.block_rows : (v + 1) * self.block_rows,
+            ] = block
+        return out
+
+
+def verify_transpose(workload: ParallelTranspose, returns: List[object]) -> None:
+    """Assert the root assembled exactly ``A.T``."""
+    if not workload.verify:
+        raise ValueError("verification requires verify=True mode")
+    assembled = returns[0]
+    if assembled is None:
+        raise AssertionError("root returned no assembled matrix")
+    np.testing.assert_array_equal(assembled, workload.full_matrix().T)

@@ -1,0 +1,59 @@
+"""Tests for the calibration-fitting tools."""
+
+import pytest
+
+from repro.analysis.fitting import (
+    base_power_window,
+    cpu_bound_energy_curve,
+    fit_activity_factor,
+    golden_section,
+    membound_e600,
+)
+from repro.hardware.activity import CpuActivity
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+
+
+def test_golden_section_finds_parabola_minimum():
+    x = golden_section(lambda v: (v - 3.7) ** 2, 0.0, 10.0, tol=1e-6)
+    assert x == pytest.approx(3.7, abs=1e-4)
+
+
+def test_golden_section_validates_bracket():
+    with pytest.raises(ValueError):
+        golden_section(lambda v: v, 5.0, 1.0)
+
+
+def test_membound_measurement_matches_experiment():
+    assert membound_e600(DEFAULT_CALIBRATION) == pytest.approx(0.586, abs=0.01)
+
+
+def test_fitting_memstall_recovers_default():
+    """Fitting MEMSTALL against the paper's Fig-6 target lands near the
+    calibrated default (0.45) — the derivation DESIGN.md describes."""
+    fitted = fit_activity_factor(
+        CpuActivity.MEMSTALL,
+        membound_e600,
+        target=0.593,
+        bounds=(0.1, 0.9),
+        tol=5e-3,
+    )
+    assert fitted == pytest.approx(0.45, abs=0.03)
+
+
+def test_cpu_bound_curve_shape():
+    curve = dict(cpu_bound_energy_curve(base_power=8.2))
+    assert min(curve, key=curve.get) == pytest.approx(800e6)
+    assert curve[600e6] > curve[800e6]
+
+
+def test_base_power_window_contains_default():
+    lo, hi = base_power_window(800.0)
+    assert lo < DEFAULT_CALIBRATION.base_power < hi
+    # DESIGN.md quotes roughly (7.8, 8.7) for the Table-2 ladder.
+    assert lo == pytest.approx(7.8, abs=0.1)
+    assert hi == pytest.approx(8.66, abs=0.1)
+
+
+def test_base_power_window_rejects_impossible_target():
+    with pytest.raises(ValueError):
+        base_power_window(1200.0, lo=1.0, hi=2.0)

@@ -1,0 +1,65 @@
+"""Tests for parallel sweeps: identical results to serial, any pool size."""
+
+import pytest
+
+from repro.analysis.parallel import SweepTask, parallel_full_sweep, run_sweep
+from repro.analysis.runner import full_strategy_sweep
+from repro.experiments.common import points_of
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+
+FREQS = [600 * MHZ, 1000 * MHZ, 1400 * MHZ]
+
+
+def make_workload():
+    return NasFT("S", n_ranks=4, iterations=2)
+
+
+def test_task_builds_each_strategy_kind():
+    wl = make_workload()
+    assert SweepTask(wl, "stat", 800 * MHZ).build_strategy().kind == "stat"
+    assert SweepTask(wl, "cpuspeed").build_strategy().kind == "cpuspeed"
+    dyn = SweepTask(wl, "dyn", 800 * MHZ, regions=("fft",)).build_strategy()
+    assert dyn.kind == "dyn"
+
+
+def test_task_validation():
+    wl = make_workload()
+    with pytest.raises(ValueError):
+        SweepTask(wl, "stat").build_strategy()
+    with pytest.raises(ValueError):
+        SweepTask(wl, "dyn").build_strategy()
+    with pytest.raises(ValueError):
+        SweepTask(wl, "bogus").build_strategy()
+
+
+def test_inprocess_sweep_preserves_order():
+    tasks = [SweepTask(make_workload(), "stat", f) for f in FREQS]
+    points = run_sweep(tasks, n_workers=0)
+    assert [p.frequency for p in points] == FREQS
+
+
+def test_parallel_sweep_matches_serial_bit_for_bit():
+    """Determinism across process boundaries: the parallel sweep equals
+    the serial one exactly."""
+    serial = full_strategy_sweep(make_workload(), FREQS, regions=["fft"])
+    serial_points = {k: points_of(v) for k, v in serial.items()}
+
+    parallel = parallel_full_sweep(
+        make_workload(), FREQS, regions=["fft"], n_workers=2
+    )
+    assert set(parallel) == set(serial_points)
+    for kind in serial_points:
+        for a, b in zip(serial_points[kind], parallel[kind]):
+            assert a.energy == b.energy, kind
+            assert a.delay == b.delay, kind
+            assert a.label == b.label
+
+
+def test_parallel_sweep_without_dynamic():
+    out = parallel_full_sweep(
+        make_workload(), FREQS, include_dynamic=False, n_workers=2
+    )
+    assert set(out) == {"cpuspeed", "stat"}
+    assert len(out["stat"]) == 3

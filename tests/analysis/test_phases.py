@@ -1,0 +1,64 @@
+"""Tests for per-region energy attribution."""
+
+import pytest
+
+from repro.analysis.phases import TrackedStrategy, phase_breakdown
+from repro.analysis.runner import run_measured
+from repro.dvs.strategy import DynamicStrategy, StaticStrategy
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+
+@pytest.fixture
+def tracked_run():
+    workload = NasFT("S", n_ranks=4, iterations=3)
+    strategy = TrackedStrategy(StaticStrategy(1400 * MHZ))
+    run = run_measured(workload, strategy)
+    return workload, strategy, run
+
+
+def test_intervals_recorded_per_rank_per_iteration(tracked_run):
+    workload, strategy, run = tracked_run
+    intervals = strategy.intervals()
+    fft = [iv for iv in intervals if iv.name == "fft"]
+    assert len(fft) == 4 * 3  # ranks × iterations
+    assert {iv.rank for iv in fft} == {0, 1, 2, 3}
+    assert all(iv.end > iv.start for iv in fft)
+
+
+def test_fft_region_dominates_ft(tracked_run):
+    """The paper's observation: most time and energy is inside fft()."""
+    workload, strategy, run = tracked_run
+    phases = phase_breakdown(run.cluster, strategy.intervals(), run.spmd)
+    assert set(phases) == {"fft", "(other)"}
+    assert phases["fft"].energy > phases["(other)"].energy
+    assert phases["fft"].time > phases["(other)"].time
+
+
+def test_phase_energies_sum_to_total(tracked_run):
+    workload, strategy, run = tracked_run
+    phases = phase_breakdown(run.cluster, strategy.intervals(), run.spmd)
+    total = run.cluster.total_energy(run.spmd.start, run.spmd.end)
+    assert sum(p.energy for p in phases.values()) == pytest.approx(total, rel=1e-9)
+
+
+def test_tracking_composes_with_dynamic_strategy():
+    """Tracking a dynamic run still transitions frequencies correctly."""
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    strategy = TrackedStrategy(DynamicStrategy(1400 * MHZ, regions=["fft"]))
+    run = run_measured(workload, strategy)
+    phases = phase_breakdown(run.cluster, strategy.intervals(), run.spmd)
+    assert phases["fft"].occurrences == 8
+    # Compare with an untracked dynamic run: identical physics.
+    plain = run_measured(
+        NasFT("S", n_ranks=4, iterations=2),
+        DynamicStrategy(1400 * MHZ, regions=["fft"]),
+    )
+    assert run.point.energy == pytest.approx(plain.point.energy, rel=1e-9)
+    assert run.point.delay == pytest.approx(plain.point.delay, rel=1e-9)
+
+
+def test_breakdown_without_spmd_has_no_other_row(tracked_run):
+    workload, strategy, run = tracked_run
+    phases = phase_breakdown(run.cluster, strategy.intervals())
+    assert "(other)" not in phases

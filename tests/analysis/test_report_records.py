@@ -1,0 +1,91 @@
+"""Tests for text reporting and serializable experiment records."""
+
+import pytest
+
+from repro.analysis.records import Comparison, ExperimentResult
+from repro.analysis.report import (
+    ascii_series_chart,
+    format_best_points,
+    format_crescendo,
+    format_table,
+)
+from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.selection import select_paper_rows
+from repro.util.units import MHZ
+
+
+def sample_points():
+    return [
+        EnergyDelayPoint("stat@600MHz", 60.0, 11.0, frequency=600 * MHZ),
+        EnergyDelayPoint("stat@1400MHz", 100.0, 10.0, frequency=1400 * MHZ),
+    ]
+
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbbb"], [["1", "2"], ["333", "4"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bbbb" in lines[1]
+    assert len({len(l) for l in lines[2:]}) <= 2  # consistent widths
+
+
+def test_format_crescendo_normalizes_to_fastest_static():
+    text = format_crescendo({"stat": sample_points()})
+    assert "1.000" in text  # the fastest point normalized to itself
+    assert "0.600" in text  # 60/100
+    assert "1.100" in text  # 11/10
+
+
+def test_format_crescendo_raw_mode():
+    text = format_crescendo({"stat": sample_points()}, normalize=False)
+    assert "60" in text and "100" in text
+
+
+def test_format_best_points_contains_settings():
+    rows = select_paper_rows(sample_points())
+    text = format_best_points(rows)
+    for setting in ("HPC", "energy", "performance"):
+        assert setting in text
+
+
+def test_ascii_chart_renders_bars():
+    text = ascii_series_chart(
+        {"stat": [1.0, 0.5]}, labels=["1400", "600"], width=10, title="E"
+    )
+    assert "##########" in text
+    assert "#####" in text
+
+
+def test_ascii_chart_empty_series():
+    assert ascii_series_chart({}, labels=[], title="t") == "t"
+
+
+def test_experiment_result_json_round_trip():
+    result = ExperimentResult("figX", "a title")
+    result.add_series("stat", sample_points())
+    result.compare("e600", 0.655, 0.63)
+    result.compare("unreported", None, 1.23)
+    result.notes.append("a note")
+
+    loaded = ExperimentResult.from_json(result.to_json())
+    assert loaded.experiment_id == "figX"
+    assert loaded.series["stat"].points[0].energy == 60.0
+    assert loaded.comparisons[0].paper == 0.655
+    assert loaded.comparisons[1].paper is None
+    assert loaded.notes == ["a note"]
+
+
+def test_comparison_difference():
+    assert Comparison("x", 1.0, 1.1).abs_difference == pytest.approx(0.1)
+    assert Comparison("x", None, 1.1).abs_difference is None
+
+
+def test_render_includes_tables_and_comparisons():
+    result = ExperimentResult("figY", "title")
+    result.tables["t"] = "TABLE CONTENT"
+    result.compare("q", 0.5, 0.6)
+    result.notes.append("note text")
+    text = result.render()
+    assert "TABLE CONTENT" in text
+    assert "paper=0.500" in text and "measured=0.600" in text
+    assert "note: note text" in text

@@ -1,0 +1,83 @@
+"""Tests for measured runs and crescendo sweeps."""
+
+import pytest
+
+from repro.analysis.runner import (
+    cpuspeed_run,
+    dynamic_crescendo,
+    full_strategy_sweep,
+    run_measured,
+    static_crescendo,
+)
+from repro.dvs.strategy import StaticStrategy
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+from repro.workloads.micro import L2BoundMicro, MemoryBoundMicro
+from repro.workloads.nas_ft import NasFT
+
+
+@pytest.fixture
+def small_ft():
+    return NasFT("S", n_ranks=4, iterations=2)
+
+
+def test_run_measured_produces_point(small_ft):
+    run = run_measured(small_ft, StaticStrategy(800 * MHZ))
+    assert run.point.frequency == 800 * MHZ
+    assert run.point.energy > 0 and run.point.delay > 0
+    assert run.point.label == "stat@800MHz"
+    assert run.cluster.nodes[0].cpu.frequency == 800 * MHZ
+
+
+def test_static_crescendo_is_one_run_per_frequency(small_ft):
+    freqs = [600 * MHZ, 1000 * MHZ, 1400 * MHZ]
+    runs = static_crescendo(small_ft, freqs)
+    assert [r.point.frequency for r in runs] == freqs
+    # fresh cluster per run
+    assert len({id(r.cluster) for r in runs}) == 3
+
+
+def test_static_energy_monotone_for_memory_bound():
+    """The crescendo invariant for slack-heavy codes: energy falls with f."""
+    workload = MemoryBoundMicro(passes=20)
+    runs = static_crescendo(workload, [600 * MHZ, 800 * MHZ, 1000 * MHZ, 1400 * MHZ])
+    energies = [r.point.energy for r in runs]
+    assert energies == sorted(energies)
+    delays = [r.point.delay for r in runs]
+    assert delays == sorted(delays, reverse=True)
+
+
+def test_dynamic_crescendo_lower_energy_than_static(small_ft):
+    freq = [1400 * MHZ]
+    stat = static_crescendo(small_ft, freq)[0]
+    dyn = dynamic_crescendo(small_ft, freq, regions=["fft"])[0]
+    assert dyn.point.energy < stat.point.energy
+    assert dyn.point.delay >= stat.point.delay
+
+
+def test_cpuspeed_run_has_no_single_frequency(small_ft):
+    run = cpuspeed_run(small_ft)
+    assert run.point.frequency is None
+    assert run.point.label == "cpuspeed"
+
+
+def test_full_strategy_sweep_shape(small_ft):
+    sweep = full_strategy_sweep(small_ft, [600 * MHZ, 1400 * MHZ], regions=["fft"])
+    assert set(sweep) == {"cpuspeed", "stat", "dyn"}
+    assert len(sweep["stat"]) == 2 and len(sweep["dyn"]) == 2
+    assert len(sweep["cpuspeed"]) == 1
+
+
+def test_full_sweep_can_skip_dynamic():
+    workload = L2BoundMicro(passes=10)
+    sweep = full_strategy_sweep(workload, [1400 * MHZ], include_dynamic=False)
+    assert "dyn" not in sweep
+
+
+def test_cluster_too_small_rejected(small_ft):
+    with pytest.raises(ValueError, match="needs"):
+        run_measured(
+            small_ft,
+            StaticStrategy(800 * MHZ),
+            cluster_factory=lambda: Cluster.build(2),
+        )

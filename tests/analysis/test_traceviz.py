@@ -1,0 +1,69 @@
+"""Tests for Chrome trace-event export."""
+
+import json
+
+import pytest
+
+from repro.analysis.phases import TrackedStrategy
+from repro.analysis.runner import run_measured
+from repro.analysis.traceviz import export_chrome_trace, trace_events
+from repro.dvs.strategy import StaticStrategy
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+
+@pytest.fixture
+def tracked_run():
+    workload = NasFT("S", n_ranks=2, iterations=2)
+    strategy = TrackedStrategy(StaticStrategy(1000 * MHZ))
+    run = run_measured(workload, strategy)
+    return strategy, run
+
+
+def test_events_include_processes_regions_and_power(tracked_run):
+    strategy, run = tracked_run
+    events = trace_events(run.cluster, strategy.intervals())
+    phases = {e["ph"] for e in events}
+    assert {"M", "X", "C"} <= phases
+    regions = [e for e in events if e["ph"] == "X"]
+    assert len(regions) == 2 * 2  # ranks x iterations
+    assert all(e["name"] == "fft" for e in regions)
+    assert all(e["dur"] > 0 for e in regions)
+
+
+def test_timestamps_in_microseconds(tracked_run):
+    strategy, run = tracked_run
+    events = trace_events(run.cluster, strategy.intervals())
+    region = next(e for e in events if e["ph"] == "X")
+    iv = strategy.intervals()[0]
+    matching = [
+        e
+        for e in events
+        if e["ph"] == "X" and e["pid"] == iv.rank and e["ts"] == iv.start * 1e6
+    ]
+    assert matching
+
+
+def test_export_writes_valid_json(tracked_run, tmp_path):
+    strategy, run = tracked_run
+    path = tmp_path / "trace.json"
+    count = export_chrome_trace(str(path), run.cluster, strategy.intervals())
+    payload = json.loads(path.read_text())
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) == count
+    assert count > 0
+
+
+def test_window_clipping(tracked_run):
+    strategy, run = tracked_run
+    mid = run.spmd.end / 2
+    events = trace_events(run.cluster, [], t0=0.0, t1=mid)
+    power = [e for e in events if e["ph"] == "C" and e["name"] == "power_w"]
+    assert power
+    assert all(e["ts"] <= mid * 1e6 for e in power)
+
+
+def test_reversed_window_rejected(tracked_run):
+    strategy, run = tracked_run
+    with pytest.raises(ValueError):
+        trace_events(run.cluster, [], t0=5.0, t1=1.0)

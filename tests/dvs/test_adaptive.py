@@ -1,0 +1,114 @@
+"""Tests for the adaptive per-region strategy."""
+
+import pytest
+
+from repro.analysis.runner import run_measured
+from repro.dvs.adaptive import AdaptiveConfig, AdaptiveController, AdaptiveStrategy
+from repro.dvs.cpufreq import CpuFreq
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+from repro.workloads.synthetic import SyntheticMix
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        AdaptiveConfig(slowdown_tolerance=0.0)
+
+
+def test_learns_to_scale_slack_region():
+    """FT's fft() region is slack-heavy: after two calibration runs the
+    controller decides to run it slow."""
+    workload = NasFT("S", n_ranks=4, iterations=5)
+    strategy = AdaptiveStrategy(1400 * MHZ)
+    run = run_measured(workload, strategy)
+    for ctl in strategy.controllers:
+        assert ctl.decision_for("fft") is True
+    # And it saves energy relative to static base.
+    static = run_measured(
+        NasFT("S", n_ranks=4, iterations=5),
+        __import__("repro.dvs.strategy", fromlist=["StaticStrategy"]).StaticStrategy(
+            1400 * MHZ
+        ),
+    )
+    assert run.point.energy < 0.9 * static.point.energy
+
+
+def test_rejects_frequency_sensitive_region():
+    """A pure-compute region slows ~2.3x at 600 MHz: the controller must
+    decide against scaling it."""
+    workload = SyntheticMix(
+        0.9, 0.05, 0.05, iteration_seconds=0.2, iterations=4, n_ranks=4
+    )
+    # SyntheticMix marks its alltoall as "exchange"; wrap the *compute* by
+    # running a mix whose marked region is the exchange — instead build a
+    # custom program with a compute region.
+    from repro.workloads.base import Workload, execute_cost
+    from repro.hardware.memory import AccessCost
+
+    class ComputeRegion(Workload):
+        name = "compute-region"
+        n_ranks = 1
+
+        def program(self, comm, dvs):
+            cost = AccessCost(cpu_cycles=0.2 * 1.4e9, stall_seconds=0.0)
+            for _ in range(4):
+                yield from dvs.region_enter("crunch")
+                yield from execute_cost(comm, cost)
+                yield from dvs.region_exit("crunch")
+            return None
+
+    strategy = AdaptiveStrategy(1400 * MHZ, config=AdaptiveConfig(0.15))
+    run = run_measured(ComputeRegion(), strategy)
+    ctl = strategy.controllers[0]
+    assert ctl.decision_for("crunch") is False
+    # After the one calibration probe (which alone costs ~0.27 s of the
+    # 0.8 s base runtime), later iterations run at base: the total
+    # slowdown is bounded by that single probe, not by 2.33x overall.
+    static_delay = 4 * 0.2
+    assert run.point.delay < static_delay * 1.4
+
+
+def test_calibration_phases_progress():
+    cluster = Cluster.build(1)
+    cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
+    ctl = AdaptiveController(cpufreq, 1400 * MHZ, 600 * MHZ)
+
+    def program():
+        for _ in range(3):
+            yield from ctl.region_enter("r")
+            yield cluster.engine.timeout(1.0)  # frequency-insensitive body
+            yield from ctl.region_exit("r")
+        return None
+
+    p = cluster.engine.process(program())
+    cluster.engine.run(until=p)
+    assert ctl.decision_for("r") is True
+
+
+def test_exit_without_enter_raises():
+    cluster = Cluster.build(1)
+    cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
+    ctl = AdaptiveController(cpufreq, 1400 * MHZ, 600 * MHZ)
+
+    def program():
+        yield from ctl.region_exit("never")
+
+    p = cluster.engine.process(program())
+    with pytest.raises(RuntimeError, match="no matching enter"):
+        cluster.engine.run(until=p)
+
+
+def test_adaptive_close_to_hand_tuned_dynamic():
+    """On FT the learned policy approaches the paper's hand-tuned one."""
+    from repro.dvs.strategy import DynamicStrategy
+
+    adaptive = run_measured(
+        NasFT("S", n_ranks=4, iterations=6), AdaptiveStrategy(1400 * MHZ)
+    )
+    hand_tuned = run_measured(
+        NasFT("S", n_ranks=4, iterations=6),
+        DynamicStrategy(1400 * MHZ, regions=["fft"]),
+    )
+    # Within 10% energy of the oracle (it pays two calibration iterations).
+    assert adaptive.point.energy < hand_tuned.point.energy * 1.10

@@ -1,0 +1,83 @@
+"""Tests for the CPUFreq interface."""
+
+import pytest
+
+from repro.dvs.cpufreq import CpuFreq
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(1)
+
+
+@pytest.fixture
+def cpufreq(cluster):
+    return CpuFreq(cluster.nodes[0], cluster.calibration)
+
+
+def run(cluster, gen):
+    p = cluster.engine.process(gen)
+    return cluster.engine.run(until=p)
+
+
+def test_reports_available_frequencies(cpufreq):
+    assert [f / MHZ for f in cpufreq.available_frequencies] == [
+        600,
+        800,
+        1000,
+        1200,
+        1400,
+    ]
+
+
+def test_current_frequency_tracks_cpu(cluster, cpufreq):
+    assert cpufreq.current_frequency == 1400 * MHZ
+    cpufreq.set_speed_now(600 * MHZ)
+    assert cpufreq.current_frequency == 600 * MHZ
+
+
+def test_resolve_snaps_to_ladder(cpufreq):
+    assert cpufreq.resolve(999e6).mhz == 1000
+    assert cpufreq.resolve(100e6).mhz == 600
+
+
+def test_set_speed_now_is_instant(cluster, cpufreq):
+    t0 = cluster.engine.now
+    cpufreq.set_speed_now(800 * MHZ)
+    assert cluster.engine.now == t0
+    assert cluster.nodes[0].cpu.frequency == 800 * MHZ
+
+
+def test_set_speed_pays_transition_cost(cluster, cpufreq):
+    cal = cluster.calibration
+    expected = cal.transition_latency + cal.transition_penalty
+
+    def prog():
+        yield from cpufreq.set_speed(600 * MHZ)
+        return cluster.engine.now
+
+    assert run(cluster, prog()) == pytest.approx(expected)
+    assert cpufreq.current_frequency == 600 * MHZ
+
+
+def test_set_speed_same_target_is_free(cluster, cpufreq):
+    def prog():
+        yield from cpufreq.set_speed(1400 * MHZ)
+        return cluster.engine.now
+
+    assert run(cluster, prog()) == 0.0
+
+
+def test_transition_cost_counts_as_busy(cluster, cpufreq):
+    def prog():
+        yield from cpufreq.set_speed(600 * MHZ)
+
+    run(cluster, prog())
+    cluster.finalize()
+    stats = cluster.nodes[0].procstat.snapshot()
+    assert stats.busy == pytest.approx(
+        cluster.calibration.transition_latency
+        + cluster.calibration.transition_penalty
+    )

@@ -1,0 +1,125 @@
+"""Tests for the cpuspeed daemon emulation."""
+
+import pytest
+
+from repro.dvs.cpufreq import CpuFreq
+from repro.dvs.cpuspeed import CpuspeedConfig, CpuspeedDaemon
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+
+
+def make_daemon(cluster, **cfg):
+    node = cluster.nodes[0]
+    cpufreq = CpuFreq(node, cluster.calibration)
+    daemon = CpuspeedDaemon(node, cpufreq, CpuspeedConfig(**cfg))
+    return node, daemon
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CpuspeedConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        CpuspeedConfig(up_threshold=0.2, down_threshold=0.5)
+    with pytest.raises(ValueError):
+        CpuspeedConfig(up_threshold=1.5)
+
+
+def test_idle_cpu_steps_down_to_minimum():
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster, interval=1.0)
+    daemon.start(cluster.engine)
+    cluster.engine.timeout(10.0)
+    cluster.engine.run(until=10.0)
+    daemon.stop()
+    # Four 1-second idle intervals step 1400→1200→1000→800→600.
+    assert node.cpu.frequency == 600 * MHZ
+
+
+def test_busy_cpu_stays_at_maximum():
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster)
+    daemon.start(cluster.engine)
+
+    def load():
+        yield from node.cpu.run_cycles(1.4e9 * 20)  # ~20 s of work
+
+    p = cluster.engine.process(load())
+    cluster.engine.run(until=10.0)
+    daemon.stop()
+    assert node.cpu.frequency == 1400 * MHZ
+    assert all(util >= 0.9 for _, util, _ in daemon.decisions)
+
+
+def test_spinning_cpu_fools_the_daemon():
+    """The paper's central artifact: busy-wait keeps cpuspeed at max."""
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster)
+    daemon.start(cluster.engine)
+    never = cluster.engine.event()
+
+    def spinner():
+        yield from node.cpu.wait_event(never, spin_threshold=float("inf"))
+
+    cluster.engine.process(spinner())
+    cluster.engine.run(until=8.0)
+    daemon.stop()
+    assert node.cpu.frequency == 1400 * MHZ
+
+
+def test_daemon_rescales_up_after_idle_period():
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster)
+    daemon.start(cluster.engine)
+    eng = cluster.engine
+
+    def load():
+        yield eng.timeout(6.0)  # idle: daemon steps down
+        yield from node.cpu.run_cycles(600e6 * 5)  # then sustained work
+
+    eng.process(load())
+    eng.run(until=6.5)
+    assert node.cpu.frequency == 600 * MHZ  # scaled all the way down
+    eng.timeout(4.0)
+    eng.run(until=9.0)
+    daemon.stop()
+    assert node.cpu.frequency == 1400 * MHZ  # busy interval → jump to max
+
+
+def test_daemon_stop_halts_decisions():
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster)
+    daemon.start(cluster.engine)
+    cluster.engine.run(until=3.5)
+    n = len(daemon.decisions)
+    daemon.stop()
+    cluster.engine.timeout(5.0)
+    cluster.engine.run(until=8.5)
+    assert len(daemon.decisions) == n
+
+
+def test_daemon_cannot_start_twice():
+    cluster = Cluster.build(1)
+    _, daemon = make_daemon(cluster)
+    daemon.start(cluster.engine)
+    with pytest.raises(RuntimeError):
+        daemon.start(cluster.engine)
+
+
+def test_intermediate_utilization_holds_frequency():
+    """Between thresholds the daemon leaves the frequency alone."""
+    cluster = Cluster.build(1)
+    node, daemon = make_daemon(cluster, up_threshold=0.9, down_threshold=0.25)
+    node.cpu.set_frequency(cluster.table.point_for(1000 * MHZ))
+    daemon.start(cluster.engine)
+    eng = cluster.engine
+
+    def half_load():
+        # ~50% duty cycle: 0.5 s work (at 1 GHz), 0.5 s idle, repeated
+        for _ in range(6):
+            yield from node.cpu.run_cycles(0.5e9)
+            yield eng.timeout(0.5)
+
+    eng.process(half_load())
+    eng.run(until=5.0)
+    daemon.stop()
+    assert node.cpu.frequency == 1000 * MHZ

@@ -1,0 +1,92 @@
+"""Tests for the governor policies and the ondemand strategy."""
+
+import pytest
+
+from repro.dvs.ondemand import OndemandConfig, OndemandStrategy
+from repro.dvs.policy import cpuspeed_decision, proportional_decision
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+LADDER = [600e6, 800e6, 1000e6, 1200e6, 1400e6]
+
+
+# ---------------------------------------------------------------------------
+# pure policies
+# ---------------------------------------------------------------------------
+def test_cpuspeed_policy_jump_to_max():
+    assert cpuspeed_decision(0.95, 600e6, LADDER) == 1400e6
+
+
+def test_cpuspeed_policy_step_down_one():
+    assert cpuspeed_decision(0.1, 1400e6, LADDER) == 1200e6
+    assert cpuspeed_decision(0.1, 800e6, LADDER) == 600e6
+
+
+def test_cpuspeed_policy_clamps_at_bottom():
+    assert cpuspeed_decision(0.0, 600e6, LADDER) == 600e6
+
+
+def test_cpuspeed_policy_hold_in_between():
+    assert cpuspeed_decision(0.5, 1000e6, LADDER) == 1000e6
+
+
+def test_cpuspeed_policy_validates():
+    with pytest.raises(ValueError):
+        cpuspeed_decision(1.5, 600e6, LADDER)
+    with pytest.raises(ValueError):
+        cpuspeed_decision(0.5, 600e6, [])
+
+
+def test_proportional_policy_picks_covering_frequency():
+    # 50% of max = 700 MHz needed → 800 MHz is the slowest covering point
+    assert proportional_decision(0.5, LADDER) == 800e6
+    assert proportional_decision(0.0, LADDER) == 600e6
+    assert proportional_decision(1.0, LADDER) == 1400e6
+
+
+def test_proportional_policy_headroom():
+    # 50% with 1.5 headroom → 1050 MHz needed → 1200 MHz
+    assert proportional_decision(0.5, LADDER, headroom=1.5) == 1200e6
+
+
+def test_proportional_policy_validates():
+    with pytest.raises(ValueError):
+        proportional_decision(0.5, [])
+
+
+# ---------------------------------------------------------------------------
+# ondemand strategy on the cluster
+# ---------------------------------------------------------------------------
+def test_ondemand_scales_idle_cluster_down():
+    cluster = Cluster.build(2)
+    strat = OndemandStrategy(OndemandConfig(interval=0.1))
+    strat.prepare(cluster)
+    cluster.engine.timeout(2.0)
+    cluster.engine.run(until=2.0)
+    strat.teardown(cluster)
+    assert all(n.cpu.frequency == 600 * MHZ for n in cluster.nodes)
+
+
+def test_ondemand_is_also_blind_to_mpi_busy_waiting():
+    """The paper's §4 argument generalised: ondemand keeps MPI ranks fast
+    because the progress engine reads as busy."""
+    from repro.analysis.runner import run_measured
+
+    workload = NasFT("S", n_ranks=4, iterations=3)
+    run = run_measured(workload, OndemandStrategy(OndemandConfig(interval=0.2)))
+    # Energy within a few percent of flat-out: no meaningful savings.
+    static_run = run_measured(
+        workload,
+        __import__("repro.dvs.strategy", fromlist=["StaticStrategy"]).StaticStrategy(
+            1400 * MHZ
+        ),
+    )
+    assert run.point.energy > 0.9 * static_run.point.energy
+
+
+def test_ondemand_config_validation():
+    with pytest.raises(ValueError):
+        OndemandConfig(interval=0.0)
+    with pytest.raises(ValueError):
+        OndemandConfig(headroom=0.0)

@@ -1,0 +1,66 @@
+"""Tests for the repro-experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_option(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3" in out and "table2" in out
+
+
+def test_no_arguments_lists(capsys):
+    assert main([]) == 0
+    assert "fig1" in capsys.readouterr().out
+
+
+def test_unknown_experiment_errors(capsys):
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_fast_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Pentium M" in out
+    assert "1.484" in out
+
+
+def test_json_output(tmp_path, capsys):
+    path = tmp_path / "out.json"
+    assert main(["fig2", "--json", str(path)]) == 0
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 1
+    payload = json.loads(lines[0])
+    assert payload["experiment_id"] == "fig2"
+
+
+def test_parser_program_name():
+    assert build_parser().prog == "repro-experiment"
+
+
+def test_param_parsing():
+    from repro.experiments.cli import parse_params
+
+    params = parse_params(["iterations=3", "name=hello", "flag=True"])
+    assert params == {"iterations": 3, "name": "hello", "flag": True}
+    with pytest.raises(ValueError):
+        parse_params(["noequals"])
+
+
+def test_param_forwarded_to_experiment(capsys):
+    # fig2 accepts n_points; shrink it and check the table shrank.
+    assert main(["fig2", "--param", "n_points=3"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("\n1.") <= 4  # only 3 delay-factor rows
+
+
+def test_param_ignored_when_not_accepted(capsys):
+    # table2 takes no kwargs; an unrelated param must not crash it.
+    assert main(["table2", "--param", "iterations=5"]) == 0
+    assert "Pentium M" in capsys.readouterr().out

@@ -1,0 +1,39 @@
+"""Tests for the headline-claims helpers (fast, no big sweeps)."""
+
+import pytest
+
+from repro.experiments.headline import best_saving_within_budget
+from repro.metrics.records import EnergyDelayPoint
+
+
+def points():
+    return [
+        EnergyDelayPoint("a", 1.00, 1.00, frequency=1.4e9),
+        EnergyDelayPoint("b", 0.80, 1.03, frequency=1.0e9),
+        EnergyDelayPoint("c", 0.65, 1.09, frequency=6e8),
+    ]
+
+
+def test_budget_selects_largest_saving_within_limit():
+    best = best_saving_within_budget(points(), 0.05)
+    assert best.label == "b"
+
+
+def test_loose_budget_takes_the_deepest_point():
+    best = best_saving_within_budget(points(), 0.20)
+    assert best.label == "c"
+
+
+def test_zero_budget_allows_only_the_reference():
+    best = best_saving_within_budget(points(), 0.0)
+    assert best.label == "a"
+
+
+def test_impossible_budget_returns_none():
+    tight = [EnergyDelayPoint("x", 0.9, 1.5)]
+    assert best_saving_within_budget(tight, 0.1) is None
+
+
+def test_boundary_is_inclusive():
+    best = best_saving_within_budget(points(), 0.03)
+    assert best.label == "b"

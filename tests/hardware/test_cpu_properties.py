@@ -1,0 +1,125 @@
+"""Property-based tests for the CPU execution engine.
+
+The central conservation law: ``run_cycles(W)`` retires exactly ``W``
+cycles regardless of how a governor rescales the frequency mid-flight —
+the integral of f(t) over the execution interval equals W.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cpu import SimCPU
+from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.sim import Engine
+
+FREQ_INDICES = st.integers(min_value=0, max_value=4)
+
+schedule_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.001, max_value=0.5),  # delay before change
+        FREQ_INDICES,
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    cycles=st.floats(min_value=1e6, max_value=5e9),
+    start_idx=FREQ_INDICES,
+    schedule=schedule_strategy,
+)
+def test_work_conservation_under_random_dvs_schedules(cycles, start_idx, schedule):
+    """Integrated frequency over the run equals the requested cycles."""
+    eng = Engine()
+    cpu = SimCPU(eng, PENTIUM_M_1400)
+    cpu.set_frequency(PENTIUM_M_1400[start_idx])
+
+    freq_changes = []  # (time, new frequency)
+
+    def governor():
+        for delay, idx in schedule:
+            yield eng.timeout(delay)
+            cpu.set_frequency(PENTIUM_M_1400[idx])
+            freq_changes.append((eng.now, PENTIUM_M_1400[idx].frequency))
+
+    def worker():
+        yield from cpu.run_cycles(cycles)
+        return eng.now
+
+    eng.process(governor())
+    p = eng.process(worker())
+    finish = eng.run(until=p)
+
+    # Reconstruct the integral of f(t) dt over [0, finish].
+    points = [(0.0, PENTIUM_M_1400[start_idx].frequency)] + [
+        (t, f) for t, f in freq_changes if t < finish
+    ]
+    integral = 0.0
+    for (t0, f0), (t1, _) in zip(points, points[1:] + [(finish, 0.0)]):
+        integral += f0 * (max(0.0, min(t1, finish)) - min(t0, finish))
+    assert integral == pytest.approx(cycles, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    cycles=st.floats(min_value=1e6, max_value=1e9),
+    idx=FREQ_INDICES,
+)
+def test_constant_frequency_duration_is_exact(cycles, idx):
+    eng = Engine()
+    cpu = SimCPU(eng, PENTIUM_M_1400)
+    point = PENTIUM_M_1400[idx]
+    cpu.set_frequency(point)
+
+    def worker():
+        yield from cpu.run_cycles(cycles)
+        return eng.now
+
+    p = eng.process(worker())
+    assert eng.run(until=p) == pytest.approx(cycles / point.frequency, rel=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    chunks=st.lists(st.floats(min_value=1e5, max_value=1e8), min_size=1, max_size=10)
+)
+def test_split_work_takes_same_time_as_whole(chunks):
+    """run_cycles is additive: N chunks == one big chunk at fixed f."""
+
+    def run(work_items):
+        eng = Engine()
+        cpu = SimCPU(eng, PENTIUM_M_1400)
+
+        def worker():
+            for w in work_items:
+                yield from cpu.run_cycles(w)
+            return eng.now
+
+        p = eng.process(worker())
+        return eng.run(until=p)
+
+    assert run(chunks) == pytest.approx(run([sum(chunks)]), rel=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    busy=st.floats(min_value=0.0, max_value=5e9),
+    idle=st.floats(min_value=0.0, max_value=5.0),
+)
+def test_procstat_totals_match_simulated_time(busy, idle):
+    eng = Engine()
+    cpu = SimCPU(eng, PENTIUM_M_1400)
+
+    def worker():
+        yield from cpu.run_cycles(busy)
+        if idle > 0:
+            yield eng.timeout(idle)
+
+    p = eng.process(worker())
+    eng.run(until=p)
+    cpu.finalize()
+    stats = cpu.procstat.snapshot()
+    assert stats.total == pytest.approx(eng.now, abs=1e-9)
+    assert stats.busy == pytest.approx(busy / 1.4e9, abs=1e-9)

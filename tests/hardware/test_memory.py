@@ -1,0 +1,112 @@
+"""Tests for the memory-hierarchy timing model."""
+
+import pytest
+
+from repro.hardware.memory import AccessCost, MemoryHierarchy, PENTIUM_M_MEMORY
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture
+def mem():
+    return PENTIUM_M_MEMORY
+
+
+def test_platform_capacities(mem):
+    """Paper §3: on-die 32K L1 data cache, on-die 1 MB L2 cache."""
+    assert mem.l1_bytes == 32 * KIB
+    assert mem.l2_bytes == 1 * MIB
+    assert mem.dram_latency == pytest.approx(110e-9)
+
+
+def test_classification(mem):
+    assert mem.classify(16 * KIB) == "L1"
+    assert mem.classify(256 * KIB) == "L2"
+    assert mem.classify(32 * MIB) == "DRAM"
+
+
+def test_l2_resident_walk_is_pure_cycles(mem):
+    """Fig-7 pattern: 256 KB buffer, 128 B stride — on-die, so the cost
+    must be entirely frequency-dependent cycles."""
+    cost = mem.strided_walk_cost(256 * KIB, 128, n_refs=1000)
+    assert cost.stall_seconds == 0.0
+    assert cost.cpu_cycles > 0
+
+
+def test_dram_walk_is_stall_dominated(mem):
+    """Fig-6 pattern: 32 MB buffer, 128 B stride — every ref pays DRAM
+    latency, which dwarfs the per-op cycles at any DVS point."""
+    n = 1000
+    cost = mem.strided_walk_cost(32 * MIB, 128, n_refs=n)
+    assert cost.stall_seconds == pytest.approx(n * 110e-9)
+    slow_f = 600e6
+    assert cost.stall_seconds > 5 * (cost.cpu_cycles / slow_f)
+
+
+def test_small_stride_amortizes_misses(mem):
+    dense = mem.strided_walk_cost(32 * MIB, 16, n_refs=1000)
+    sparse = mem.strided_walk_cost(32 * MIB, 128, n_refs=1000)
+    assert dense.stall_seconds < sparse.stall_seconds
+    assert dense.stall_seconds == pytest.approx(sparse.stall_seconds * 16 / 64)
+
+
+def test_register_loop_is_pure_cycles(mem):
+    cost = mem.register_loop_cost(500, cycles_per_op=2.0)
+    assert cost == AccessCost(1000.0, 0.0)
+
+
+def test_stream_copy_is_bandwidth_bound(mem):
+    nbytes = 100 * MIB
+    cost = mem.stream_copy_cost(nbytes)
+    assert cost.stall_seconds == pytest.approx(nbytes / mem.dram_bandwidth)
+    # bookkeeping cycles are small relative to stream time at any frequency
+    assert cost.cpu_cycles / 600e6 < cost.stall_seconds
+
+
+def test_duration_at_combines_both_parts():
+    cost = AccessCost(cpu_cycles=1e9, stall_seconds=0.5)
+    assert cost.duration_at(1e9) == pytest.approx(1.5)
+    assert cost.duration_at(0.5e9) == pytest.approx(2.5)
+
+
+def test_access_cost_addition_and_scaling():
+    a = AccessCost(100.0, 1.0)
+    b = AccessCost(50.0, 0.5)
+    assert (a + b) == AccessCost(150.0, 1.5)
+    assert a.scaled(2.0) == AccessCost(200.0, 2.0)
+
+
+def test_invalid_arguments_rejected(mem):
+    with pytest.raises(ValueError):
+        mem.strided_walk_cost(0, 64, 10)
+    with pytest.raises(ValueError):
+        mem.strided_walk_cost(1024, 0, 10)
+    with pytest.raises(ValueError):
+        mem.strided_walk_cost(1024, 64, -1)
+    with pytest.raises(ValueError):
+        mem.register_loop_cost(-1)
+    with pytest.raises(ValueError):
+        mem.stream_copy_cost(-1)
+
+
+def test_hierarchy_validation():
+    with pytest.raises(ValueError):
+        MemoryHierarchy(l1_bytes=64 * KIB, l2_bytes=32 * KIB)
+    with pytest.raises(ValueError):
+        MemoryHierarchy(dram_latency=0.0)
+
+
+def test_memory_bound_delay_crescendo_is_flat(mem):
+    """The Fig-6 shape precondition: delay at 600 MHz only a few percent
+    above 1.4 GHz for the DRAM-stride walk."""
+    cost = mem.strided_walk_cost(32 * MIB, 128, n_refs=10_000)
+    d_fast = cost.duration_at(1.4e9)
+    d_slow = cost.duration_at(600e6)
+    assert 1.0 < d_slow / d_fast < 1.15
+
+
+def test_l2_bound_delay_crescendo_scales_with_frequency(mem):
+    """The Fig-7 shape precondition: delay ∝ 1/f for the L2 walk."""
+    cost = mem.strided_walk_cost(256 * KIB, 128, n_refs=10_000)
+    assert cost.duration_at(600e6) / cost.duration_at(1.4e9) == pytest.approx(
+        1.4e9 / 600e6
+    )

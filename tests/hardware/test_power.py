@@ -1,0 +1,121 @@
+"""Tests for the CMOS power models."""
+
+import pytest
+
+from repro.hardware.activity import CpuActivity
+from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.hardware.power import (
+    ActivityFactors,
+    CpuPowerModel,
+    NodePowerModel,
+)
+from repro.util.units import MHZ
+
+
+@pytest.fixture
+def cpu_model():
+    return CpuPowerModel(PENTIUM_M_1400, max_power=21.0)
+
+
+@pytest.fixture
+def node_model(cpu_model):
+    return NodePowerModel(cpu=cpu_model, base_power=8.2, nic_active_power=0.6)
+
+
+def test_active_power_at_fastest_is_max(cpu_model):
+    p = cpu_model.power(PENTIUM_M_1400.fastest, CpuActivity.ACTIVE)
+    assert p == pytest.approx(21.0)
+
+
+def test_active_power_scales_with_fv2(cpu_model):
+    slow = PENTIUM_M_1400.slowest
+    p = cpu_model.power(slow, CpuActivity.ACTIVE)
+    assert p == pytest.approx(21.0 * PENTIUM_M_1400.relative_fv2(slow))
+
+
+def test_power_monotone_in_frequency_for_each_state(cpu_model):
+    for state in CpuActivity:
+        powers = [cpu_model.power(p, state) for p in PENTIUM_M_1400]
+        assert powers == sorted(powers), state
+
+
+def test_activity_ordering(cpu_model):
+    """ACTIVE > PROTO > MEMSTALL > SPIN > IDLE at any fixed point."""
+    point = PENTIUM_M_1400.point_for(1000 * MHZ)
+    order = [
+        CpuActivity.ACTIVE,
+        CpuActivity.PROTO,
+        CpuActivity.MEMSTALL,
+        CpuActivity.SPIN,
+        CpuActivity.IDLE,
+    ]
+    powers = [cpu_model.power(point, s) for s in order]
+    assert powers == sorted(powers, reverse=True)
+
+
+def test_idle_scales_with_v2_not_fv2(cpu_model):
+    """Halted core: leakage tracks V², not f·V²."""
+    slow = PENTIUM_M_1400.slowest
+    expected = 0.12 * 21.0 * (slow.voltage / PENTIUM_M_1400.fastest.voltage) ** 2
+    assert cpu_model.power(slow, CpuActivity.IDLE) == pytest.approx(expected)
+
+
+def test_utilization_blends_with_idle(cpu_model):
+    point = PENTIUM_M_1400.fastest
+    full = cpu_model.power(point, CpuActivity.PROTO, 1.0)
+    idle = cpu_model.power(point, CpuActivity.IDLE, 1.0)
+    half = cpu_model.power(point, CpuActivity.PROTO, 0.5)
+    assert half == pytest.approx(0.5 * full + 0.5 * idle)
+
+
+def test_utilization_validated(cpu_model):
+    with pytest.raises(ValueError):
+        cpu_model.power(PENTIUM_M_1400.fastest, CpuActivity.ACTIVE, 1.5)
+
+
+def test_activity_factors_require_all_states():
+    with pytest.raises(ValueError, match="missing activity factors"):
+        ActivityFactors({CpuActivity.ACTIVE: 1.0})
+
+
+def test_activity_factors_validated_as_fractions():
+    factors = {s: 0.5 for s in CpuActivity}
+    factors[CpuActivity.ACTIVE] = 1.5
+    with pytest.raises(ValueError):
+        ActivityFactors(factors)
+
+
+def test_node_power_includes_base_and_nic(node_model):
+    point = PENTIUM_M_1400.fastest
+    without = node_model.power(point, CpuActivity.ACTIVE)
+    with_nic = node_model.power(point, CpuActivity.ACTIVE, nic_active=True)
+    assert without == pytest.approx(8.2 + 21.0)
+    assert with_nic == pytest.approx(without + 0.6)
+
+
+def test_node_power_breakdown_sums_to_total(node_model):
+    point = PENTIUM_M_1400.point_for(800 * MHZ)
+    parts = node_model.breakdown(point, CpuActivity.MEMSTALL, 0.7, nic_active=True)
+    total = node_model.power(point, CpuActivity.MEMSTALL, 0.7, nic_active=True)
+    assert sum(parts.values()) == pytest.approx(total)
+
+
+def test_cpu_bound_energy_minimum_at_800mhz(node_model):
+    """The Fig-7 precondition: for a CPU-bound loop, E(f) = P(f)·(f_max/f)
+    is minimised at 800 MHz on this calibration (DESIGN.md §4)."""
+    table = PENTIUM_M_1400
+    energies = {}
+    for point in table:
+        watts = node_model.power(point, CpuActivity.ACTIVE)
+        delay = table.fastest.frequency / point.frequency
+        energies[point.mhz] = watts * delay
+    best = min(energies, key=energies.get)
+    assert best == 800
+    # and 600 MHz costs more energy than 800 MHz (paper: "energy
+    # consumption then actually increases at 600 MHz")
+    assert energies[600] > energies[800]
+
+
+def test_negative_base_power_rejected(cpu_model):
+    with pytest.raises(ValueError):
+        NodePowerModel(cpu=cpu_model, base_power=-1.0)

@@ -1,0 +1,86 @@
+"""Tests for /proc/stat emulation — the accounting cpuspeed relies on."""
+
+import pytest
+
+from repro.hardware.activity import CpuActivity, is_busy_for_procstat
+from repro.hardware.procstat import ProcStat, ProcStatSample
+
+
+def test_active_counts_busy():
+    ps = ProcStat()
+    ps.account(2.0, CpuActivity.ACTIVE)
+    s = ps.snapshot()
+    assert s.busy == 2.0 and s.idle == 0.0
+
+
+def test_spin_counts_busy():
+    """The paper's central accounting artifact: busy-wait looks busy."""
+    ps = ProcStat()
+    ps.account(3.0, CpuActivity.SPIN)
+    assert ps.snapshot().busy == 3.0
+
+
+def test_memstall_counts_busy():
+    """A memory-bound app shows ~99% CPU efficiency in /proc/stat (paper §4)."""
+    ps = ProcStat()
+    ps.account(1.0, CpuActivity.MEMSTALL)
+    assert ps.snapshot().busy == 1.0
+
+
+def test_idle_counts_idle():
+    ps = ProcStat()
+    ps.account(4.0, CpuActivity.IDLE)
+    s = ps.snapshot()
+    assert s.idle == 4.0 and s.busy == 0.0
+
+
+def test_partial_utilization_splits_time():
+    ps = ProcStat()
+    ps.account(10.0, CpuActivity.PROTO, utilization=0.3)
+    s = ps.snapshot()
+    assert s.busy == pytest.approx(3.0)
+    assert s.idle == pytest.approx(7.0)
+
+
+def test_utilization_ignored_for_idle_state():
+    ps = ProcStat()
+    ps.account(5.0, CpuActivity.IDLE, utilization=0.5)
+    assert ps.snapshot().idle == 5.0
+
+
+def test_snapshots_are_cumulative_and_immutable():
+    ps = ProcStat()
+    ps.account(1.0, CpuActivity.ACTIVE)
+    s1 = ps.snapshot()
+    ps.account(1.0, CpuActivity.IDLE)
+    s2 = ps.snapshot()
+    assert (s1.busy, s1.idle) == (1.0, 0.0)
+    assert (s2.busy, s2.idle) == (1.0, 1.0)
+
+
+def test_utilization_since():
+    ps = ProcStat()
+    ps.account(2.0, CpuActivity.ACTIVE)
+    s1 = ps.snapshot()
+    ps.account(1.0, CpuActivity.ACTIVE)
+    ps.account(3.0, CpuActivity.IDLE)
+    s2 = ps.snapshot()
+    assert s2.utilization_since(s1) == pytest.approx(0.25)
+
+
+def test_utilization_since_empty_interval_is_zero():
+    s = ProcStatSample(busy=1.0, idle=1.0)
+    assert s.utilization_since(s) == 0.0
+
+
+def test_negative_duration_rejected():
+    with pytest.raises(ValueError):
+        ProcStat().account(-1.0, CpuActivity.ACTIVE)
+
+
+def test_busy_state_classification():
+    assert is_busy_for_procstat(CpuActivity.ACTIVE)
+    assert is_busy_for_procstat(CpuActivity.SPIN)
+    assert is_busy_for_procstat(CpuActivity.PROTO)
+    assert is_busy_for_procstat(CpuActivity.MEMSTALL)
+    assert not is_busy_for_procstat(CpuActivity.IDLE)

@@ -1,0 +1,77 @@
+"""Tests for the thermal/reliability model (paper §1 motivation)."""
+
+import pytest
+
+from repro.hardware.reliability import (
+    ReliabilityModel,
+    compare_reliability,
+)
+from repro.metrics.records import EnergyDelayPoint
+
+
+@pytest.fixture
+def model():
+    return ReliabilityModel()
+
+
+def test_temperature_linear_in_power(model):
+    assert model.temperature(0.0) == model.ambient_c
+    assert model.temperature(10.0) == model.ambient_c + 10.0
+
+
+def test_paper_rule_ten_degrees_doubles_life(model):
+    """Exactly the paper's sentence: −10 °C ⇒ ×2 life expectancy."""
+    ref = model.reference_power_w
+    ten_c_less_power = ref - 10.0 / model.thermal_resistance_c_per_w
+    assert model.life_expectancy_factor(ten_c_less_power) == pytest.approx(2.0)
+
+
+def test_reference_power_has_unit_factor(model):
+    assert model.life_expectancy_factor(model.reference_power_w) == pytest.approx(1.0)
+    assert model.failure_rate(model.reference_power_w) == pytest.approx(0.025)
+
+
+def test_hotter_than_reference_fails_more(model):
+    assert model.failure_rate(model.reference_power_w + 10) > 0.025
+
+
+def test_cluster_failures_scale_with_nodes(model):
+    one = model.cluster_failures_per_year(20.0, 1)
+    many = model.cluster_failures_per_year(20.0, 16)
+    assert many == pytest.approx(16 * one)
+    with pytest.raises(ValueError):
+        model.cluster_failures_per_year(20.0, 0)
+
+
+def test_compare_reliability_orders_points(model):
+    points = [
+        EnergyDelayPoint("stat@600MHz", energy=2000.0, delay=107.0, frequency=6e8),
+        EnergyDelayPoint("stat@1400MHz", energy=2920.0, delay=100.0, frequency=1.4e9),
+    ]
+    rows = compare_reliability(points, n_nodes=1, model=model)
+    slow, fast = rows
+    assert slow.average_power_w < fast.average_power_w
+    assert slow.temperature_c < fast.temperature_c
+    assert slow.life_factor > fast.life_factor
+    assert slow.failures_per_year < fast.failures_per_year
+
+
+def test_petaflop_scale_failure_arithmetic(model):
+    """The paper's intro arithmetic: ~12000 nodes at 2-3 %/yr sustain a
+    failure roughly daily — our model reproduces the order of magnitude."""
+    failures = model.cluster_failures_per_year(model.reference_power_w, 12_000)
+    per_day = failures / 365
+    # "hardware failures once every twenty-four hours" → ~1/day, but the
+    # paper's 2-3 % is per *component* and nodes hold several; accept the
+    # right order of magnitude at node granularity.
+    assert 0.2 < per_day < 5
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ReliabilityModel(thermal_resistance_c_per_w=0.0)
+    with pytest.raises(ValueError):
+        ReliabilityModel(annual_failure_rate=0.0)
+    model = ReliabilityModel()
+    with pytest.raises(ValueError):
+        model.temperature(-1.0)

@@ -1,0 +1,118 @@
+"""Tests for the ground-truth power timeline, incl. property-based checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.timeline import PowerTimeline
+
+
+def test_constant_power_energy():
+    tl = PowerTimeline(initial_power=10.0)
+    assert tl.energy(0.0, 5.0) == pytest.approx(50.0)
+
+
+def test_piecewise_energy():
+    tl = PowerTimeline(initial_power=10.0)
+    tl.set_power(2.0, 20.0)
+    tl.set_power(4.0, 5.0)
+    # 2s @ 10W + 2s @ 20W + 1s @ 5W
+    assert tl.energy(0.0, 5.0) == pytest.approx(20 + 40 + 5)
+
+
+def test_energy_subinterval():
+    tl = PowerTimeline(initial_power=10.0)
+    tl.set_power(2.0, 20.0)
+    assert tl.energy(1.0, 3.0) == pytest.approx(10 + 20)
+
+
+def test_power_at():
+    tl = PowerTimeline(initial_power=1.0)
+    tl.set_power(1.0, 2.0)
+    tl.set_power(3.0, 4.0)
+    assert tl.power_at(0.5) == 1.0
+    assert tl.power_at(1.0) == 2.0
+    assert tl.power_at(2.9) == 2.0
+    assert tl.power_at(100.0) == 4.0
+
+
+def test_same_instant_collapses_to_last():
+    tl = PowerTimeline(initial_power=1.0)
+    tl.set_power(1.0, 2.0)
+    tl.set_power(1.0, 3.0)
+    assert tl.power_at(1.0) == 3.0
+    assert len(tl) == 2
+
+
+def test_unchanged_power_does_not_add_segment():
+    tl = PowerTimeline(initial_power=5.0)
+    tl.set_power(1.0, 5.0)
+    assert len(tl) == 1
+
+
+def test_out_of_order_append_rejected():
+    tl = PowerTimeline(initial_power=1.0)
+    tl.set_power(5.0, 2.0)
+    with pytest.raises(ValueError):
+        tl.set_power(4.0, 3.0)
+
+
+def test_reads_before_start_rejected():
+    tl = PowerTimeline(start_time=10.0, initial_power=1.0)
+    with pytest.raises(ValueError):
+        tl.power_at(9.0)
+    with pytest.raises(ValueError):
+        tl.energy(9.0, 11.0)
+    with pytest.raises(ValueError):
+        tl.energy(12.0, 11.0)
+
+
+def test_average_power_is_energy_over_delay():
+    tl = PowerTimeline(initial_power=10.0)
+    tl.set_power(1.0, 30.0)
+    assert tl.average_power(0.0, 2.0) == pytest.approx(20.0)
+    assert tl.average_power(1.0, 1.0) == 30.0
+
+
+def test_negative_power_rejected():
+    with pytest.raises(ValueError):
+        PowerTimeline(initial_power=-1.0)
+    tl = PowerTimeline(initial_power=1.0)
+    with pytest.raises(ValueError):
+        tl.set_power(1.0, -2.0)
+
+
+@given(
+    changes=st.lists(
+        st.tuples(
+            st.floats(min_value=0.001, max_value=10.0),
+            st.floats(min_value=0.0, max_value=100.0),
+        ),
+        min_size=0,
+        max_size=20,
+    ),
+    split=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_energy_is_additive_over_subintervals(changes, split):
+    """E(t0,t2) == E(t0,t1) + E(t1,t2) for any split point."""
+    tl = PowerTimeline(initial_power=7.0)
+    t = 0.0
+    for dt, watts in changes:
+        t += dt
+        tl.set_power(t, watts)
+    end = t + 1.0
+    mid = split * end
+    total = tl.energy(0.0, end)
+    parts = tl.energy(0.0, mid) + tl.energy(mid, end)
+    assert total == pytest.approx(parts, rel=1e-9, abs=1e-9)
+
+
+@given(
+    watts=st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=10)
+)
+def test_energy_bounded_by_min_max_power(watts):
+    tl = PowerTimeline(initial_power=watts[0])
+    for i, w in enumerate(watts[1:], start=1):
+        tl.set_power(float(i), w)
+    duration = float(len(watts))
+    energy = tl.energy(0.0, duration)
+    assert min(watts) * duration - 1e-9 <= energy <= max(watts) * duration + 1e-9

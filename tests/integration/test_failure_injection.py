@@ -1,0 +1,137 @@
+"""Failure-injection tests: the stack must fail loudly and cleanly.
+
+A simulator that silently produces numbers after an internal fault is
+worse than one that crashes; these tests pin down the failure behaviour
+of each layer under injected faults.
+"""
+
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.measurement.acpi import SmartBattery
+from repro.sim import Engine, SimulationError
+from repro.simmpi import run_spmd
+from repro.util.units import MIB
+from repro.workloads.nas_ft import NasFT
+
+
+def test_rank_crash_mid_collective_propagates():
+    """A rank dying inside an all-to-all must surface, not hang."""
+    cluster = Cluster.build(4)
+
+    def program(comm):
+        if comm.rank == 2:
+            yield comm.engine.timeout(0.01)
+            raise RuntimeError("injected rank failure")
+        yield from comm.alltoall(nbytes_each=1 * MIB)
+
+    with pytest.raises(RuntimeError, match="injected rank failure"):
+        run_spmd(cluster, program)
+
+
+def test_deadlocked_job_is_detected_not_silent():
+    """Two ranks both receiving first (no sends) deadlock; the launcher
+    must raise rather than return bogus results."""
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        yield from comm.recv(source=1 - comm.rank, tag=7)
+
+    with pytest.raises(SimulationError, match="never triggering"):
+        run_spmd(cluster, program)
+
+
+def test_mismatched_collective_participation_deadlocks_loudly():
+    cluster = Cluster.build(3)
+
+    def program(comm):
+        if comm.rank != 2:  # rank 2 skips the barrier
+            yield from comm.barrier()
+        else:
+            yield comm.engine.timeout(0.001)
+
+    with pytest.raises(SimulationError, match="never triggering"):
+        run_spmd(cluster, program)
+
+
+def test_workload_exception_does_not_corrupt_later_runs():
+    """After a failed run on one cluster, a fresh cluster behaves
+    normally (no leaked global state)."""
+    cluster = Cluster.build(2)
+
+    def bad(comm):
+        yield comm.engine.timeout(0.01)
+        raise ValueError("boom")
+
+    with pytest.raises(ValueError):
+        run_spmd(cluster, bad)
+
+    fresh = Cluster.build(2)
+    workload = NasFT("S", n_ranks=2, iterations=1)
+    result = run_spmd(fresh, workload.bind_plain())
+    assert result.duration > 0
+
+
+def test_battery_exhaustion_mid_run_raises():
+    cluster = Cluster.build(1)
+    battery = SmartBattery(cluster.nodes[0], full_capacity_mwh=3, refresh_interval=1.0)
+    battery.start()
+
+    def burn(comm):
+        yield from comm.cpu.run_cycles(1.4e9 * 60)
+
+    workload_gen = burn
+    with pytest.raises(RuntimeError, match="ran out of charge"):
+        run_spmd(cluster, workload_gen)
+
+
+def test_send_to_nonexistent_rank_fails_fast():
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        yield from comm.send(None, dest=7, nbytes=0)
+
+    with pytest.raises(ValueError, match="out of range"):
+        run_spmd(cluster, program)
+
+
+def test_run_until_never_firing_event_raises():
+    eng = Engine()
+    never = eng.event()
+    eng.timeout(1.0)
+    with pytest.raises(SimulationError, match="never triggering"):
+        eng.run(until=never)
+
+
+def test_interrupted_compute_phase_is_catchable_and_resumable():
+    """A workload can survive an interrupt (e.g. a checkpoint signal) and
+    finish the remaining work correctly."""
+    from repro.sim import Interrupt
+
+    cluster = Cluster.build(1)
+    eng = cluster.engine
+    cpu = cluster.nodes[0].cpu
+    log = []
+
+    def worker():
+        remaining = 1.4e9  # 1 s at full speed
+        while remaining > 0:
+            start = eng.now
+            try:
+                yield from cpu.run_cycles(remaining)
+                remaining = 0
+            except Interrupt:
+                elapsed = eng.now - start
+                remaining -= elapsed * cpu.frequency
+                log.append(eng.now)
+        return eng.now
+
+    def interrupter(target):
+        yield eng.timeout(0.3)
+        target.interrupt("checkpoint")
+
+    p = eng.process(worker())
+    eng.process(interrupter(p))
+    finish = eng.run(until=p)
+    assert log == [pytest.approx(0.3)]
+    assert finish == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Cross-layer integration invariants.
+
+These tests exercise the whole stack (workload → simmpi → hardware →
+measurement → metrics) and pin down properties any correct composition
+must satisfy regardless of calibration values.
+"""
+
+import pytest
+
+from repro.analysis.runner import run_measured, static_crescendo
+from repro.dvs.strategy import DynamicStrategy, StaticStrategy
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.hardware.cluster import Cluster
+from repro.measurement.powerpack import PowerPackSession
+from repro.simmpi import run_spmd
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+from repro.workloads.transpose import ParallelTranspose
+
+
+def test_runs_are_bit_identical():
+    """No RNG, no wall clock: two identical runs agree exactly."""
+    results = []
+    for _ in range(2):
+        workload = NasFT("S", n_ranks=4, iterations=3)
+        run = run_measured(workload, StaticStrategy(1000 * MHZ))
+        results.append((run.point.energy, run.point.delay))
+    assert results[0] == results[1]
+
+
+def test_cluster_energy_is_sum_of_node_energies():
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    run = run_measured(workload, StaticStrategy(800 * MHZ))
+    total = run.cluster.total_energy(run.spmd.start, run.spmd.end)
+    per_node = sum(
+        n.timeline.energy(run.spmd.start, run.spmd.end) for n in run.cluster.nodes
+    )
+    assert total == pytest.approx(per_node, rel=1e-12)
+
+
+def test_energy_additivity_across_time_split():
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    run = run_measured(workload, StaticStrategy(800 * MHZ))
+    t0, t1 = run.spmd.start, run.spmd.end
+    mid = (t0 + t1) / 2
+    total = run.cluster.total_energy(t0, t1)
+    parts = run.cluster.total_energy(t0, mid) + run.cluster.total_energy(mid, t1)
+    assert total == pytest.approx(parts, rel=1e-12)
+
+
+def test_power_always_within_physical_bounds():
+    """Node power stays within [base+idle_floor, base+cpu_max+nic]."""
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    run = run_measured(workload, StaticStrategy(1400 * MHZ))
+    cal = DEFAULT_CALIBRATION
+    lo = cal.base_power  # idle floor is positive, base is a lower bound
+    hi = cal.base_power + cal.cpu_max_power + cal.nic_active_power + 1e-9
+    for node in run.cluster.nodes:
+        for _, watts in node.timeline.segments():
+            assert lo <= watts <= hi
+
+
+def test_procstat_time_equals_wall_time():
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    run = run_measured(workload, StaticStrategy(1000 * MHZ))
+    for node in run.cluster.nodes:
+        stats = node.procstat.snapshot()
+        assert stats.total == pytest.approx(run.spmd.duration, rel=1e-9)
+
+
+def test_delay_monotone_nonincreasing_in_frequency():
+    """More clock never hurts time-to-solution for these workloads."""
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    runs = static_crescendo(
+        workload, [600 * MHZ, 800 * MHZ, 1000 * MHZ, 1200 * MHZ, 1400 * MHZ]
+    )
+    delays = [r.point.delay for r in runs]
+    assert delays == sorted(delays, reverse=True)
+
+
+def test_dynamic_strategy_never_uses_illegal_frequencies():
+    workload = NasFT("S", n_ranks=4, iterations=2)
+    strategy = DynamicStrategy(1200 * MHZ, regions=["fft"])
+    run = run_measured(workload, strategy)
+    legal = set(run.cluster.table.frequencies)
+    for node in run.cluster.nodes:
+        assert node.cpu.frequency in legal
+
+
+def test_measurement_session_wraps_measured_run_consistently():
+    """PowerPack instruments agree with the analysis layer's exact energy
+    within their stated error bounds, on a full application run."""
+    workload = ParallelTranspose(matrix_n=12_000, grid_rows=5, grid_cols=3,
+                                 iterations=2)
+    cluster = Cluster.build(workload.n_ranks)
+    session = PowerPackSession(cluster)
+    session.begin()
+    result = run_spmd(cluster, workload.bind_plain())
+    report = session.finish()
+    exact = cluster.total_energy(result.start, result.end)
+    assert report.true_energy == pytest.approx(exact, rel=1e-9)
+    assert report.battery_error < 0.06
+    assert report.baytech_error < 0.06
+
+
+def test_verify_and_synthetic_modes_have_same_communication_pattern():
+    """The two FT modes share one code path: same message count and
+    (up to payload sizing) the same bytes on the wire."""
+    def run_mode(verify):
+        workload = NasFT("S", n_ranks=4, verify=verify, iterations=2)
+        cluster = Cluster.build(4)
+        world_bytes = []
+        result = run_spmd(cluster, workload.bind_plain())
+        return cluster.fabric.bytes_transferred
+
+    synthetic = run_mode(False)
+    verified = run_mode(True)
+    # Checksum payloads differ (16-byte synthetic vs pickled complex),
+    # but the dominant all-to-all volume is identical.
+    assert abs(synthetic - verified) / synthetic < 0.01
+
+
+def test_higher_frequency_never_saves_energy_on_slack_free_work():
+    """With no slack, the fastest point minimises delay but not energy;
+    with full slack, the slowest point minimises energy. Sanity-check
+    the two extremes through the whole stack."""
+    from repro.workloads.micro import RegisterMicro, MemoryBoundMicro
+
+    reg_runs = static_crescendo(
+        RegisterMicro(total_ops=10**9, chunks=4), [600 * MHZ, 1400 * MHZ]
+    )
+    mem_runs = static_crescendo(MemoryBoundMicro(passes=10), [600 * MHZ, 1400 * MHZ])
+    # Register loop: little/no saving at 600.
+    assert reg_runs[0].point.energy > 0.9 * reg_runs[1].point.energy
+    # Memory walk: big saving at 600.
+    assert mem_runs[0].point.energy < 0.7 * mem_runs[1].point.energy

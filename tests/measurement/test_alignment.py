@@ -1,0 +1,104 @@
+"""Tests for data filtering and multi-node alignment, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.measurement.alignment import (
+    aggregate_power,
+    align_profiles,
+    detect_outlier_runs,
+    step_resample,
+    trim_to_interval,
+)
+
+
+def test_step_resample_holds_last_value():
+    samples = [(0.0, 1.0), (10.0, 2.0), (20.0, 3.0)]
+    grid = np.array([0.0, 5.0, 10.0, 15.0, 25.0])
+    out = step_resample(samples, grid)
+    np.testing.assert_allclose(out, [1.0, 1.0, 2.0, 2.0, 3.0])
+
+
+def test_step_resample_before_first_sample_holds_first():
+    samples = [(10.0, 5.0)]
+    out = step_resample(samples, np.array([0.0, 9.9, 10.0]))
+    np.testing.assert_allclose(out, [5.0, 5.0, 5.0])
+
+
+def test_step_resample_rejects_empty_and_unsorted():
+    with pytest.raises(ValueError):
+        step_resample([], np.array([0.0]))
+    with pytest.raises(ValueError):
+        step_resample([(1.0, 1.0), (0.5, 2.0)], np.array([0.0]))
+
+
+def test_align_profiles_common_grid():
+    profiles = {
+        0: [(0.0, 10.0), (5.0, 20.0)],
+        1: [(0.0, 1.0), (7.0, 2.0)],
+    }
+    grid, matrix = align_profiles(profiles, 0.0, 10.0, 2.5)
+    assert matrix.shape == (2, len(grid))
+    np.testing.assert_allclose(matrix[0], [10, 10, 20, 20, 20])
+    np.testing.assert_allclose(matrix[1], [1, 1, 1, 2, 2])
+
+
+def test_align_profiles_validation():
+    with pytest.raises(ValueError):
+        align_profiles({0: [(0.0, 1.0)]}, 5.0, 5.0, 1.0)
+    with pytest.raises(ValueError):
+        align_profiles({0: [(0.0, 1.0)]}, 0.0, 5.0, 0.0)
+
+
+def test_aggregate_power_sums_rows():
+    matrix = np.array([[1.0, 2.0], [3.0, 4.0]])
+    np.testing.assert_allclose(aggregate_power(matrix), [4.0, 6.0])
+
+
+def test_outlier_detection_flags_deviant_run():
+    values = [100.0, 101.0, 99.5, 100.4, 250.0]
+    assert detect_outlier_runs(values) == [4]
+
+
+def test_outlier_detection_all_equal_is_clean():
+    assert detect_outlier_runs([5.0, 5.0, 5.0]) == []
+
+
+def test_outlier_detection_needs_three_runs():
+    assert detect_outlier_runs([1.0, 100.0]) == []
+
+
+def test_outlier_detection_constant_rest():
+    assert detect_outlier_runs([5.0, 5.0, 5.0, 7.0]) == [3]
+
+
+def test_trim_to_interval():
+    samples = [(0.0, 1.0), (5.0, 2.0), (10.0, 3.0)]
+    assert trim_to_interval(samples, 1.0, 9.0) == [(5.0, 2.0)]
+    with pytest.raises(ValueError):
+        trim_to_interval(samples, 9.0, 1.0)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0), min_size=3, max_size=30
+    )
+)
+def test_outlier_indices_are_valid(values):
+    for idx in detect_outlier_runs(values):
+        assert 0 <= idx < len(values)
+
+
+@given(
+    n_samples=st.integers(min_value=1, max_value=20),
+    n_grid=st.integers(min_value=1, max_value=50),
+)
+def test_step_resample_output_values_come_from_input(n_samples, n_grid):
+    rng = np.random.default_rng(42)
+    times = np.sort(rng.uniform(0, 100, n_samples))
+    values = rng.uniform(0, 10, n_samples)
+    samples = list(zip(times, values))
+    grid = np.linspace(-10, 110, n_grid)
+    out = step_resample(samples, grid)
+    assert set(np.round(out, 12)).issubset(set(np.round(values, 12)))

@@ -1,0 +1,77 @@
+"""Tests for the Baytech outlet-meter emulation."""
+
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.measurement.baytech import BaytechOutlet, BaytechUnit
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(2)
+
+
+def test_samples_report_interval_average(cluster):
+    node = cluster.nodes[0]
+    outlet = BaytechOutlet(node, poll_interval=60.0)
+    outlet.start()
+
+    def load():
+        yield from node.cpu.run_cycles(1.4e9 * 30)  # 30 s active, 30 s idle
+
+    cluster.engine.process(load())
+    cluster.engine.run(until=60.0)
+    assert len(outlet.samples) == 1
+    sample = outlet.samples[0]
+    assert sample.time == 60.0
+    assert sample.watts == pytest.approx(node.timeline.average_power(0.0, 60.0))
+
+
+def test_energy_estimate_weights_overlap(cluster):
+    node = cluster.nodes[0]
+    outlet = BaytechOutlet(node, poll_interval=60.0)
+    outlet.start()
+    cluster.engine.timeout(180.0)
+    cluster.engine.run(until=180.0)
+    # Idle node: constant power; estimate over a sub-interval is exact.
+    est = outlet.energy_estimate(30.0, 150.0)
+    true = node.timeline.energy(30.0, 150.0)
+    assert est == pytest.approx(true, rel=1e-6)
+
+
+def test_energy_estimate_validates_interval(cluster):
+    outlet = BaytechOutlet(cluster.nodes[0])
+    with pytest.raises(ValueError):
+        outlet.energy_estimate(10.0, 5.0)
+
+
+def test_switched_off_outlet_reads_zero(cluster):
+    outlet = BaytechOutlet(cluster.nodes[0], poll_interval=10.0)
+    outlet.start()
+    outlet.switch(False)
+    cluster.engine.timeout(25.0)
+    cluster.engine.run(until=25.0)
+    assert all(s.watts == 0.0 for s in outlet.samples)
+
+
+def test_unit_aggregates_outlets(cluster):
+    unit = BaytechUnit(cluster.nodes, poll_interval=30.0)
+    unit.start()
+    cluster.engine.timeout(90.0)
+    cluster.engine.run(until=90.0)
+    unit.stop()
+    est = unit.total_energy_estimate(0.0, 90.0)
+    true = cluster.total_energy(0.0, 90.0)
+    assert est == pytest.approx(true, rel=1e-6)
+
+
+def test_unit_requires_outlets():
+    with pytest.raises(ValueError):
+        BaytechUnit([])
+
+
+def test_outlet_cannot_start_twice(cluster):
+    outlet = BaytechOutlet(cluster.nodes[0])
+    outlet.start()
+    with pytest.raises(RuntimeError):
+        outlet.start()

@@ -1,0 +1,86 @@
+"""Tests for the PowerPack measurement session."""
+
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.measurement.powerpack import PowerPackSession
+from repro.simmpi import run_spmd
+from repro.util.units import MIB
+
+
+def busy_program(comm):
+    """Minutes of mixed compute and communication (long enough that the
+    instruments' refresh-rate error stays within a few percent)."""
+    for _ in range(8):
+        yield from comm.cpu.run_cycles(1.4e9 * 30)
+        if comm.size > 1:
+            yield from comm.alltoall(nbytes_each=2 * MIB)
+
+
+def test_session_measures_a_job_within_instrument_error():
+    cluster = Cluster.build(4)
+    session = PowerPackSession(cluster)
+    session.begin()
+    result = run_spmd(cluster, busy_program)
+    session.mark("app_end")
+    report = session.finish()
+
+    assert report.duration == pytest.approx(result.duration)
+    assert report.true_energy > 0
+    # ACPI path: within a few percent on a minutes-long run (quantization
+    # plus up to one refresh of idle tail per node).
+    assert report.battery_error < 0.05
+    # Baytech path: overlap-weighted minute averages, also close.
+    assert report.baytech_error < 0.05
+    assert "app_end" in report.markers
+
+
+def test_settle_time_delays_measure_start():
+    cluster = Cluster.build(1)
+    session = PowerPackSession(cluster, settle_time=300.0)
+    session.begin()
+    assert session.markers["measure_begin"] == pytest.approx(300.0)
+
+
+def test_markers_recorded_in_order():
+    cluster = Cluster.build(1)
+    session = PowerPackSession(cluster)
+    session.begin()
+    cluster.engine.run(until=cluster.engine.now + 5.0)
+    session.mark("phase1")
+    cluster.engine.run(until=cluster.engine.now + 5.0)
+    session.mark("phase2")
+    cluster.engine.run(until=cluster.engine.now + 1.0)
+    report = session.finish()
+    m = report.markers
+    assert m["measure_begin"] < m["phase1"] < m["phase2"] < m["measure_end"]
+
+
+def test_double_begin_rejected():
+    cluster = Cluster.build(1)
+    session = PowerPackSession(cluster)
+    session.begin()
+    with pytest.raises(RuntimeError):
+        session.begin()
+
+
+def test_finish_without_begin_rejected():
+    cluster = Cluster.build(1)
+    with pytest.raises(RuntimeError):
+        PowerPackSession(cluster).finish()
+
+
+def test_per_node_battery_breakdown_sums_to_total():
+    cluster = Cluster.build(3)
+    session = PowerPackSession(cluster)
+    session.begin()
+    result = run_spmd(cluster, busy_program, n_ranks=3)
+    report = session.finish()
+    assert len(report.per_node_battery) == 3
+    assert sum(report.per_node_battery) == pytest.approx(report.battery_energy)
+
+
+def test_quantization_bound_scales_with_nodes():
+    cluster = Cluster.build(5)
+    session = PowerPackSession(cluster)
+    assert session.quantization_error_bound == pytest.approx(5 * 0.5 * 3.6)

@@ -1,0 +1,86 @@
+"""Tests for power-profile extraction and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.measurement.profiles import (
+    PowerProfile,
+    cluster_power_profile,
+    profile_summary,
+)
+from repro.simmpi import run_spmd
+
+
+@pytest.fixture
+def busy_cluster():
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.cpu.run_cycles(1.4e9 * 2)  # 2 s active
+        else:
+            yield comm.engine.timeout(1.0)
+            yield from comm.cpu.run_cycles(1.4e9)  # 1 s active, offset
+        return None
+
+    result = run_spmd(cluster, program)
+    return cluster, result
+
+
+def test_profile_shape_and_grid(busy_cluster):
+    cluster, result = busy_cluster
+    profile = cluster_power_profile(cluster, 0.0, 2.0, dt=0.1)
+    assert profile.n_nodes == 2
+    assert profile.node_power.shape == (2, len(profile.grid))
+    assert profile.grid[0] == 0.0 and profile.grid[-1] == pytest.approx(2.0)
+
+
+def test_profile_reflects_activity_pattern(busy_cluster):
+    cluster, result = busy_cluster
+    profile = cluster_power_profile(cluster, 0.0, 2.0, dt=0.05)
+    # Node 0 is busy the whole time; node 1 idles for the first second.
+    first_half = profile.grid < 0.95
+    assert profile.node_power[0][first_half].mean() > profile.node_power[1][
+        first_half
+    ].mean() + 10
+    # In the second second both are busy: powers converge.
+    second_half = profile.grid > 1.05
+    diff = abs(
+        profile.node_power[0][second_half].mean()
+        - profile.node_power[1][second_half].mean()
+    )
+    assert diff < 1.0
+
+
+def test_profile_energy_approximates_timeline(busy_cluster):
+    cluster, result = busy_cluster
+    profile = cluster_power_profile(cluster, 0.0, 2.0, dt=0.01)
+    exact = cluster.total_energy(0.0, 2.0)
+    assert profile.energy() == pytest.approx(exact, rel=0.02)
+    per_node = sum(profile.node_energy(i) for i in range(2))
+    assert per_node == pytest.approx(profile.energy(), rel=1e-9)
+
+
+def test_total_power_sums_nodes(busy_cluster):
+    cluster, result = busy_cluster
+    profile = cluster_power_profile(cluster, 0.0, 1.0, dt=0.1)
+    np.testing.assert_allclose(
+        profile.total_power, profile.node_power.sum(axis=0)
+    )
+
+
+def test_summary_renders_sparkline_and_markers(busy_cluster):
+    cluster, result = busy_cluster
+    profile = cluster_power_profile(cluster, 0.0, 2.0, dt=0.05)
+    text = profile_summary(profile, markers={"end_rank1_idle": 1.0}, width=30)
+    assert "cluster power" in text
+    assert "|" in text
+    assert "end_rank1_idle@1.0s" in text
+    assert "per-node mean power" in text
+
+
+def test_single_point_profile_energy_is_zero():
+    profile = PowerProfile(grid=np.array([0.0]), node_power=np.array([[5.0]]))
+    assert profile.energy() == 0.0
+    assert profile.node_energy(0) == 0.0

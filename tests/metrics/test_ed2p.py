@@ -1,0 +1,102 @@
+"""Tests for ED²P and weighted ED²P, incl. the paper's worked numbers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    DELTA_ENERGY,
+    DELTA_HPC,
+    DELTA_PERFORMANCE,
+    ed2p,
+    weighted_ed2p,
+)
+
+positive = st.floats(min_value=1e-3, max_value=1e3)
+deltas = st.floats(min_value=-1.0, max_value=1.0)
+
+
+def test_ed2p_formula():
+    assert ed2p(2.0, 3.0) == pytest.approx(18.0)
+
+
+def test_weighted_reduces_to_ed2p_at_zero():
+    assert weighted_ed2p(2.0, 3.0, 0.0) == pytest.approx(ed2p(2.0, 3.0))
+
+
+def test_weighted_extreme_energy_is_e_squared():
+    """δ = −1 → E² (paper: 'quadratic energy consumption')."""
+    assert weighted_ed2p(5.0, 99.0, DELTA_ENERGY) == pytest.approx(25.0)
+
+
+def test_weighted_extreme_performance_is_d_fourth():
+    """δ = +1 → D⁴ (paper: 'biquadratic performance')."""
+    assert weighted_ed2p(99.0, 2.0, DELTA_PERFORMANCE) == pytest.approx(16.0)
+
+
+def test_paper_worked_example_5pct_delay_needs_13pct_savings():
+    """§2.2: at δ=0.2, two points 5% apart in performance tie when the
+    slower saves ~13% energy (the paper quotes 13.1%)."""
+    fast = weighted_ed2p(1.0, 1.0, DELTA_HPC)
+    required_e = 1.05 ** (-2 * (1 + DELTA_HPC) / (1 - DELTA_HPC))
+    slow = weighted_ed2p(required_e, 1.05, DELTA_HPC)
+    assert slow == pytest.approx(fast, rel=1e-12)
+    assert 1.0 - required_e == pytest.approx(0.131, abs=0.006)
+
+
+def test_delta_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        weighted_ed2p(1.0, 1.0, 1.5)
+    with pytest.raises(ValueError):
+        weighted_ed2p(1.0, 1.0, -1.01)
+
+
+def test_nonpositive_inputs_rejected():
+    with pytest.raises(ValueError):
+        ed2p(0.0, 1.0)
+    with pytest.raises(ValueError):
+        weighted_ed2p(1.0, -1.0, 0.0)
+
+
+def test_ideal_dvs_scaling_is_invariant_at_delta_zero():
+    """§2.2: with P∝f³ and D∝1/f, E∝f² so E·D² is frequency-independent —
+    plain ED2P cannot be gamed by naive frequency scaling."""
+    base = None
+    for f in (0.5, 0.75, 1.0, 1.25):
+        energy = f**2
+        delay = 1.0 / f
+        value = weighted_ed2p(energy, delay, 0.0)
+        if base is None:
+            base = value
+        assert value == pytest.approx(base)
+
+
+@given(e=positive, d=positive)
+def test_weighted_positive(e, d):
+    assert weighted_ed2p(e, d, 0.3) > 0
+
+
+@given(e1=positive, e2=positive, d=positive, delta=deltas)
+def test_monotone_in_energy_for_delta_below_one(e1, e2, d, delta):
+    """More energy at equal delay is never better (strictly worse for
+    δ<1; equal at δ=1 where energy has no weight)."""
+    lo, hi = sorted([e1, e2])
+    w_lo = weighted_ed2p(lo, d, delta)
+    w_hi = weighted_ed2p(hi, d, delta)
+    assert w_lo <= w_hi * (1 + 1e-9)
+
+
+@given(d1=positive, d2=positive, e=positive, delta=deltas)
+def test_monotone_in_delay_for_delta_above_minus_one(d1, d2, e, delta):
+    lo, hi = sorted([d1, d2])
+    w_lo = weighted_ed2p(e, lo, delta)
+    w_hi = weighted_ed2p(e, hi, delta)
+    assert w_lo <= w_hi * (1 + 1e-9)
+
+
+@given(e=positive, d=positive, delta=deltas, k=st.floats(min_value=0.1, max_value=10))
+def test_common_energy_scaling_preserves_order(e, d, delta, k):
+    """Rescaling all energies by k (unit change) cannot reorder points."""
+    other_e, other_d = e * 1.3, d * 0.9
+    before = weighted_ed2p(e, d, delta) <= weighted_ed2p(other_e, other_d, delta)
+    after = weighted_ed2p(e * k, d, delta) <= weighted_ed2p(other_e * k, other_d, delta)
+    assert before == after

@@ -1,0 +1,133 @@
+"""Tests for best-operating-point selection (Eq. 6, Tables 1/3 logic)."""
+
+import pytest
+
+from repro.metrics import (
+    DELTA_ENERGY,
+    DELTA_HPC,
+    DELTA_PERFORMANCE,
+    EnergyDelayPoint,
+    best_operating_point,
+    normalize_points,
+    select_paper_rows,
+    weighted_ed2p,
+)
+from repro.util.units import MHZ
+
+
+def swim_like_crescendo():
+    """A memory-bound shape: energy falls fast, delay rises slowly."""
+    data = [
+        (1400, 1.00, 1.000),
+        (1200, 0.88, 1.010),
+        (1000, 0.76, 1.025),
+        (800, 0.66, 1.045),
+        (600, 0.58, 1.075),
+    ]
+    return [
+        EnergyDelayPoint(f"stat@{mhz}MHz", e, d, frequency=mhz * MHZ)
+        for mhz, e, d in data
+    ]
+
+
+def mgrid_like_crescendo():
+    """A CPU-bound shape: little energy saving, big delay penalty."""
+    data = [
+        (1400, 1.00, 1.000),
+        (1200, 0.99, 1.160),
+        (1000, 0.97, 1.390),
+        (800, 0.95, 1.730),
+        (600, 1.02, 2.300),
+    ]
+    return [
+        EnergyDelayPoint(f"stat@{mhz}MHz", e, d, frequency=mhz * MHZ)
+        for mhz, e, d in data
+    ]
+
+
+def test_performance_delta_picks_fastest():
+    best = best_operating_point(swim_like_crescendo(), DELTA_PERFORMANCE)
+    assert best.point.frequency == 1400 * MHZ
+
+
+def test_energy_delta_picks_lowest_energy():
+    best = best_operating_point(swim_like_crescendo(), DELTA_ENERGY)
+    assert best.point.frequency == 600 * MHZ
+
+
+def test_hpc_delta_picks_intermediate_for_memory_bound():
+    best = best_operating_point(swim_like_crescendo(), DELTA_HPC)
+    assert 600 * MHZ <= best.point.frequency < 1400 * MHZ
+    assert best.improvement_vs_reference > 0
+
+
+def test_hpc_delta_keeps_fastest_for_cpu_bound():
+    """mgrid-like codes: slack-free, so HPC keeps the top frequency
+    (paper Table 1: mgrid HPC = 1400 MHz)."""
+    best = best_operating_point(mgrid_like_crescendo(), DELTA_HPC)
+    assert best.point.frequency == 1400 * MHZ
+    assert best.improvement_vs_reference == pytest.approx(0.0)
+
+
+def test_improvement_matches_metric_ratio():
+    points = swim_like_crescendo()
+    best = best_operating_point(points, DELTA_HPC)
+    ref = points[0]  # 1400 MHz entry
+    expected = 1.0 - best.metric / weighted_ed2p(ref.energy, ref.delay, DELTA_HPC)
+    assert best.improvement_vs_reference == pytest.approx(expected)
+
+
+def test_tie_breaks_toward_higher_frequency():
+    points = [
+        EnergyDelayPoint("a", 1.0, 1.0, frequency=1000 * MHZ),
+        EnergyDelayPoint("b", 1.0, 1.0, frequency=1400 * MHZ),
+    ]
+    best = best_operating_point(points, 0.0)
+    assert best.point.frequency == 1400 * MHZ
+
+
+def test_explicit_reference_changes_improvement_only():
+    points = swim_like_crescendo()
+    ref = points[2]
+    a = best_operating_point(points, DELTA_HPC)
+    b = best_operating_point(points, DELTA_HPC, reference=ref)
+    assert a.point == b.point
+    assert a.improvement_vs_reference != b.improvement_vs_reference
+
+
+def test_empty_crescendo_rejected():
+    with pytest.raises(ValueError):
+        best_operating_point([], 0.0)
+
+
+def test_select_paper_rows_structure():
+    rows = select_paper_rows(swim_like_crescendo())
+    assert set(rows) == {"HPC", "energy", "performance"}
+    assert rows["energy"].point.frequency == 600 * MHZ
+    assert rows["performance"].point.frequency == 1400 * MHZ
+
+
+def test_normalize_points_uses_fastest_as_reference():
+    points = [
+        EnergyDelayPoint("slow", 50.0, 10.0, frequency=600 * MHZ),
+        EnergyDelayPoint("fast", 100.0, 8.0, frequency=1400 * MHZ),
+    ]
+    normed = normalize_points(points)
+    assert normed[1].energy == pytest.approx(1.0)
+    assert normed[1].delay == pytest.approx(1.0)
+    assert normed[0].energy == pytest.approx(0.5)
+    assert normed[0].delay == pytest.approx(1.25)
+
+
+def test_normalize_points_without_frequencies_uses_fastest_delay():
+    points = [
+        EnergyDelayPoint("a", 10.0, 4.0),
+        EnergyDelayPoint("b", 12.0, 2.0),
+    ]
+    normed = normalize_points(points)
+    assert normed[1].energy == pytest.approx(1.0) and normed[1].delay == 1.0
+
+
+def test_normalize_empty_rejected():
+    with pytest.raises(ValueError):
+        normalize_points([])

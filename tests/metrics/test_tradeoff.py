@@ -1,0 +1,88 @@
+"""Tests for the Figure-2 iso-efficiency trade-off curves."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics import (
+    iso_efficiency_energy_fraction,
+    required_energy_savings,
+    tradeoff_curves,
+    weighted_ed2p,
+)
+
+
+def test_no_slowdown_needs_no_savings():
+    for delta in (-1.0, -0.5, 0.0, 0.2, 0.5, 1.0):
+        assert required_energy_savings(1.0, delta) == pytest.approx(0.0)
+
+
+def test_paper_example_delta_04_at_10pct_delay():
+    """§2.2: 'for the line δ=.4, if 10% performance degradation is
+    acceptable then about 32% energy must be saved'."""
+    savings = required_energy_savings(1.1, 0.4)
+    assert savings == pytest.approx(0.32, abs=0.04)
+
+
+def test_paper_example_delta_02_at_5pct_delay():
+    savings = required_energy_savings(1.05, 0.2)
+    assert savings == pytest.approx(0.131, abs=0.006)
+
+
+def test_larger_delta_requires_more_savings():
+    """Figure 2: 'for the same performance loss, larger δ values require
+    increased energy savings'."""
+    d = 1.2
+    savings = [required_energy_savings(d, delta) for delta in (-0.5, 0.0, 0.4, 0.8)]
+    assert savings == sorted(savings)
+
+
+def test_delta_minus_one_ignores_delay():
+    assert iso_efficiency_energy_fraction(5.0, -1.0) == pytest.approx(1.0)
+    assert required_energy_savings(5.0, -1.0) == pytest.approx(0.0)
+
+
+def test_delta_plus_one_forbids_any_slowdown():
+    assert iso_efficiency_energy_fraction(1.001, 1.0) == 0.0
+    assert required_energy_savings(1.001, 1.0) == pytest.approx(1.0)
+    assert iso_efficiency_energy_fraction(1.0, 1.0) == 1.0
+    assert np.isinf(iso_efficiency_energy_fraction(0.9, 1.0))
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        iso_efficiency_energy_fraction(0.0, 0.2)
+    with pytest.raises(ValueError):
+        iso_efficiency_energy_fraction(1.1, 2.0)
+
+
+def test_tradeoff_curves_shapes():
+    factors = np.linspace(1.0, 1.5, 11)
+    curves = tradeoff_curves(factors, deltas=[0.0, 0.2, 0.4])
+    assert len(curves) == 3
+    for delta, curve in curves:
+        assert curve.shape == factors.shape
+        assert curve[0] == pytest.approx(1.0)
+        assert np.all(np.diff(curve) <= 0)  # monotone falling
+
+
+@given(
+    d=st.floats(min_value=1.0, max_value=3.0),
+    delta=st.floats(min_value=-1.0, max_value=0.99),
+)
+def test_iso_point_really_ties_with_reference(d, delta):
+    """The curve's defining property: the point (e(d), d) has the same
+    weighted ED²P as the reference (1, 1)."""
+    e = iso_efficiency_energy_fraction(d, delta)
+    assert weighted_ed2p(e, d, delta) == pytest.approx(1.0, rel=1e-9)
+
+
+@given(
+    d=st.floats(min_value=1.001, max_value=3.0),
+    delta=st.floats(min_value=-0.99, max_value=0.99),
+)
+def test_savings_between_zero_and_one(d, delta):
+    # Savings can reach exactly 1.0 when the required fraction underflows
+    # at extreme delta (e.g. 3.0^-398).
+    s = required_energy_savings(d, delta)
+    assert 0.0 <= s <= 1.0

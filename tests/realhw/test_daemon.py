@@ -1,0 +1,122 @@
+"""Tests for the real cpuspeed daemon (dependency-injected, no hardware)."""
+
+import pytest
+
+from repro.hardware.procstat import ProcStatSample
+from repro.realhw.daemon import RealCpuspeedDaemon
+from repro.realhw.sysfs_cpufreq import SysfsCpuFreq
+
+
+@pytest.fixture
+def sysfs(tmp_path):
+    cpudir = tmp_path / "cpu0" / "cpufreq"
+    cpudir.mkdir(parents=True)
+    (cpudir / "scaling_cur_freq").write_text("1400000")
+    (cpudir / "scaling_available_frequencies").write_text(
+        "1400000 1200000 1000000 800000 600000"
+    )
+    (cpudir / "scaling_governor").write_text("userspace")
+    (cpudir / "scaling_setspeed").write_text("1400000")
+    return tmp_path
+
+
+class FakeCpuFreq(SysfsCpuFreq):
+    """Sysfs cpufreq where setspeed writes update scaling_cur_freq too
+    (the kernel does this; our fake tree needs help)."""
+
+    def set_speed_now(self, frequency: float) -> None:
+        super().set_speed_now(frequency)
+        khz = self._read("scaling_setspeed")
+        self._write("scaling_cur_freq", khz)
+
+
+class StatFeeder:
+    """Deterministic /proc/stat sample sequence."""
+
+    def __init__(self, samples):
+        self.samples = list(samples)
+        self.index = 0
+
+    def __call__(self) -> ProcStatSample:
+        sample = self.samples[min(self.index, len(self.samples) - 1)]
+        self.index += 1
+        return sample
+
+
+def make_samples(utils, window=1.0):
+    """Cumulative samples whose successive windows have given utilisations."""
+    samples = [ProcStatSample(0.0, 0.0)]
+    busy = idle = 0.0
+    for u in utils:
+        busy += u * window
+        idle += (1 - u) * window
+        samples.append(ProcStatSample(busy, idle))
+    return samples
+
+
+def test_idle_machine_steps_down(sysfs):
+    cf = FakeCpuFreq(cpu=0, root=str(sysfs))
+    daemon = RealCpuspeedDaemon(
+        cf,
+        interval=0.01,
+        stat_reader=StatFeeder(make_samples([0.0] * 6)),
+        sleep=lambda s: None,
+    )
+    daemon.run(max_ticks=4)
+    assert cf.current_frequency == 600e6
+    assert [hz for _, hz in daemon.decisions] == [1.2e9, 1.0e9, 8e8, 6e8]
+
+
+def test_busy_machine_jumps_to_max(sysfs):
+    cf = FakeCpuFreq(cpu=0, root=str(sysfs))
+    cf.set_speed_now(600e6)
+    daemon = RealCpuspeedDaemon(
+        cf,
+        interval=0.01,
+        stat_reader=StatFeeder(make_samples([1.0, 1.0])),
+        sleep=lambda s: None,
+    )
+    daemon.run(max_ticks=1)
+    assert cf.current_frequency == 1.4e9
+
+
+def test_intermediate_load_holds(sysfs):
+    cf = FakeCpuFreq(cpu=0, root=str(sysfs))
+    cf.set_speed_now(1.0e9)
+    daemon = RealCpuspeedDaemon(
+        cf,
+        interval=0.01,
+        stat_reader=StatFeeder(make_samples([0.5, 0.5, 0.5])),
+        sleep=lambda s: None,
+    )
+    daemon.run(max_ticks=3)
+    assert cf.current_frequency == 1.0e9
+
+
+def test_stop_ends_loop(sysfs):
+    cf = FakeCpuFreq(cpu=0, root=str(sysfs))
+    daemon = RealCpuspeedDaemon(
+        cf,
+        interval=0.01,
+        stat_reader=StatFeeder(make_samples([0.0] * 100)),
+        sleep=lambda s: daemon.stop(),  # stop after the first sleep
+    )
+    daemon.run()
+    assert len(daemon.decisions) <= 1
+
+
+def test_invalid_interval_rejected(sysfs):
+    cf = FakeCpuFreq(cpu=0, root=str(sysfs))
+    with pytest.raises(ValueError):
+        RealCpuspeedDaemon(cf, interval=0.0)
+
+
+def test_shared_policy_matches_simulated_daemon():
+    """The decision function is literally shared; spot-check parity."""
+    from repro.dvs.policy import cpuspeed_decision
+
+    ladder = [6e8, 8e8, 1e9, 1.2e9, 1.4e9]
+    assert cpuspeed_decision(0.95, 6e8, ladder) == 1.4e9
+    assert cpuspeed_decision(0.10, 1.4e9, ladder) == 1.2e9
+    assert cpuspeed_decision(0.50, 1.0e9, ladder) == 1.0e9
+    assert cpuspeed_decision(0.0, 6e8, ladder) == 6e8  # clamped at bottom

@@ -1,0 +1,98 @@
+"""Tests for /proc/stat parsing and the RAPL meter (fake files)."""
+
+import pytest
+
+from repro.realhw.procstat import USER_HZ, parse_proc_stat, read_proc_stat
+from repro.realhw.rapl import RaplError, RaplMeter
+
+SAMPLE = """\
+cpu  1000 50 300 8000 200 10 20 0 0 0
+cpu0 600 30 200 4000 100 5 10 0 0 0
+cpu1 400 20 100 4000 100 5 10 0 0 0
+intr 12345
+ctxt 67890
+"""
+
+
+# ---------------------------------------------------------------------------
+# /proc/stat
+# ---------------------------------------------------------------------------
+def test_parse_aggregate_row():
+    s = parse_proc_stat(SAMPLE)
+    # busy: user+nice+system+irq+softirq = 1000+50+300+10+20 = 1380
+    assert s.busy == pytest.approx(1380 / USER_HZ)
+    # idle: idle+iowait = 8000+200
+    assert s.idle == pytest.approx(8200 / USER_HZ)
+
+
+def test_parse_per_cpu_row():
+    s = parse_proc_stat(SAMPLE, cpu=1)
+    assert s.busy == pytest.approx(535 / USER_HZ)
+    assert s.idle == pytest.approx(4100 / USER_HZ)
+
+
+def test_missing_row_raises():
+    with pytest.raises(ValueError, match="cpu7"):
+        parse_proc_stat(SAMPLE, cpu=7)
+
+
+def test_utilization_between_snapshots():
+    before = parse_proc_stat(SAMPLE)
+    after_text = SAMPLE.replace("cpu  1000 50 300 8000", "cpu  1900 50 300 8100")
+    after = parse_proc_stat(after_text)
+    # +900 busy ticks, +100 idle ticks → 90% utilisation
+    assert after.utilization_since(before) == pytest.approx(0.9)
+
+
+def test_read_proc_stat_from_file(tmp_path):
+    path = tmp_path / "stat"
+    path.write_text(SAMPLE)
+    s = read_proc_stat(path=str(path), cpu=0)
+    assert s.busy == pytest.approx(845 / USER_HZ)
+
+
+# ---------------------------------------------------------------------------
+# RAPL
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def rapl_dir(tmp_path):
+    d = tmp_path / "intel-rapl:0"
+    d.mkdir()
+    (d / "energy_uj").write_text("1000000\n")
+    (d / "max_energy_range_uj").write_text("262143328850\n")
+    (d / "name").write_text("package-0\n")
+    return tmp_path
+
+
+def test_rapl_accumulates_joules(rapl_dir):
+    meter = RaplMeter(root=str(rapl_dir))
+    assert meter.available
+    assert meter.name == "package-0"
+    meter.begin()
+    (rapl_dir / "intel-rapl:0" / "energy_uj").write_text("6000000\n")
+    assert meter.sample() == pytest.approx(5.0)  # 5e6 µJ = 5 J
+    (rapl_dir / "intel-rapl:0" / "energy_uj").write_text("7500000\n")
+    assert meter.sample() == pytest.approx(6.5)
+
+
+def test_rapl_handles_counter_wrap(rapl_dir):
+    meter = RaplMeter(root=str(rapl_dir))
+    (rapl_dir / "intel-rapl:0" / "energy_uj").write_text("262143000000\n")
+    meter.begin()
+    (rapl_dir / "intel-rapl:0" / "energy_uj").write_text("500000\n")  # wrapped
+    joules = meter.sample()
+    expected = (262143328850 - 262143000000 + 500000) / 1e6
+    assert joules == pytest.approx(expected)
+
+
+def test_rapl_sample_before_begin_raises(rapl_dir):
+    with pytest.raises(RaplError):
+        RaplMeter(root=str(rapl_dir)).sample()
+
+
+def test_rapl_missing_domain(tmp_path):
+    meter = RaplMeter(root=str(tmp_path))
+    assert not meter.available
+    assert meter.name == "intel-rapl:0"  # falls back to the domain id
+    with pytest.raises(RaplError):
+        meter.begin()

@@ -1,0 +1,74 @@
+"""Tests for sysfs CPUFreq control against a fake sysfs tree."""
+
+import pytest
+
+from repro.realhw.sysfs_cpufreq import CpufreqError, SysfsCpuFreq
+
+
+@pytest.fixture
+def sysfs(tmp_path):
+    """A fake /sys/devices/system/cpu with one Pentium-M-like CPU."""
+    cpudir = tmp_path / "cpu0" / "cpufreq"
+    cpudir.mkdir(parents=True)
+    (cpudir / "scaling_cur_freq").write_text("1400000\n")
+    (cpudir / "scaling_available_frequencies").write_text(
+        "1400000 1200000 1000000 800000 600000\n"
+    )
+    (cpudir / "scaling_governor").write_text("performance\n")
+    (cpudir / "scaling_setspeed").write_text("<unsupported>\n")
+    (cpudir / "cpuinfo_min_freq").write_text("600000\n")
+    (cpudir / "cpuinfo_max_freq").write_text("1400000\n")
+    return tmp_path
+
+
+def test_reads_current_frequency(sysfs):
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    assert cf.current_frequency == 1.4e9
+
+
+def test_available_frequencies_sorted_in_hz(sysfs):
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    assert cf.available_frequencies == [6e8, 8e8, 1e9, 1.2e9, 1.4e9]
+
+
+def test_available_falls_back_to_bounds(sysfs):
+    (sysfs / "cpu0" / "cpufreq" / "scaling_available_frequencies").unlink()
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    assert cf.available_frequencies == [6e8, 1.4e9]
+
+
+def test_set_speed_switches_to_userspace_and_writes_khz(sysfs):
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    cf.set_speed_now(850e6)  # snaps to 800 MHz
+    cpudir = sysfs / "cpu0" / "cpufreq"
+    assert (cpudir / "scaling_governor").read_text() == "userspace"
+    assert (cpudir / "scaling_setspeed").read_text() == "800000"
+
+
+def test_set_speed_keeps_existing_userspace_governor(sysfs):
+    cpudir = sysfs / "cpu0" / "cpufreq"
+    (cpudir / "scaling_governor").write_text("userspace\n")
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    cf.set_speed_now(600e6)
+    assert (cpudir / "scaling_setspeed").read_text() == "600000"
+
+
+def test_resolve_snaps(sysfs):
+    cf = SysfsCpuFreq(cpu=0, root=str(sysfs))
+    assert cf.resolve(999e6) == 1e9
+
+
+def test_available_flag(sysfs, tmp_path):
+    assert SysfsCpuFreq(cpu=0, root=str(sysfs)).available
+    assert not SysfsCpuFreq(cpu=7, root=str(sysfs)).available
+
+
+def test_missing_tree_raises_cpufreq_error(tmp_path):
+    cf = SysfsCpuFreq(cpu=0, root=str(tmp_path))
+    with pytest.raises(CpufreqError):
+        cf.current_frequency
+
+
+def test_negative_cpu_rejected():
+    with pytest.raises(ValueError):
+        SysfsCpuFreq(cpu=-1)

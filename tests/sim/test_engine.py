@@ -1,0 +1,184 @@
+"""Unit tests for the DES engine core: clock, scheduling, run modes."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+
+
+def test_initial_time_defaults_to_zero():
+    assert Engine().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Engine(start_time=12.5).now == 12.5
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    eng.timeout(3.0)
+    eng.run()
+    assert eng.now == 3.0
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_negative_schedule_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.schedule(eng.event(), delay=-0.5)
+
+
+def test_run_until_time_stops_clock_exactly():
+    eng = Engine()
+    eng.timeout(10.0)
+    eng.run(until=4.0)
+    assert eng.now == 4.0
+
+
+def test_run_until_time_processes_earlier_events():
+    eng = Engine()
+    seen = []
+
+    def proc():
+        yield eng.timeout(1.0)
+        seen.append(eng.now)
+        yield eng.timeout(10.0)
+        seen.append(eng.now)
+
+    eng.process(proc())
+    eng.run(until=5.0)
+    assert seen == [1.0]
+
+
+def test_run_until_past_time_rejected():
+    eng = Engine()
+    eng.timeout(1.0)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.run(until=0.5)
+
+
+def test_run_until_event_returns_its_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(2.0)
+        return "done"
+
+    p = eng.process(proc())
+    assert eng.run(until=p) == "done"
+    assert eng.now == 2.0
+
+
+def test_run_until_already_processed_event():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+        return 42
+
+    p = eng.process(proc())
+    eng.run()
+    assert eng.run(until=p) == 42
+
+
+def test_run_until_event_that_never_fires_raises():
+    eng = Engine()
+    ev = eng.event()  # never triggered
+
+    def proc():
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    with pytest.raises(SimulationError, match="never triggering"):
+        eng.run(until=ev)
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+
+    def waiter(delay, label):
+        yield eng.timeout(delay)
+        order.append(label)
+
+    eng.process(waiter(3.0, "c"))
+    eng.process(waiter(1.0, "a"))
+    eng.process(waiter(2.0, "b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_fire_in_insertion_order():
+    eng = Engine()
+    order = []
+
+    def waiter(label):
+        yield eng.timeout(1.0)
+        order.append(label)
+
+    for label in "abcd":
+        eng.process(waiter(label))
+    eng.run()
+    assert order == list("abcd")
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Engine().step()
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    eng.timeout(7.0)
+    eng.timeout(3.0)
+    assert eng.peek() == 3.0
+
+
+def test_peek_empty_is_infinite():
+    assert Engine().peek() == float("inf")
+
+
+def test_run_is_not_reentrant():
+    eng = Engine()
+    errors = []
+
+    def proc():
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(exc)
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_strict_mode_propagates_process_exception():
+    eng = Engine(strict=True)
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise ValueError("boom")
+
+    eng.process(bad())
+    with pytest.raises(ValueError, match="boom"):
+        eng.run()
+
+
+def test_nonstrict_mode_records_failure_on_process():
+    eng = Engine(strict=False)
+
+    def bad():
+        yield eng.timeout(1.0)
+        raise ValueError("boom")
+
+    p = eng.process(bad())
+    eng.run()
+    assert p.triggered and not p.ok
+    assert isinstance(p.value, ValueError)

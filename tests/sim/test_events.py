@@ -1,0 +1,210 @@
+"""Unit tests for events, conditions, and event composition."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, SimulationError
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_event_starts_untriggered(eng):
+    ev = eng.event()
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_value_before_trigger_raises(eng):
+    with pytest.raises(SimulationError):
+        eng.event().value
+    with pytest.raises(SimulationError):
+        eng.event().ok
+
+
+def test_succeed_sets_value(eng):
+    ev = eng.event()
+    ev.succeed(99)
+    assert ev.triggered and ev.ok and ev.value == 99
+
+
+def test_double_trigger_raises(eng):
+    ev = eng.event()
+    ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.succeed()
+    with pytest.raises(SimulationError):
+        ev.fail(ValueError())
+
+
+def test_fail_requires_exception_instance(eng):
+    with pytest.raises(SimulationError):
+        eng.event().fail("not an exception")
+
+
+def test_waiting_process_receives_event_value(eng):
+    ev = eng.event()
+    got = []
+
+    def waiter():
+        got.append((yield ev))
+
+    def trigger():
+        yield eng.timeout(5.0)
+        ev.succeed("payload")
+
+    eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert got == ["payload"]
+
+
+def test_failed_event_raises_in_waiter(eng):
+    ev = eng.event()
+    caught = []
+
+    def waiter():
+        try:
+            yield ev
+        except KeyError as exc:
+            caught.append(exc)
+
+    def trigger():
+        yield eng.timeout(1.0)
+        ev.fail(KeyError("missing"))
+
+    eng.process(waiter())
+    eng.process(trigger())
+    eng.run()
+    assert len(caught) == 1
+
+
+def test_yielding_already_processed_event_resumes_immediately(eng):
+    ev = eng.event()
+    ev.succeed("early")
+    eng.run()  # processes ev
+    got = []
+
+    def late_waiter():
+        got.append((yield ev))
+        got.append(eng.now)
+
+    eng.process(late_waiter())
+    eng.run()
+    assert got == ["early", 0.0]
+
+
+def test_timeout_carries_value(eng):
+    got = []
+
+    def proc():
+        got.append((yield eng.timeout(1.0, value="tick")))
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["tick"]
+
+
+def test_any_of_fires_on_first(eng):
+    def proc():
+        t_fast = eng.timeout(1.0, value="fast")
+        t_slow = eng.timeout(5.0, value="slow")
+        result = yield eng.any_of([t_fast, t_slow])
+        assert t_fast in result and result[t_fast] == "fast"
+        assert t_slow not in result
+        return eng.now
+
+    p = eng.process(proc())
+    assert eng.run(until=p) == 1.0
+
+
+def test_all_of_waits_for_all(eng):
+    def proc():
+        events = [eng.timeout(d, value=d) for d in (3.0, 1.0, 2.0)]
+        result = yield eng.all_of(events)
+        assert sorted(result.values()) == [1.0, 2.0, 3.0]
+        return eng.now
+
+    p = eng.process(proc())
+    assert eng.run(until=p) == 3.0
+
+
+def test_empty_all_of_triggers_immediately(eng):
+    def proc():
+        result = yield eng.all_of([])
+        return result
+
+    p = eng.process(proc())
+    assert eng.run(until=p) == {}
+
+
+def test_any_of_with_already_triggered_event(eng):
+    ev = eng.event()
+    ev.succeed("pre")
+    eng.run()
+
+    def proc():
+        result = yield eng.any_of([ev, eng.timeout(10.0)])
+        return result[ev]
+
+    p = eng.process(proc())
+    assert eng.run(until=p) == "pre"
+    assert eng.now == 0.0
+
+
+def test_condition_fails_when_member_fails(eng):
+    ev = eng.event()
+    caught = []
+
+    def proc():
+        try:
+            yield eng.all_of([ev, eng.timeout(10.0)])
+        except RuntimeError as exc:
+            caught.append(exc)
+
+    def trigger():
+        yield eng.timeout(1.0)
+        ev.fail(RuntimeError("dead"))
+
+    eng.process(proc())
+    eng.process(trigger())
+    eng.run()
+    assert len(caught) == 1
+
+
+def test_condition_rejects_foreign_engine_events(eng):
+    other = Engine()
+    with pytest.raises(SimulationError):
+        AnyOf(eng, [other.event()])
+
+
+def test_all_of_and_any_of_classes_directly(eng):
+    a, b = eng.event(), eng.event()
+    any_cond = AnyOf(eng, [a, b])
+    all_cond = AllOf(eng, [a, b])
+    a.succeed(1)
+    eng.run()
+    assert any_cond.triggered
+    assert not all_cond.triggered
+    b.succeed(2)
+    eng.run()
+    assert all_cond.triggered
+
+
+def test_trigger_mirrors_success_and_failure(eng):
+    src = eng.event()
+    dst = eng.event()
+    src.succeed("v")
+    dst.trigger(src)
+    assert dst.triggered and dst.ok and dst.value == "v"
+
+    src2 = eng.event()
+    dst2 = eng.event()
+    src2.fail(ValueError("x"))
+    dst2.trigger(src2)
+    assert dst2.triggered and not dst2.ok
+
+    with pytest.raises(SimulationError):
+        eng.event().trigger(eng.event())
+    eng.run()  # drain scheduled events to keep the engine clean

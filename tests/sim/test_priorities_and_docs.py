@@ -1,0 +1,77 @@
+"""Engine scheduling priorities and repo-wide docstring coverage."""
+
+import importlib
+import pkgutil
+
+import repro
+from repro.sim import Engine, PRIORITY_LOW, PRIORITY_NORMAL, PRIORITY_URGENT
+
+
+def test_priorities_break_time_ties():
+    eng = Engine()
+    order = []
+
+    def make(label):
+        ev = eng.event()
+        ev.callbacks.append(lambda _: order.append(label))
+        return ev
+
+    eng.schedule(make("low"), delay=1.0, priority=PRIORITY_LOW)
+    eng.schedule(make("urgent"), delay=1.0, priority=PRIORITY_URGENT)
+    eng.schedule(make("normal"), delay=1.0, priority=PRIORITY_NORMAL)
+    eng.run()
+    assert order == ["urgent", "normal", "low"]
+
+
+def test_priority_does_not_override_time():
+    eng = Engine()
+    order = []
+
+    def make(label):
+        ev = eng.event()
+        ev.callbacks.append(lambda _: order.append(label))
+        return ev
+
+    eng.schedule(make("later-urgent"), delay=2.0, priority=PRIORITY_URGENT)
+    eng.schedule(make("earlier-low"), delay=1.0, priority=PRIORITY_LOW)
+    eng.run()
+    assert order == ["earlier-low", "later-urgent"]
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+def test_every_module_has_a_docstring():
+    """Documentation is a deliverable: every module documents itself."""
+    missing = []
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        doc = (module.__doc__ or "").strip()
+        if len(doc) < 20:
+            missing.append(name)
+    assert not missing, f"modules without meaningful docstrings: {missing}"
+
+
+def test_every_public_class_has_a_docstring():
+    missing = []
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for attr in getattr(module, "__all__", []):
+            obj = getattr(module, attr, None)
+            if isinstance(obj, type) and obj.__module__ == name:
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{name}.{attr}")
+    assert not missing, f"public classes without docstrings: {missing}"
+
+
+def test_package_exports_resolve():
+    """Every name in every __all__ actually exists."""
+    broken = []
+    for name in _walk_modules():
+        module = importlib.import_module(name)
+        for attr in getattr(module, "__all__", []):
+            if not hasattr(module, attr):
+                broken.append(f"{name}.{attr}")
+    assert not broken, f"__all__ names that do not resolve: {broken}"

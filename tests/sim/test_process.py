@@ -1,0 +1,212 @@
+"""Unit tests for simulated processes: lifecycle, interrupts, composition."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, SimulationError
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+def test_process_requires_generator(eng):
+    with pytest.raises(SimulationError):
+        eng.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_process_return_value_becomes_event_value(eng):
+    def proc():
+        yield eng.timeout(1.0)
+        return "result"
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.triggered and p.value == "result"
+
+
+def test_process_is_alive_until_done(eng):
+    def proc():
+        yield eng.timeout(1.0)
+
+    p = eng.process(proc())
+    assert p.is_alive
+    eng.run()
+    assert not p.is_alive
+
+
+def test_process_can_wait_on_another_process(eng):
+    def inner():
+        yield eng.timeout(2.0)
+        return 7
+
+    def outer():
+        value = yield eng.process(inner())
+        return value * 10
+
+    p = eng.process(outer())
+    assert eng.run(until=p) == 70
+    assert eng.now == 2.0
+
+
+def test_yielding_non_event_raises(eng):
+    def proc():
+        yield 42  # type: ignore[misc]
+
+    eng.process(proc())
+    with pytest.raises(SimulationError, match="must[\\s\\S]*yield Event"):
+        eng.run()
+
+
+def test_yielding_foreign_engine_event_raises(eng):
+    other = Engine()
+
+    def proc():
+        yield other.timeout(1.0)
+
+    eng.process(proc())
+    with pytest.raises(SimulationError, match="another engine"):
+        eng.run()
+
+
+def test_interrupt_delivers_cause(eng):
+    causes = []
+
+    def victim():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as exc:
+            causes.append(exc.cause)
+            causes.append(eng.now)
+
+    def attacker(target):
+        yield eng.timeout(5.0)
+        target.interrupt("freq-change")
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert causes == ["freq-change", 5.0]
+
+
+def test_interrupted_wait_target_is_abandoned(eng):
+    log = []
+
+    def victim():
+        try:
+            yield eng.timeout(10.0)
+            log.append("timeout")
+        except Interrupt:
+            log.append("interrupted")
+        yield eng.timeout(100.0)
+        log.append("second-wait-done")
+
+    def attacker(target):
+        yield eng.timeout(1.0)
+        target.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    # The original 10s timeout must not resume the process a second time.
+    assert log == ["interrupted", "second-wait-done"]
+    assert eng.now == 101.0
+
+
+def test_interrupt_dead_process_raises(eng):
+    def proc():
+        yield eng.timeout(1.0)
+
+    p = eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_raises(eng):
+    errors = []
+
+    def proc():
+        me = eng.active_process
+        try:
+            me.interrupt()
+        except SimulationError as exc:
+            errors.append(exc)
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    eng.run()
+    assert len(errors) == 1
+
+
+def test_uncaught_interrupt_fails_process(eng):
+    eng.strict = False
+
+    def victim():
+        yield eng.timeout(100.0)
+
+    def attacker(target):
+        yield eng.timeout(1.0)
+        target.interrupt("bye")
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert v.triggered and not v.ok
+    assert isinstance(v.value, Interrupt)
+
+
+def test_process_starts_at_current_time_not_immediately(eng):
+    """A process body runs only once the engine is stepped."""
+    log = []
+
+    def proc():
+        log.append(eng.now)
+        yield eng.timeout(1.0)
+
+    eng.process(proc())
+    assert log == []  # not started synchronously
+    eng.run()
+    assert log == [0.0]
+
+
+def test_many_processes_interleave_deterministically(eng):
+    log = []
+
+    def worker(wid, period):
+        for _ in range(3):
+            yield eng.timeout(period)
+            log.append((eng.now, wid))
+
+    eng.process(worker("a", 1.0))
+    eng.process(worker("b", 1.5))
+    eng.run()
+    # At t=3.0 both fire; b's timeout was scheduled earlier (t=1.5 vs t=2.0)
+    # so it is processed first (insertion order among simultaneous events).
+    assert log == [
+        (1.0, "a"),
+        (1.5, "b"),
+        (2.0, "a"),
+        (3.0, "b"),
+        (3.0, "a"),
+        (4.5, "b"),
+    ]
+
+
+def test_process_failure_propagates_to_waiter(eng):
+    eng.strict = False
+    caught = []
+
+    def inner():
+        yield eng.timeout(1.0)
+        raise OSError("disk on fire")
+
+    def outer():
+        try:
+            yield eng.process(inner())
+        except OSError as exc:
+            caught.append(exc)
+
+    eng.process(outer())
+    eng.run()
+    assert len(caught) == 1

@@ -1,0 +1,183 @@
+"""Unit tests for Resource, Store, and FilterStore."""
+
+import pytest
+
+from repro.sim import Engine, FilterStore, Resource, SimulationError, Store
+
+
+@pytest.fixture
+def eng():
+    return Engine()
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+def test_resource_capacity_must_be_positive(eng):
+    with pytest.raises(SimulationError):
+        Resource(eng, capacity=0)
+
+
+def test_resource_grants_up_to_capacity(eng):
+    res = Resource(eng, capacity=2)
+    r1, r2, r3 = res.request(), res.request(), res.request()
+    assert r1.triggered and r2.triggered and not r3.triggered
+    assert res.count == 2 and res.queue_length == 1
+
+
+def test_release_wakes_fifo_waiter(eng):
+    res = Resource(eng, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    res.release(r1)
+    assert r2.triggered and not r3.triggered
+    res.release(r2)
+    assert r3.triggered
+
+
+def test_release_unheld_request_raises(eng):
+    res = Resource(eng)
+    req = res.request()
+    res.release(req)
+    with pytest.raises(SimulationError):
+        res.release(req)
+
+
+def test_cancel_waiting_request(eng):
+    res = Resource(eng)
+    r1 = res.request()
+    r2 = res.request()
+    res.cancel(r2)
+    res.release(r1)
+    assert not r2.triggered
+    with pytest.raises(SimulationError):
+        res.cancel(r2)
+
+
+def test_resource_serialises_processes(eng):
+    res = Resource(eng, capacity=1)
+    log = []
+
+    def user(name, hold):
+        req = res.request()
+        yield req
+        log.append((f"{name}-start", eng.now))
+        yield eng.timeout(hold)
+        res.release(req)
+        log.append((f"{name}-end", eng.now))
+
+    eng.process(user("a", 2.0))
+    eng.process(user("b", 3.0))
+    eng.run()
+    assert log == [
+        ("a-start", 0.0),
+        ("a-end", 2.0),
+        ("b-start", 2.0),
+        ("b-end", 5.0),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+def test_store_put_then_get(eng):
+    store = Store(eng)
+    store.put("x")
+    assert len(store) == 1
+    ev = store.get()
+    assert ev.triggered and ev.value == "x"
+    assert len(store) == 0
+
+
+def test_store_get_blocks_until_put(eng):
+    store = Store(eng)
+    got = []
+
+    def consumer():
+        got.append((yield store.get()))
+        got.append(eng.now)
+
+    def producer():
+        yield eng.timeout(4.0)
+        store.put("late")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == ["late", 4.0]
+
+
+def test_store_fifo_order(eng):
+    store = Store(eng)
+    for item in (1, 2, 3):
+        store.put(item)
+    assert store.peek_items() == (1, 2, 3)
+    assert [store.get().value for _ in range(3)] == [1, 2, 3]
+
+
+def test_store_getters_fifo(eng):
+    store = Store(eng)
+    g1, g2 = store.get(), store.get()
+    store.put("first")
+    store.put("second")
+    assert g1.value == "first" and g2.value == "second"
+
+
+# ---------------------------------------------------------------------------
+# FilterStore
+# ---------------------------------------------------------------------------
+def test_filterstore_matches_predicate(eng):
+    fs = FilterStore(eng)
+    fs.put({"tag": 1})
+    fs.put({"tag": 2})
+    ev = fs.get(lambda m: m["tag"] == 2)
+    assert ev.triggered and ev.value["tag"] == 2
+    assert len(fs) == 1
+
+
+def test_filterstore_blocks_until_match(eng):
+    fs = FilterStore(eng)
+    got = []
+
+    def consumer():
+        got.append((yield fs.get(lambda m: m == "wanted")))
+
+    def producer():
+        yield eng.timeout(1.0)
+        fs.put("other")
+        yield eng.timeout(1.0)
+        fs.put("wanted")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert got == ["wanted"]
+    assert len(fs) == 1  # "other" still queued
+
+
+def test_filterstore_preserves_fifo_within_match(eng):
+    fs = FilterStore(eng)
+    fs.put(("src0", "a"))
+    fs.put(("src1", "b"))
+    fs.put(("src0", "c"))
+    first = fs.get(lambda m: m[0] == "src0")
+    second = fs.get(lambda m: m[0] == "src0")
+    assert first.value == ("src0", "a")
+    assert second.value == ("src0", "c")
+
+
+def test_filterstore_put_wakes_first_matching_getter(eng):
+    fs = FilterStore(eng)
+    g_odd = fs.get(lambda n: n % 2 == 1)
+    g_even = fs.get(lambda n: n % 2 == 0)
+    fs.put(4)
+    assert not g_odd.triggered and g_even.triggered and g_even.value == 4
+
+
+def test_filterstore_probe_is_nondestructive(eng):
+    fs = FilterStore(eng)
+    assert fs.probe(lambda m: True) is None
+    fs.put("msg")
+    assert fs.probe(lambda m: m == "msg") == "msg"
+    assert len(fs) == 1

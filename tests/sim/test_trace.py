@@ -1,0 +1,51 @@
+"""Unit tests for the trace recorder."""
+
+import json
+
+from repro.sim import NullRecorder, TraceRecorder
+
+
+def test_records_are_kept_in_order():
+    tr = TraceRecorder()
+    tr.record(0.0, "cpu.state", state="ACTIVE")
+    tr.record(1.0, "mpi.send", nbytes=100)
+    assert len(tr) == 2
+    assert [r.category for r in tr] == ["cpu.state", "mpi.send"]
+
+
+def test_category_prefix_filter():
+    tr = TraceRecorder(categories=["cpu."])
+    tr.record(0.0, "cpu.state", state="IDLE")
+    tr.record(0.0, "mpi.send")
+    assert len(tr) == 1
+
+
+def test_select_by_category_and_predicate():
+    tr = TraceRecorder()
+    for t in range(5):
+        tr.record(float(t), "cpu.freq", mhz=600 + t)
+    tr.record(9.0, "net.xfer")
+    picked = tr.select("cpu.", predicate=lambda r: r.fields["mhz"] >= 603)
+    assert [r.time for r in picked] == [3.0, 4.0]
+
+
+def test_jsonl_round_trip():
+    tr = TraceRecorder()
+    tr.record(1.5, "dvs.transition", mhz=800, node=3)
+    lines = tr.to_jsonl().splitlines()
+    assert len(lines) == 1
+    payload = json.loads(lines[0])
+    assert payload == {"t": 1.5, "cat": "dvs.transition", "mhz": 800, "node": 3}
+
+
+def test_clear_empties_recorder():
+    tr = TraceRecorder()
+    tr.record(0.0, "x")
+    tr.clear()
+    assert len(tr) == 0
+
+
+def test_null_recorder_drops_everything():
+    tr = NullRecorder()
+    tr.record(0.0, "cpu.state", state="ACTIVE")
+    assert len(tr) == 0

@@ -1,0 +1,27 @@
+"""Shared fixtures for simulated-MPI tests."""
+
+import pytest
+
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.hardware.cluster import Cluster
+
+
+@pytest.fixture
+def cluster4():
+    return Cluster.build(4)
+
+
+@pytest.fixture
+def cluster8():
+    return Cluster.build(8)
+
+
+def fast_calibration(**overrides):
+    """Calibration with zero software costs, for pure-semantics tests."""
+    defaults = dict(
+        message_overhead_cycles=0.0,
+        proto_cycles_per_byte=0.0,
+        serial_cycles_per_byte=0.0,
+    )
+    defaults.update(overrides)
+    return DEFAULT_CALIBRATION.with_overrides(**defaults)

@@ -1,0 +1,200 @@
+"""Collective semantics on real payloads and synthetic byte counts."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.util.units import MIB
+
+
+@pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
+def test_bcast_reaches_every_rank(size):
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        payload = {"v": 99} if comm.rank == 2 % comm.size else None
+        got = yield from comm.bcast(payload, root=2 % comm.size)
+        return got
+
+    result = run_spmd(cluster, program)
+    assert all(r == {"v": 99} for r in result.returns)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 5, 8])
+def test_reduce_sums_to_root(size):
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        value = np.full(4, float(comm.rank + 1))
+        got = yield from comm.reduce(value, root=0)
+        return got
+
+    result = run_spmd(cluster, program)
+    expected = sum(range(1, size + 1))
+    np.testing.assert_allclose(result.returns[0], np.full(4, float(expected)))
+    assert all(r is None for r in result.returns[1:])
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 6])
+def test_allreduce_everyone_gets_sum(size):
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        got = yield from comm.allreduce(comm.rank + 1)
+        return got
+
+    result = run_spmd(cluster, program)
+    expected = sum(range(1, size + 1))
+    assert all(r == expected for r in result.returns)
+
+
+def test_gather_collects_in_rank_order():
+    cluster = Cluster.build(5)
+
+    def program(comm):
+        got = yield from comm.gather(comm.rank * 2, root=3)
+        return got
+
+    result = run_spmd(cluster, program)
+    assert result.returns[3] == [0, 2, 4, 6, 8]
+    assert all(result.returns[i] is None for i in range(5) if i != 3)
+
+
+def test_scatter_distributes_in_rank_order():
+    cluster = Cluster.build(4)
+
+    def program(comm):
+        values = [f"item{i}" for i in range(4)] if comm.rank == 1 else None
+        got = yield from comm.scatter(values, root=1)
+        return got
+
+    result = run_spmd(cluster, program)
+    assert result.returns == ["item0", "item1", "item2", "item3"]
+
+
+def test_scatter_validates_length():
+    cluster = Cluster.build(3)
+
+    def program(comm):
+        values = [1, 2] if comm.rank == 0 else None
+        yield from comm.scatter(values, root=0)
+
+    with pytest.raises(ValueError):
+        run_spmd(cluster, program)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 5])
+def test_allgather_everyone_has_all(size):
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        got = yield from comm.allgather(comm.rank + 100)
+        return got
+
+    result = run_spmd(cluster, program)
+    expected = [100 + i for i in range(size)]
+    assert all(r == expected for r in result.returns)
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 8])
+def test_alltoall_transposes_data(size):
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        outgoing = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
+        got = yield from comm.alltoall(outgoing)
+        return got
+
+    result = run_spmd(cluster, program)
+    for dst in range(size):
+        assert result.returns[dst] == [f"{src}->{dst}" for src in range(size)]
+
+
+def test_alltoall_synthetic_moves_right_volume():
+    size = 4
+    cluster = Cluster.build(size)
+    block = 1 * MIB
+
+    def program(comm):
+        got = yield from comm.alltoall(nbytes_each=block)
+        return got
+
+    run_spmd(cluster, program)
+    # p*(p-1) off-node blocks cross the fabric.
+    assert cluster.fabric.bytes_transferred == size * (size - 1) * block
+
+
+def test_alltoall_requires_data_description():
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        yield from comm.alltoall()
+
+    with pytest.raises(ValueError):
+        run_spmd(cluster, program)
+
+
+def test_barrier_synchronises_ranks():
+    cluster = Cluster.build(4)
+
+    def program(comm):
+        # Rank 2 arrives late; nobody may leave before it arrives.
+        if comm.rank == 2:
+            yield comm.engine.timeout(3.0)
+        yield from comm.barrier()
+        return comm.wtime()
+
+    result = run_spmd(cluster, program)
+    assert all(t >= 3.0 for t in result.returns)
+
+
+def test_barrier_single_rank_is_instant():
+    cluster = Cluster.build(1)
+
+    def program(comm):
+        yield from comm.barrier()
+        return comm.wtime()
+
+    result = run_spmd(cluster, program)
+    assert result.returns[0] == 0.0
+
+
+def test_back_to_back_collectives_do_not_cross():
+    """Two consecutive collectives use distinct tags and stay ordered."""
+    cluster = Cluster.build(4)
+
+    def program(comm):
+        first = yield from comm.allreduce(comm.rank)
+        second = yield from comm.allreduce(comm.rank * 10)
+        return (first, second)
+
+    result = run_spmd(cluster, program)
+    assert all(r == (6, 60) for r in result.returns)
+
+
+def test_reduce_with_custom_op():
+    from repro.simmpi.collectives import reduce as mpi_reduce
+
+    cluster = Cluster.build(4)
+
+    def program(comm):
+        got = yield from mpi_reduce(comm, comm.rank + 1, root=0, op=lambda a, b: a * b)
+        return got
+
+    result = run_spmd(cluster, program)
+    assert result.returns[0] == 24
+
+
+def test_bcast_synthetic_volume():
+    size = 8
+    cluster = Cluster.build(size)
+    block = 2 * MIB
+
+    def program(comm):
+        yield from comm.bcast(None, root=0, nbytes=block)
+        return None
+
+    run_spmd(cluster, program)
+    # Binomial tree moves exactly p-1 copies of the block.
+    assert cluster.fabric.bytes_transferred == (size - 1) * block

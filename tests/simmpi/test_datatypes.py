@@ -1,0 +1,80 @@
+"""Tests for the strided vector datatype, incl. property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hardware.memory import PENTIUM_M_MEMORY
+from repro.simmpi.datatypes import VectorType
+from repro.util.units import KIB
+
+
+def test_geometry():
+    vt = VectorType(count=512, blocklength=1, stride=8, element_bytes=8)
+    assert vt.elements == 512
+    assert vt.payload_bytes == 4 * KIB
+    assert vt.extent_elements == 511 * 8 + 1
+    assert not vt.is_contiguous
+
+
+def test_contiguous_detection():
+    assert VectorType(count=4, blocklength=2, stride=2).is_contiguous
+    assert not VectorType(count=4, blocklength=2, stride=3).is_contiguous
+
+
+def test_overlapping_blocks_rejected():
+    with pytest.raises(ValueError, match="may not overlap"):
+        VectorType(count=4, blocklength=3, stride=2)
+    with pytest.raises(ValueError):
+        VectorType(count=0)
+
+
+def test_pack_gathers_expected_elements():
+    vt = VectorType(count=3, blocklength=2, stride=4)
+    source = np.arange(12.0)
+    packed = vt.pack(source)
+    np.testing.assert_array_equal(packed, [0, 1, 4, 5, 8, 9])
+
+
+def test_unpack_scatters_back():
+    vt = VectorType(count=3, blocklength=2, stride=4)
+    target = np.full(12, -1.0)
+    vt.unpack(np.array([0.0, 1, 4, 5, 8, 9]), target)
+    np.testing.assert_array_equal(target[0:2], [0, 1])
+    np.testing.assert_array_equal(target[4:6], [4, 5])
+    np.testing.assert_array_equal(target[8:10], [8, 9])
+    assert target[2] == -1.0  # gaps untouched
+
+
+def test_pack_validates_source_size():
+    vt = VectorType(count=4, blocklength=1, stride=8)
+    with pytest.raises(ValueError):
+        vt.pack(np.zeros(5))
+    with pytest.raises(ValueError):
+        vt.unpack(np.zeros(3), np.zeros(100))
+
+
+def test_strided_pack_costs_more_than_contiguous():
+    mem = PENTIUM_M_MEMORY
+    contiguous = VectorType(count=512, blocklength=1, stride=1)
+    strided = VectorType(count=512, blocklength=1, stride=8)
+    c_cost = contiguous.pack_cost(mem)
+    s_cost = strided.pack_cost(mem)
+    assert s_cost.cpu_cycles > c_cost.cpu_cycles
+
+
+@given(
+    count=st.integers(min_value=1, max_value=50),
+    blocklength=st.integers(min_value=1, max_value=5),
+    gap=st.integers(min_value=0, max_value=7),
+)
+def test_pack_unpack_roundtrip(count, blocklength, gap):
+    """unpack(pack(x)) recovers exactly the typed elements of x."""
+    vt = VectorType(count=count, blocklength=blocklength, stride=blocklength + gap)
+    rng = np.random.default_rng(count * 100 + blocklength * 10 + gap)
+    source = rng.random(vt.extent_elements + 3)
+    packed = vt.pack(source)
+    target = np.zeros_like(source)
+    vt.unpack(packed, target)
+    repacked = vt.pack(target)
+    np.testing.assert_array_equal(repacked, packed)

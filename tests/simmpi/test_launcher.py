@@ -1,0 +1,84 @@
+"""Tests for the SPMD launcher."""
+
+import pytest
+
+from repro.simmpi import run_spmd
+
+
+def test_returns_collected_per_rank(cluster4):
+    def program(comm):
+        yield comm.engine.timeout(0.1)
+        return comm.rank * 2
+
+    result = run_spmd(cluster4, program)
+    assert result.returns == [0, 2, 4, 6]
+
+
+def test_duration_is_last_finisher(cluster4):
+    def program(comm):
+        yield comm.engine.timeout(1.0 + comm.rank)
+        return None
+
+    result = run_spmd(cluster4, program)
+    assert result.duration == pytest.approx(4.0)
+
+
+def test_subset_of_nodes(cluster8):
+    def program(comm):
+        yield comm.engine.timeout(0.1)
+        return comm.size
+
+    result = run_spmd(cluster8, program, n_ranks=3)
+    assert result.returns == [3, 3, 3]
+
+
+def test_n_ranks_validated(cluster4):
+    def program(comm):
+        yield comm.engine.timeout(0.1)
+
+    with pytest.raises(ValueError):
+        run_spmd(cluster4, program, n_ranks=0)
+    with pytest.raises(ValueError):
+        run_spmd(cluster4, program, n_ranks=5)
+
+
+def test_program_args_forwarded(cluster4):
+    def program(comm, offset):
+        yield comm.engine.timeout(0.0)
+        return comm.rank + offset
+
+    result = run_spmd(cluster4, program, program_args=(100,))
+    assert result.returns == [100, 101, 102, 103]
+
+
+def test_rank_exception_propagates(cluster4):
+    def program(comm):
+        yield comm.engine.timeout(0.1)
+        if comm.rank == 2:
+            raise RuntimeError("rank 2 died")
+
+    with pytest.raises(RuntimeError, match="rank 2 died"):
+        run_spmd(cluster4, program)
+
+
+def test_sequential_jobs_on_one_cluster(cluster4):
+    """Two jobs back to back reuse the engine; time keeps advancing."""
+
+    def program(comm):
+        yield comm.engine.timeout(1.0)
+        return comm.wtime()
+
+    first = run_spmd(cluster4, program)
+    second = run_spmd(cluster4, program)
+    assert second.start >= first.end
+    assert second.duration == pytest.approx(1.0)
+
+
+def test_power_accounting_closed_after_run(cluster4):
+    def program(comm):
+        yield from comm.cpu.run_cycles(1.4e9)
+        return None
+
+    result = run_spmd(cluster4, program, n_ranks=1)
+    stats = cluster4.nodes[0].procstat.snapshot()
+    assert stats.total == pytest.approx(result.duration)

@@ -1,0 +1,158 @@
+"""Property-based tests for the simulated MPI.
+
+Random message schedules and collective payloads; semantic invariants
+must hold for every generated case.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+
+# Simulation-heavy properties: keep example counts moderate.
+FAST = settings(max_examples=25, deadline=None)
+
+
+@FAST
+@given(
+    payload_sizes=st.lists(
+        st.integers(min_value=0, max_value=512 * 1024), min_size=1, max_size=6
+    ),
+    tag=st.integers(min_value=0, max_value=100),
+)
+def test_messages_never_reorder_within_source_tag(payload_sizes, tag):
+    """Non-overtaking across a mix of eager and rendezvous messages."""
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            for i, size in enumerate(payload_sizes):
+                yield from comm.send(i, dest=1, tag=tag, nbytes=size)
+            return None
+        got = []
+        for _ in payload_sizes:
+            got.append((yield from comm.recv(source=0, tag=tag)))
+        return got
+
+    result = run_spmd(cluster, program)
+    assert result.returns[1] == list(range(len(payload_sizes)))
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=6),
+    root=st.integers(min_value=0, max_value=5),
+    value=st.integers(min_value=-1000, max_value=1000),
+)
+def test_bcast_delivers_same_value_everywhere(size, root, value):
+    root = root % size
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        payload = value if comm.rank == root else None
+        got = yield from comm.bcast(payload, root=root)
+        return got
+
+    result = run_spmd(cluster, program)
+    assert all(r == value for r in result.returns)
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=6),
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=6,
+        max_size=6,
+    ),
+)
+def test_allreduce_sum_is_exactly_python_sum(size, values):
+    cluster = Cluster.build(size)
+    local = values[:size]
+
+    def program(comm):
+        got = yield from comm.allreduce(local[comm.rank])
+        return got
+
+    result = run_spmd(cluster, program)
+    # Binomial combination order differs from sequential sum; allow fp slop.
+    for r in result.returns:
+        assert r == pytest.approx(sum(local), rel=1e-12, abs=1e-9)
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_alltoall_is_a_transpose(size, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.integers(0, 1000, size=(size, size))
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        outgoing = [int(matrix[comm.rank, dst]) for dst in range(comm.size)]
+        got = yield from comm.alltoall(outgoing)
+        return got
+
+    result = run_spmd(cluster, program)
+    for dst in range(size):
+        assert result.returns[dst] == [int(matrix[src, dst]) for src in range(size)]
+
+
+@FAST
+@given(
+    size=st.integers(min_value=2, max_value=6),
+    nbytes=st.integers(min_value=0, max_value=1 << 20),
+)
+def test_synthetic_volume_conservation(size, nbytes):
+    """alltoall moves exactly p(p−1) blocks off-node, regardless of the
+    eager/rendezvous split the size triggers."""
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        yield from comm.alltoall(nbytes_each=nbytes)
+        return None
+
+    run_spmd(cluster, program)
+    assert cluster.fabric.bytes_transferred == size * (size - 1) * nbytes
+
+
+@FAST
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=3.0), min_size=2, max_size=6
+    )
+)
+def test_barrier_release_time_is_last_arrival(delays):
+    cluster = Cluster.build(len(delays))
+
+    def program(comm):
+        yield comm.engine.timeout(delays[comm.rank])
+        yield from comm.barrier()
+        return comm.wtime()
+
+    result = run_spmd(cluster, program)
+    latest = max(delays)
+    assert all(t >= latest - 1e-9 for t in result.returns)
+
+
+@FAST
+@given(
+    size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_gather_scatter_roundtrip(size, seed):
+    rng = np.random.default_rng(seed)
+    data = [int(v) for v in rng.integers(0, 10**6, size=size)]
+    cluster = Cluster.build(size)
+
+    def program(comm):
+        gathered = yield from comm.gather(data[comm.rank], root=0)
+        back = yield from comm.scatter(gathered, root=0)
+        return back
+
+    result = run_spmd(cluster, program)
+    assert result.returns == data

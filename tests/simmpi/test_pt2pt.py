@@ -1,0 +1,261 @@
+"""Point-to-point semantics: matching, ordering, protocols, payloads."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.simmpi import ANY_SOURCE, ANY_TAG, payload_nbytes, run_spmd
+from repro.util.units import KIB, MIB
+
+from tests.simmpi.conftest import fast_calibration
+
+
+def test_send_recv_delivers_payload(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send({"x": 41}, dest=1, tag=5)
+            return None
+        if comm.rank == 1:
+            data = yield from comm.recv(source=0, tag=5)
+            return data
+        return None
+        yield  # pragma: no cover
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns[1] == {"x": 41}
+
+
+def test_numpy_payload_roundtrip(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.arange(1000), dest=1)
+        elif comm.rank == 1:
+            data = yield from comm.recv(source=0)
+            return int(data.sum())
+        return None
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns[1] == sum(range(1000))
+
+
+def test_transfer_takes_wire_time(cluster4):
+    nbytes = 9 * MIB
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(None, dest=1, nbytes=nbytes)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0)
+        return comm.wtime()
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    wire = nbytes / cluster4.calibration.network.payload_rate
+    # Receiver finishes no earlier than the wire time, and within ~10 %
+    # overhead of it (latency, software costs, rendezvous handshake).
+    assert wire <= result.duration <= wire * 1.10
+
+
+def test_messages_non_overtaking_same_source_tag(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            for i in range(5):
+                yield from comm.send(i, dest=1, tag=9)
+            return None
+        if comm.rank == 1:
+            got = []
+            for _ in range(5):
+                got.append((yield from comm.recv(source=0, tag=9)))
+            return got
+        return None
+        yield  # pragma: no cover
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns[1] == [0, 1, 2, 3, 4]
+
+
+def test_tag_selective_matching(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send("a", dest=1, tag=1)
+            yield from comm.send("b", dest=1, tag=2)
+            return None
+        if comm.rank == 1:
+            second = yield from comm.recv(source=0, tag=2)
+            first = yield from comm.recv(source=0, tag=1)
+            return (first, second)
+        return None
+        yield  # pragma: no cover
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns[1] == ("a", "b")
+
+
+def test_any_source_any_tag(cluster4):
+    def program(comm):
+        if comm.rank == 3:
+            got = set()
+            for _ in range(3):
+                got.add((yield from comm.recv(source=ANY_SOURCE, tag=ANY_TAG)))
+            return got
+        yield from comm.send(comm.rank, dest=3, tag=comm.rank)
+        return None
+
+    result = run_spmd(cluster4, program)
+    assert result.returns[3] == {0, 1, 2}
+
+
+def test_isend_waitall(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            reqs = []
+            for dst in (1, 2, 3):
+                req = yield from comm.isend(f"to{dst}", dest=dst)
+                reqs.append(req)
+            yield from comm.waitall(reqs)
+            return None
+        data = yield from comm.recv(source=0)
+        return data
+
+    result = run_spmd(cluster4, program)
+    assert result.returns[1:] == ["to1", "to2", "to3"]
+
+
+def test_irecv_status_has_source_tag_nbytes(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(np.zeros(100), dest=1, tag=42)
+            return None
+        if comm.rank == 1:
+            req = comm.irecv(source=0, tag=42)
+            yield from comm.wait(req)
+            return req.status
+        return None
+        yield  # pragma: no cover
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    status = result.returns[1]
+    assert status.source == 0 and status.tag == 42 and status.nbytes == 800
+
+
+def test_sendrecv_exchange(cluster4):
+    def program(comm):
+        partner = comm.rank ^ 1
+        got = yield from comm.sendrecv(comm.rank * 10, dest=partner, source=partner)
+        return got
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns == [10, 0]
+
+
+def test_eager_send_returns_before_recv_posted():
+    cluster = Cluster.build(2, calibration=fast_calibration())
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(b"x" * 1024, dest=1)  # below threshold
+            send_done = comm.wtime()
+            return send_done
+        yield comm.engine.timeout(5.0)  # recv posted very late
+        yield from comm.recv(source=0)
+        return comm.wtime()
+
+    result = run_spmd(cluster, program)
+    assert result.returns[0] < 0.1  # sender did not wait for the receiver
+    assert result.returns[1] >= 5.0
+
+
+def test_rendezvous_send_blocks_until_recv_posted():
+    cluster = Cluster.build(2, calibration=fast_calibration())
+    big = 1 * MIB  # above the 64 KiB eager threshold
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(None, dest=1, nbytes=big)
+            return comm.wtime()
+        yield comm.engine.timeout(5.0)
+        yield from comm.recv(source=0)
+        return comm.wtime()
+
+    result = run_spmd(cluster, program)
+    assert result.returns[0] >= 5.0  # sender completed only after the match
+
+
+def test_self_send_loopback(cluster4):
+    def program(comm):
+        req = comm.irecv(source=comm.rank, tag=3)
+        sreq = yield from comm.isend("self", dest=comm.rank, tag=3)
+        yield from comm.wait(sreq)
+        return (yield from comm.wait(req))
+
+    result = run_spmd(cluster4, program, n_ranks=1)
+    assert result.returns[0] == "self"
+
+
+def test_invalid_peer_rejected(cluster4):
+    def program(comm):
+        yield from comm.send(None, dest=99, nbytes=0)
+
+    with pytest.raises(ValueError):
+        run_spmd(cluster4, program, n_ranks=1)
+
+
+def test_payload_nbytes_rules():
+    assert payload_nbytes(None) == 0
+    assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+    assert payload_nbytes(b"abc") == 3
+    assert payload_nbytes(3.14) == 16
+    assert payload_nbytes([1, 2]) == 16 + 32
+    assert payload_nbytes("hi") == 18
+    assert payload_nbytes({"a": 1}) > 0
+    assert payload_nbytes(object()) == 64
+
+
+def test_wire_size_matches_numpy_payload(cluster4):
+    """Verification mode: the bytes that move are the payload's bytes."""
+    arr = np.zeros(256 * KIB // 8, dtype=np.float64)  # 256 KiB
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(arr, dest=1)
+        elif comm.rank == 1:
+            yield from comm.recv(source=0)
+        return None
+
+    run_spmd(cluster4, program, n_ranks=2)
+    assert cluster4.fabric.bytes_transferred == arr.nbytes
+
+
+def test_iprobe_sees_pending_envelope(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send("probe-me", dest=1, tag=5)
+            return None
+        # Give the envelope time to be posted (send is eager).
+        yield comm.engine.timeout(1.0)
+        status = comm.iprobe(source=0, tag=5)
+        none_status = comm.iprobe(source=0, tag=99)
+        data = yield from comm.recv(source=0, tag=5)
+        after = comm.iprobe(source=0, tag=5)
+        return (status, none_status, data, after)
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    status, none_status, data, after = result.returns[1]
+    assert status is not None and status.source == 0 and status.tag == 5
+    assert none_status is None
+    assert data == "probe-me"
+    assert after is None
+
+
+def test_request_complete_flag(cluster4):
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.engine.timeout(1.0)
+            yield from comm.send(None, dest=1, nbytes=0, tag=2)
+            return None
+        req = comm.irecv(source=0, tag=2)
+        early = req.complete
+        yield from comm.wait(req)
+        return (early, req.complete)
+
+    result = run_spmd(cluster4, program, n_ranks=2)
+    assert result.returns[1] == (False, True)

@@ -1,0 +1,182 @@
+"""Tests for the progress-engine CPU wait policy.
+
+These pin down the mechanisms behind the paper's results:
+
+* a rank waiting while traffic flows on its links busy-polls (busy in
+  /proc/stat, ~SPIN power) — why cpuspeed cannot save energy on FT;
+* a rank waiting with no traffic blocks in the kernel after a short spin
+  — why the transpose's backpressured senders draw near-idle power.
+"""
+
+from repro.hardware.activity import CpuActivity
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.util.units import MIB
+
+from tests.simmpi.conftest import fast_calibration
+
+
+def test_receiver_busy_polls_while_data_flows():
+    cluster = Cluster.build(2)
+    states = []
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(None, dest=1, nbytes=20 * MIB)
+            return None
+        # rank 1: sample own CPU state while the transfer is in flight
+        def sampler():
+            while True:
+                yield comm.engine.timeout(0.05)
+                states.append((comm.cpu.state, comm.cpu.floor))
+
+        comm.engine.process(sampler())
+        yield from comm.recv(source=0)
+        return comm.wtime()
+
+    run_spmd(cluster, program)
+    mid_states = states[2:-2]
+    assert mid_states, "transfer too short to sample"
+    # While bytes flow, the receiver does PROTO work over a SPIN floor.
+    assert all(
+        s is CpuActivity.PROTO and f is CpuActivity.SPIN for s, f in mid_states
+    )
+
+
+def test_receiver_procstat_shows_busy_during_communication():
+    """The cpuspeed-blinding artifact: a communication-bound rank is ~100%
+    busy in /proc/stat."""
+    cluster = Cluster.build(2)
+
+    def program(comm):
+        if comm.rank == 0:
+            yield from comm.send(None, dest=1, nbytes=20 * MIB)
+        else:
+            yield from comm.recv(source=0)
+        return None
+
+    run_spmd(cluster, program)
+    stats = cluster.nodes[1].procstat.snapshot()
+    assert stats.busy / stats.total > 0.95
+
+
+def test_waiter_with_no_traffic_blocks_after_spin():
+    cluster = Cluster.build(2, calibration=fast_calibration())
+    states = []
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.engine.timeout(2.0)  # make rank 1 wait with no traffic
+            yield from comm.send("late", dest=1, nbytes=0)
+            return None
+
+        def sampler():
+            while True:
+                yield comm.engine.timeout(0.1)
+                states.append((comm.wtime(), comm.cpu.state))
+
+        comm.engine.process(sampler())
+        got = yield from comm.recv(source=0)
+        return got
+
+    run_spmd(cluster, program)
+    blocked = [s for t, s in states if 0.2 < t < 1.9]
+    assert blocked and all(s is CpuActivity.IDLE for s in blocked)
+
+
+def test_waiter_spins_for_threshold_before_blocking():
+    cal = fast_calibration(spin_block_threshold=0.5)
+    cluster = Cluster.build(2, calibration=cal)
+    states = []
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.engine.timeout(2.0)
+            yield from comm.send(None, dest=1, nbytes=0)
+            return None
+
+        def sampler():
+            while True:
+                yield comm.engine.timeout(0.05)
+                states.append((comm.wtime(), comm.cpu.state))
+
+        comm.engine.process(sampler())
+        yield from comm.recv(source=0)
+        return None
+
+    run_spmd(cluster, program)
+    spinning = [s for t, s in states if 0.05 < t < 0.45]
+    blocked = [s for t, s in states if 0.55 < t < 1.95]
+    assert spinning and all(s is CpuActivity.SPIN for s in spinning)
+    assert blocked and all(s is CpuActivity.IDLE for s in blocked)
+
+
+def test_infinite_spin_threshold_never_blocks():
+    cal = fast_calibration(spin_block_threshold=float("inf"))
+    cluster = Cluster.build(2, calibration=cal)
+    states = []
+
+    def program(comm):
+        if comm.rank == 0:
+            yield comm.engine.timeout(1.0)
+            yield from comm.send(None, dest=1, nbytes=0)
+            return None
+
+        def sampler():
+            while True:
+                yield comm.engine.timeout(0.1)
+                states.append(comm.cpu.state)
+
+        comm.engine.process(sampler())
+        yield from comm.recv(source=0)
+        return None
+
+    run_spmd(cluster, program)
+    assert states and all(s is CpuActivity.SPIN for s in states[:-1])
+
+
+def test_backpressured_senders_idle_while_peer_transmits():
+    """Incast: two senders to one root share the root's rx link; each is
+    blocked (IDLE) for roughly half the wait — the transpose mechanism."""
+    cluster = Cluster.build(3)
+
+    def program(comm):
+        if comm.rank == 0:
+            for _ in range(2):
+                yield from comm.recv()
+            return None
+        yield from comm.send(None, dest=0, nbytes=30 * MIB)
+        return None
+
+    run_spmd(cluster, program)
+    # Each sender transmits ~half the time and is blocked the other half.
+    for sender in (1, 2):
+        stats = cluster.nodes[sender].procstat.snapshot()
+        idle_frac = stats.idle / stats.total
+        assert 0.2 < idle_frac < 0.8, idle_frac
+
+
+def test_energy_of_communication_falls_with_frequency():
+    """Communication-bound work: lower frequency cuts energy with little
+    delay impact (paper Fig 8 mechanism)."""
+    results = {}
+    for mhz in (1400, 600):
+        cluster = Cluster.build(2)
+        for node in cluster.nodes:
+            node.cpu.set_frequency(cluster.table.point_for(mhz * 1e6))
+
+        def program(comm):
+            if comm.rank == 0:
+                yield from comm.send(None, dest=1, nbytes=20 * MIB)
+            else:
+                yield from comm.recv(source=0)
+            return None
+
+        res = run_spmd(cluster, program)
+        energy = cluster.total_energy(res.start, res.end)
+        results[mhz] = (energy, res.duration)
+
+    e_slow, d_slow = results[600]
+    e_fast, d_fast = results[1400]
+    assert e_slow < 0.85 * e_fast  # big energy savings
+    assert d_slow < 1.15 * d_fast  # small delay impact

@@ -1,0 +1,147 @@
+"""Tests for the extension workloads: NAS EP, halo stencil, synthetic mix."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import static_crescendo
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.util.units import MHZ
+from repro.workloads.nas_ep import EP_CLASSES, NasEP, verify_ep
+from repro.workloads.stencil import HaloStencil, verify_stencil
+from repro.workloads.synthetic import SyntheticMix
+
+
+# ---------------------------------------------------------------------------
+# NAS EP
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_ep_distributed_counts_match_single_pass(n_ranks):
+    workload = NasEP("S", n_ranks=n_ranks, verify=True, pairs_override=4096)
+    cluster = Cluster.build(n_ranks)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_ep(workload, result.returns)
+
+
+def test_ep_counts_identical_on_every_rank():
+    workload = NasEP("S", n_ranks=4, verify=True, pairs_override=4096)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, workload.bind_plain())
+    for counts in result.returns[1:]:
+        np.testing.assert_array_equal(counts, result.returns[0])
+
+
+def test_ep_class_sizes():
+    assert EP_CLASSES["A"].pairs == 1 << 28
+    with pytest.raises(ValueError):
+        NasEP("Q")
+
+
+def test_ep_validation():
+    with pytest.raises(ValueError, match="divide evenly"):
+        NasEP("S", n_ranks=3, pairs_override=100)
+    with pytest.raises(ValueError, match="verification mode"):
+        NasEP("A", n_ranks=4, verify=True)
+
+
+def test_ep_is_dvs_unfavorable():
+    """EP behaves like Fig 7: delay ∝ 1/f, no energy savings at 600 MHz."""
+    workload = NasEP("S", n_ranks=2, pairs_override=1 << 22, chunks=10)
+    runs = static_crescendo(workload, [600 * MHZ, 1400 * MHZ])
+    slow, fast = runs[0].point, runs[1].point
+    assert slow.delay / fast.delay > 2.0
+    assert slow.energy > 0.9 * fast.energy  # nothing to save
+
+
+# ---------------------------------------------------------------------------
+# halo stencil
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_stencil_matches_single_array_reference(n_ranks):
+    workload = HaloStencil(n=64, n_ranks=n_ranks, sweeps=5, verify=True)
+    cluster = Cluster.build(n_ranks)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_stencil(workload, result.returns)
+
+
+def test_stencil_residuals_shared_across_ranks():
+    workload = HaloStencil(n=32, n_ranks=4, sweeps=6, residual_every=2, verify=True)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, workload.bind_plain())
+    residuals = [r["residuals"] for r in result.returns]
+    assert len(residuals[0]) == 3
+    for other in residuals[1:]:
+        np.testing.assert_allclose(other, residuals[0])
+
+
+def test_stencil_validation():
+    with pytest.raises(ValueError, match="divide"):
+        HaloStencil(n=100, n_ranks=3)
+    with pytest.raises(ValueError, match="too large"):
+        HaloStencil(n=8192, n_ranks=8, verify=True)
+    with pytest.raises(ValueError):
+        HaloStencil(n=64, n_ranks=2, sweeps=0)
+
+
+def test_stencil_halo_traffic_volume():
+    workload = HaloStencil(n=512, n_ranks=4, sweeps=3, residual_every=10)
+    cluster = Cluster.build(4)
+    run_spmd(cluster, workload.bind_plain())
+    # Per sweep: 3 interior boundaries × 2 directions = 6 halo messages.
+    expected = 3 * 6 * workload.halo_bytes
+    assert cluster.fabric.bytes_transferred == expected
+
+
+def test_stencil_sits_between_ep_and_ft_in_frequency_sensitivity():
+    """The extension claim: stencil's crescendo is intermediate."""
+    stencil = HaloStencil(n=2048, n_ranks=4, sweeps=4)
+    runs = static_crescendo(stencil, [600 * MHZ, 1400 * MHZ])
+    ratio = runs[0].point.delay / runs[1].point.delay
+    assert 1.1 < ratio < 2.0  # between comm-bound (~1.05) and cpu-bound (2.33)
+
+
+# ---------------------------------------------------------------------------
+# synthetic mix
+# ---------------------------------------------------------------------------
+def test_mix_fractions_validated():
+    with pytest.raises(ValueError, match="sum to 1"):
+        SyntheticMix(0.5, 0.2, 0.1)
+    with pytest.raises(ValueError, match="at least 2 ranks"):
+        SyntheticMix(0.5, 0.0, 0.5, n_ranks=1)
+
+
+def test_pure_cpu_mix_scales_like_register_loop():
+    mix = SyntheticMix(1.0, 0.0, 0.0, iteration_seconds=0.5, iterations=2, n_ranks=1)
+    runs = static_crescendo(mix, [600 * MHZ, 1400 * MHZ])
+    assert runs[0].point.delay / runs[1].point.delay == pytest.approx(
+        1400 / 600, rel=1e-6
+    )
+
+
+def test_pure_memory_mix_is_frequency_flat():
+    mix = SyntheticMix(0.0, 1.0, 0.0, iteration_seconds=0.5, iterations=2, n_ranks=1)
+    runs = static_crescendo(mix, [600 * MHZ, 1400 * MHZ])
+    assert runs[0].point.delay == pytest.approx(runs[1].point.delay, rel=1e-6)
+
+
+def test_comm_mix_roughly_hits_target_share():
+    mix = SyntheticMix(0.3, 0.2, 0.5, iteration_seconds=2.0, iterations=2, n_ranks=4)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, mix.bind_plain())
+    # Total iteration time ≈ iteration_seconds within protocol overheads.
+    assert result.duration == pytest.approx(2 * 2.0, rel=0.25)
+
+
+def test_mix_energy_savings_increase_with_slack():
+    """More slack (memory+comm) ⇒ bigger savings at 600 MHz."""
+
+    def saving(cpu, mem, comm):
+        mix = SyntheticMix(cpu, mem, comm, iteration_seconds=0.5,
+                           iterations=2, n_ranks=4)
+        runs = static_crescendo(mix, [600 * MHZ, 1400 * MHZ])
+        return 1 - runs[0].point.energy / runs[1].point.energy
+
+    cpu_heavy = saving(0.9, 0.05, 0.05)
+    balanced = saving(0.4, 0.3, 0.3)
+    slack_heavy = saving(0.1, 0.45, 0.45)
+    assert cpu_heavy < balanced < slack_heavy

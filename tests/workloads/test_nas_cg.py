@@ -1,0 +1,79 @@
+"""Tests for the NAS CG extension workload."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import static_crescendo
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.util.units import MHZ
+from repro.workloads.nas_cg import CG_CLASSES, NasCG, laplacian_2d, verify_cg
+
+
+def test_laplacian_is_spd():
+    a = laplacian_2d(8)
+    assert (a != a.T).nnz == 0  # symmetric
+    eigs = np.linalg.eigvalsh(a.toarray())
+    assert eigs.min() > 0  # positive definite
+
+
+def test_laplacian_row_structure():
+    a = laplacian_2d(4).toarray()
+    assert a[5, 5] == 4.0
+    assert a[5, 4] == -1.0 and a[5, 6] == -1.0
+    assert a[5, 1] == -1.0 and a[5, 9] == -1.0
+    # no wraparound across mesh row boundaries
+    assert a[3, 4] == 0.0
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_distributed_cg_converges_to_scipy_solution(n_ranks):
+    workload = NasCG("S", n_ranks=n_ranks, verify=True, grid=16, iterations=40)
+    cluster = Cluster.build(n_ranks)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_cg(workload, result.returns)
+
+
+def test_residual_history_shared_and_decreasing():
+    workload = NasCG("S", n_ranks=4, verify=True, grid=16, iterations=10)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, workload.bind_plain())
+    residuals = result.returns[0]["residuals"]
+    assert residuals[-1] < residuals[0]
+    for other in result.returns[1:]:
+        np.testing.assert_allclose(other["residuals"], residuals)
+
+
+def test_synthetic_mode_moves_allgather_volume():
+    workload = NasCG("A", n_ranks=4, iterations=5)
+    cluster = Cluster.build(4)
+    run_spmd(cluster, workload.bind_plain())
+    # Ring allgather: (p-1) block sends per rank per iteration, plus the
+    # two scalar allreduces (reduce tree + bcast ≈ 2(p-1) 8-byte messages).
+    block = workload.allgather_block_bytes
+    allgather_bytes = 5 * 4 * 3 * block
+    scalar_bytes = 5 * 2 * 2 * 3 * 8
+    assert cluster.fabric.bytes_transferred == allgather_bytes + scalar_bytes
+
+
+def test_class_table():
+    assert CG_CLASSES["B"].n == 75_000
+    with pytest.raises(ValueError):
+        NasCG("Z")
+    with pytest.raises(ValueError, match="divide"):
+        NasCG("S", n_ranks=3, verify=True, grid=16)
+
+
+def test_cg_is_latency_sensitive():
+    """CG's crescendo sits between comm-bound FT and cpu-bound EP: the
+    frequent small reductions make software overhead visible."""
+    workload = NasCG("W", n_ranks=4, iterations=10)
+    runs = static_crescendo(workload, [600 * MHZ, 1400 * MHZ])
+    ratio = runs[0].point.delay / runs[1].point.delay
+    assert 1.05 < ratio < 2.2
+
+
+def test_cg_saves_energy_at_low_frequency():
+    workload = NasCG("W", n_ranks=4, iterations=10)
+    runs = static_crescendo(workload, [600 * MHZ, 1400 * MHZ])
+    assert runs[0].point.energy < 0.95 * runs[1].point.energy

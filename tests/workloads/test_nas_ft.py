@@ -1,0 +1,102 @@
+"""Tests for the NAS FT workload: numerics and cost model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.workloads.nas_ft import (
+    FT_CLASSES,
+    FTClass,
+    NasFT,
+    verify_distributed_fft,
+)
+
+
+def test_problem_classes_match_npb():
+    assert FT_CLASSES["B"] == FTClass("B", 512, 256, 256, 20)
+    assert FT_CLASSES["C"] == FTClass("C", 512, 512, 512, 20)
+    assert FT_CLASSES["S"].iterations == 6
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_distributed_fft_matches_numpy(n_ranks):
+    """The headline correctness test: real data through the simulated
+    all-to-all equals numpy's fftn, for several decompositions."""
+    workload = NasFT("S", n_ranks=n_ranks, verify=True)
+    cluster = Cluster.build(n_ranks)
+    result = run_spmd(cluster, workload.bind_plain(), n_ranks=n_ranks)
+    verify_distributed_fft(workload, result.returns)
+
+
+def test_distributed_fft_class_w():
+    workload = NasFT("W", n_ranks=4, verify=True)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_distributed_fft(workload, result.returns)
+
+
+def test_checksums_identical_across_ranks():
+    workload = NasFT("S", n_ranks=4, verify=True)
+    cluster = Cluster.build(4)
+    result = run_spmd(cluster, workload.bind_plain())
+    sums = [r["checksums"] for r in result.returns]
+    for other in sums[1:]:
+        np.testing.assert_allclose(other, sums[0])
+
+
+def test_rank_divisibility_enforced():
+    with pytest.raises(ValueError, match="must divide"):
+        NasFT("S", n_ranks=3)
+    with pytest.raises(ValueError, match="unknown FT class"):
+        NasFT("Z")
+
+
+def test_verification_blocked_for_large_classes():
+    with pytest.raises(ValueError, match="too large"):
+        NasFT("B", n_ranks=8, verify=True)
+
+
+def test_synthetic_mode_moves_class_volume():
+    """Synthetic runs put the right number of bytes on the wire:
+    iterations × p(p−1) × block."""
+    workload = NasFT("S", n_ranks=4)  # synthetic
+    cluster = Cluster.build(4)
+    run_spmd(cluster, workload.bind_plain())
+    transpose_bytes = (
+        workload.problem.iterations * 4 * 3 * workload.alltoall_block_bytes
+    )
+    # plus the checksum allreduce: (p-1) reduce + (p-1) bcast messages of
+    # one 16-byte complex per iteration
+    checksum_bytes = workload.problem.iterations * 2 * 3 * 16
+    assert cluster.fabric.bytes_transferred == transpose_bytes + checksum_bytes
+
+
+def test_cost_model_scales_with_class():
+    small = NasFT("S", n_ranks=8)
+    big = NasFT("B", n_ranks=8)
+    assert big.fft_local_cost().cpu_cycles > small.fft_local_cost().cpu_cycles
+    assert big.alltoall_block_bytes > small.alltoall_block_bytes
+    assert big.local_bytes == FT_CLASSES["B"].total_bytes // 8
+
+
+def test_wrong_launch_width_rejected():
+    workload = NasFT("S", n_ranks=4)
+    cluster = Cluster.build(8)
+    with pytest.raises(ValueError, match="built for 4 ranks"):
+        run_spmd(cluster, workload.bind_plain(), n_ranks=8)
+
+
+def test_ft_communication_dominates_at_full_speed():
+    """On the 100 Mb cluster the transpose dwarfs local compute — the slack
+    the paper exploits.  Check the busy-state mix of a synthetic run."""
+    workload = NasFT("S", n_ranks=8)
+    cluster = Cluster.build(8)
+    result = run_spmd(cluster, workload.bind_plain())
+    comm_time = result.duration
+    # Local FFT+evolve compute at 1.4 GHz:
+    compute = (
+        workload.fft_local_cost().duration_at(1.4e9)
+        + workload.evolve_cost().duration_at(1.4e9)
+    ) * workload.problem.iterations
+    assert compute < 0.5 * comm_time

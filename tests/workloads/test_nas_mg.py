@@ -1,0 +1,92 @@
+"""Tests for the simplified NAS MG workload."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import static_crescendo
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.util.units import MHZ
+from repro.workloads.nas_mg import NasMG, _prolong, _restrict, verify_mg
+
+
+def test_restrict_prolong_shapes():
+    fine = np.arange(16.0).reshape(4, 4)
+    coarse = _restrict(fine)
+    assert coarse.shape == (2, 2)
+    np.testing.assert_array_equal(coarse, [[0, 2], [8, 10]])
+    back = _prolong(coarse)
+    assert back.shape == (4, 4)
+    assert back[0, 0] == back[1, 1] == 0.0
+
+
+def test_levels_depend_on_decomposition():
+    # 256 rows over 8 ranks = 32 rows/rank: 32→16→8→4→2 rows = 5 levels.
+    assert NasMG(n=256, n_ranks=8).levels == 5
+    # One rank: limited by the grid itself.
+    assert NasMG(n=64, n_ranks=1).levels >= 4
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_distributed_vcycle_matches_reference(n_ranks):
+    workload = NasMG(n=64, n_ranks=n_ranks, v_cycles=2, verify=True)
+    cluster = Cluster.build(n_ranks)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_mg(workload, result.returns)
+
+
+def test_multiple_vcycles_verify():
+    workload = NasMG(n=32, n_ranks=2, v_cycles=3, verify=True)
+    cluster = Cluster.build(2)
+    result = run_spmd(cluster, workload.bind_plain())
+    verify_mg(workload, result.returns)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="power of two"):
+        NasMG(n=100, n_ranks=4)
+    with pytest.raises(ValueError, match="divide"):
+        NasMG(n=64, n_ranks=3)
+    with pytest.raises(ValueError, match="4 rows per rank"):
+        NasMG(n=16, n_ranks=8)
+    with pytest.raises(ValueError, match="too large"):
+        NasMG(n=8192, n_ranks=8, verify=True)
+
+
+def test_halo_traffic_spans_all_levels():
+    """Every level exchanges halos, so total messages exceed a single-
+    level stencil's count and include tiny coarse-level messages."""
+    workload = NasMG(n=256, n_ranks=4, v_cycles=1)
+    cluster = Cluster.build(4)
+    run_spmd(cluster, workload.bind_plain())
+    levels = workload.levels
+    # Down: (levels-1) sweeps + 1 coarsest + (levels-1) up sweeps, each
+    # with 3 boundaries x 2 directions of halo rows.
+    sweeps = 2 * levels - 1
+    expected = sum(
+        6 * workload.halo_bytes(level)
+        for level in list(range(levels)) + list(range(levels - 1))
+    )
+    assert cluster.fabric.bytes_transferred == expected
+
+
+def test_mg_crescendo_is_memory_leaning():
+    """Fine levels dominate the volume: MG behaves closer to swim than
+    to mgrid under DVS (delay crescendo stays modest)."""
+    workload = NasMG(n=1024, n_ranks=4, v_cycles=2)
+    runs = static_crescendo(workload, [600 * MHZ, 1400 * MHZ])
+    ratio = runs[0].point.delay / runs[1].point.delay
+    assert ratio < 1.9
+    assert runs[0].point.energy < 0.9 * runs[1].point.energy
+
+
+def test_coarse_region_marked_for_dvs():
+    from repro.analysis.phases import TrackedStrategy
+    from repro.analysis.runner import run_measured
+    from repro.dvs.strategy import StaticStrategy
+
+    workload = NasMG(n=128, n_ranks=4, v_cycles=2)
+    strategy = TrackedStrategy(StaticStrategy(1400 * MHZ))
+    run_measured(workload, strategy)
+    coarse = [iv for iv in strategy.intervals() if iv.name == "coarse"]
+    assert len(coarse) == 4 * 2  # ranks x cycles

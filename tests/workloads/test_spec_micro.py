@@ -1,0 +1,144 @@
+"""Tests for SPEC-like kernels and the microbenchmark suite."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.hardware.memory import PENTIUM_M_MEMORY
+from repro.simmpi import run_spmd
+from repro.util.units import KIB, MIB
+from repro.workloads.micro import (
+    L2BoundMicro,
+    MemoryBoundMicro,
+    RegisterMicro,
+    RoundtripMicro,
+)
+from repro.workloads.spec_like import MgridLike, SwimLike
+
+
+def run_duration(workload, mhz=1400):
+    cluster = Cluster.build(workload.n_ranks)
+    for node in cluster.nodes:
+        node.cpu.set_frequency(cluster.table.point_for(mhz * 1e6))
+    result = run_spmd(cluster, workload.bind_plain())
+    energy = cluster.total_energy(result.start, result.end)
+    return energy, result.duration
+
+
+# ---------------------------------------------------------------------------
+# SPEC-like kernels
+# ---------------------------------------------------------------------------
+def test_mgrid_like_is_cpu_dominated():
+    cost = MgridLike(iterations=1).cost_per_iteration(PENTIUM_M_MEMORY)
+    cycle_time = cost.cpu_cycles / 1.4e9
+    assert cycle_time > 2 * cost.stall_seconds
+
+
+def test_swim_like_is_memory_dominated():
+    cost = SwimLike(iterations=1).cost_per_iteration(PENTIUM_M_MEMORY)
+    cycle_time = cost.cpu_cycles / 1.4e9
+    assert cost.stall_seconds > 2 * cycle_time
+
+
+def test_mgrid_delay_crescendo_steeper_than_swim():
+    """Fig 1: mgrid's delay blows up at low frequency, swim's barely moves."""
+    mgrid = MgridLike(iterations=2)
+    swim = SwimLike(iterations=2)
+    _, d_mgrid_fast = run_duration(mgrid, 1400)
+    _, d_mgrid_slow = run_duration(mgrid, 600)
+    _, d_swim_fast = run_duration(swim, 1400)
+    _, d_swim_slow = run_duration(swim, 600)
+    mgrid_ratio = d_mgrid_slow / d_mgrid_fast
+    swim_ratio = d_swim_slow / d_swim_fast
+    assert mgrid_ratio > 1.5
+    assert swim_ratio < 1.4
+    assert mgrid_ratio > swim_ratio
+
+
+def test_swim_saves_energy_at_low_frequency():
+    swim = SwimLike(iterations=2)
+    e_fast, _ = run_duration(swim, 1400)
+    e_slow, _ = run_duration(swim, 600)
+    assert e_slow < 0.8 * e_fast
+
+
+def test_iterations_validated():
+    with pytest.raises(ValueError):
+        MgridLike(iterations=0)
+
+
+def test_reference_steps_run():
+    grid = np.ones((16, 16))
+    out = MgridLike.reference_step(grid)
+    assert out.shape == grid.shape and np.isfinite(out).all()
+    u = np.random.default_rng(0).random((8, 8))
+    out2 = SwimLike.reference_step(u, u)
+    assert np.isfinite(out2).all()
+
+
+# ---------------------------------------------------------------------------
+# microbenchmarks
+# ---------------------------------------------------------------------------
+def test_membound_micro_uses_paper_parameters():
+    micro = MemoryBoundMicro()
+    assert micro.buffer_bytes == 32 * MIB
+    assert micro.stride_bytes == 128
+    cost = micro.cost_per_pass(PENTIUM_M_MEMORY)
+    assert cost.stall_seconds > 0  # DRAM latency bound
+
+
+def test_l2bound_micro_uses_paper_parameters():
+    micro = L2BoundMicro()
+    assert micro.buffer_bytes == 256 * KIB
+    cost = micro.cost_per_pass(PENTIUM_M_MEMORY)
+    assert cost.stall_seconds == 0.0  # on-die
+
+
+def test_membound_delay_flat_l2_delay_scales():
+    mem = MemoryBoundMicro(passes=4)
+    l2 = L2BoundMicro(passes=400)
+    _, d_mem_fast = run_duration(mem, 1400)
+    _, d_mem_slow = run_duration(mem, 600)
+    _, d_l2_fast = run_duration(l2, 1400)
+    _, d_l2_slow = run_duration(l2, 600)
+    assert d_mem_slow / d_mem_fast < 1.15  # Fig 6: ~5% loss
+    assert d_l2_slow / d_l2_fast == pytest.approx(1400 / 600, rel=0.02)  # Fig 7
+
+
+def test_register_micro_scales_exactly_with_frequency():
+    micro = RegisterMicro(total_ops=2_000_000_000, chunks=4)
+    _, d_fast = run_duration(micro, 1400)
+    _, d_slow = run_duration(micro, 600)
+    assert d_slow / d_fast == pytest.approx(1400 / 600, rel=1e-6)
+
+
+def test_roundtrip_micro_moves_messages():
+    micro = RoundtripMicro(message_bytes=256 * KIB, round_trips=5)
+    cluster = Cluster.build(2)
+    run_spmd(cluster, micro.bind_plain())
+    assert cluster.fabric.bytes_transferred == 2 * 5 * 256 * KIB
+
+
+def test_strided_roundtrip_has_pack_cost():
+    contiguous = RoundtripMicro(message_bytes=4 * KIB, round_trips=1)
+    strided = RoundtripMicro(
+        message_bytes=4 * KIB, round_trips=1, pack_stride_bytes=64
+    )
+    assert contiguous.pack_cost(PENTIUM_M_MEMORY).cpu_cycles == 0
+    assert strided.pack_cost(PENTIUM_M_MEMORY).cpu_cycles > 0
+
+
+def test_roundtrip_requires_two_ranks():
+    micro = RoundtripMicro(round_trips=1)
+    cluster = Cluster.build(4)
+    with pytest.raises(ValueError, match="exactly 2 ranks"):
+        run_spmd(cluster, micro.bind_plain(), n_ranks=4)
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        MemoryBoundMicro(passes=0)
+    with pytest.raises(ValueError):
+        RegisterMicro(total_ops=0)
+    with pytest.raises(ValueError):
+        RoundtripMicro(round_trips=0)

@@ -1,0 +1,112 @@
+"""Tests for the parallel matrix transpose: mapping and numerics."""
+
+import pytest
+
+from repro.hardware.cluster import Cluster
+from repro.simmpi import run_spmd
+from repro.workloads.transpose import ParallelTranspose, verify_transpose
+
+
+def test_paper_geometry():
+    w = ParallelTranspose(12_000, 5, 3)
+    assert w.n_ranks == 15
+    assert w.block_rows == 2400 and w.block_cols == 4000
+    assert w.block_bytes == 2400 * 4000 * 8
+
+
+def test_send_peer_is_a_permutation():
+    w = ParallelTranspose(600, 5, 3)
+    dests = []
+    for rank in range(15):
+        d = w.send_peer(rank)
+        dests.append(rank if d is None else d)
+    assert sorted(dests) == list(range(15))
+
+
+def test_recv_peer_is_inverse_of_send_peer():
+    w = ParallelTranspose(600, 5, 3)
+    for rank in range(15):
+        dest = w.send_peer(rank)
+        if dest is None:
+            assert w.recv_peer(rank) is None
+        else:
+            assert w.recv_peer(dest) == rank
+
+
+def test_fixed_points_include_node_zero():
+    """Paper: 'node (0,0) can skip step 2'."""
+    w = ParallelTranspose(600, 5, 3)
+    assert w.send_peer(0) is None
+    fixed = [r for r in range(15) if w.send_peer(r) is None]
+    assert 0 in fixed and len(fixed) >= 1
+
+
+@pytest.mark.parametrize(
+    "n,rows,cols",
+    [(60, 5, 3), (60, 3, 5), (64, 4, 4), (30, 2, 3), (24, 1, 2)],
+)
+def test_transpose_is_correct(n, rows, cols):
+    """Real blocks through exchange + gather assemble to exactly A.T."""
+    w = ParallelTranspose(n, rows, cols, verify=True)
+    cluster = Cluster.build(w.n_ranks)
+    result = run_spmd(cluster, w.bind_plain())
+    verify_transpose(w, result.returns)
+
+
+def test_transpose_multiple_iterations():
+    w = ParallelTranspose(30, 3, 3, verify=True, iterations=3)
+    cluster = Cluster.build(9)
+    result = run_spmd(cluster, w.bind_plain())
+    verify_transpose(w, result.returns)
+
+
+def test_divisibility_enforced():
+    with pytest.raises(ValueError, match="divisible"):
+        ParallelTranspose(100, 3, 5)
+
+
+def test_verification_size_limit():
+    with pytest.raises(ValueError, match="too large"):
+        ParallelTranspose(12_000, 5, 3, verify=True)
+
+
+def test_synthetic_volume_on_wire():
+    w = ParallelTranspose(1200, 5, 3)
+    cluster = Cluster.build(15)
+    run_spmd(cluster, w.bind_plain())
+    exchange_msgs = sum(1 for r in range(15) if w.send_peer(r) is not None)
+    gather_msgs = 14
+    expected = (exchange_msgs + gather_msgs) * w.block_bytes
+    assert cluster.fabric.bytes_transferred == expected
+
+
+def test_root_finishes_last_due_to_incast():
+    """Step 3 serialises on the root's link: non-root ranks that sent
+    early finish well before the root."""
+    w = ParallelTranspose(2400, 5, 3)
+    cluster = Cluster.build(15)
+
+    finish_times = {}
+
+    def program(comm):
+        dvs_free = __import__(
+            "repro.dvs.controller", fromlist=["NullController"]
+        ).NullController()
+        yield from w.program(comm, dvs_free)
+        finish_times[comm.rank] = comm.wtime()
+        return None
+
+    run_spmd(cluster, program)
+    root_t = finish_times[0]
+    earliest = min(t for r, t in finish_times.items() if r != 0)
+    assert earliest < 0.8 * root_t
+
+
+def test_nonroot_ranks_mostly_idle_blocked():
+    """The load-imbalance slack: senders spend most of step 3 blocked."""
+    w = ParallelTranspose(2400, 5, 3)
+    cluster = Cluster.build(15)
+    run_spmd(cluster, w.bind_plain())
+    # Pick a rank that is neither root nor early in the gather queue.
+    stats = cluster.nodes[14].procstat.snapshot()
+    assert stats.idle / stats.total > 0.4
