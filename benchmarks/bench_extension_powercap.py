@@ -1,0 +1,45 @@
+"""Extension: cluster power-budget sweep (cap vs performance trade-off).
+
+Beyond the paper: enforce a global power cap on the simulated cluster
+and record the trade-off curve — achieved power, worst window, windowed
+compliance, and slowdown — for the naive uniform cap and the slack-aware
+redistribution policy at each budget level.  The headline assertion is
+the redistribution claim: at every cap, redistribution is never slower
+than uniform capping, and on the slack-imbalanced workload it is
+strictly faster while holding the same budget.
+"""
+
+from benchmarks._harness import FULL_SCALE, run_once, print_result
+from repro.experiments.powercap import run as run_powercap
+
+
+def bench_extension_powercap_tradeoff(benchmark):
+    kwargs = {}
+    if not FULL_SCALE:
+        kwargs = {"transpose_n": 1500}
+
+    result = run_once(benchmark, lambda: run_powercap(**kwargs))
+    print_result(result)
+
+    slowdown_margins = {
+        c.quantity: c.measured
+        for c in result.comparisons
+        if "slowdown" in c.quantity
+    }
+    violations = {
+        c.quantity: c.measured
+        for c in result.comparisons
+        if "violations" in c.quantity
+    }
+    assert slowdown_margins, "sweep produced no policy comparisons"
+    # Redistribution never loses to the uniform baseline at any cap...
+    for quantity, margin in slowdown_margins.items():
+        assert margin <= 1e-9, f"{quantity}: redist slower by {margin:+.3f}"
+    # ...wins outright where slack is imbalanced across ranks...
+    imbalanced = [
+        m for q, m in slowdown_margins.items() if q.startswith("imbalanced")
+    ]
+    assert imbalanced and all(m < -0.05 for m in imbalanced)
+    # ...and every capped run held its budget, window by window.
+    for quantity, count in violations.items():
+        assert count == 0, f"{quantity}: {count} violating windows"

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""What a cluster power cap buys (and costs) on an 8-node NAS FT run.
+
+The paper's §1 argument is that shaving watts buys reliability: component
+life expectancy doubles per 10 °C of cooling, and a petaflop machine
+built from commodity parts would otherwise fail daily.  The power-budget
+extension makes the watts a hard constraint: a governor holds the whole
+cluster under a cap by redistributing frequency toward the ranks doing
+useful work.  This example sweeps cap levels on an 8-node FT run and
+prints, for each budget and each allocation policy, the achieved cluster
+power, the slowdown paid, and the expected annual hardware failures via
+the paper's thermal rule of thumb.
+
+Run with::
+
+    python examples/power_budget.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.powercap import DEFAULT_CAP_FRACTIONS, sweep_workload
+from repro.hardware import ReliabilityModel
+from repro.workloads import NasFT
+
+N_RANKS = 8
+
+
+def main() -> None:
+    workload = NasFT("S", n_ranks=N_RANKS, iterations=3)
+    print(f"sweeping power caps on {workload.name} ({N_RANKS} nodes)...\n")
+    base, reports = sweep_workload(workload, DEFAULT_CAP_FRACTIONS)
+    uncapped_avg = base.point.energy / base.point.delay
+
+    model = ReliabilityModel()
+    uncapped_failures = model.cluster_failures_per_year(
+        uncapped_avg / N_RANKS, N_RANKS
+    )
+    rows = [
+        [
+            "uncapped",
+            "-",
+            f"{uncapped_avg:.1f} W",
+            "-",
+            f"{model.temperature(uncapped_avg / N_RANKS):.1f} C",
+            f"{uncapped_failures:.3f}/yr",
+        ]
+    ]
+    for fraction in DEFAULT_CAP_FRACTIONS:
+        for policy_name, report in reports[fraction].items():
+            node_watts = report.achieved_avg_watts / N_RANKS
+            rows.append(
+                [
+                    f"{fraction:.2f} x avg",
+                    policy_name,
+                    f"{report.achieved_avg_watts:.1f} W",
+                    f"+{report.slowdown_vs_uncapped * 100:.1f}%",
+                    f"{model.temperature(node_watts):.1f} C",
+                    f"{model.cluster_failures_per_year(node_watts, N_RANKS):.3f}/yr",
+                ]
+            )
+    print(
+        format_table(
+            [
+                "cap",
+                "policy",
+                "achieved power",
+                "slowdown",
+                "node temp",
+                "expected failures",
+            ],
+            rows,
+            title="power cap vs performance vs reliability (8-node FT)",
+        )
+    )
+
+    deepest = reports[min(DEFAULT_CAP_FRACTIONS)]["redist"]
+    saved = uncapped_avg - deepest.achieved_avg_watts
+    cooler = model.temperature(uncapped_avg / N_RANKS) - model.temperature(
+        deepest.achieved_avg_watts / N_RANKS
+    )
+    print(
+        f"\nreading: the deepest cap trims {saved:.1f} W off the cluster "
+        f"({cooler:.1f} C per node) for a "
+        f"{deepest.slowdown_vs_uncapped * 100:.1f}% slowdown — every "
+        "window stayed under budget "
+        f"({deepest.violation_windows}/{deepest.total_windows} violations)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 and the paper's three distributed DVS strategies (cpuspeed / static /
 dynamic application-directed control)."""
 
+from repro.dvs.capped import CappedCpuFreq
 from repro.dvs.adaptive import AdaptiveConfig, AdaptiveController, AdaptiveStrategy
 from repro.dvs.controller import DvsController, DynamicController, NullController
 from repro.dvs.cpufreq import CpuFreq
@@ -17,6 +18,7 @@ from repro.dvs.strategy import (
 
 __all__ = [
     "CpuFreq",
+    "CappedCpuFreq",
     "CpuspeedConfig",
     "CpuspeedDaemon",
     "DvsController",

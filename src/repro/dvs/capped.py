@@ -1,0 +1,81 @@
+"""Cap-aware frequency setting: a CPUFreq interface with a ceiling.
+
+The power-budget governor (:mod:`repro.powercap`) does not take over a
+node's frequency outright — real cluster power managers compose with
+whatever is already driving DVS (an application runtime, a kernel
+governor).  :class:`CappedCpuFreq` realises that composition: it is a
+drop-in :class:`~repro.dvs.cpufreq.CpuFreq` whose :meth:`resolve` clamps
+every request to a governor-owned ceiling, the way the Linux cpufreq
+``scaling_max_freq`` limit clamps ``scaling_setspeed`` writes.
+
+Any existing controller (static, dynamic, adaptive, the cpuspeed daemon)
+handed a :class:`CappedCpuFreq` instead of a plain ``CpuFreq`` keeps
+working unchanged; it simply can no longer exceed the cluster's power
+budget, and regains headroom the instant the governor raises the ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.calibration import Calibration
+from repro.hardware.dvfs import OperatingPoint
+from repro.hardware.node import Node
+
+from repro.dvs.cpufreq import CpuFreq
+
+__all__ = ["CappedCpuFreq"]
+
+
+class CappedCpuFreq(CpuFreq):
+    """A per-node frequency setter clamped to a mutable ceiling.
+
+    Parameters
+    ----------
+    node, calibration:
+        As for :class:`~repro.dvs.cpufreq.CpuFreq`.
+    max_frequency:
+        Initial ceiling in Hz (default: the ladder's fastest point, i.e.
+        no clamping until a governor lowers it).
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        calibration: Calibration,
+        max_frequency: Optional[float] = None,
+    ):
+        super().__init__(node, calibration)
+        fastest = node.table.fastest.frequency
+        self._ceiling = node.table.closest(
+            fastest if max_frequency is None else max_frequency
+        ).frequency
+        #: ceiling-change log: (time, ceiling Hz)
+        self.ceiling_changes = [(node.engine.now, self._ceiling)]
+
+    # ------------------------------------------------------------------
+    @property
+    def ceiling(self) -> float:
+        """The current maximum allowed frequency (Hz, a legal P-state)."""
+        return self._ceiling
+
+    def resolve(self, frequency: float) -> OperatingPoint:
+        """Snap a request to a legal P-state, clamped at the ceiling."""
+        return self.node.table.closest(min(frequency, self._ceiling))
+
+    def set_ceiling(self, frequency: float) -> None:
+        """Governor-context: move the ceiling (snapped to the ladder).
+
+        Lowering the ceiling below the current frequency forces an
+        immediate daemon-context switch down; raising it never changes the
+        running frequency by itself (the controller in charge decides
+        whether to use the new headroom — for plain capped runs the
+        governor follows up with an explicit :meth:`set_speed_now`).
+        """
+        point = self.node.table.closest(frequency)
+        if point.frequency == self._ceiling:
+            return
+        self._ceiling = point.frequency
+        self.ceiling_changes.append((self.node.engine.now, self._ceiling))
+        if self.node.cpu.frequency > self._ceiling:
+            self.set_speed_now(self._ceiling)

@@ -49,10 +49,19 @@ class DVSStrategy:
         return self.kind
 
     # ------------------------------------------------------------------
+    def _make_cpufreq(self, node, calibration) -> CpuFreq:
+        """Build one node's frequency interface.
+
+        A hook point: the power-cap strategy overrides it (per instance)
+        so an inner strategy transparently drives cap-clamped setters —
+        see :class:`repro.powercap.strategy.PowerCapStrategy`.
+        """
+        return CpuFreq(node, calibration)
+
     def prepare(self, cluster: Cluster) -> None:
         """Set initial frequencies / start daemons before the job."""
         self._cpufreqs = {
-            node.node_id: CpuFreq(node, cluster.calibration)
+            node.node_id: self._make_cpufreq(node, cluster.calibration)
             for node in cluster.nodes
         }
 

@@ -31,7 +31,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (fig1..fig8, table1..table3) or 'all'",
+        help=(
+            "experiment ids (fig1..fig8, table1..table3, headline, "
+            "powercap) or 'all'"
+        ),
     )
     parser.add_argument(
         "--list", action="store_true", help="list available experiments"

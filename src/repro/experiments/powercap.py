@@ -1,0 +1,202 @@
+"""Power-budget extension: cap sweep, uniform vs slack-aware redistribution.
+
+Beyond the paper (which optimises per-application ED²P with no global
+constraint): enforce a *cluster-wide* power cap and measure what each
+allocation policy pays for it.  For every cap level — expressed as a
+fraction of the workload's uncapped average draw — the sweep runs the
+naive :class:`~repro.powercap.policy.UniformCapPolicy` and the
+slack-aware :class:`~repro.powercap.policy.SlackRedistributionPolicy`
+at the same budget and reports achieved power, compliance, slowdown,
+and weighted ED²P.
+
+Three workloads bracket the slack spectrum: NAS FT (bulk-synchronous,
+mildly memory-bound), the parallel transpose (root-serialized gather —
+structural slack on non-root ranks), and the slack-imbalanced mix where
+half the ranks busy-wait most of every iteration.  On the imbalanced
+mix redistribution dominates uniform capping outright; on the balanced
+codes it must never do worse — both claims are recorded as comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.records import ExperimentResult
+from repro.analysis.report import format_table
+from repro.analysis.runner import MeasuredRun, run_measured
+from repro.dvs.strategy import DVSStrategy, StaticStrategy
+from repro.metrics.powercap import PowerCapReport, build_cap_report
+from repro.metrics.records import EnergyDelayPoint
+from repro.powercap import (
+    CapGovernorConfig,
+    PowerBudget,
+    PowerCapStrategy,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.workloads.base import Workload
+from repro.workloads.imbalanced import ImbalancedMix
+from repro.workloads.nas_ft import NasFT
+from repro.workloads.transpose import ParallelTranspose
+
+__all__ = ["run", "sweep_workload", "DEFAULT_CAP_FRACTIONS"]
+
+#: Cap levels as fractions of each workload's uncapped average power.
+#: Deliberately ≥ 0.85: deep below that the Pentium-M ladder's floor
+#: allocation itself exceeds the cap during all-active phases and *no*
+#: DVFS policy can comply (the governor's ``feasible`` flag records it).
+DEFAULT_CAP_FRACTIONS: Tuple[float, ...] = (0.95, 0.90, 0.85)
+
+
+def _governor_interval(uncapped_delay: float) -> float:
+    """A control interval that closes ≥ ~10 windows per run."""
+    return max(0.02, min(0.25, uncapped_delay / 12.0))
+
+
+def _capped(
+    workload: Workload,
+    budget: PowerBudget,
+    policy,
+    interval: float,
+) -> Tuple[MeasuredRun, PowerCapStrategy]:
+    strategy = PowerCapStrategy(
+        budget, policy=policy, config=CapGovernorConfig(interval=interval)
+    )
+    return run_measured(workload, strategy), strategy
+
+
+def sweep_workload(
+    workload: Workload,
+    cap_fractions: Sequence[float] = DEFAULT_CAP_FRACTIONS,
+    uncapped_strategy: Optional[DVSStrategy] = None,
+) -> Tuple[MeasuredRun, Dict[float, Dict[str, PowerCapReport]]]:
+    """Cap sweep for one workload.
+
+    Returns the uncapped reference run plus, per cap fraction, one
+    :class:`PowerCapReport` per policy name.
+    """
+    base = run_measured(workload, uncapped_strategy or StaticStrategy(1.4e9))
+    uncapped_avg = base.point.energy / base.point.delay
+    interval = _governor_interval(base.point.delay)
+
+    reports: Dict[float, Dict[str, PowerCapReport]] = {}
+    for fraction in cap_fractions:
+        budget = PowerBudget(fraction * uncapped_avg)
+        per_policy: Dict[str, PowerCapReport] = {}
+        for policy in (UniformCapPolicy(), SlackRedistributionPolicy()):
+            run_, strategy = _capped(workload, budget, policy, interval)
+            governor = strategy.governor
+            per_policy[policy.name] = build_cap_report(
+                label=strategy.name,
+                cap_watts=budget.cluster_watts,
+                tolerance=budget.tolerance,
+                energy_j=run_.point.energy,
+                delay_s=run_.point.delay,
+                window_watts=[w.cluster_avg_watts for w in governor.windows],
+                window_durations=[w.duration for w in governor.windows],
+                uncapped_delay_s=base.point.delay,
+            )
+        reports[fraction] = per_policy
+    return base, reports
+
+
+def _sweep_table(
+    name: str,
+    uncapped_avg: float,
+    reports: Dict[float, Dict[str, PowerCapReport]],
+) -> str:
+    rows: List[List[object]] = []
+    for fraction, per_policy in reports.items():
+        for policy_name, report in per_policy.items():
+            rows.append(
+                [
+                    f"{fraction:.2f}",
+                    f"{report.cap_watts:.1f}",
+                    policy_name,
+                    f"{report.achieved_avg_watts:.1f}",
+                    f"{report.peak_window_watts:.1f}",
+                    f"{report.violation_windows}/{report.total_windows}",
+                    f"+{report.slowdown_vs_uncapped * 100:.1f}%",
+                    f"{report.ed2p():.3g}",
+                ]
+            )
+    return format_table(
+        [
+            "cap/avg",
+            "cap W",
+            "policy",
+            "achieved W",
+            "worst win W",
+            "violations",
+            "slowdown",
+            "wED2P",
+        ],
+        rows,
+        title=f"{name}: uncapped average {uncapped_avg:.1f} W",
+    )
+
+
+def run(
+    cap_fractions: Sequence[float] = DEFAULT_CAP_FRACTIONS,
+    n_ranks: int = 8,
+    transpose_n: int = 3000,
+) -> ExperimentResult:
+    """Cluster power-budget sweep: redistribution vs uniform capping."""
+    result = ExperimentResult(
+        "powercap",
+        "cluster power cap: slack-aware redistribution vs uniform "
+        "frequency scaling (extension beyond the paper)",
+    )
+    workloads: List[Workload] = [
+        NasFT("S", n_ranks=n_ranks, iterations=3),
+        ParallelTranspose(matrix_n=transpose_n),
+        ImbalancedMix(n_ranks=n_ranks),
+    ]
+
+    for workload in workloads:
+        base, reports = sweep_workload(workload, cap_fractions)
+        uncapped_avg = base.point.energy / base.point.delay
+        result.tables[workload.name] = _sweep_table(
+            workload.name, uncapped_avg, reports
+        )
+        for policy_name in ("uniform", "redist"):
+            result.add_series(
+                f"{workload.name}/{policy_name}",
+                [
+                    EnergyDelayPoint(
+                        label=reports[f][policy_name].label,
+                        energy=reports[f][policy_name].energy_j
+                        / base.point.energy,
+                        delay=reports[f][policy_name].delay_s
+                        / base.point.delay,
+                    )
+                    for f in cap_fractions
+                ],
+            )
+        # Redistribution must never lose to the uniform baseline, and on
+        # the slack-imbalanced mix it must win outright; the comparisons
+        # record the measured margin (no paper value: this is ours).
+        for fraction in cap_fractions:
+            uniform = reports[fraction]["uniform"]
+            redist = reports[fraction]["redist"]
+            result.compare(
+                f"{workload.name}@{fraction:.2f} redist−uniform slowdown",
+                None,
+                redist.slowdown_vs_uncapped - uniform.slowdown_vs_uncapped,
+            )
+            result.compare(
+                f"{workload.name}@{fraction:.2f} redist violations",
+                None,
+                float(redist.violation_windows),
+            )
+
+    result.notes.append(
+        "cap levels are fractions of each workload's uncapped average "
+        "cluster power; compliance is judged per governor window against "
+        "cap × (1 + tolerance)"
+    )
+    result.notes.append(
+        "negative 'redist−uniform slowdown' means redistribution finished "
+        "faster than the uniform cap at the same budget"
+    )
+    return result

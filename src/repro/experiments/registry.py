@@ -1,4 +1,4 @@
-"""Registry of all paper experiments (one per table and figure)."""
+"""Registry of all experiments (one per paper table/figure + extensions)."""
 
 from __future__ import annotations
 
@@ -15,33 +15,63 @@ from repro.experiments import (
     fig7,
     fig8,
     headline,
+    powercap,
     tables,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = ["EXPERIMENTS", "register", "run_experiment", "list_experiments"]
 
-#: experiment id → zero-argument runner with paper-faithful defaults
-EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
-    "fig1": fig1.run,
-    "fig2": fig2.run,
-    "fig3": fig3.run,
-    "fig4": fig4.run,
-    "fig5": fig5.run,
-    "fig6": fig6.run,
-    "fig7": fig7.run,
-    "fig8": fig8.run,
-    "table1": tables.run_table1,
-    "table2": tables.run_table2,
-    "table3": tables.run_table3,
-    "headline": headline.run,
-}
+#: experiment id → zero-argument runner with paper-faithful defaults.
+#: Populate through :func:`register`, which rejects duplicate ids.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(
+    experiment_id: str, runner: Callable[[], ExperimentResult]
+) -> None:
+    """Add an experiment to the registry.
+
+    Raises
+    ------
+    ValueError
+        If ``experiment_id`` is already registered — a silent overwrite
+        would make ``repro-experiment <id>`` run different code depending
+        on import order.
+    """
+    if experiment_id in EXPERIMENTS:
+        raise ValueError(
+            f"experiment id {experiment_id!r} is already registered "
+            f"(to {EXPERIMENTS[experiment_id].__module__}."
+            f"{EXPERIMENTS[experiment_id].__qualname__}); "
+            "pick a distinct id"
+        )
+    EXPERIMENTS[experiment_id] = runner
+
+
+for _id, _runner in [
+    ("fig1", fig1.run),
+    ("fig2", fig2.run),
+    ("fig3", fig3.run),
+    ("fig4", fig4.run),
+    ("fig5", fig5.run),
+    ("fig6", fig6.run),
+    ("fig7", fig7.run),
+    ("fig8", fig8.run),
+    ("table1", tables.run_table1),
+    ("table2", tables.run_table2),
+    ("table3", tables.run_table3),
+    ("headline", headline.run),
+    ("powercap", powercap.run),
+]:
+    register(_id, _runner)
+del _id, _runner
 
 
 def list_experiments() -> Dict[str, str]:
-    """Experiment ids with their one-line titles (without running them)."""
+    """Experiment ids (sorted) with one-line titles, without running them."""
     docs = {}
-    for key, fn in EXPERIMENTS.items():
-        doc = (fn.__doc__ or "").strip().splitlines()
+    for key in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[key].__doc__ or "").strip().splitlines()
         docs[key] = doc[0] if doc else ""
     return docs
 

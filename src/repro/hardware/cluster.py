@@ -9,7 +9,7 @@ node power timelines.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hardware.dvfs import DVFSTable, PENTIUM_M_1400
@@ -95,6 +95,38 @@ class Cluster:
     def total_energy(self, t0: float, t1: float) -> float:
         """Exact total cluster energy (joules) over ``[t0, t1]``."""
         return sum(node.timeline.energy(t0, t1) for node in self.nodes)
+
+    # ------------------------------------------------------------------
+    # windowed power accounting (the cap governor's measurement substrate)
+    # ------------------------------------------------------------------
+    def average_power(self, t0: float, t1: float) -> float:
+        """Average cluster power (watts) over ``[t0, t1]``."""
+        if t1 == t0:
+            return self.power_at(t0)
+        return self.total_energy(t0, t1) / (t1 - t0)
+
+    def node_average_powers(self, t0: float, t1: float) -> Dict[int, float]:
+        """Per-node average power (watts) over ``[t0, t1]``."""
+        return {
+            node.node_id: node.timeline.average_power(t0, t1)
+            for node in self.nodes
+        }
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous cluster power (watts) at ``time``."""
+        return sum(node.timeline.power_at(time) for node in self.nodes)
+
+    def peak_power(self, t0: float, t1: float) -> float:
+        """Maximum instantaneous *cluster* power (watts) over ``[t0, t1]``.
+
+        The cluster trace is the sum of per-node piecewise-constant traces,
+        so its maximum is attained at ``t0`` or at some node's change point
+        inside the window — evaluate the sum at exactly those instants.
+        """
+        candidates = {t0}
+        for node in self.nodes:
+            candidates.update(node.timeline.change_times(t0, t1))
+        return max(self.power_at(t) for t in candidates)
 
 
 def _nic_listener(fabric: NetworkFabric, node: Node):

@@ -97,6 +97,31 @@ class PowerTimeline:
             return self.power_at(t0)
         return self.energy(t0, t1) / (t1 - t0)
 
+    def peak_power(self, t0: float, t1: float) -> float:
+        """Maximum instantaneous power (watts) over ``[t0, t1]``.
+
+        Piecewise-constant traces attain their maximum at segment starts,
+        so only the segment active at ``t0`` and the change points inside
+        the window need inspecting.
+        """
+        if t1 < t0:
+            raise ValueError(f"peak interval reversed: [{t0}, {t1}]")
+        if t0 < self._times[0]:
+            raise ValueError(f"t0={t0} precedes timeline start {self._times[0]}")
+        idx = bisect.bisect_right(self._times, t0) - 1
+        peak = self._watts[idx]
+        for i in range(idx + 1, len(self._times)):
+            if self._times[i] > t1:
+                break
+            peak = max(peak, self._watts[i])
+        return peak
+
+    def change_times(self, t0: float, t1: float) -> List[float]:
+        """The change points strictly inside ``(t0, t1]`` (for merging)."""
+        lo = bisect.bisect_right(self._times, t0)
+        hi = bisect.bisect_right(self._times, t1)
+        return self._times[lo:hi]
+
     def segments(self) -> List[Tuple[float, float]]:
         """The ``(time, watts)`` change points, oldest first."""
         return list(zip(self._times, self._watts))

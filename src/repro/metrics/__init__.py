@@ -11,6 +11,7 @@ from repro.metrics.ed2p import (
     ed2p,
     weighted_ed2p,
 )
+from repro.metrics.powercap import PowerCapReport, build_cap_report
 from repro.metrics.records import EnergyDelayPoint, normalize_points
 from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
 from repro.metrics.tradeoff import (
@@ -28,6 +29,8 @@ __all__ = [
     "DELTA_HPC",
     "DELTA_PERFORMANCE",
     "EnergyDelayPoint",
+    "PowerCapReport",
+    "build_cap_report",
     "normalize_points",
     "BestPoint",
     "best_operating_point",

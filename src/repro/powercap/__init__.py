@@ -1,0 +1,53 @@
+"""Cluster power-budget scheduling (extension beyond the paper).
+
+The paper optimises weighted ED²P per application; this subsystem solves
+the complementary cluster-operator problem — *keep this rack under N
+watts while losing as little performance as possible* — by closing a
+periodic control loop over the whole stack: per-node power telemetry
+(timelines + ``/proc/stat``), slack inference through the calibrated
+power model, and per-node frequency redistribution through cap-clamped
+CPUFreq setters.  See Medhat et al., *Power Redistribution for
+Optimizing Performance in MPI Clusters*, and Krzywda et al.,
+*Power-Performance Tradeoffs in Data Center Servers* (PAPERS.md).
+
+Layers: :mod:`~repro.powercap.budget` (the spec),
+:mod:`~repro.powercap.telemetry` (windowed sampling + prediction),
+:mod:`~repro.powercap.policy` (uniform baseline vs slack-aware
+redistribution), :mod:`~repro.powercap.governor` (the control loop), and
+:mod:`~repro.powercap.strategy` (composition with the paper's DVS
+strategies and the measurement pipeline).
+"""
+
+from repro.powercap.budget import PowerBudget
+from repro.powercap.governor import CapGovernor, CapGovernorConfig, GovernorWindow
+from repro.powercap.policy import (
+    CapAllocation,
+    CapPolicy,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.powercap.strategy import PowerCapStrategy
+from repro.powercap.telemetry import (
+    ClusterTelemetry,
+    NodeWindowSample,
+    compute_intensity,
+    infer_busy_alpha,
+    predict_node_power,
+)
+
+__all__ = [
+    "PowerBudget",
+    "CapGovernor",
+    "CapGovernorConfig",
+    "GovernorWindow",
+    "CapAllocation",
+    "CapPolicy",
+    "UniformCapPolicy",
+    "SlackRedistributionPolicy",
+    "PowerCapStrategy",
+    "ClusterTelemetry",
+    "NodeWindowSample",
+    "compute_intensity",
+    "infer_busy_alpha",
+    "predict_node_power",
+]

@@ -1,0 +1,94 @@
+"""The power-budget specification a cap governor enforces.
+
+A :class:`PowerBudget` is the cluster operator's contract: keep the whole
+cluster's average power under ``cluster_watts``, never force a node below
+``node_floor_hz`` or allow it above ``node_ceiling_hz``, and treat a
+windowed average within ``tolerance`` of the cap as compliant (real
+enforcement — RAPL, PDU-level capping — is specified the same way:
+a setpoint plus a guard band, not an instantaneous hard limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.hardware.dvfs import DVFSTable, OperatingPoint
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PowerBudget"]
+
+
+@dataclass(frozen=True)
+class PowerBudget:
+    """A cluster-wide power cap with per-node frequency bounds.
+
+    Attributes
+    ----------
+    cluster_watts:
+        The global budget: target ceiling for windowed average cluster
+        power.
+    tolerance:
+        Fractional guard band on enforcement: a window averaging up to
+        ``cluster_watts * (1 + tolerance)`` still counts as compliant.
+    node_floor_hz:
+        No node is ever forced below this frequency (default: the
+        ladder's slowest point).  Operators use the floor to bound the
+        worst-case slowdown of any single rank.
+    node_ceiling_hz:
+        No node is ever allocated above this frequency (default: the
+        ladder's fastest point).
+    """
+
+    cluster_watts: float
+    tolerance: float = 0.05
+    node_floor_hz: Optional[float] = None
+    node_ceiling_hz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive("cluster_watts", self.cluster_watts)
+        check_fraction("tolerance", self.tolerance)
+        if self.node_floor_hz is not None:
+            check_positive("node_floor_hz", self.node_floor_hz)
+        if self.node_ceiling_hz is not None:
+            check_positive("node_ceiling_hz", self.node_ceiling_hz)
+        if (
+            self.node_floor_hz is not None
+            and self.node_ceiling_hz is not None
+            and self.node_floor_hz > self.node_ceiling_hz
+        ):
+            raise ValueError(
+                f"node_floor_hz={self.node_floor_hz} exceeds "
+                f"node_ceiling_hz={self.node_ceiling_hz}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def limit_watts(self) -> float:
+        """The compliance boundary: cap plus the guard band."""
+        return self.cluster_watts * (1.0 + self.tolerance)
+
+    def complies(self, average_watts: float) -> bool:
+        """Whether one window's average power is within the budget."""
+        return average_watts <= self.limit_watts
+
+    def resolve_bounds(
+        self, table: DVFSTable
+    ) -> Tuple[OperatingPoint, OperatingPoint]:
+        """Snap the per-node bounds to ladder points: (floor, ceiling)."""
+        floor = (
+            table.slowest
+            if self.node_floor_hz is None
+            else table.closest(self.node_floor_hz)
+        )
+        ceiling = (
+            table.fastest
+            if self.node_ceiling_hz is None
+            else table.closest(self.node_ceiling_hz)
+        )
+        if floor.frequency > ceiling.frequency:
+            raise ValueError(
+                f"budget bounds resolve to floor {floor} above ceiling "
+                f"{ceiling} on this ladder"
+            )
+        return floor, ceiling

@@ -7,6 +7,7 @@ matrix transpose (5×3 grid, steps 1-3), SPEC-like sequential kernels
 """
 
 from repro.workloads.base import Workload, execute_cost
+from repro.workloads.imbalanced import ImbalancedMix
 from repro.workloads.micro import (
     L2BoundMicro,
     MemoryBoundMicro,
@@ -48,6 +49,7 @@ __all__ = [
     "HaloStencil",
     "verify_stencil",
     "SyntheticMix",
+    "ImbalancedMix",
     "ParallelTranspose",
     "verify_transpose",
     "SequentialKernel",

@@ -1,0 +1,113 @@
+"""A slack-imbalanced SPMD workload (power-cap stress case).
+
+:class:`SyntheticMix` gives every rank the same phase mix; real MPI jobs
+rarely oblige.  :class:`ImbalancedMix` splits the ranks into a
+compute-bound group (frequency-sensitive cycle work) and a slack-heavy
+group (frequency-independent DRAM-paced work that finishes early and
+then waits at the iteration barrier).  The waiters spin in the progress
+engine, so ``/proc/stat`` reports *all* ranks ~100 % busy — exactly the
+accounting blindness the paper's Fig 3 exposes — while the power
+timelines tell the truth.
+
+This is the workload where power-budget policies separate: a uniform cap
+throttles the compute ranks on the critical path as hard as the waiting
+ranks, stretching every iteration; slack-aware redistribution takes the
+watts from the waiters (whose iterations are barrier-bound, not
+clock-bound) and the job barely slows.
+"""
+
+from __future__ import annotations
+
+from repro.dvs.controller import DvsController
+from repro.hardware.activity import CpuActivity
+from repro.workloads.base import Workload, WorkGen
+
+__all__ = ["ImbalancedMix"]
+
+
+class ImbalancedMix(Workload):
+    """Compute-bound and slack-heavy ranks sharing an iteration barrier.
+
+    Parameters
+    ----------
+    n_ranks:
+        Total ranks; the first ``compute_ranks`` of them are
+        compute-bound, the rest slack-heavy.
+    compute_ranks:
+        Size of the compute-bound group (default: half, rounded up).
+    iteration_seconds:
+        Critical-path length of one iteration at the fastest point
+        (the compute group's cycle work).
+    slack_fraction:
+        The slack group's busy share of an iteration: it spends
+        ``slack_fraction × iteration_seconds`` in DRAM-paced MEMSTALL
+        work, then waits at the barrier.  Must be < 1 so the imbalance
+        actually exists at full speed.
+    iterations:
+        Barrier-separated repetitions.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int = 8,
+        compute_ranks: int | None = None,
+        iteration_seconds: float = 0.5,
+        slack_fraction: float = 0.4,
+        iterations: int = 4,
+        peak_frequency: float = 1.4e9,
+    ):
+        if n_ranks < 2:
+            raise ValueError(f"n_ranks must be >= 2, got {n_ranks}")
+        resolved = (n_ranks + 1) // 2 if compute_ranks is None else compute_ranks
+        if not 1 <= resolved < n_ranks:
+            raise ValueError(
+                f"compute_ranks must be in [1, {n_ranks - 1}], got {resolved}"
+            )
+        if not 0.0 < slack_fraction < 1.0:
+            raise ValueError(
+                f"slack_fraction must be in (0, 1), got {slack_fraction}"
+            )
+        if iterations < 1 or iteration_seconds <= 0:
+            raise ValueError("iterations and iteration_seconds must be positive")
+        self.n_ranks = n_ranks
+        self.compute_ranks = resolved
+        self.iteration_seconds = iteration_seconds
+        self.slack_fraction = slack_fraction
+        self.iterations = iterations
+        self.peak_frequency = peak_frequency
+        self.name = f"imbalanced.{resolved}c{n_ranks - resolved}s"
+
+    # ------------------------------------------------------------------
+    def is_compute_rank(self, rank: int) -> bool:
+        return rank < self.compute_ranks
+
+    @property
+    def compute_cycles_per_iteration(self) -> float:
+        return self.iteration_seconds * self.peak_frequency
+
+    @property
+    def slack_stall_seconds(self) -> float:
+        return self.slack_fraction * self.iteration_seconds
+
+    def program(self, comm, dvs: DvsController) -> WorkGen:
+        if comm.size != self.n_ranks:
+            raise ValueError(
+                f"{self.name} built for {self.n_ranks} ranks, launched on "
+                f"{comm.size}"
+            )
+        compute = self.is_compute_rank(comm.rank)
+        for _ in range(self.iterations):
+            if compute:
+                yield from comm.cpu.run_cycles(
+                    self.compute_cycles_per_iteration, state=CpuActivity.ACTIVE
+                )
+            else:
+                yield from dvs.region_enter("slack")
+                yield from comm.cpu.stall(
+                    self.slack_stall_seconds, CpuActivity.MEMSTALL
+                )
+                yield from dvs.region_exit("slack")
+            # Iteration barrier: waiters sit in the MPI wait policy
+            # (spin, then kernel-block) until the compute group arrives.
+            yield from comm.allreduce(1)
+        return None

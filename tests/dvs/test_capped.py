@@ -1,0 +1,63 @@
+"""Tests for the ceiling-clamped CPUFreq setter."""
+
+import pytest
+
+from repro.dvs.capped import CappedCpuFreq
+from repro.hardware.cluster import Cluster
+from repro.util.units import MHZ
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(1)
+
+
+@pytest.fixture
+def capped(cluster):
+    return CappedCpuFreq(cluster.nodes[0], cluster.calibration)
+
+
+def test_default_ceiling_is_the_fastest_point(capped):
+    assert capped.ceiling == 1400 * MHZ
+
+
+def test_initial_ceiling_snaps_to_the_ladder(cluster):
+    capped = CappedCpuFreq(
+        cluster.nodes[0], cluster.calibration, max_frequency=1150 * MHZ
+    )
+    assert capped.ceiling == 1200 * MHZ
+
+
+def test_resolve_clamps_requests_to_the_ceiling(capped):
+    capped.set_ceiling(1000 * MHZ)
+    assert capped.resolve(1400 * MHZ).mhz == 1000
+    assert capped.resolve(1200 * MHZ).mhz == 1000
+    # Requests below the ceiling pass through untouched.
+    assert capped.resolve(800 * MHZ).mhz == 800
+
+
+def test_lowering_the_ceiling_forces_an_immediate_switch(cluster, capped):
+    assert cluster.nodes[0].cpu.frequency == 1400 * MHZ
+    capped.set_ceiling(800 * MHZ)
+    assert cluster.nodes[0].cpu.frequency == 800 * MHZ
+
+
+def test_raising_the_ceiling_does_not_change_speed(cluster, capped):
+    capped.set_ceiling(800 * MHZ)
+    capped.set_ceiling(1400 * MHZ)
+    # Headroom returned, but the controller in charge decides to use it.
+    assert cluster.nodes[0].cpu.frequency == 800 * MHZ
+    assert capped.resolve(1400 * MHZ).mhz == 1400
+
+
+def test_ceiling_changes_are_logged(cluster, capped):
+    capped.set_ceiling(1000 * MHZ)
+    capped.set_ceiling(1000 * MHZ)  # no-op: same snapped point
+    capped.set_ceiling(600 * MHZ)
+    assert [f / MHZ for _, f in capped.ceiling_changes] == [1400, 1000, 600]
+
+
+def test_set_speed_now_respects_the_ceiling(cluster, capped):
+    capped.set_ceiling(1000 * MHZ)
+    capped.set_speed_now(1400 * MHZ)
+    assert cluster.nodes[0].cpu.frequency == 1000 * MHZ

@@ -9,14 +9,14 @@ import pytest
 
 from repro.experiments import run_experiment
 from repro.experiments.common import find_static
-from repro.experiments.registry import EXPERIMENTS, list_experiments
+from repro.experiments.registry import EXPERIMENTS, list_experiments, register
 
 
 def test_registry_covers_every_table_and_figure():
     expected = (
         {f"fig{i}" for i in range(1, 9)}
         | {"table1", "table2", "table3"}
-        | {"headline"}
+        | {"headline", "powercap"}
     )
     assert set(EXPERIMENTS) == expected
 
@@ -25,6 +25,26 @@ def test_list_experiments_has_titles():
     docs = list_experiments()
     assert set(docs) == set(EXPERIMENTS)
     assert all(isinstance(t, str) for t in docs.values())
+
+
+def test_list_experiments_is_sorted():
+    assert list(list_experiments()) == sorted(EXPERIMENTS)
+
+
+def test_register_rejects_duplicate_ids():
+    with pytest.raises(ValueError, match="already registered"):
+        register("fig1", EXPERIMENTS["fig2"])
+    # The original registration must be untouched by the failed attempt.
+    assert EXPERIMENTS["fig1"].__module__.endswith("fig1")
+
+
+def test_register_accepts_and_removes_new_id():
+    register("zz-temporary", EXPERIMENTS["fig1"])
+    try:
+        assert "zz-temporary" in EXPERIMENTS
+        assert list(list_experiments())[-1] == "zz-temporary"
+    finally:
+        del EXPERIMENTS["zz-temporary"]
 
 
 def test_unknown_experiment_rejected():
@@ -151,6 +171,23 @@ def test_table2_matches_paper_pairs():
     result = run_experiment("table2")
     for c in result.comparisons:
         assert c.measured == pytest.approx(c.paper)
+
+
+def test_powercap_extension_shapes():
+    result = run_experiment(
+        "powercap", cap_fractions=(0.9,), transpose_n=1500
+    )
+    assert len(result.tables) == 3  # ft, transpose, imbalanced
+    by_name = {c.quantity: c.measured for c in result.comparisons}
+    # Redistribution never loses to the uniform baseline...
+    for quantity, measured in by_name.items():
+        if "slowdown" in quantity:
+            assert measured <= 1e-9, quantity
+        if "violations" in quantity:
+            assert measured == 0.0, quantity
+    # ...and wins outright where slack is imbalanced across ranks.
+    margin = by_name["imbalanced.4c4s@0.90 redist−uniform slowdown"]
+    assert margin < -0.05
 
 
 def test_table3_selections():

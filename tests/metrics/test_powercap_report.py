@@ -1,0 +1,75 @@
+"""Tests for budget-constrained efficiency reporting."""
+
+import pytest
+
+from repro.metrics import PowerCapReport, build_cap_report, weighted_ed2p
+
+
+def report(window_watts, cap=100.0, tolerance=0.05, **kwargs):
+    durations = kwargs.pop("durations", [0.25] * len(window_watts))
+    return build_cap_report(
+        label="cap@100W/test",
+        cap_watts=cap,
+        tolerance=tolerance,
+        energy_j=kwargs.pop("energy_j", 500.0),
+        delay_s=kwargs.pop("delay_s", 5.0),
+        window_watts=window_watts,
+        window_durations=durations,
+        **kwargs,
+    )
+
+
+def test_violations_counted_against_the_guard_band():
+    # Limit is 105 W: 105.0 complies, 105.1 does not.
+    r = report([99.0, 105.0, 105.1, 200.0])
+    assert r.violation_windows == 2
+    assert r.total_windows == 4
+    assert not r.compliant
+
+
+def test_compliant_when_no_window_exceeds_the_limit():
+    r = report([104.9, 80.0, 105.0])
+    assert r.compliant
+    assert r.peak_window_watts == pytest.approx(105.0)
+
+
+def test_achieved_average_is_duration_weighted():
+    r = report([100.0, 200.0], durations=[3.0, 1.0])
+    assert r.achieved_avg_watts == pytest.approx(125.0)
+
+
+def test_average_power_is_energy_over_delay():
+    r = report([100.0], energy_j=600.0, delay_s=4.0)
+    assert r.average_power_w == pytest.approx(150.0)
+
+
+def test_slowdown_against_uncapped_reference():
+    r = report([100.0], delay_s=6.0, uncapped_delay_s=5.0)
+    assert r.slowdown_vs_uncapped == pytest.approx(0.2)
+    assert report([100.0]).slowdown_vs_uncapped is None
+
+
+def test_ed2p_matches_the_paper_metric():
+    r = report([100.0], energy_j=500.0, delay_s=5.0)
+    assert r.ed2p(delta=0.2) == pytest.approx(weighted_ed2p(500.0, 5.0, 0.2))
+
+
+def test_mismatched_window_lengths_are_rejected():
+    with pytest.raises(ValueError, match="window"):
+        build_cap_report(
+            label="bad",
+            cap_watts=100.0,
+            tolerance=0.05,
+            energy_j=1.0,
+            delay_s=1.0,
+            window_watts=[1.0, 2.0],
+            window_durations=[0.25],
+        )
+
+
+def test_empty_windows_degenerate_gracefully():
+    r = report([])
+    assert r.total_windows == 0
+    assert r.achieved_avg_watts == 0.0
+    assert r.peak_window_watts == 0.0
+    assert r.compliant

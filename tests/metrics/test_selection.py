@@ -131,3 +131,72 @@ def test_normalize_points_without_frequencies_uses_fastest_delay():
 def test_normalize_empty_rejected():
     with pytest.raises(ValueError):
         normalize_points([])
+
+
+# ---------------------------------------------------------------------------
+# edge cases: exact ties, boundary deltas, degenerate crescendos
+# ---------------------------------------------------------------------------
+def test_exact_tie_breaks_toward_the_higher_frequency():
+    # Same weighted ED²P at δ=0 (E·D² equal) from different (E, D) mixes.
+    low = EnergyDelayPoint("low", 4.0, 1.0, frequency=600 * MHZ)
+    high = EnergyDelayPoint("high", 1.0, 2.0, frequency=1400 * MHZ)
+    assert weighted_ed2p(4.0, 1.0, 0.0) == weighted_ed2p(1.0, 2.0, 0.0)
+    best = best_operating_point([low, high], 0.0)
+    assert best.point is high
+
+
+def test_exact_tie_order_independent():
+    low = EnergyDelayPoint("low", 4.0, 1.0, frequency=600 * MHZ)
+    high = EnergyDelayPoint("high", 1.0, 2.0, frequency=1400 * MHZ)
+    assert best_operating_point([low, high], 0.0).point is high
+    assert best_operating_point([high, low], 0.0).point is high
+
+
+def test_tie_between_frequencyless_points_picks_the_first():
+    a = EnergyDelayPoint("a", 4.0, 1.0)
+    b = EnergyDelayPoint("b", 1.0, 2.0)
+    assert best_operating_point([a, b], 0.0).point is a
+    assert best_operating_point([b, a], 0.0).point is b
+
+
+def test_delta_minus_one_ignores_delay_entirely():
+    # At δ=−1 the metric is E² — delay must not influence the choice.
+    frugal_slow = EnergyDelayPoint("frugal", 0.5, 100.0, frequency=600 * MHZ)
+    hungry_fast = EnergyDelayPoint("hungry", 0.6, 1.0, frequency=1400 * MHZ)
+    best = best_operating_point([frugal_slow, hungry_fast], -1.0)
+    assert best.point is frugal_slow
+
+
+def test_delta_plus_one_ignores_energy_entirely():
+    # At δ=+1 the metric is D⁴ — energy must not influence the choice.
+    frugal_slow = EnergyDelayPoint("frugal", 0.1, 1.2, frequency=600 * MHZ)
+    hungry_fast = EnergyDelayPoint("hungry", 9.0, 1.0, frequency=1400 * MHZ)
+    best = best_operating_point([frugal_slow, hungry_fast], 1.0)
+    assert best.point is hungry_fast
+
+
+def test_delta_just_outside_the_boundaries_rejected():
+    points = swim_like_crescendo()
+    for delta in (-1.0000001, 1.0000001, -2.0, 2.0):
+        with pytest.raises(ValueError, match="delta"):
+            best_operating_point(points, delta)
+
+
+def test_boundary_deltas_are_accepted():
+    points = swim_like_crescendo()
+    assert best_operating_point(points, -1.0).delta == -1.0
+    assert best_operating_point(points, 1.0).delta == 1.0
+
+
+def test_single_point_crescendo_is_its_own_best_and_reference():
+    only = EnergyDelayPoint("only", 0.8, 1.1, frequency=1000 * MHZ)
+    for delta in (-1.0, 0.0, DELTA_HPC, 1.0):
+        best = best_operating_point([only], delta)
+        assert best.point is only
+        assert best.improvement_vs_reference == pytest.approx(0.0)
+
+
+def test_single_point_rows_all_agree():
+    only = EnergyDelayPoint("only", 0.8, 1.1, frequency=1000 * MHZ)
+    rows = select_paper_rows([only])
+    assert {r.point.label for r in rows.values()} == {"only"}

@@ -1,0 +1,70 @@
+"""Tests for the PowerBudget spec."""
+
+import pytest
+
+from repro.hardware import PENTIUM_M_1400
+from repro.powercap import PowerBudget
+from repro.util.units import MHZ
+
+
+class TestValidation:
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="cluster_watts"):
+            PowerBudget(0.0)
+        with pytest.raises(ValueError, match="cluster_watts"):
+            PowerBudget(-100.0)
+
+    def test_rejects_tolerance_outside_unit_interval(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            PowerBudget(100.0, tolerance=-0.01)
+        with pytest.raises(ValueError, match="tolerance"):
+            PowerBudget(100.0, tolerance=1.5)
+
+    def test_rejects_floor_above_ceiling(self):
+        with pytest.raises(ValueError, match="node_floor_hz"):
+            PowerBudget(100.0, node_floor_hz=1200 * MHZ, node_ceiling_hz=800 * MHZ)
+
+    def test_rejects_nonpositive_bounds(self):
+        with pytest.raises(ValueError, match="node_floor_hz"):
+            PowerBudget(100.0, node_floor_hz=0.0)
+        with pytest.raises(ValueError, match="node_ceiling_hz"):
+            PowerBudget(100.0, node_ceiling_hz=-1.0)
+
+
+class TestCompliance:
+    def test_limit_includes_guard_band(self):
+        budget = PowerBudget(200.0, tolerance=0.05)
+        assert budget.limit_watts == pytest.approx(210.0)
+
+    def test_complies_at_exactly_the_limit(self):
+        budget = PowerBudget(200.0, tolerance=0.05)
+        assert budget.complies(210.0)
+        assert not budget.complies(210.0 + 1e-9)
+
+    def test_zero_tolerance_is_a_hard_cap(self):
+        budget = PowerBudget(150.0, tolerance=0.0)
+        assert budget.complies(150.0)
+        assert not budget.complies(150.1)
+
+
+class TestResolveBounds:
+    def test_defaults_to_full_ladder(self):
+        floor, ceiling = PowerBudget(100.0).resolve_bounds(PENTIUM_M_1400)
+        assert floor == PENTIUM_M_1400.slowest
+        assert ceiling == PENTIUM_M_1400.fastest
+
+    def test_bounds_snap_to_ladder_points(self):
+        budget = PowerBudget(
+            100.0, node_floor_hz=790 * MHZ, node_ceiling_hz=1210 * MHZ
+        )
+        floor, ceiling = budget.resolve_bounds(PENTIUM_M_1400)
+        assert floor.frequency == 800 * MHZ
+        assert ceiling.frequency == 1200 * MHZ
+
+    def test_bounds_may_snap_to_the_same_point(self):
+        budget = PowerBudget(
+            100.0, node_floor_hz=990 * MHZ, node_ceiling_hz=1010 * MHZ
+        )
+        floor, ceiling = budget.resolve_bounds(PENTIUM_M_1400)
+        assert floor.frequency == ceiling.frequency == 1000 * MHZ
+

@@ -1,0 +1,159 @@
+"""End-to-end cap-governor tests (the PR's acceptance criteria).
+
+(a) Enforcement: with a cap at ~80 % of the uncapped peak, every closed
+    control window — including the trailing partial one — averages within
+    the budget's tolerance, for the whole run.
+(b) Redistribution beats the naive uniform cap: on a slack-imbalanced
+    workload, :class:`SlackRedistributionPolicy` finishes strictly sooner
+    than :class:`UniformCapPolicy` at the same budget, both compliant.
+"""
+
+import pytest
+
+from repro.analysis.runner import run_measured
+from repro.dvs.strategy import DynamicStrategy, StaticStrategy
+from repro.powercap import (
+    CapGovernorConfig,
+    PowerBudget,
+    PowerCapStrategy,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.workloads.imbalanced import ImbalancedMix
+from repro.workloads.nas_ft import NasFT
+
+
+@pytest.fixture(scope="module")
+def uncapped():
+    """One uncapped reference run of the imbalanced workload."""
+    workload = ImbalancedMix(n_ranks=8)
+    run = run_measured(workload, StaticStrategy(1.4e9))
+    peak = run.cluster.peak_power(run.spmd.start, run.spmd.end)
+    return workload, run, peak
+
+
+def capped_run(workload, budget, policy, config=None):
+    strategy = PowerCapStrategy(budget, policy=policy, config=config)
+    run = run_measured(workload, strategy)
+    return run, strategy.governor
+
+
+class TestEnforcement:
+    def test_cap_at_80pct_of_peak_holds_for_the_whole_run(self, uncapped):
+        workload, base, peak = uncapped
+        budget = PowerBudget(0.8 * peak)
+        for policy in (UniformCapPolicy(), SlackRedistributionPolicy()):
+            run, governor = capped_run(workload, budget, policy)
+            assert governor.windows, "governor closed no windows"
+            assert governor.violation_count == 0
+            assert all(w.compliant for w in governor.windows)
+            assert governor.max_window_watts <= budget.limit_watts
+
+    def test_windows_cover_the_run_including_the_trailing_partial(
+        self, uncapped
+    ):
+        workload, base, peak = uncapped
+        run, governor = capped_run(
+            workload, PowerBudget(0.8 * peak), SlackRedistributionPolicy()
+        )
+        windows = governor.windows
+        assert windows[0].t0 <= run.spmd.start
+        assert windows[-1].t1 >= run.spmd.end
+        for prev, nxt in zip(windows, windows[1:]):
+            assert nxt.t0 == pytest.approx(prev.t1)
+        # The trailing window is partial (the run does not end on a
+        # control-interval boundary) and still judged for compliance.
+        assert windows[-1].duration < governor.config.interval
+
+    def test_compliant_from_the_first_window(self, uncapped):
+        # The worst-case initial allocation must protect the interval
+        # before any telemetry exists.
+        workload, base, peak = uncapped
+        run, governor = capped_run(
+            workload, PowerBudget(0.8 * peak), SlackRedistributionPolicy()
+        )
+        assert governor.windows[0].compliant
+
+    def test_achieved_average_stays_under_the_cap(self, uncapped):
+        workload, base, peak = uncapped
+        budget = PowerBudget(0.8 * peak)
+        run, governor = capped_run(
+            workload, budget, SlackRedistributionPolicy()
+        )
+        assert governor.achieved_average_watts() <= budget.limit_watts
+        # And the governor's windowed view agrees with the ground-truth
+        # timeline integral over the same span.
+        t0 = governor.windows[0].t0
+        t1 = governor.windows[-1].t1
+        assert governor.achieved_average_watts() == pytest.approx(
+            run.cluster.average_power(t0, t1), rel=1e-6
+        )
+
+    def test_enforcement_on_a_paper_workload(self):
+        # NAS FT (class S) under a tight interval so several control
+        # windows close within the short run.
+        workload = NasFT(n_ranks=8, iterations=3)
+        base = run_measured(workload, StaticStrategy(1.4e9))
+        peak = base.cluster.peak_power(base.spmd.start, base.spmd.end)
+        budget = PowerBudget(0.8 * peak)
+        config = CapGovernorConfig(interval=0.02)
+        run, governor = capped_run(
+            workload, budget, SlackRedistributionPolicy(), config=config
+        )
+        assert len(governor.windows) > 3
+        assert governor.violation_count == 0
+
+
+class TestRedistributionBeatsUniform:
+    def test_strictly_faster_at_the_same_budget(self, uncapped):
+        workload, base, peak = uncapped
+        budget = PowerBudget(0.8 * peak)
+        uniform, gov_u = capped_run(workload, budget, UniformCapPolicy())
+        redist, gov_r = capped_run(
+            workload, budget, SlackRedistributionPolicy()
+        )
+        assert gov_u.violation_count == 0
+        assert gov_r.violation_count == 0
+        assert redist.point.delay < uniform.point.delay
+        # The margin is structural, not noise: the uniform cap throttles
+        # the compute-bound half of the cluster that redistribution
+        # protects.
+        assert redist.point.delay < 0.9 * uniform.point.delay
+
+    def test_redistribution_stays_close_to_uncapped(self, uncapped):
+        workload, base, peak = uncapped
+        run, governor = capped_run(
+            workload, PowerBudget(0.8 * peak), SlackRedistributionPolicy()
+        )
+        slowdown = run.point.delay / base.point.delay - 1.0
+        assert slowdown < 0.15
+
+    def test_capped_runs_are_deterministic(self, uncapped):
+        workload, base, peak = uncapped
+        budget = PowerBudget(0.8 * peak)
+        first, _ = capped_run(workload, budget, SlackRedistributionPolicy())
+        second, _ = capped_run(workload, budget, SlackRedistributionPolicy())
+        assert first.point.delay == second.point.delay
+        assert first.point.energy == second.point.energy
+
+
+class TestComposition:
+    def test_inner_dynamic_strategy_runs_under_the_cap(self, uncapped):
+        workload, base, peak = uncapped
+        budget = PowerBudget(0.8 * peak)
+        strategy = PowerCapStrategy(
+            budget,
+            policy=SlackRedistributionPolicy(),
+            inner=DynamicStrategy(1.4e9),
+        )
+        run = run_measured(workload, strategy)
+        governor = strategy.governor
+        assert governor.violation_count == 0
+        assert "dyn" in run.strategy.name
+
+    def test_governor_cannot_be_started_twice(self, uncapped):
+        workload, base, peak = uncapped
+        strategy = PowerCapStrategy(PowerBudget(0.8 * peak))
+        run = run_measured(workload, strategy)
+        with pytest.raises(RuntimeError, match="already started"):
+            strategy.governor.start(run.cluster.engine)

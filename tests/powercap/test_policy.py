@@ -1,0 +1,143 @@
+"""Unit tests for the cap-allocation policies (synthetic telemetry)."""
+
+import pytest
+
+from repro.hardware import PENTIUM_M_1400
+from repro.powercap import (
+    NodeWindowSample,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.util.units import MHZ
+
+TABLE = PENTIUM_M_1400
+FLOOR = TABLE.slowest
+CEILING = TABLE.fastest
+
+
+def predict(sample, point):
+    """A deliberately simple model: busy share × 10 W, linear in f."""
+    return 10.0 * sample.busy_fraction * (point.frequency / CEILING.frequency)
+
+
+def sample(node_id, busy=1.0, frequency=CEILING.frequency):
+    return NodeWindowSample(
+        node_id=node_id,
+        t0=0.0,
+        t1=0.25,
+        avg_watts=0.0,  # unused: tests inject predict/intensity directly
+        busy_fraction=busy,
+        frequency=frequency,
+    )
+
+
+def intensities(mapping):
+    """An intensity_of callable backed by a dict."""
+    return lambda s: mapping[s.node_id]
+
+
+class TestUniform:
+    def test_picks_highest_common_frequency_that_fits(self):
+        samples = [sample(0), sample(1)]
+        # Totals: 20.0 at 1400, 17.1 at 1200, 14.3 at 1000.
+        allocation = UniformCapPolicy().allocate(
+            samples, 15.0, TABLE, FLOOR, CEILING, predict
+        )
+        assert allocation.feasible
+        assert set(allocation.frequencies.values()) == {1000 * MHZ}
+        assert allocation.predicted_watts == pytest.approx(
+            2 * 10.0 * (1000 / 1400)
+        )
+
+    def test_no_throttling_when_budget_is_loose(self):
+        allocation = UniformCapPolicy().allocate(
+            [sample(0), sample(1)], 100.0, TABLE, FLOOR, CEILING, predict
+        )
+        assert set(allocation.frequencies.values()) == {CEILING.frequency}
+
+    def test_respects_a_raised_floor(self):
+        floor = TABLE.point_for(1000 * MHZ)
+        allocation = UniformCapPolicy().allocate(
+            [sample(0), sample(1)], 5.0, TABLE, floor, CEILING, predict
+        )
+        assert set(allocation.frequencies.values()) == {1000 * MHZ}
+        assert not allocation.feasible
+
+    def test_infeasible_budget_reports_all_floors(self):
+        # Even both-at-600 draws 2 × 10 × (600/1400) = 8.57 W > 5 W.
+        allocation = UniformCapPolicy().allocate(
+            [sample(0), sample(1)], 5.0, TABLE, FLOOR, CEILING, predict
+        )
+        assert not allocation.feasible
+        assert set(allocation.frequencies.values()) == {FLOOR.frequency}
+
+
+class TestRedistribution:
+    def test_requires_a_wired_intensity_metric(self):
+        with pytest.raises(RuntimeError, match="intensity"):
+            SlackRedistributionPolicy().allocate(
+                [sample(0)], 5.0, TABLE, FLOOR, CEILING, predict
+            )
+
+    def test_strips_the_slack_node_and_keeps_compute_at_ceiling(self):
+        policy = SlackRedistributionPolicy(intensities({0: 1.0, 1: 0.1}))
+        # 20.0 at all-ceiling; freeing node 1 to the floor reaches 15.71.
+        allocation = policy.allocate(
+            [sample(0), sample(1)], 16.0, TABLE, FLOOR, CEILING, predict
+        )
+        assert allocation.feasible
+        assert allocation.frequencies[0] == CEILING.frequency
+        assert allocation.frequencies[1] < CEILING.frequency
+
+    def test_slack_is_exhausted_before_compute_pays(self):
+        policy = SlackRedistributionPolicy(intensities({0: 1.0, 1: 0.1}))
+        # 14.3 needs node 1 at the floor (20 − 5.71) and nothing more.
+        allocation = policy.allocate(
+            [sample(0), sample(1)], 14.3, TABLE, FLOOR, CEILING, predict
+        )
+        assert allocation.frequencies[0] == CEILING.frequency
+        assert allocation.frequencies[1] == FLOOR.frequency
+
+    def test_saturated_nodes_spread_the_reduction(self):
+        # Two equally compute-bound nodes and a target requiring two
+        # notches: both should drop one notch (1200) instead of one node
+        # being driven two notches down (1000) while the other idles at
+        # the ceiling — the balanced-workload guarantee.
+        policy = SlackRedistributionPolicy(intensities({0: 1.0, 1: 1.0}))
+        allocation = policy.allocate(
+            [sample(0), sample(1)], 17.2, TABLE, FLOOR, CEILING, predict
+        )
+        assert allocation.frequencies[0] == 1200 * MHZ
+        assert allocation.frequencies[1] == 1200 * MHZ
+
+    def test_matches_uniform_on_a_balanced_cluster(self):
+        # With identical saturated nodes the redistribution must never do
+        # worse than the uniform baseline at the same target.
+        samples = [sample(i) for i in range(4)]
+        uniform = UniformCapPolicy().allocate(
+            samples, 30.0, TABLE, FLOOR, CEILING, predict
+        )
+        policy = SlackRedistributionPolicy(intensities({i: 1.0 for i in range(4)}))
+        redist = policy.allocate(samples, 30.0, TABLE, FLOOR, CEILING, predict)
+        assert redist.predicted_watts <= 30.0
+        assert sum(redist.frequencies.values()) >= sum(
+            uniform.frequencies.values()
+        )
+
+    def test_infeasible_budget_reports_all_floors(self):
+        policy = SlackRedistributionPolicy(intensities({0: 1.0, 1: 0.1}))
+        allocation = policy.allocate(
+            [sample(0), sample(1)], 5.0, TABLE, FLOOR, CEILING, predict
+        )
+        assert not allocation.feasible
+        assert set(allocation.frequencies.values()) == {FLOOR.frequency}
+
+    def test_allocation_is_deterministic(self):
+        policy = SlackRedistributionPolicy(
+            intensities({0: 0.5, 1: 0.5, 2: 0.5})
+        )
+        samples = [sample(i) for i in range(3)]
+        first = policy.allocate(samples, 18.0, TABLE, FLOOR, CEILING, predict)
+        second = policy.allocate(samples, 18.0, TABLE, FLOOR, CEILING, predict)
+        assert first.frequencies == second.frequencies
+        assert first.predicted_watts == second.predicted_watts
