@@ -1,4 +1,4 @@
-"""Parallel experiment sweeps across OS processes.
+"""Parallel experiment sweeps across OS processes, with a run cache.
 
 Every run in a crescendo is an independent simulation with no shared
 state, so sweeps parallelise embarrassingly across cores.  Because the
@@ -9,13 +9,26 @@ whichever fits their machine.
 Workers receive a picklable task description and build their own cluster;
 only the resulting :class:`~repro.metrics.records.EnergyDelayPoint`
 travels back.
+
+Determinism also makes runs *cacheable*: pass a
+:class:`~repro.cache.store.RunCache` and :func:`run_sweep` resolves each
+task to a content hash (:func:`repro.cache.keys.task_key`), returns
+stored points for hits, and inserts every freshly simulated point as it
+completes.  Insertion-on-completion is what makes sweeps **resumable**:
+an interrupted or partially failed sweep has already persisted its
+finished points, so the re-run simulates only the gap.
+
+Failures are collected, not contagious: a task that raises does not stop
+the remaining tasks.  When any task fails, :func:`run_sweep` finishes
+everything else (caching the successes) and then raises
+:class:`SweepError` listing each failed task by index.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dvs.strategy import (
     CpuspeedStrategy,
@@ -27,18 +40,73 @@ from repro.hardware.calibration import Calibration
 from repro.metrics.records import EnergyDelayPoint
 from repro.workloads.base import Workload
 
-__all__ = ["SweepTask", "run_sweep", "parallel_full_sweep"]
+__all__ = [
+    "STRATEGY_KINDS",
+    "SweepError",
+    "SweepTask",
+    "parallel_full_sweep",
+    "run_sweep",
+]
+
+#: The strategy recipes a :class:`SweepTask` can describe.
+STRATEGY_KINDS = ("cpuspeed", "dyn", "stat")
+
+
+class SweepError(RuntimeError):
+    """One or more sweep tasks failed (the rest completed).
+
+    Attributes
+    ----------
+    failures:
+        ``(index, task, error)`` for every failed task, in input order.
+    completed:
+        The full result list, ``None`` at each failed index — everything
+        that *did* finish (and was cached, when a cache was active).
+    """
+
+    def __init__(
+        self,
+        failures: Sequence[Tuple[int, "SweepTask", BaseException]],
+        completed: Sequence[Optional[EnergyDelayPoint]],
+    ):
+        self.failures = list(failures)
+        self.completed = list(completed)
+        summary = "; ".join(
+            f"task[{i}] ({task.strategy_kind}): {err!r}"
+            for i, task, err in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} of {len(self.completed)} sweep tasks "
+            f"failed: {summary}"
+        )
 
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One run: a workload plus a strategy recipe (picklable)."""
+    """One run: a workload plus a strategy recipe (picklable).
+
+    Validated at construction time, so a malformed sweep fails before any
+    simulation (or pool) is started.
+    """
 
     workload: Workload
-    strategy_kind: str  #: "stat" | "dyn" | "cpuspeed"
+    strategy_kind: str  #: one of :data:`STRATEGY_KINDS`
     frequency: Optional[float] = None  #: static/dynamic base frequency (Hz)
     regions: Optional[tuple] = None  #: dynamic-region names
     calibration: Optional[Calibration] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy_kind not in STRATEGY_KINDS:
+            raise ValueError(
+                f"unknown strategy kind {self.strategy_kind!r}; "
+                f"valid kinds: {', '.join(STRATEGY_KINDS)}"
+            )
+        if self.strategy_kind in ("stat", "dyn") and self.frequency is None:
+            noun = "static" if self.strategy_kind == "stat" else "dynamic"
+            raise ValueError(
+                f"{noun} task needs a frequency "
+                f"(SweepTask(workload, {self.strategy_kind!r}, frequency=...))"
+            )
 
     def build_strategy(self) -> DVSStrategy:
         if self.strategy_kind == "stat":
@@ -54,7 +122,10 @@ class SweepTask:
             )
         if self.strategy_kind == "cpuspeed":
             return CpuspeedStrategy()
-        raise ValueError(f"unknown strategy kind {self.strategy_kind!r}")
+        raise ValueError(
+            f"unknown strategy kind {self.strategy_kind!r}; "
+            f"valid kinds: {', '.join(STRATEGY_KINDS)}"
+        )
 
 
 def _execute(task: SweepTask) -> EnergyDelayPoint:
@@ -70,16 +141,67 @@ def _execute(task: SweepTask) -> EnergyDelayPoint:
 def run_sweep(
     tasks: Sequence[SweepTask],
     n_workers: Optional[int] = None,
+    cache=None,
 ) -> List[EnergyDelayPoint]:
     """Run tasks, preserving input order.
 
-    ``n_workers=0`` (or 1 task) runs in-process; otherwise a process pool
-    of ``n_workers`` (default: ``os.cpu_count()``) is used.
+    ``n_workers=0`` (or ≤1 task to simulate) runs in-process; otherwise a
+    process pool of ``n_workers`` (default: ``os.cpu_count()``) is used.
+
+    ``cache`` (a :class:`repro.cache.store.RunCache`) short-circuits
+    tasks whose content hash is already stored and persists each new
+    point the moment it completes, so re-running any sweep skips the
+    completed points and an interrupted sweep resumes where it stopped.
+
+    Raises
+    ------
+    SweepError
+        After all tasks have been attempted, if any of them failed.
     """
-    if n_workers == 0 or len(tasks) <= 1:
-        return [_execute(task) for task in tasks]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(_execute, tasks))
+    points: List[Optional[EnergyDelayPoint]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    if cache is not None:
+        from repro.cache.keys import task_key
+
+        for i, task in enumerate(tasks):
+            keys[i] = task_key(task)
+            points[i] = cache.get(keys[i])
+
+    pending = [i for i, p in enumerate(points) if p is None]
+    failures: List[Tuple[int, SweepTask, BaseException]] = []
+
+    def finish(index: int, point: EnergyDelayPoint) -> None:
+        points[index] = point
+        if cache is not None:
+            cache.put(
+                keys[index],
+                point,
+                meta={"workload": getattr(tasks[index].workload, "name", "")},
+            )
+
+    if n_workers == 0 or len(pending) <= 1:
+        for i in pending:
+            try:
+                finish(i, _execute(tasks[i]))
+            except Exception as exc:  # noqa: BLE001 - reported via SweepError
+                failures.append((i, tasks[i], exc))
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(_execute, tasks[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    try:
+                        finish(i, future.result())
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append((i, tasks[i], exc))
+
+    if failures:
+        failures.sort(key=lambda f: f[0])
+        raise SweepError(failures, points)
+    return points  # type: ignore[return-value] - no None left
 
 
 def parallel_full_sweep(
@@ -89,6 +211,7 @@ def parallel_full_sweep(
     calibration: Optional[Calibration] = None,
     include_dynamic: bool = True,
     n_workers: Optional[int] = None,
+    cache=None,
 ) -> Dict[str, List[EnergyDelayPoint]]:
     """The parallel counterpart of
     :func:`repro.analysis.runner.full_strategy_sweep`."""
@@ -108,7 +231,7 @@ def parallel_full_sweep(
                     calibration=calibration,
                 )
             )
-    points = run_sweep(tasks, n_workers=n_workers)
+    points = run_sweep(tasks, n_workers=n_workers, cache=cache)
 
     out: Dict[str, List[EnergyDelayPoint]] = {"cpuspeed": [points[0]]}
     n = len(frequencies)

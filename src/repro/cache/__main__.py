@@ -1,0 +1,8 @@
+"""``python -m repro.cache`` — alias for the ``repro-cache`` script."""
+
+import sys
+
+from repro.cache.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Command-line entry point: ``repro-cache``.
+
+Examples::
+
+    repro-cache stats
+    repro-cache stats --cache-dir .repro-cache --json
+    repro-cache clear --cache-dir .repro-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.cache.context import default_cache_dir
+from repro.cache.keys import simulator_salt
+from repro.cache.store import RunCache
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description=(
+            "Inspect or clear the content-addressed run cache used by "
+            "repro-experiment and the sweep helpers."
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    stats = sub.add_parser("stats", help="print entry/byte counts and the active salt")
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    sub.add_parser("clear", help="delete every cached record")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    cache_dir = args.cache_dir or default_cache_dir()
+    cache = RunCache(cache_dir)
+
+    if args.command == "stats":
+        stats = cache.stats
+        if args.json:
+            payload = stats.to_dict()
+            payload["cache_dir"] = str(cache.cache_dir)
+            payload["salt"] = simulator_salt()
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"cache dir: {cache.cache_dir}")
+            print(f"salt:      {simulator_salt()}")
+            print(f"entries:   {stats.entries}")
+            print(f"bytes:     {stats.bytes}")
+            print(f"corrupt:   {stats.corrupt}")
+        return 0
+
+    if args.command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached records from {cache.cache_dir}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""The ambient sweep context: caching and parallelism without plumbing.
+
+Thirteen experiment drivers build crescendos through the shared helpers
+in :mod:`repro.experiments.common`.  Rather than thread
+``cache``/``n_workers`` arguments through every ``fig*.run`` signature,
+the registry (and anything else) installs a :class:`SweepContext` for
+the duration of a call::
+
+    from repro.cache import RunCache, sweep_context
+    from repro.experiments.registry import run_experiment
+
+    with sweep_context(cache=RunCache("/tmp/repro-cache"), n_workers=4):
+        result = run_experiment("fig5")
+
+Helpers that honour the context (``static_points``, ``dynamic_points``,
+``cpuspeed_point``, ``strategy_point_sweep``) route through
+:func:`repro.analysis.parallel.run_sweep` with the active cache and
+worker count.  The default context (no cache, in-process serial
+execution) reproduces the pre-cache behaviour exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.cache.store import RunCache
+
+__all__ = [
+    "SweepContext",
+    "active_context",
+    "default_cache_dir",
+    "sweep_context",
+]
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """What ambient machinery sweeps should use.
+
+    ``n_workers`` follows :func:`repro.analysis.parallel.run_sweep`
+    semantics: ``0`` runs in-process (the default — serial, no pool),
+    ``None`` uses ``os.cpu_count()`` workers, ``N`` uses N workers.
+    """
+
+    cache: Optional[RunCache] = None
+    n_workers: Optional[int] = 0
+
+
+_ACTIVE: ContextVar[SweepContext] = ContextVar(
+    "repro_sweep_context", default=SweepContext()
+)
+
+
+def active_context() -> SweepContext:
+    """The currently-installed context (default: no cache, serial)."""
+    return _ACTIVE.get()
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/runs``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro/runs").expanduser()
+
+
+@contextmanager
+def sweep_context(
+    cache: Optional[RunCache] = None,
+    n_workers: Optional[int] = 0,
+) -> Iterator[SweepContext]:
+    """Install a :class:`SweepContext` for the dynamic extent of a block."""
+    ctx = SweepContext(cache=cache, n_workers=n_workers)
+    token = _ACTIVE.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _ACTIVE.reset(token)

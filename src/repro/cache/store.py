@@ -1,0 +1,268 @@
+"""The on-disk run store: JSON-lines shards under a content-hash layout.
+
+Records live in ``<cache_dir>/shards/<kk>.jsonl`` where ``kk`` is the
+first two hex characters of the key — 256 shards, each an append-only
+JSON-lines file.  Appending is how interrupted sweeps resume for free: a
+sweep that dies halfway has already appended every completed point, and
+the re-run's lookups find them.
+
+Design properties:
+
+* **corruption-tolerant** — a truncated or hand-mangled line is skipped
+  (counted in ``stats.corrupt``), an unreadable shard file is discarded
+  wholesale; a bad cache can cost re-simulation but can never fail a
+  sweep;
+* **bounded** — ``max_bytes`` enforces an LRU size cap at shard
+  granularity: every hit touches its shard's mtime, and the
+  least-recently-used shards are deleted first when the cap is exceeded;
+* **exact** — records round-trip ``repr``-exact floats through JSON, so
+  a warm hit is bit-identical to the simulation it replaced;
+* **last-writer-wins** — duplicate keys may appear when concurrent
+  sweeps share a directory; the latest appended record is returned.
+
+Writes happen only in the sweep-coordinating process (workers return
+points over the pool, the parent inserts), so a single ``RunCache``
+instance never races itself.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.metrics.records import EnergyDelayPoint
+
+__all__ = ["CacheStats", "RunCache"]
+
+_SHARD_SUFFIX = ".jsonl"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters for one :class:`RunCache` instance plus on-disk totals."""
+
+    hits: int  #: lookups answered from the store
+    misses: int  #: lookups that fell through to simulation
+    evictions: int  #: records deleted by the LRU size cap
+    corrupt: int  #: records discarded as unparseable/invalid
+    entries: int  #: records currently on disk (after dedup)
+    bytes: int  #: total shard bytes currently on disk
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+            "entries": self.entries,
+            "bytes": self.bytes,
+        }
+
+
+class RunCache:
+    """Content-addressed store of :class:`EnergyDelayPoint` records.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory (created on first write).
+    max_bytes:
+        LRU size cap over all shard files; ``None`` disables eviction.
+
+    Examples
+    --------
+    ::
+
+        cache = RunCache("/tmp/repro-cache", max_bytes=64 << 20)
+        key = task_key(task)
+        point = cache.get(key)
+        if point is None:
+            point = simulate(task)
+            cache.put(key, point)
+    """
+
+    def __init__(
+        self, cache_dir: os.PathLike, max_bytes: Optional[int] = None
+    ):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.cache_dir = Path(cache_dir)
+        self.max_bytes = max_bytes
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._corrupt = 0
+        #: shard prefix -> {key -> record dict}, lazily loaded
+        self._shards: Dict[str, Dict[str, dict]] = {}
+
+    # -- layout --------------------------------------------------------
+    @property
+    def shard_dir(self) -> Path:
+        return self.cache_dir / "shards"
+
+    def _shard_path(self, prefix: str) -> Path:
+        return self.shard_dir / f"{prefix}{_SHARD_SUFFIX}"
+
+    def _shard_files(self) -> Iterator[Path]:
+        if not self.shard_dir.is_dir():
+            return iter(())
+        return iter(sorted(self.shard_dir.glob(f"*{_SHARD_SUFFIX}")))
+
+    # -- load ----------------------------------------------------------
+    def _load_shard(self, prefix: str) -> Dict[str, dict]:
+        loaded = self._shards.get(prefix)
+        if loaded is not None:
+            return loaded
+        records: Dict[str, dict] = {}
+        path = self._shard_path(prefix)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            text = ""
+        except (OSError, UnicodeDecodeError):
+            # Unreadable shard: discard it rather than fail the sweep.
+            self._corrupt += 1
+            path.unlink(missing_ok=True)
+            text = ""
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+                key = record["key"]
+                # Validate eagerly so a poisoned record is discarded at
+                # load time, not thrown mid-sweep.
+                self._point_of(record)
+            except (KeyError, TypeError, ValueError):
+                self._corrupt += 1
+                continue
+            records[key] = record  # duplicate keys: last writer wins
+        self._shards[prefix] = records
+        return records
+
+    @staticmethod
+    def _point_of(record: dict) -> EnergyDelayPoint:
+        point = record["point"]
+        return EnergyDelayPoint(
+            label=point["label"],
+            energy=float(point["energy"]),
+            delay=float(point["delay"]),
+            frequency=(
+                None
+                if point.get("frequency") is None
+                else float(point["frequency"])
+            ),
+        )
+
+    # -- public API ----------------------------------------------------
+    def get(self, key: str) -> Optional[EnergyDelayPoint]:
+        """The stored point for ``key``, or ``None`` (counted as a miss)."""
+        records = self._load_shard(key[:2])
+        record = records.get(key)
+        if record is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        path = self._shard_path(key[:2])
+        if path.exists():
+            os.utime(path)  # LRU recency signal
+        return self._point_of(record)
+
+    def get_meta(self, key: str) -> Optional[dict]:
+        """The auxiliary metadata stored alongside ``key`` (no hit/miss)."""
+        record = self._load_shard(key[:2]).get(key)
+        return None if record is None else dict(record.get("meta") or {})
+
+    def put(
+        self, key: str, point: EnergyDelayPoint, meta: Optional[dict] = None
+    ) -> None:
+        """Append one record (idempotent re-puts are harmless)."""
+        record = {
+            "key": key,
+            "point": {
+                "label": point.label,
+                "energy": point.energy,
+                "delay": point.delay,
+                "frequency": point.frequency,
+            },
+        }
+        if meta:
+            record["meta"] = meta
+        prefix = key[:2]
+        self._load_shard(prefix)[key] = record
+        path = self._shard_path(prefix)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        if self.max_bytes is not None:
+            self._enforce_cap(keep=prefix)
+
+    def clear(self) -> int:
+        """Delete every shard; returns the number of records removed."""
+        removed = 0
+        for path in self._shard_files():
+            removed += len(self._load_shard(path.stem))
+            path.unlink(missing_ok=True)
+        self._shards.clear()
+        return removed
+
+    # -- accounting ----------------------------------------------------
+    def _disk_usage(self) -> Tuple[int, int]:
+        """(entries, bytes) across all shard files."""
+        entries = 0
+        total = 0
+        for path in self._shard_files():
+            entries += len(self._load_shard(path.stem))
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return entries, total
+
+    @property
+    def stats(self) -> CacheStats:
+        entries, total = self._disk_usage()
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            corrupt=self._corrupt,
+            entries=entries,
+            bytes=total,
+        )
+
+    def _enforce_cap(self, keep: Optional[str] = None) -> None:
+        """Evict least-recently-used shards until under ``max_bytes``.
+
+        The shard named by ``keep`` (the one just written) is evicted
+        last, so the working set of the *current* sweep survives even
+        when the cap is undersized.
+        """
+        assert self.max_bytes is not None
+        paths = list(self._shard_files())
+        total = 0
+        stats = {}
+        for path in paths:
+            try:
+                stats[path] = path.stat()
+                total += stats[path].st_size
+            except OSError:
+                continue
+        if total <= self.max_bytes:
+            return
+        ordered = sorted(
+            stats,
+            key=lambda p: (p.stem == keep, stats[p].st_mtime),
+        )
+        for path in ordered:
+            if total <= self.max_bytes:
+                break
+            self._evictions += len(self._load_shard(path.stem))
+            self._shards.pop(path.stem, None)
+            path.unlink(missing_ok=True)
+            total -= stats[path].st_size

@@ -6,6 +6,14 @@ Examples::
     repro-experiment fig3
     repro-experiment fig6 fig7 fig8 --json out.json
     repro-experiment all
+    repro-experiment fig5 --jobs 4 --cache-dir .repro-cache
+    repro-experiment fig5 --no-cache
+
+Caching is on by default (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/runs``):
+the first run of any experiment simulates and stores every operating
+point; re-runs return bit-identical results from the store, an order of
+magnitude faster.  ``repro-cache stats`` / ``repro-cache clear`` manage
+the store.
 """
 
 from __future__ import annotations
@@ -14,6 +22,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.cache.context import default_cache_dir
+from repro.cache.store import RunCache
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
 __all__ = ["main"]
@@ -55,6 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
             "every selected experiment that accepts the keyword)"
         ),
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run each experiment's sweeps on N worker processes "
+            "(0 = one per CPU core; default: in-process serial; results "
+            "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed run cache (always re-simulate)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help=(
+            "run-cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/runs)"
+        ),
+    )
     return parser
 
 
@@ -93,6 +128,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
+    cache: Optional[RunCache] = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or default_cache_dir()
+        cache = RunCache(cache_dir)
+
     json_lines = []
     for experiment_id in ids:
         import inspect
@@ -100,13 +140,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         fn = EXPERIMENTS[experiment_id]
         accepted = set(inspect.signature(fn).parameters)
         kwargs = {k: v for k, v in params.items() if k in accepted}
-        result = run_experiment(experiment_id, **kwargs)
+        result = run_experiment(
+            experiment_id,
+            use_cache=cache if cache is not None else False,
+            jobs=args.jobs,
+            **kwargs,
+        )
         print(result.render())
         print()
         json_lines.append(result.to_json(indent=None if args.json else 2))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write("\n".join(json_lines) + "\n")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses "
+            f"({stats.entries} entries, {stats.bytes} bytes on disk)",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,19 +1,37 @@
-"""Shared helpers for experiment drivers."""
+"""Shared helpers for experiment drivers.
+
+The point-sweep helpers (:func:`static_points`, :func:`dynamic_points`,
+:func:`cpuspeed_point`, :func:`strategy_point_sweep`) are how every
+driver runs its crescendos: they honour the ambient
+:class:`~repro.cache.context.SweepContext`, so installing a context (as
+:func:`repro.experiments.registry.run_experiment` does for its
+``use_cache``/``jobs`` arguments) transparently gives any experiment a
+run cache and a worker pool.  With the default context they execute
+serially in-process — the exact pre-cache behaviour.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.parallel import SweepTask, run_sweep
 from repro.analysis.records import ExperimentResult
 from repro.analysis.report import format_best_points, format_crescendo
 from repro.analysis.runner import MeasuredRun
+from repro.cache.context import active_context
+from repro.hardware.calibration import Calibration
 from repro.hardware.dvfs import PENTIUM_M_1400
 from repro.metrics.records import EnergyDelayPoint
 from repro.metrics.selection import select_paper_rows
+from repro.workloads.base import Workload
 
 __all__ = [
     "LADDER_FREQUENCIES",
     "points_of",
+    "static_points",
+    "dynamic_points",
+    "cpuspeed_point",
+    "strategy_point_sweep",
     "normalize_series",
     "find_static",
     "energy_saving",
@@ -27,6 +45,96 @@ LADDER_FREQUENCIES = PENTIUM_M_1400.frequencies
 
 def points_of(runs: Sequence[MeasuredRun]) -> List[EnergyDelayPoint]:
     return [run.point for run in runs]
+
+
+def _context_sweep(tasks: Sequence[SweepTask]) -> List[EnergyDelayPoint]:
+    ctx = active_context()
+    return run_sweep(tasks, n_workers=ctx.n_workers, cache=ctx.cache)
+
+
+def static_points(
+    workload: Workload,
+    frequencies: Sequence[float],
+    calibration: Optional[Calibration] = None,
+) -> List[EnergyDelayPoint]:
+    """One static point per frequency, honouring the sweep context."""
+    return _context_sweep(
+        [
+            SweepTask(workload, "stat", frequency=f, calibration=calibration)
+            for f in frequencies
+        ]
+    )
+
+
+def dynamic_points(
+    workload: Workload,
+    frequencies: Sequence[float],
+    regions: Optional[Sequence[str]] = None,
+    calibration: Optional[Calibration] = None,
+) -> List[EnergyDelayPoint]:
+    """One dynamic point per base frequency, honouring the sweep context."""
+    return _context_sweep(
+        [
+            SweepTask(
+                workload,
+                "dyn",
+                frequency=f,
+                regions=tuple(regions) if regions else None,
+                calibration=calibration,
+            )
+            for f in frequencies
+        ]
+    )
+
+
+def cpuspeed_point(
+    workload: Workload, calibration: Optional[Calibration] = None
+) -> EnergyDelayPoint:
+    """The cpuspeed operating point, honouring the sweep context."""
+    return _context_sweep(
+        [SweepTask(workload, "cpuspeed", calibration=calibration)]
+    )[0]
+
+
+def strategy_point_sweep(
+    workload: Workload,
+    frequencies: Sequence[float],
+    regions: Optional[Sequence[str]] = None,
+    calibration: Optional[Calibration] = None,
+    include_dynamic: bool = True,
+) -> Dict[str, List[EnergyDelayPoint]]:
+    """The paper's full comparison as raw point series.
+
+    Point-level counterpart of
+    :func:`repro.analysis.runner.full_strategy_sweep`, routed through the
+    sweep context so one worker pool (and one cache) covers the whole
+    comparison instead of one per series.
+    """
+    tasks: List[SweepTask] = [
+        SweepTask(workload, "cpuspeed", calibration=calibration)
+    ]
+    for f in frequencies:
+        tasks.append(
+            SweepTask(workload, "stat", frequency=f, calibration=calibration)
+        )
+    if include_dynamic:
+        for f in frequencies:
+            tasks.append(
+                SweepTask(
+                    workload,
+                    "dyn",
+                    frequency=f,
+                    regions=tuple(regions) if regions else None,
+                    calibration=calibration,
+                )
+            )
+    points = _context_sweep(tasks)
+    out: Dict[str, List[EnergyDelayPoint]] = {"cpuspeed": [points[0]]}
+    n = len(frequencies)
+    out["stat"] = points[1 : 1 + n]
+    if include_dynamic:
+        out["dyn"] = points[1 + n : 1 + 2 * n]
+    return out
 
 
 def normalize_series(

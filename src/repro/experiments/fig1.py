@@ -8,13 +8,12 @@ energy savings; swim converts small slowdowns into steady energy savings.
 from __future__ import annotations
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     delay_increase,
     energy_saving,
     find_static,
-    points_of,
+    static_points,
 )
 from repro.analysis.report import format_crescendo
 from repro.workloads.spec_like import MgridLike, SwimLike
@@ -31,8 +30,8 @@ def run(iterations: int = 10) -> ExperimentResult:
     swim = SwimLike(iterations=iterations)
 
     raw = {
-        "mgrid": points_of(static_crescendo(mgrid, LADDER_FREQUENCIES)),
-        "swim": points_of(static_crescendo(swim, LADDER_FREQUENCIES)),
+        "mgrid": static_points(mgrid, LADDER_FREQUENCIES),
+        "swim": static_points(swim, LADDER_FREQUENCIES),
     }
     for name, points in raw.items():
         reference = max(points, key=lambda p: p.frequency)

@@ -11,13 +11,12 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import cpuspeed_run, static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
     find_static,
     normalize_series,
-    points_of,
+    strategy_point_sweep,
 )
 from repro.experiments.paper_targets import target
 from repro.workloads.nas_ft import NasFT
@@ -32,10 +31,10 @@ def run(iterations: Optional[int] = 4, n_ranks: int = 8) -> ExperimentResult:
     )
     workload = NasFT("B", n_ranks=n_ranks, iterations=iterations)
 
-    raw = {
-        "stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES)),
-        "cpuspeed": [cpuspeed_run(workload).point],
-    }
+    sweep = strategy_point_sweep(
+        workload, LADDER_FREQUENCIES, include_dynamic=False
+    )
+    raw = {"stat": sweep["stat"], "cpuspeed": sweep["cpuspeed"]}
     normed = normalize_series(raw)
     for name, points in normed.items():
         result.add_series(name, points)

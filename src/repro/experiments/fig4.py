@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import cpuspeed_run, dynamic_crescendo, static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
@@ -20,7 +19,7 @@ from repro.experiments.common import (
     energy_saving,
     find_static,
     normalize_series,
-    points_of,
+    strategy_point_sweep,
 )
 from repro.experiments.paper_targets import target
 from repro.metrics.ed2p import DELTA_HPC
@@ -38,12 +37,11 @@ def run(iterations: Optional[int] = 2, n_ranks: int = 8) -> ExperimentResult:
     )
     workload = NasFT("C", n_ranks=n_ranks, iterations=iterations)
 
+    sweep = strategy_point_sweep(workload, LADDER_FREQUENCIES, regions=["fft"])
     raw = {
-        "stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES)),
-        "dyn": points_of(
-            dynamic_crescendo(workload, LADDER_FREQUENCIES, regions=["fft"])
-        ),
-        "cpuspeed": [cpuspeed_run(workload).point],
+        "stat": sweep["stat"],
+        "dyn": sweep["dyn"],
+        "cpuspeed": sweep["cpuspeed"],
     }
     normed = normalize_series(raw)
     for name, points in normed.items():

@@ -10,7 +10,6 @@ cpuspeed / static / dynamic (regions: steps 2-3).  Paper numbers: static
 from __future__ import annotations
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import cpuspeed_run, dynamic_crescendo, static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
@@ -18,7 +17,7 @@ from repro.experiments.common import (
     energy_saving,
     find_static,
     normalize_series,
-    points_of,
+    strategy_point_sweep,
 )
 from repro.experiments.paper_targets import target
 from repro.metrics.ed2p import DELTA_ENERGY, DELTA_HPC
@@ -38,14 +37,13 @@ def run(matrix_n: int = 12_000, iterations: int = 1) -> ExperimentResult:
         matrix_n=matrix_n, grid_rows=5, grid_cols=3, iterations=iterations
     )
 
+    sweep = strategy_point_sweep(
+        workload, LADDER_FREQUENCIES, regions=["step2", "step3"]
+    )
     raw = {
-        "stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES)),
-        "dyn": points_of(
-            dynamic_crescendo(
-                workload, LADDER_FREQUENCIES, regions=["step2", "step3"]
-            )
-        ),
-        "cpuspeed": [cpuspeed_run(workload).point],
+        "stat": sweep["stat"],
+        "dyn": sweep["dyn"],
+        "cpuspeed": sweep["cpuspeed"],
     }
     normed = normalize_series(raw)
     for name, points in normed.items():

@@ -9,13 +9,12 @@ efficient (weighted ED²P, energy weighting) than 1.4 GHz.
 from __future__ import annotations
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
     find_static,
     normalize_series,
-    points_of,
+    static_points,
 )
 from repro.experiments.paper_targets import target
 from repro.metrics.ed2p import DELTA_ENERGY
@@ -31,7 +30,7 @@ def run(passes: int = 100) -> ExperimentResult:
         "fig6", "memory-bound microbenchmark (32 MB buffer, 128 B stride)"
     )
     workload = MemoryBoundMicro(passes=passes)
-    raw = {"stat": points_of(static_crescendo(workload, LADDER_FREQUENCIES))}
+    raw = {"stat": static_points(workload, LADDER_FREQUENCIES)}
     normed = normalize_series(raw)
     result.add_series("stat", normed["stat"])
     attach_standard_tables(result, normed)

@@ -11,13 +11,12 @@ most energy and runs ~245 % of the fastest time.
 from __future__ import annotations
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
     find_static,
     normalize_series,
-    points_of,
+    static_points,
 )
 from repro.experiments.paper_targets import target
 from repro.metrics.ed2p import DELTA_ENERGY
@@ -37,8 +36,8 @@ def run(
     l2 = L2BoundMicro(passes=l2_passes)
     reg = RegisterMicro(total_ops=register_ops)
 
-    l2_points = points_of(static_crescendo(l2, LADDER_FREQUENCIES))
-    reg_points = points_of(static_crescendo(reg, LADDER_FREQUENCIES))
+    l2_points = static_points(l2, LADDER_FREQUENCIES)
+    reg_points = static_points(reg, LADDER_FREQUENCIES)
     l2_normed = normalize_series({"stat": l2_points})["stat"]
     reg_normed = normalize_series({"stat": reg_points})["stat"]
     result.add_series("l2", l2_normed)

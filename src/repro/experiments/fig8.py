@@ -10,13 +10,12 @@ signature of communication on a 100 Mb network.
 from __future__ import annotations
 
 from repro.analysis.records import ExperimentResult
-from repro.analysis.runner import static_crescendo
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     attach_standard_tables,
     find_static,
     normalize_series,
-    points_of,
+    static_points,
 )
 from repro.experiments.paper_targets import target
 from repro.util.units import KIB
@@ -38,7 +37,7 @@ def run(round_trips: int = 200) -> ExperimentResult:
     )
 
     for key, workload, fig in (("256KB", big, "fig8a"), ("4KBstride64", strided, "fig8b")):
-        points = points_of(static_crescendo(workload, LADDER_FREQUENCIES))
+        points = static_points(workload, LADDER_FREQUENCIES)
         normed = normalize_series({"stat": points})["stat"]
         result.add_series(key, normed)
         p600 = find_static(normed, 600)

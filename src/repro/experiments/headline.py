@@ -16,11 +16,10 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.records import ExperimentResult
 from repro.analysis.report import format_table
-from repro.analysis.runner import full_strategy_sweep
 from repro.experiments.common import (
     LADDER_FREQUENCIES,
     normalize_series,
-    points_of,
+    strategy_point_sweep,
 )
 from repro.metrics.records import EnergyDelayPoint
 from repro.workloads.nas_ft import NasFT
@@ -57,10 +56,9 @@ def run(
     budgets = (0.02, 0.05, 0.10)
     frontier: Dict[Tuple[str, float], Optional[EnergyDelayPoint]] = {}
     for name, workload in workloads.items():
-        sweep = full_strategy_sweep(
+        raw = strategy_point_sweep(
             workload, LADDER_FREQUENCIES, regions=regions[name]
         )
-        raw = {k: points_of(v) for k, v in sweep.items()}
         normed = normalize_series(raw)
         everything = [p for pts in normed.values() for p in pts]
         result.add_series(name, everything)

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.records import ExperimentResult
+from repro.cache.context import default_cache_dir, sweep_context
+from repro.cache.store import RunCache
 from repro.experiments import (
     fig1,
     fig2,
@@ -76,11 +79,46 @@ def list_experiments() -> Dict[str, str]:
     return docs
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id."""
+def run_experiment(
+    experiment_id: str,
+    *,
+    use_cache: Union[bool, RunCache] = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: Optional[int] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id.
+
+    Parameters
+    ----------
+    use_cache:
+        ``True`` to run under a content-addressed
+        :class:`~repro.cache.store.RunCache` (completed operating points
+        are skipped, new points are persisted as they finish), or an
+        existing :class:`RunCache` instance to share one across calls.
+    cache_dir:
+        Cache directory when ``use_cache=True`` (default:
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/runs``).
+    jobs:
+        Worker-process count for the experiment's sweeps: ``None`` keeps
+        serial in-process execution, ``0`` forces ``os.cpu_count()``
+        workers, ``N`` uses N workers.  Parallel runs are bit-identical
+        to serial ones.
+    kwargs:
+        Forwarded to the experiment's runner (e.g. ``iterations=2``).
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(EXPERIMENTS)}"
         )
-    return EXPERIMENTS[experiment_id](**kwargs)
+    cache: Optional[RunCache] = None
+    if isinstance(use_cache, RunCache):
+        cache = use_cache
+    elif use_cache:
+        cache = RunCache(Path(cache_dir) if cache_dir else default_cache_dir())
+    if cache is None and jobs is None:
+        return EXPERIMENTS[experiment_id](**kwargs)
+    n_workers: Optional[int] = 0 if jobs is None else (None if jobs == 0 else jobs)
+    with sweep_context(cache=cache, n_workers=n_workers):
+        return EXPERIMENTS[experiment_id](**kwargs)

@@ -12,8 +12,11 @@ from typing import Optional
 
 from repro.analysis.records import ExperimentResult
 from repro.analysis.report import format_best_points, format_table
-from repro.analysis.runner import static_crescendo
-from repro.experiments.common import LADDER_FREQUENCIES, normalize_series, points_of
+from repro.experiments.common import (
+    LADDER_FREQUENCIES,
+    normalize_series,
+    static_points,
+)
 from repro.experiments.paper_targets import target
 from repro.hardware.dvfs import PENTIUM_M_1400
 from repro.metrics.selection import select_paper_rows
@@ -32,7 +35,7 @@ def run_table1(iterations: int = 10) -> ExperimentResult:
         ("mgrid", MgridLike(iterations=iterations)),
         ("swim", SwimLike(iterations=iterations)),
     ):
-        points = points_of(static_crescendo(workload, LADDER_FREQUENCIES))
+        points = static_points(workload, LADDER_FREQUENCIES)
         rows = select_paper_rows(points)
         result.add_series(key, points)
         result.tables[key] = format_best_points(rows, title=f"{key}-like")
@@ -75,7 +78,7 @@ def run_table3(iterations: Optional[int] = 4, n_ranks: int = 8) -> ExperimentRes
         "table3", f"best operating points for FT class B on {n_ranks} nodes"
     )
     workload = NasFT("B", n_ranks=n_ranks, iterations=iterations)
-    points = points_of(static_crescendo(workload, LADDER_FREQUENCIES))
+    points = static_points(workload, LADDER_FREQUENCIES)
     normed = normalize_series({"stat": points})["stat"]
     rows = select_paper_rows(list(normed))
     result.add_series("stat", normed)

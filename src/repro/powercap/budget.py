@@ -38,6 +38,26 @@ class PowerBudget:
     node_ceiling_hz:
         No node is ever allocated above this frequency (default: the
         ladder's fastest point).
+
+    Examples
+    --------
+    A 130 W rack budget with the default 5 % guard band::
+
+        from repro.powercap import PowerBudget
+
+        budget = PowerBudget(cluster_watts=130.0)
+        assert budget.limit_watts == 130.0 * 1.05
+        assert budget.complies(134.0)       # inside the guard band
+        assert not budget.complies(140.0)   # violation
+
+    Bounding the worst-case per-rank slowdown by forbidding the 600 MHz
+    point::
+
+        from repro.util.units import MHZ
+
+        budget = PowerBudget(cluster_watts=130.0, node_floor_hz=800 * MHZ)
+        # budget.resolve_bounds(table) snaps (floor, ceiling) to ladder
+        # points before the governor ever allocates.
     """
 
     cluster_watts: float

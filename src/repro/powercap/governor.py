@@ -88,7 +88,35 @@ class GovernorWindow:
 
 
 class CapGovernor:
-    """Periodic cluster-wide power-cap enforcement process."""
+    """Periodic cluster-wide power-cap enforcement process.
+
+    Most callers never construct one directly —
+    :class:`~repro.powercap.strategy.PowerCapStrategy` builds and starts
+    a governor inside the standard ``prepare → run → teardown`` protocol.
+    Direct construction is for driving the loop yourself::
+
+        from repro.hardware.cluster import Cluster
+        from repro.powercap import CapGovernor, CapGovernorConfig, PowerBudget
+        from repro.simmpi import run_spmd
+
+        cluster = Cluster.build(8)
+        governor = CapGovernor(
+            cluster,
+            PowerBudget(cluster_watts=130.0),
+            config=CapGovernorConfig(interval=0.25, safety_margin=0.05),
+        )
+        governor.start(cluster.engine)   # installs the worst-case
+        result = run_spmd(cluster, program, n_ranks=8)  # governor ticks
+        governor.stop()
+
+        for window in governor.windows:  # one record per control interval
+            print(window.t0, window.cluster_avg_watts, window.compliant)
+        print(governor.achieved_average_watts(), governor.violation_count)
+
+    ``windows`` is the raw compliance record;
+    :func:`repro.metrics.powercap.build_cap_report` turns it into the
+    report the ``powercap`` experiment tabulates.
+    """
 
     def __init__(
         self,

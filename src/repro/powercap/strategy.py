@@ -32,7 +32,43 @@ __all__ = ["PowerCapStrategy"]
 
 
 class PowerCapStrategy(DVSStrategy):
-    """Enforce a :class:`PowerBudget` for the duration of one run."""
+    """Enforce a :class:`PowerBudget` for the duration of one run.
+
+    Examples
+    --------
+    Cap a run and read the governor's compliance record afterwards::
+
+        from repro.analysis import run_measured
+        from repro.powercap import PowerBudget, PowerCapStrategy
+        from repro.workloads import NasFT
+
+        capped = PowerCapStrategy(PowerBudget(cluster_watts=130.0))
+        run = run_measured(NasFT("S", n_ranks=8, iterations=3), capped)
+        governor = capped.governor
+        print(governor.achieved_average_watts(), governor.violation_count)
+
+    Compose with the paper's dynamic strategy — application-directed
+    scaling keeps working *inside* the budget, and the budget wins when
+    they conflict::
+
+        from repro.dvs.strategy import DynamicStrategy
+        from repro.util.units import MHZ
+
+        inner = DynamicStrategy(1400 * MHZ, regions=["fft"])
+        capped = PowerCapStrategy(
+            PowerBudget(cluster_watts=120.0), inner=inner
+        )
+        run = run_measured(NasFT("S", n_ranks=8, iterations=3), capped)
+
+    Swap the allocation policy to the uniform baseline for an
+    ablation-style comparison::
+
+        from repro.powercap import UniformCapPolicy
+
+        uniform = PowerCapStrategy(
+            PowerBudget(cluster_watts=120.0), policy=UniformCapPolicy()
+        )
+    """
 
     kind = "powercap"
 

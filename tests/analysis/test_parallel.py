@@ -1,11 +1,21 @@
 """Tests for parallel sweeps: identical results to serial, any pool size."""
 
+import os
+
 import pytest
 
-from repro.analysis.parallel import SweepTask, parallel_full_sweep, run_sweep
+from repro.analysis.parallel import (
+    STRATEGY_KINDS,
+    SweepError,
+    SweepTask,
+    parallel_full_sweep,
+    run_sweep,
+)
 from repro.analysis.runner import full_strategy_sweep
+from repro.cache.store import RunCache
 from repro.experiments.common import points_of
 from repro.util.units import MHZ
+from repro.workloads.micro import L2BoundMicro
 from repro.workloads.nas_ft import NasFT
 
 
@@ -14,6 +24,25 @@ FREQS = [600 * MHZ, 1000 * MHZ, 1400 * MHZ]
 
 def make_workload():
     return NasFT("S", n_ranks=4, iterations=2)
+
+
+class CrashableMicro(L2BoundMicro):
+    """An L2 walk that raises while a marker file exists.
+
+    Module-level so it pickles into pool workers; the marker file lets
+    the *same* task crash in one sweep and succeed in the next (the
+    resume scenario) without changing its cache key between those runs.
+    """
+
+    def __init__(self, marker: str, crash: bool):
+        super().__init__(passes=5)
+        self.marker = marker
+        self.crash = crash
+
+    def program(self, comm, dvs):
+        if self.crash and os.path.exists(self.marker):
+            raise RuntimeError("injected worker crash")
+        return (yield from super().program(comm, dvs))
 
 
 def test_task_builds_each_strategy_kind():
@@ -32,6 +61,27 @@ def test_task_validation():
         SweepTask(wl, "dyn").build_strategy()
     with pytest.raises(ValueError):
         SweepTask(wl, "bogus").build_strategy()
+
+
+def test_task_validates_at_construction_time():
+    """A malformed sweep fails before any simulation starts, and the
+    unknown-kind message enumerates the valid kinds."""
+    wl = make_workload()
+    with pytest.raises(ValueError, match="valid kinds: cpuspeed, dyn, stat"):
+        SweepTask(wl, "bogus")
+    with pytest.raises(ValueError, match="static task needs a frequency"):
+        SweepTask(wl, "stat")
+    with pytest.raises(ValueError, match="dynamic task needs a frequency"):
+        SweepTask(wl, "dyn")
+    assert SweepTask(wl, "cpuspeed").frequency is None  # no frequency needed
+
+
+def test_strategy_kinds_is_the_public_vocabulary():
+    assert STRATEGY_KINDS == ("cpuspeed", "dyn", "stat")
+    for kind in STRATEGY_KINDS:
+        frequency = None if kind == "cpuspeed" else 800 * MHZ
+        task = SweepTask(make_workload(), kind, frequency=frequency)
+        assert task.build_strategy().kind == kind
 
 
 def test_inprocess_sweep_preserves_order():
@@ -63,3 +113,51 @@ def test_parallel_sweep_without_dynamic():
     )
     assert set(out) == {"cpuspeed", "stat"}
     assert len(out["stat"]) == 3
+
+
+def test_worker_crash_completes_siblings_and_resumes_from_cache(tmp_path):
+    """One crashing worker must not lose its siblings' results: they
+    complete, land in the cache, and the re-run simulates only the gap."""
+    marker = tmp_path / "crash-marker"
+    marker.write_text("armed")
+    tasks = [
+        SweepTask(
+            CrashableMicro(str(marker), crash=(f == 1000 * MHZ)),
+            "stat",
+            frequency=f,
+        )
+        for f in FREQS
+    ]
+    cache = RunCache(tmp_path / "cache")
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(tasks, n_workers=2, cache=cache)
+    err = excinfo.value
+    assert [index for index, _, _ in err.failures] == [1]
+    assert isinstance(err.failures[0][2], RuntimeError)
+    assert "injected worker crash" in str(err)
+    assert err.completed[1] is None
+    assert err.completed[0] is not None and err.completed[2] is not None
+    assert cache.stats.entries == 2  # the successes persisted immediately
+
+    # "Fix the crash" and rerun: the cache fills everything but the gap.
+    marker.unlink()
+    resumed_cache = RunCache(tmp_path / "cache")
+    points = run_sweep(tasks, n_workers=0, cache=resumed_cache)
+    assert points[0] == err.completed[0]
+    assert points[2] == err.completed[2]
+    assert points[1] is not None
+    assert resumed_cache.stats.hits == 2
+    assert resumed_cache.stats.misses == 1
+
+
+def test_serial_crash_reports_all_failures_in_order(tmp_path):
+    marker = tmp_path / "marker"
+    marker.write_text("armed")
+    tasks = [
+        SweepTask(CrashableMicro(str(marker), crash=True), "stat", frequency=f)
+        for f in FREQS
+    ]
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep(tasks, n_workers=0)
+    assert [index for index, _, _ in excinfo.value.failures] == [0, 1, 2]
+    assert excinfo.value.completed == [None, None, None]

@@ -1,0 +1,58 @@
+"""Tests for the repro-cache CLI (stats / clear)."""
+
+import json
+
+import pytest
+
+from repro.cache.cli import build_parser, main
+from repro.cache.keys import simulator_salt
+from repro.cache.store import RunCache
+from repro.metrics.records import EnergyDelayPoint
+
+
+def put_one(cache_dir):
+    RunCache(cache_dir).put(
+        "ab" + "0" * 62, EnergyDelayPoint(label="x", energy=1.5, delay=2.5)
+    )
+
+
+def test_parser_program_name():
+    assert build_parser().prog == "repro-cache"
+
+
+def test_command_is_required():
+    with pytest.raises(SystemExit):
+        main(["--cache-dir", "/tmp/anywhere"])
+
+
+def test_stats_text(tmp_path, capsys):
+    put_one(tmp_path)
+    assert main(["--cache-dir", str(tmp_path), "stats"]) == 0
+    out = capsys.readouterr().out
+    assert str(tmp_path) in out
+    assert simulator_salt() in out
+    assert "entries:   1" in out
+
+
+def test_stats_json(tmp_path, capsys):
+    put_one(tmp_path)
+    assert main(["--cache-dir", str(tmp_path), "stats", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["entries"] == 1
+    assert payload["bytes"] > 0
+    assert payload["salt"] == simulator_salt()
+    assert payload["cache_dir"] == str(tmp_path)
+
+
+def test_stats_on_missing_dir_creates_nothing(tmp_path, capsys):
+    target = tmp_path / "nope"
+    assert main(["--cache-dir", str(target), "stats"]) == 0
+    assert "entries:   0" in capsys.readouterr().out
+    assert not target.exists()
+
+
+def test_clear(tmp_path, capsys):
+    put_one(tmp_path)
+    assert main(["--cache-dir", str(tmp_path), "clear"]) == 0
+    assert "removed 1" in capsys.readouterr().out
+    assert RunCache(tmp_path).stats.entries == 0

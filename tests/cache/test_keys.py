@@ -1,0 +1,101 @@
+"""Canonical key derivation: determinism, normalisation, salting."""
+
+import pytest
+
+from repro import __version__
+from repro.analysis.parallel import SweepTask
+from repro.cache.keys import (
+    CACHE_FORMAT,
+    canonical_encode,
+    canonical_json,
+    simulator_salt,
+    task_key,
+)
+from repro.hardware.activity import CpuActivity
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+
+def make_task(**kwargs):
+    kwargs.setdefault("frequency", 800 * MHZ)
+    return SweepTask(NasFT("S", n_ranks=4, iterations=2), "stat", **kwargs)
+
+
+def test_key_is_deterministic_across_calls():
+    assert task_key(make_task()) == task_key(make_task())
+
+
+def test_key_is_a_sha256_hex_digest():
+    key = task_key(make_task())
+    assert len(key) == 64
+    assert set(key) <= set("0123456789abcdef")
+
+
+def test_none_calibration_normalises_to_default():
+    # SweepTask(wl, "stat", f) and the same task with an explicit default
+    # calibration describe the same run (the runner substitutes the
+    # default at execution time), so they must share a key.
+    explicit = make_task(calibration=DEFAULT_CALIBRATION)
+    assert task_key(make_task()) == task_key(explicit)
+
+
+def test_salt_folds_version_and_format():
+    assert simulator_salt() == f"repro/{__version__}/format{CACHE_FORMAT}"
+    assert task_key(make_task()) != task_key(make_task(), salt="other-sim/2.0")
+
+
+def test_distinct_specs_get_distinct_keys():
+    base = task_key(make_task())
+    assert task_key(make_task(frequency=600 * MHZ)) != base
+    dyn = SweepTask(
+        NasFT("S", n_ranks=4, iterations=2),
+        "dyn",
+        frequency=800 * MHZ,
+        regions=("fft",),
+    )
+    assert task_key(dyn) != base
+
+
+def test_mapping_order_is_canonical():
+    assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+
+def test_tuple_and_list_encode_equally():
+    assert canonical_encode((1, 2.5, "x")) == canonical_encode([1, 2.5, "x"])
+
+
+def test_set_encoding_is_order_free():
+    assert canonical_encode({3, 1, 2}) == canonical_encode({2, 3, 1})
+
+
+def test_enum_encodes_by_qualified_name():
+    encoded = canonical_encode(CpuActivity.ACTIVE)
+    assert encoded["name"] == "ACTIVE"
+    assert encoded["__enum__"].endswith("CpuActivity")
+
+
+def test_calibration_encodes_as_dataclass():
+    encoded = canonical_encode(DEFAULT_CALIBRATION)
+    assert encoded["__dataclass__"].endswith("Calibration")
+    assert "fields" in encoded
+
+
+def test_workload_encodes_as_object_state():
+    encoded = canonical_encode(NasFT("S", n_ranks=4, iterations=2))
+    assert encoded["__object__"].endswith("NasFT")
+    assert "attrs" in encoded
+
+
+def test_numpy_values_encode():
+    np = pytest.importorskip("numpy")
+    assert canonical_encode(np.float64(1.5)) == 1.5
+    encoded = canonical_encode(np.arange(3))
+    assert encoded["data"] == [0, 1, 2]
+    assert encoded["shape"] == [3]
+
+
+def test_unencodable_object_raises():
+    # object() has no __dict__; hashing it silently would under-key.
+    with pytest.raises(TypeError, match="canonically encode"):
+        canonical_encode(object())

@@ -1,0 +1,39 @@
+"""Executable documentation: every fenced ```python block must run.
+
+Guards README.md, EXPERIMENTS.md and docs/CACHING.md against rot — each
+snippet is executed exactly as printed, in file order, in one namespace
+per file (so a later block may build on names an earlier one defined).
+A snippet that needs scratch space must create it itself (tempfile);
+none may write outside a temp directory.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DOC_FILES = ["README.md", "EXPERIMENTS.md", "docs/CACHING.md"]
+
+FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def extract_blocks(path: Path):
+    return [m.group(1) for m in FENCE.finditer(path.read_text(encoding="utf-8"))]
+
+
+@pytest.mark.parametrize("relpath", DOC_FILES)
+def test_python_snippets_execute(relpath):
+    path = REPO_ROOT / relpath
+    blocks = extract_blocks(path)
+    assert blocks, f"{relpath} has no ```python blocks — did the docs move?"
+    namespace = {"__name__": f"docsnippet_{path.stem.lower()}"}
+    for index, source in enumerate(blocks):
+        code = compile(source, f"{relpath}[block {index}]", "exec")
+        try:
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception as exc:
+            pytest.fail(
+                f"{relpath} fenced python block {index} failed: {exc!r}"
+            )

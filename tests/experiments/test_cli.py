@@ -64,3 +64,39 @@ def test_param_ignored_when_not_accepted(capsys):
     # table2 takes no kwargs; an unrelated param must not crash it.
     assert main(["table2", "--param", "iterations=5"]) == 0
     assert "Pentium M" in capsys.readouterr().out
+
+
+def test_cache_dir_flag_round_trip(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    args = ["fig6", "--cache-dir", str(cache_dir), "--param", "passes=2"]
+
+    assert main(args) == 0
+    cold = capsys.readouterr()
+    assert "cache: 0 hits, 5 misses" in cold.err  # one static point per rung
+    assert (cache_dir / "shards").is_dir()
+
+    assert main(args) == 0
+    warm = capsys.readouterr()
+    assert "cache: 5 hits, 0 misses" in warm.err
+    assert warm.out == cold.out  # bit-identical replay renders identically
+
+
+def test_no_cache_flag_disables_the_store(tmp_path, capsys):
+    assert main(["fig6", "--no-cache", "--param", "passes=2"]) == 0
+    captured = capsys.readouterr()
+    assert "cache:" not in captured.err
+    assert not list(tmp_path.iterdir())  # nothing written anywhere near us
+
+
+def test_jobs_flag_matches_serial_output(tmp_path, capsys):
+    params = ["--cache-dir", str(tmp_path / "a"), "--param", "passes=2"]
+    assert main(["fig6"] + params) == 0
+    serial = capsys.readouterr().out
+    assert (
+        main(
+            ["fig6", "--jobs", "2", "--cache-dir", str(tmp_path / "b")]
+            + params[2:]
+        )
+        == 0
+    )
+    assert capsys.readouterr().out == serial
