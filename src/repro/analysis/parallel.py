@@ -26,9 +26,10 @@ everything else (caching the successes) and then raises
 
 from __future__ import annotations
 
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dvs.strategy import (
     CpuspeedStrategy,
@@ -62,23 +63,86 @@ class SweepError(RuntimeError):
     completed:
         The full result list, ``None`` at each failed index — everything
         that *did* finish (and was cached, when a cache was active).
+    tracebacks:
+        Formatted traceback text aligned with ``failures`` — the original
+        raise site, not the re-raise here.  Pool workers' tracebacks
+        travel through the exception's cause chain (``_RemoteTraceback``)
+        and are included.
     """
 
     def __init__(
         self,
-        failures: Sequence[Tuple[int, "SweepTask", BaseException]],
-        completed: Sequence[Optional[EnergyDelayPoint]],
+        failures: Sequence[Tuple[int, object, BaseException]],
+        completed: Sequence[Optional[object]],
     ):
         self.failures = list(failures)
         self.completed = list(completed)
+        self.tracebacks: List[str] = [
+            "".join(traceback.format_exception(type(err), err, err.__traceback__))
+            for _, _, err in self.failures
+        ]
         summary = "; ".join(
-            f"task[{i}] ({task.strategy_kind}): {err!r}"
+            f"task[{i}] ({_describe_task(task)}): {err!r}"
             for i, task, err in self.failures
         )
         super().__init__(
             f"{len(self.failures)} of {len(self.completed)} sweep tasks "
-            f"failed: {summary}"
+            f"failed: {summary}\n"
+            + "\n".join(self.tracebacks)
         )
+
+
+def _describe_task(task: object) -> str:
+    label = getattr(task, "strategy_kind", None)
+    return label if label is not None else type(task).__name__
+
+
+def run_collected(
+    tasks: Sequence[object],
+    pending: Sequence[int],
+    execute: Callable[[object], object],
+    finish: Callable[[int, object], None],
+    n_workers: Optional[int],
+) -> List[Tuple[int, object, BaseException]]:
+    """Run ``execute(tasks[i])`` for each pending index, collecting
+    failures instead of spreading them.
+
+    The shared engine under :func:`run_sweep` and the chaos sweep
+    (:func:`repro.faults.sweep.run_chaos_sweep`): serial in-process when
+    ``n_workers == 0`` (or ≤1 pending task), otherwise a process pool.
+    ``finish(i, result)`` is called the moment task ``i`` completes (the
+    cache-insertion hook that makes sweeps resumable).
+
+    Only :class:`Exception` is collected — ``KeyboardInterrupt`` /
+    ``SystemExit`` always propagate immediately, whether raised in
+    process or re-raised from a pool worker, so a Ctrl-C can never be
+    swallowed into a :class:`SweepError`.
+    """
+    failures: List[Tuple[int, object, BaseException]] = []
+    if n_workers == 0 or len(pending) <= 1:
+        for i in pending:
+            try:
+                finish(i, execute(tasks[i]))
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported via SweepError
+                failures.append((i, tasks[i], exc))
+    else:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            futures = {pool.submit(execute, tasks[i]): i for i in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    try:
+                        finish(i, future.result())
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception as exc:  # noqa: BLE001
+                        failures.append((i, tasks[i], exc))
+    failures.sort(key=lambda f: f[0])
+    return failures
 
 
 @dataclass(frozen=True)
@@ -168,7 +232,6 @@ def run_sweep(
             points[i] = cache.get(keys[i])
 
     pending = [i for i, p in enumerate(points) if p is None]
-    failures: List[Tuple[int, SweepTask, BaseException]] = []
 
     def finish(index: int, point: EnergyDelayPoint) -> None:
         points[index] = point
@@ -179,27 +242,8 @@ def run_sweep(
                 meta={"workload": getattr(tasks[index].workload, "name", "")},
             )
 
-    if n_workers == 0 or len(pending) <= 1:
-        for i in pending:
-            try:
-                finish(i, _execute(tasks[i]))
-            except Exception as exc:  # noqa: BLE001 - reported via SweepError
-                failures.append((i, tasks[i], exc))
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {pool.submit(_execute, tasks[i]): i for i in pending}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = futures[future]
-                    try:
-                        finish(i, future.result())
-                    except Exception as exc:  # noqa: BLE001
-                        failures.append((i, tasks[i], exc))
-
+    failures = run_collected(tasks, pending, _execute, finish, n_workers)
     if failures:
-        failures.sort(key=lambda f: f[0])
         raise SweepError(failures, points)
     return points  # type: ignore[return-value] - no None left
 

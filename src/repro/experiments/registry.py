@@ -9,6 +9,7 @@ from repro.analysis.records import ExperimentResult
 from repro.cache.context import default_cache_dir, sweep_context
 from repro.cache.store import RunCache
 from repro.experiments import (
+    chaos,
     fig1,
     fig2,
     fig3,
@@ -65,6 +66,7 @@ for _id, _runner in [
     ("table3", tables.run_table3),
     ("headline", headline.run),
     ("powercap", powercap.run),
+    ("chaos", chaos.run),
 ]:
     register(_id, _runner)
 del _id, _runner

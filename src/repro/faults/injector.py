@@ -1,0 +1,142 @@
+"""Drives a :class:`~repro.faults.spec.FaultPlan` against a live cluster.
+
+One :class:`FaultInjector` per run.  :meth:`install` arms the hardware
+(power gating on nodes with crash faults) and spawns one engine process
+per fault; each process sleeps to its activation time, flips the
+hardware-level switch, and — for faults with a duration — sleeps again
+and flips it back.  All state lives at the hardware layer
+(:class:`~repro.hardware.node.NodeFaultState`, ``SimCPU.dvfs_stuck``,
+fabric latency penalties), so neither the governor nor the telemetry
+sampler imports this module: defenders only ever see the *symptoms*.
+
+The injector keeps a ``timeline`` of every applied/cleared event for
+reporting and for the identical-seeds-identical-timelines guarantee.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, List, Tuple
+
+from repro.hardware.cluster import Cluster
+from repro.sim.events import Event
+
+from repro.faults.spec import (
+    DvfsStuck,
+    FaultPlan,
+    FaultSpec,
+    LinkDegraded,
+    NodeCrash,
+    TelemetryDropout,
+    TelemetryNoise,
+)
+
+__all__ = ["FaultInjector"]
+
+
+def _noise_transform(
+    spec: TelemetryNoise, seed: int
+) -> Callable[[float, float], float]:
+    """Seeded ``(true_watts, now) -> observed_watts`` perturbation.
+
+    The stream is keyed off the plan seed plus the spec's identity, and
+    advances once per reading in sampling order — deterministic because
+    the simulation itself is.
+    """
+    rng = random.Random(f"faultnoise/{seed}/{spec.node_id}/{spec.at}")
+
+    def observe(true_watts: float, now: float) -> float:
+        observed = true_watts + rng.gauss(0.0, spec.sigma_watts)
+        if spec.spike_probability and rng.random() < spec.spike_probability:
+            observed += spec.spike_watts
+        return max(0.0, observed)
+
+    return observe
+
+
+class FaultInjector:
+    """Schedules a plan's faults through the cluster's sim engine."""
+
+    def __init__(self, cluster: Cluster, plan: FaultPlan):
+        if plan.max_node_id >= cluster.n_nodes:
+            raise ValueError(
+                f"plan references node {plan.max_node_id} but the cluster "
+                f"has {cluster.n_nodes} nodes"
+            )
+        self.cluster = cluster
+        self.plan = plan
+        #: (time, description) log of every applied/cleared fault event
+        self.timeline: List[Tuple[float, str]] = []
+        self._installed = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Arm the hardware and spawn one driver process per fault.
+
+        Call after the cluster is built and before the job runs; faults
+        whose activation time is already in the past fire immediately.
+        """
+        if self._installed:
+            raise RuntimeError("injector already installed")
+        self._installed = True
+        for fault in self.plan.faults:
+            if isinstance(fault, NodeCrash):
+                self.cluster.nodes[fault.node_id].cpu.enable_power_gating()
+        for index, fault in enumerate(self.plan.faults):
+            self.cluster.engine.process(
+                self._drive(fault),
+                name=f"fault-{index}-{type(fault).__name__}-n{fault.node_id}",
+            )
+
+    # ------------------------------------------------------------------
+    def _drive(self, fault: FaultSpec) -> Generator[Event, object, None]:
+        engine = self.cluster.engine
+        if fault.at > engine.now:
+            yield engine.timeout(fault.at - engine.now)
+        self._apply(fault)
+        clears_at = fault.clears_at
+        if clears_at is None:
+            return
+        if clears_at > engine.now:
+            yield engine.timeout(clears_at - engine.now)
+        self._clear(fault)
+
+    def _log(self, verb: str, fault: FaultSpec) -> None:
+        self.timeline.append(
+            (
+                self.cluster.engine.now,
+                f"{verb} {type(fault).__name__} node={fault.node_id}",
+            )
+        )
+
+    def _apply(self, fault: FaultSpec) -> None:
+        node = self.cluster.nodes[fault.node_id]
+        if isinstance(fault, NodeCrash):
+            node.cpu.power_off()
+        elif isinstance(fault, DvfsStuck):
+            node.cpu.dvfs_stuck = True
+        elif isinstance(fault, TelemetryDropout):
+            node.faults.telemetry_dark = True
+        elif isinstance(fault, TelemetryNoise):
+            node.faults.power_noise = _noise_transform(fault, self.plan.seed)
+        elif isinstance(fault, LinkDegraded):
+            self.cluster.fabric.set_link_latency_penalty(
+                fault.node_id, fault.extra_latency
+            )
+        else:  # pragma: no cover - new kinds must be wired explicitly
+            raise TypeError(f"unknown fault spec {type(fault).__name__}")
+        self._log("apply", fault)
+
+    def _clear(self, fault: FaultSpec) -> None:
+        node = self.cluster.nodes[fault.node_id]
+        if isinstance(fault, NodeCrash):
+            node.cpu.power_on()  # boots at the ladder's fastest point
+        elif isinstance(fault, DvfsStuck):
+            node.cpu.dvfs_stuck = False
+        elif isinstance(fault, TelemetryDropout):
+            node.faults.telemetry_dark = False
+        elif isinstance(fault, TelemetryNoise):
+            node.faults.power_noise = None
+        elif isinstance(fault, LinkDegraded):
+            self.cluster.fabric.set_link_latency_penalty(fault.node_id, 0.0)
+        self._log("clear", fault)

@@ -1,0 +1,310 @@
+"""Declarative, seed-driven fault plans for the simulated cluster.
+
+The simulator is deliberately free of wall-clock and RNG dependence, so
+faults cannot "just happen" — they are *scheduled*.  A
+:class:`FaultPlan` is an immutable list of :class:`FaultSpec` records,
+each naming a node, an activation time, and (usually) a duration.  Two
+ways to build one:
+
+* **declaratively** — list the exact faults a test or drill needs;
+* **rate-driven** — :meth:`FaultPlan.from_reliability` samples crash
+  times from a Poisson process whose rate is the
+  :class:`~repro.hardware.reliability.ReliabilityModel`'s annual failure
+  rate scaled to simulated time (an ``acceleration`` factor compresses
+  years of failures into seconds of simulation), using
+  ``random.Random`` streams derived from the plan seed.  Identical seeds
+  reproduce identical fault timelines, on any machine.
+
+Every spec is a frozen dataclass, so a plan participates in
+:func:`repro.cache.keys.canonical_encode` and therefore in run-cache
+keying: chaos sweeps are cached and resumable like every other sweep.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.hardware.reliability import ReliabilityModel
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "SECONDS_PER_YEAR",
+    "NodeCrash",
+    "DvfsStuck",
+    "TelemetryDropout",
+    "TelemetryNoise",
+    "LinkDegraded",
+    "FaultSpec",
+    "FaultPlan",
+    "acceleration_for",
+]
+
+#: Julian-year seconds; converts the reliability model's annual rates.
+SECONDS_PER_YEAR = 365.25 * 24.0 * 3600.0
+
+
+@dataclass(frozen=True)
+class _NodeFault:
+    """Common shape: a fault pinned to one node at one sim time."""
+
+    node_id: int
+    at: float  #: activation time (sim seconds)
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be >= 0, got {self.node_id}")
+        check_nonnegative("at", self.at)
+
+    @property
+    def clears_at(self) -> Optional[float]:
+        """When the fault deactivates (``None`` = never)."""
+        duration = getattr(self, "duration", None)
+        if duration is None:
+            return None
+        return self.at + duration
+
+
+@dataclass(frozen=True)
+class NodeCrash(_NodeFault):
+    """Fail-stop crash: the node freezes and draws 0 W.
+
+    With a ``downtime`` the node restarts after it — booting at the
+    ladder's **fastest** point, with whatever ceiling the governor had
+    applied gone (the reboot-at-max hazard).  The rank's in-flight work
+    resumes where it stopped: an instant checkpoint-restart
+    approximation, so lost work is modelled as pure downtime.
+    ``downtime=None`` never restarts — only safe for workloads that do
+    not synchronise with the dead rank, otherwise the job deadlocks
+    (documented in docs/FAULTS.md).
+    """
+
+    downtime: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.downtime is not None:
+            check_positive("downtime", self.downtime)
+
+    @property
+    def clears_at(self) -> Optional[float]:
+        if self.downtime is None:
+            return None
+        return self.at + self.downtime
+
+
+@dataclass(frozen=True)
+class DvfsStuck(_NodeFault):
+    """The DVFS regulator drops every transition request on the floor.
+
+    The caller (governor, daemon, application) *believes* its switch
+    happened; the clock stays wherever it was.  The dangerous direction
+    is stuck-high: a cap application that silently fails.
+    """
+
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class TelemetryDropout(_NodeFault):
+    """The node's monitoring agent goes dark; the node keeps running.
+
+    The cluster sampler returns no window sample for the node, but it
+    still draws power and still accepts frequency commands — the
+    control path is separate from the telemetry path.
+    """
+
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("duration", self.duration)
+
+
+@dataclass(frozen=True)
+class TelemetryNoise(_NodeFault):
+    """Noisy / outlier power readings (ACPI- and Baytech-meter style).
+
+    While active, the node's reported window average is perturbed with
+    seeded Gaussian noise of ``sigma_watts`` plus, with probability
+    ``spike_probability`` per window, an outlier spike of
+    ``spike_watts``.  Readings are clamped at 0.  The perturbation
+    stream derives from the plan seed, so identical plans produce
+    identical noisy readings.
+    """
+
+    duration: float = 1.0
+    sigma_watts: float = 1.0
+    spike_watts: float = 0.0
+    spike_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("duration", self.duration)
+        check_nonnegative("sigma_watts", self.sigma_watts)
+        check_nonnegative("spike_watts", self.spike_watts)
+        if not 0.0 <= self.spike_probability <= 1.0:
+            raise ValueError(
+                "spike_probability must be in [0, 1], "
+                f"got {self.spike_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkDegraded(_NodeFault):
+    """A flaky link: extra one-way latency on every transfer touching
+    the node (as sender or receiver) for the duration."""
+
+    duration: float = 1.0
+    extra_latency: float = 1e-3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        check_positive("duration", self.duration)
+        check_positive("extra_latency", self.extra_latency)
+
+
+FaultSpec = Union[
+    NodeCrash, DvfsStuck, TelemetryDropout, TelemetryNoise, LinkDegraded
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, cache-keyable schedule of faults.
+
+    ``seed`` drives every derived randomness stream (noise perturbation,
+    rate-driven sampling); two plans with equal fields behave
+    identically down to the last perturbed sample.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        # Overlapping same-kind windows on one node are almost always a
+        # plan bug (and would make apply/clear ordering ambiguous).
+        by_stream: Dict[Tuple[type, int], List[FaultSpec]] = {}
+        for fault in self.faults:
+            by_stream.setdefault((type(fault), fault.node_id), []).append(
+                fault
+            )
+        for (kind, node_id), stream in by_stream.items():
+            stream.sort(key=lambda f: f.at)
+            for prev, cur in zip(stream, stream[1:]):
+                end = prev.clears_at
+                if end is None or cur.at < end:
+                    raise ValueError(
+                        f"overlapping {kind.__name__} faults on node "
+                        f"{node_id}: [{prev.at}, {end}) and at {cur.at}"
+                    )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def for_node(self, node_id: int) -> Tuple[FaultSpec, ...]:
+        return tuple(f for f in self.faults if f.node_id == node_id)
+
+    @property
+    def max_node_id(self) -> int:
+        """Highest node id referenced (-1 for an empty plan)."""
+        return max((f.node_id for f in self.faults), default=-1)
+
+    def transition_times(self) -> Tuple[float, ...]:
+        """Every activation and clearance instant, sorted, deduplicated.
+
+        The chaos metrics use these as the moments a governor is allowed
+        a bounded recovery latency after.
+        """
+        times = set()
+        for fault in self.faults:
+            times.add(fault.at)
+            end = fault.clears_at
+            if end is not None:
+                times.add(end)
+        return tuple(sorted(times))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_reliability(
+        cls,
+        model: ReliabilityModel,
+        n_nodes: int,
+        horizon_s: float,
+        *,
+        seed: int = 0,
+        acceleration: float = 1.0,
+        downtime_s: float = 1.0,
+        dropout_weight: float = 0.0,
+        dropout_s: float = 1.0,
+        stuck_weight: float = 0.0,
+        stuck_s: float = 1.0,
+    ) -> "FaultPlan":
+        """Sample a plan from the reliability model's failure rate.
+
+        Per node, crash times follow a Poisson process of rate
+        ``annual_failure_rate × acceleration / SECONDS_PER_YEAR`` over
+        ``[0, horizon_s)``; every crash restarts after ``downtime_s``.
+        ``dropout_weight`` / ``stuck_weight`` add telemetry-dropout and
+        stuck-DVFS processes at the given multiple of the crash rate
+        (0 disables them).  Sampling uses one ``random.Random`` stream
+        per (kind, node), keyed off ``seed`` — fully deterministic and
+        independent of node count changes elsewhere in the plan.
+        """
+        if n_nodes < 1:
+            raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+        check_positive("horizon_s", horizon_s)
+        check_positive("acceleration", acceleration)
+        check_positive("downtime_s", downtime_s)
+        check_nonnegative("dropout_weight", dropout_weight)
+        check_nonnegative("stuck_weight", stuck_weight)
+        rate = model.annual_failure_rate * acceleration / SECONDS_PER_YEAR
+        faults: List[FaultSpec] = []
+
+        def arrivals(kind: str, node: int, rate_s: float, hold: float):
+            rng = random.Random(f"faultplan/{seed}/{kind}/{node}")
+            t = rng.expovariate(rate_s) if rate_s > 0 else float("inf")
+            while t < horizon_s:
+                yield t
+                # No overlapping windows on one node: the next arrival
+                # can only begin after the current fault has cleared.
+                t = t + hold + rng.expovariate(rate_s)
+
+        for node in range(n_nodes):
+            for t in arrivals("crash", node, rate, downtime_s):
+                faults.append(NodeCrash(node, at=t, downtime=downtime_s))
+            for t in arrivals("dropout", node, rate * dropout_weight, dropout_s):
+                faults.append(TelemetryDropout(node, at=t, duration=dropout_s))
+            for t in arrivals("stuck", node, rate * stuck_weight, stuck_s):
+                faults.append(DvfsStuck(node, at=t, duration=stuck_s))
+
+        faults.sort(key=lambda f: (f.at, f.node_id, type(f).__name__))
+        return cls(faults=tuple(faults), seed=seed)
+
+
+def acceleration_for(
+    model: ReliabilityModel,
+    n_nodes: int,
+    horizon_s: float,
+    expected_faults: float,
+) -> float:
+    """Acceleration factor giving ``expected_faults`` crashes per run.
+
+    Inverts the Poisson mean ``rate × n_nodes × horizon``: at the
+    returned acceleration, :meth:`FaultPlan.from_reliability` samples on
+    average ``expected_faults`` crashes across the cluster over
+    ``horizon_s`` simulated seconds.
+    """
+    if n_nodes < 1:
+        raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
+    check_positive("horizon_s", horizon_s)
+    check_positive("expected_faults", expected_faults)
+    per_node_per_s = model.annual_failure_rate / SECONDS_PER_YEAR
+    return expected_faults / (per_node_per_s * n_nodes * horizon_s)

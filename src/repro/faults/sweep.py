@@ -1,0 +1,219 @@
+"""Cached, resumable chaos sweeps: fault plans × cap strategies.
+
+A :class:`ChaosTask` is the picklable description of one faulted capped
+run — workload, :class:`~repro.faults.spec.FaultPlan`, budget, policy,
+hardened or fair-weather governor.  Because every field (including the
+plan, a tree of frozen dataclasses) lowers through
+:func:`repro.cache.keys.canonical_encode`, a task has a content hash
+(:func:`chaos_task_key`) and chaos sweeps get the same caching contract
+as ordinary sweeps: :func:`run_chaos_sweep` short-circuits stored
+outcomes and persists each fresh one the moment it completes, so an
+interrupted chaos sweep resumes where it stopped.
+
+The stored record reuses the run cache unchanged: the energy/delay point
+goes in as the point, the :class:`~repro.metrics.chaos.ChaosReport`
+rides in the record's ``meta`` dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.analysis.parallel import SweepError, run_collected
+from repro.analysis.runner import run_measured
+from repro.cache.keys import canonical_encode, simulator_salt
+from repro.hardware.calibration import Calibration
+from repro.hardware.cluster import Cluster
+from repro.metrics.chaos import ChaosReport, build_chaos_report
+from repro.metrics.records import EnergyDelayPoint
+from repro.powercap import (
+    CapGovernorConfig,
+    PowerBudget,
+    PowerCapStrategy,
+    ResilienceConfig,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.util.validation import check_nonnegative, check_positive
+from repro.workloads.base import Workload
+
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import FaultPlan
+
+__all__ = [
+    "CHAOS_POLICIES",
+    "ChaosOutcome",
+    "ChaosTask",
+    "chaos_task_key",
+    "run_chaos_sweep",
+]
+
+#: Allocation policies a :class:`ChaosTask` can name.
+CHAOS_POLICIES = ("uniform", "redist")
+
+#: ``meta`` tag marking a cache record as a chaos outcome (a plain sweep
+#: point stored under a colliding key must never decode as one).
+_META_KIND = "chaos-report"
+
+
+@dataclass(frozen=True)
+class ChaosTask:
+    """One faulted capped run (picklable, content-hashable).
+
+    ``hardened=True`` runs the self-healing governor
+    (:class:`~repro.powercap.resilience.ResilienceConfig` defaults);
+    ``False`` runs the fair-weather baseline against the same faults.
+    """
+
+    workload: Workload
+    plan: FaultPlan
+    budget_watts: float
+    policy: str = "redist"  #: one of :data:`CHAOS_POLICIES`
+    hardened: bool = True
+    interval: float = 0.25  #: governor control interval (seconds)
+    #: grace period after each fault transition within which budget
+    #: violations are excused (see :mod:`repro.metrics.chaos`)
+    allowed_recovery_s: float = 1.0
+    calibration: Optional[Calibration] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in CHAOS_POLICIES:
+            raise ValueError(
+                f"unknown policy {self.policy!r}; "
+                f"valid policies: {', '.join(CHAOS_POLICIES)}"
+            )
+        check_positive("budget_watts", self.budget_watts)
+        check_positive("interval", self.interval)
+        check_nonnegative("allowed_recovery_s", self.allowed_recovery_s)
+
+    def build_strategy(self) -> PowerCapStrategy:
+        policy = (
+            UniformCapPolicy()
+            if self.policy == "uniform"
+            else SlackRedistributionPolicy()
+        )
+        return PowerCapStrategy(
+            PowerBudget(cluster_watts=self.budget_watts),
+            policy=policy,
+            config=CapGovernorConfig(interval=self.interval),
+            resilience=ResilienceConfig() if self.hardened else None,
+        )
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """What one chaos run produces: its point plus its chaos score."""
+
+    point: EnergyDelayPoint
+    report: ChaosReport
+
+
+def chaos_task_key(task: ChaosTask, salt: Optional[str] = None) -> str:
+    """SHA-256 content hash of one chaos task (hex digest).
+
+    Shares :func:`~repro.cache.keys.task_key`'s conventions: the version
+    salt is folded in, and a ``calibration`` of ``None`` is normalised to
+    the default calibration the runner substitutes at execution time.
+    The fault plan is part of the hash, so two sweeps differing only in
+    fault timelines never collide.
+    """
+    from repro.hardware.calibration import DEFAULT_CALIBRATION
+
+    if task.calibration is None:
+        task = dataclasses.replace(task, calibration=DEFAULT_CALIBRATION)
+    payload = {
+        "salt": salt if salt is not None else simulator_salt(),
+        "kind": _META_KIND,
+        "task": canonical_encode(task),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _execute_chaos(task: ChaosTask) -> ChaosOutcome:
+    """Worker body: one faulted run on a fresh cluster, scored."""
+    strategy = task.build_strategy()
+
+    def factory() -> Cluster:
+        cluster = Cluster.build(
+            task.workload.n_ranks, calibration=task.calibration
+        )
+        FaultInjector(cluster, task.plan).install()
+        return cluster
+
+    run = run_measured(task.workload, strategy, cluster_factory=factory)
+    governor = strategy.governor
+    assert governor is not None
+    report = build_chaos_report(
+        label=strategy.name,
+        windows=governor.windows,
+        transitions=task.plan.transition_times(),
+        budget=strategy.budget,
+        allowed_recovery_s=task.allowed_recovery_s,
+        energy_j=run.point.energy,
+        delay_s=run.point.delay,
+        repair_events=len(governor.repair_log),
+        invariant_violations=governor.monitor.count,
+    )
+    return ChaosOutcome(point=run.point, report=report)
+
+
+def _cached_outcome(cache, key: str) -> Optional[ChaosOutcome]:
+    """Decode a stored chaos record, or ``None`` on miss/foreign record."""
+    point = cache.get(key)
+    if point is None:
+        return None
+    meta = cache.get_meta(key)
+    if not meta or meta.get("kind") != _META_KIND:
+        return None
+    try:
+        report = ChaosReport.from_dict(meta["report"])
+    except (KeyError, TypeError, ValueError):
+        return None  # poisoned meta: fall through to re-simulation
+    return ChaosOutcome(point=point, report=report)
+
+
+def run_chaos_sweep(
+    tasks: Sequence[ChaosTask],
+    n_workers: Optional[int] = None,
+    cache=None,
+) -> List[ChaosOutcome]:
+    """Run chaos tasks, preserving input order.
+
+    The chaos counterpart of :func:`repro.analysis.parallel.run_sweep`:
+    same worker-pool semantics (``n_workers=0`` runs in-process), same
+    failure collection (:class:`~repro.analysis.parallel.SweepError`
+    after everything has been attempted), same cache contract (stored
+    outcomes short-circuit, fresh outcomes persist on completion, so
+    interrupted sweeps resume).
+    """
+    outcomes: List[Optional[ChaosOutcome]] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    if cache is not None:
+        for i, task in enumerate(tasks):
+            keys[i] = chaos_task_key(task)
+            outcomes[i] = _cached_outcome(cache, keys[i])
+
+    pending = [i for i, o in enumerate(outcomes) if o is None]
+
+    def finish(index: int, outcome: ChaosOutcome) -> None:
+        outcomes[index] = outcome
+        if cache is not None:
+            cache.put(
+                keys[index],
+                outcome.point,
+                meta={
+                    "kind": _META_KIND,
+                    "workload": getattr(tasks[index].workload, "name", ""),
+                    "report": outcome.report.to_dict(),
+                },
+            )
+
+    failures = run_collected(tasks, pending, _execute_chaos, finish, n_workers)
+    if failures:
+        raise SweepError(failures, outcomes)
+    return outcomes  # type: ignore[return-value] - no None left

@@ -78,6 +78,17 @@ class SimCPU:
         self._freq_event: Event = engine.event()
         #: cumulative number of completed frequency transitions
         self.transition_count: int = 0
+        # Fault-injection state (repro.faults).  Both default to the
+        # fault-free fast path: run_cycles/stall race no extra events and
+        # set_frequency never refuses unless an injector arms them.
+        self._powered: bool = True
+        self._gated: bool = False
+        self._power_restored: Event = engine.event()
+        #: when True, P-state transition requests are silently dropped
+        #: (a stuck DVFS regulator); armed by the fault injector.
+        self.dvfs_stuck: bool = False
+        #: cumulative number of refused/dropped transition requests
+        self.refused_transitions: int = 0
 
     # ------------------------------------------------------------------
     # inspection
@@ -108,6 +119,16 @@ class SimCPU:
     def freq_changed(self) -> Event:
         """Event firing at the next P-state transition (for wait loops)."""
         return self._freq_event
+
+    @property
+    def powered(self) -> bool:
+        """False while the node is failed-stop (crashed, drawing 0 W)."""
+        return self._powered
+
+    @property
+    def power_restored(self) -> Event:
+        """Event firing at the next :meth:`power_on` (for gated waits)."""
+        return self._power_restored
 
     # ------------------------------------------------------------------
     # accounting plumbing
@@ -148,6 +169,12 @@ class SimCPU:
         by the CPUFreq layer in :mod:`repro.dvs.cpufreq`, which is the only
         sanctioned caller in experiments; tests may call this directly.
         """
+        if self.dvfs_stuck or not self._powered:
+            # A stuck regulator (or a crashed node) drops the request on
+            # the floor: the caller *believes* the switch happened.  The
+            # governor's stuck-frequency detection exists for exactly this.
+            self.refused_transitions += 1
+            return
         if point.frequency == self._point.frequency:
             return
         self.table.point_for(point.frequency)  # must be a legal point
@@ -158,6 +185,60 @@ class SimCPU:
         # Wake anything racing work completion against a frequency change.
         old_event, self._freq_event = self._freq_event, self.engine.event()
         old_event.succeed(point)
+
+    # ------------------------------------------------------------------
+    # fail-stop power gating (repro.faults)
+    # ------------------------------------------------------------------
+    def enable_power_gating(self) -> None:
+        """Arm crash support: work primitives start checking ``powered``.
+
+        Gating is opt-in so fault-free simulations pay nothing for it —
+        the injector arms every node that has a crash fault scheduled
+        before the job starts.
+        """
+        self._gated = True
+
+    def power_off(self) -> None:
+        """Fail-stop: freeze execution and draw nothing until power_on.
+
+        In-flight :meth:`run_cycles` / :meth:`stall` generators park on
+        the power-restored event and resume where they left off — the
+        instant-checkpoint-restart approximation (lost work is modelled
+        as pure downtime).  Requires :meth:`enable_power_gating` first.
+        """
+        if not self._gated:
+            raise RuntimeError(
+                "power_off() without enable_power_gating(): running work "
+                "would keep executing through the outage"
+            )
+        if not self._powered:
+            return
+        self._close_segment()
+        self._powered = False
+        self._on_change()
+        # Wake in-flight work so it re-times and parks on power_restored.
+        old_event, self._freq_event = self._freq_event, self.engine.event()
+        old_event.succeed(None)
+
+    def power_on(self, boot_point: Optional[OperatingPoint] = None) -> None:
+        """Restart after a fail-stop outage.
+
+        Boots at ``boot_point`` — default the ladder's **fastest** point,
+        the real-world reboot hazard: firmware comes up at full clock and
+        whatever ceiling a governor had applied before the crash is gone.
+        """
+        if self._powered:
+            return
+        point = boot_point if boot_point is not None else self.table.fastest
+        self.table.point_for(point.frequency)  # must be a legal point
+        self._close_segment()
+        self._powered = True
+        if point.frequency != self._point.frequency:
+            self._point = point
+            self.transition_count += 1
+        self._on_change()
+        old_event, self._power_restored = self._power_restored, self.engine.event()
+        old_event.succeed(None)
 
     def finalize(self) -> None:
         """Close the open accounting segment (call at end of simulation)."""
@@ -182,6 +263,13 @@ class SimCPU:
         self.set_state(state, 1.0)
         try:
             while remaining > _CYCLE_EPSILON:
+                if not self._powered:
+                    # Fail-stop outage: park (accounted idle, drawing
+                    # nothing) and resume the remainder after restart.
+                    self.set_state(CpuActivity.IDLE, 1.0)
+                    yield self._power_restored
+                    self.set_state(state, 1.0)
+                    continue
                 freq = self._point.frequency
                 started = self.engine.now
                 done = self.engine.timeout(remaining / freq)
@@ -209,8 +297,26 @@ class SimCPU:
         check_nonnegative("duration", duration)
         self.set_state(state, utilization)
         try:
-            if duration > 0:
-                yield self.engine.timeout(duration)
+            if not self._gated:
+                if duration > 0:
+                    yield self.engine.timeout(duration)
+                return
+            # Crash-aware path (armed by the fault injector): the stall
+            # races the power-cut wake-up so an outage suspends the
+            # remaining wall time instead of silently elapsing through it.
+            remaining = float(duration)
+            while remaining > 0:
+                if not self._powered:
+                    self.set_state(CpuActivity.IDLE, 1.0)
+                    yield self._power_restored
+                    self.set_state(state, utilization)
+                    continue
+                started = self.engine.now
+                done = self.engine.timeout(remaining)
+                yield self.engine.any_of([done, self._freq_event])
+                if done.processed:
+                    break
+                remaining -= self.engine.now - started
         finally:
             self.set_state(CpuActivity.IDLE, 1.0)
 

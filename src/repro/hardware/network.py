@@ -114,6 +114,9 @@ class NetworkFabric:
         self._rx = [Resource(engine) for _ in range(n_nodes)]
         self._tx_activity = [_LinkActivity(engine) for _ in range(n_nodes)]
         self._rx_activity = [_LinkActivity(engine) for _ in range(n_nodes)]
+        # Per-endpoint extra one-way latency (seconds) — a degraded link
+        # (flaky cable, renegotiated duplex).  The fault injector sets it.
+        self._latency_penalty = [0.0] * n_nodes
         #: total payload bytes moved (excludes loopback), for reporting
         self.bytes_transferred = 0
 
@@ -140,6 +143,27 @@ class NetworkFabric:
         """Synchronous callback on every tx/rx activity flip (NIC power)."""
         self._tx_activity[node].listeners.append(listener)
         self._rx_activity[node].listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    # degraded links (used by the fault injector)
+    # ------------------------------------------------------------------
+    def link_latency_penalty(self, node: int) -> float:
+        """Extra one-way latency (s) currently charged at this endpoint."""
+        self._check_endpoint(node)
+        return self._latency_penalty[node]
+
+    def set_link_latency_penalty(self, node: int, seconds: float) -> None:
+        """Degrade (or, with 0, restore) one endpoint's link latency.
+
+        Every transfer touching the endpoint — as sender or receiver —
+        pays the penalty on top of the configured wire latency.
+        """
+        self._check_endpoint(node)
+        if seconds < 0:
+            raise ValueError(
+                f"latency penalty must be non-negative, got {seconds}"
+            )
+        self._latency_penalty[node] = seconds
 
     # ------------------------------------------------------------------
     # transfers
@@ -173,8 +197,13 @@ class NetworkFabric:
                 yield self.engine.timeout(nbytes / cfg.loopback_bandwidth)
             return self.engine.now - start
 
-        if cfg.latency > 0:
-            yield self.engine.timeout(cfg.latency)
+        latency = (
+            cfg.latency
+            + self._latency_penalty[src]
+            + self._latency_penalty[dst]
+        )
+        if latency > 0:
+            yield self.engine.timeout(latency)
 
         rate = cfg.payload_rate
         if max_rate is not None:

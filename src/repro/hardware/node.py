@@ -8,7 +8,7 @@ that the emulated instruments sample.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.hardware.cpu import SimCPU
 from repro.hardware.dvfs import DVFSTable
@@ -19,7 +19,29 @@ from repro.hardware.timeline import PowerTimeline
 from repro.sim.engine import Engine
 from repro.sim.trace import NullRecorder, TraceRecorder
 
-__all__ = ["Node"]
+__all__ = ["Node", "NodeFaultState"]
+
+
+class NodeFaultState:
+    """Mutable sensor-fault switches the injector flips on a live node.
+
+    Kept at the hardware layer so the telemetry sampler can consult it
+    without knowing anything about :mod:`repro.faults`.  Both fields
+    model *measurement* faults — the node itself keeps running:
+
+    ``telemetry_dark``
+        The node's monitoring agent is down; the cluster sampler reports
+        no window sample for it (a crashed node is additionally dark
+        because its agent died with it — see ``Node.telemetry_visible``).
+    ``power_noise``
+        Optional ``(true_watts, now) -> observed_watts`` transform
+        applied to the node's reported window average (meter noise /
+        outlier spikes).  ``None`` means the meter reads true.
+    """
+
+    def __init__(self) -> None:
+        self.telemetry_dark: bool = False
+        self.power_noise: Optional[Callable[[float, float], float]] = None
 
 
 class Node:
@@ -52,6 +74,7 @@ class Node:
             spin_block_threshold=spin_block_threshold,
         )
         self._nic_active = False
+        self.faults = NodeFaultState()
         self.timeline = PowerTimeline(
             start_time=engine.now, initial_power=self._current_power()
         )
@@ -68,7 +91,14 @@ class Node:
         self._nic_active = active
         self._update_power()
 
+    @property
+    def telemetry_visible(self) -> bool:
+        """Whether the node's monitoring agent is reporting samples."""
+        return self.cpu.powered and not self.faults.telemetry_dark
+
     def _current_power(self) -> float:
+        if not self.cpu.powered:
+            return 0.0
         return self.power_model.power(
             self.cpu.operating_point,
             self.cpu.state,

@@ -11,6 +11,7 @@ from repro.metrics.ed2p import (
     ed2p,
     weighted_ed2p,
 )
+from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.powercap import PowerCapReport, build_cap_report
 from repro.metrics.records import EnergyDelayPoint, normalize_points
 from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
@@ -31,6 +32,8 @@ __all__ = [
     "EnergyDelayPoint",
     "PowerCapReport",
     "build_cap_report",
+    "ChaosReport",
+    "build_chaos_report",
     "normalize_points",
     "BestPoint",
     "best_operating_point",

@@ -20,6 +20,8 @@ strategies and the measurement pipeline).
 
 from repro.powercap.budget import PowerBudget
 from repro.powercap.governor import CapGovernor, CapGovernorConfig, GovernorWindow
+from repro.powercap.monitor import InvariantMonitor, InvariantViolation
+from repro.powercap.resilience import RepairEvent, ResilienceConfig
 from repro.powercap.policy import (
     CapAllocation,
     CapPolicy,
@@ -40,6 +42,10 @@ __all__ = [
     "CapGovernor",
     "CapGovernorConfig",
     "GovernorWindow",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "RepairEvent",
+    "ResilienceConfig",
     "CapAllocation",
     "CapPolicy",
     "UniformCapPolicy",

@@ -35,7 +35,19 @@ from repro.sim.process import Process
 from repro.util.validation import check_fraction, check_positive
 
 from repro.powercap.budget import PowerBudget
-from repro.powercap.policy import CapAllocation, CapPolicy, SlackRedistributionPolicy
+from repro.powercap.monitor import InvariantMonitor
+from repro.powercap.policy import (
+    CapAllocation,
+    CapPolicy,
+    SlackRedistributionPolicy,
+    UniformCapPolicy,
+)
+from repro.powercap.resilience import (
+    RepairEvent,
+    ResilienceConfig,
+    StuckState,
+    describe_mhz,
+)
 from repro.powercap.telemetry import (
     ClusterTelemetry,
     NodeWindowSample,
@@ -82,8 +94,16 @@ class GovernorWindow:
     predicted_watts: float  #: policy's estimate for the new allocation
     feasible: bool  #: policy could meet the target on this ladder
 
+    def __post_init__(self) -> None:
+        if self.t1 < self.t0:
+            raise ValueError(
+                f"window ends before it starts: t0={self.t0}, t1={self.t1}"
+            )
+
     @property
     def duration(self) -> float:
+        """Window length in seconds (never negative; 0-length windows
+        are rejected before construction by the governor)."""
         return self.t1 - self.t0
 
 
@@ -125,11 +145,20 @@ class CapGovernor:
         policy: Optional[CapPolicy] = None,
         config: Optional[CapGovernorConfig] = None,
         cpufreqs: Optional[Dict[int, CappedCpuFreq]] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        monitor: Optional[InvariantMonitor] = None,
     ):
         self.cluster = cluster
         self.budget = budget
         self.policy = policy or SlackRedistributionPolicy()
         self.config = config or CapGovernorConfig()
+        #: ``None`` = legacy fair-weather control loop; a
+        #: :class:`~repro.powercap.resilience.ResilienceConfig` enables
+        #: the degraded-mode defenses (stale fallback, watchdog,
+        #: stuck-frequency re-apply, rejoin containment)
+        self.resilience = resilience
+        #: always-on assertion layer recording invariant breaches
+        self.monitor = monitor if monitor is not None else InvariantMonitor(budget)
         self.cpufreqs = cpufreqs or {
             node.node_id: CappedCpuFreq(node, cluster.calibration)
             for node in cluster.nodes
@@ -152,6 +181,14 @@ class CapGovernor:
         self._stopped = False
         #: closed control windows, oldest first
         self.windows: List[GovernorWindow] = []
+        # Degraded-mode bookkeeping (only driven when resilience is on).
+        self._last_sample: Dict[int, NodeWindowSample] = {}
+        self._dark_count: Dict[int, int] = {}
+        self._dead: set = set()
+        self._stuck: Dict[int, StuckState] = {}
+        self._pending_target: Dict[int, float] = {}
+        #: defensive actions taken by the hardened control path
+        self.repair_log: List[RepairEvent] = []
 
     # ------------------------------------------------------------------
     @property
@@ -214,6 +251,10 @@ class CapGovernor:
             # re-resolves against the new ceiling.
             if cpufreq.current_frequency < frequency:
                 cpufreq.set_speed_now(frequency)
+            # What the governor *believes* it applied — the hardened path
+            # checks next window's telemetry against this to catch stuck
+            # regulators that dropped the request.
+            self._pending_target[node_id] = frequency
 
     # ------------------------------------------------------------------
     def start(self, engine: Engine) -> Process:
@@ -273,19 +314,27 @@ class CapGovernor:
     # ------------------------------------------------------------------
     def _close_window(self, reallocate: bool) -> List[NodeWindowSample]:
         t0 = self._telemetry.window_start
-        samples = self._telemetry.sample()
         t1 = self.cluster.engine.now
-        avg = self.cluster.average_power(t0, t1) if t1 > t0 else 0.0
+        if t1 <= t0:
+            # Zero-length window: the loop and stop() fired at the same
+            # sim time.  Nothing was measured, so there is nothing to
+            # close and no basis to reallocate on.
+            return []
+        samples = self._telemetry.sample()
+        avg = self.cluster.average_power(t0, t1)
         self._observe_demand(samples)
         if reallocate:
-            allocation = self.policy.allocate(
-                samples,
-                self.target_watts,
-                self._table,
-                self._floor,
-                self._ceiling,
-                self._predict,
-            )
+            if self.resilience is not None:
+                allocation = self._allocate_resilient(samples, t0, t1)
+            else:
+                allocation = self.policy.allocate(
+                    samples,
+                    self.target_watts,
+                    self._table,
+                    self._floor,
+                    self._ceiling,
+                    self._predict,
+                )
             self._apply(allocation)
         else:
             allocation = CapAllocation(
@@ -295,18 +344,264 @@ class CapGovernor:
                 predicted_watts=avg,
                 feasible=True,
             )
-        self.windows.append(
-            GovernorWindow(
-                t0=t0,
-                t1=t1,
-                cluster_avg_watts=avg,
-                compliant=self.budget.complies(avg),
-                frequencies=dict(allocation.frequencies),
-                predicted_watts=allocation.predicted_watts,
-                feasible=allocation.feasible,
-            )
+        window = GovernorWindow(
+            t0=t0,
+            t1=t1,
+            cluster_avg_watts=avg,
+            compliant=self.budget.complies(avg),
+            frequencies=dict(allocation.frequencies),
+            predicted_watts=allocation.predicted_watts,
+            feasible=allocation.feasible,
+        )
+        self.windows.append(window)
+        self.monitor.observe_window(
+            window,
+            target_watts=self.target_watts,
+            node_frequencies={
+                node.node_id: node.cpu.frequency
+                for node in self.cluster.nodes
+                if node.cpu.powered
+            },
+            ceilings={nid: cf.ceiling for nid, cf in self.cpufreqs.items()},
+            allocated=reallocate,
         )
         return samples
+
+    # ------------------------------------------------------------------
+    # degraded-mode control path (resilience is not None)
+    # ------------------------------------------------------------------
+    @property
+    def dead_nodes(self) -> frozenset:
+        """Node ids the watchdog currently believes are crashed."""
+        return frozenset(self._dead)
+
+    def _repair(self, node_id: int, action: str, detail: str = "") -> None:
+        self.repair_log.append(
+            RepairEvent(
+                time=self.cluster.engine.now,
+                node_id=node_id,
+                action=action,
+                detail=detail,
+            )
+        )
+
+    def _contain(self, node_id: int) -> None:
+        """Force a node's ceiling *and* actual clock down to the floor.
+
+        Used on rejoin (and on a reboot seen only through the PDU): a
+        restarted node boots at the ladder's fastest point regardless of
+        the ceiling the governor had on the books, so an explicit
+        daemon-context down-switch is required — ``set_ceiling`` alone
+        no-ops when the bookkept ceiling did not change.
+        """
+        cpufreq = self.cpufreqs[node_id]
+        floor = self._floor.frequency
+        cpufreq.set_ceiling(floor)
+        if cpufreq.current_frequency > floor:
+            cpufreq.set_speed_now(floor)
+        self._pending_target[node_id] = floor
+
+    def _worst_case_sample(
+        self, node_id: int, t0: float, t1: float
+    ) -> NodeWindowSample:
+        """Synthetic fully-active sample at the node's current ceiling.
+
+        The stand-in for a stale node: it cannot legally draw more than
+        this (unless also stuck, which the stuck path handles), so
+        budgeting it here keeps the allocation conservative while blind.
+        """
+        point = self._table.point_for(self.cpufreqs[node_id].ceiling)
+        return NodeWindowSample(
+            node_id=node_id,
+            t0=t0,
+            t1=t1,
+            avg_watts=self._model.power(
+                point, state=CpuActivity.ACTIVE, utilization=1.0
+            ),
+            busy_fraction=1.0,
+            frequency=point.frequency,
+        )
+
+    def _check_stuck(
+        self, sample: NodeWindowSample, cfg: ResilienceConfig
+    ) -> Optional[float]:
+        """Stuck-frequency detection + bounded exponential-backoff retry.
+
+        Returns the node's *actual* predicted-power carve-out frequency
+        when it is stuck above its applied ceiling (the caller removes it
+        from the allocatable set and compresses the survivors), or
+        ``None`` when the node is honouring its ceiling.
+        """
+        nid = sample.node_id
+        pending = self._pending_target.get(nid)
+        if pending is None or sample.frequency <= pending * (1.0 + 1e-9):
+            if nid in self._stuck:
+                del self._stuck[nid]
+                self._repair(nid, "unstuck", f"honouring {describe_mhz(pending)}")
+            return None
+        state = self._stuck.get(nid)
+        if state is None or state.target != pending:
+            state = StuckState(target=pending)
+            self._stuck[nid] = state
+        state.windows += 1
+        if not state.gave_up and state.windows >= state.next_retry:
+            if state.attempts < cfg.max_reapply_attempts:
+                state.attempts += 1
+                state.next_retry = state.windows + cfg.backoff_base_windows * (
+                    2 ** (state.attempts - 1)
+                )
+                self.cpufreqs[nid].set_speed_now(pending)
+                self._repair(
+                    nid,
+                    "reapply",
+                    f"attempt {state.attempts}: stuck at "
+                    f"{describe_mhz(sample.frequency)}, want "
+                    f"{describe_mhz(pending)}",
+                )
+            else:
+                state.gave_up = True
+                self._repair(
+                    nid,
+                    "gave-up",
+                    f"{cfg.max_reapply_attempts} re-applies refused; "
+                    "budgeting node at its actual clock",
+                )
+        return sample.frequency
+
+    def _allocate_resilient(
+        self, samples: List[NodeWindowSample], t0: float, t1: float
+    ) -> CapAllocation:
+        """The hardened allocation: survive missing/late/false telemetry.
+
+        Partitions nodes into *usable* (fresh or tolerably-stale
+        samples the policy may allocate), *carved* (uncontrollable for
+        this window — crashed, rejoining, or stuck — budgeted at their
+        known draw and subtracted from the target), and applies the
+        watchdog / stale / stuck defenses along the way.
+        """
+        cfg = self.resilience
+        assert cfg is not None
+        present = {s.node_id: s for s in samples}
+        pdu = self.cluster.node_average_powers(t0, t1)
+        usable: List[NodeWindowSample] = []
+        carved: Dict[int, float] = {}
+        forced: Dict[int, float] = {}
+        stale_fallback = False
+
+        for node in self.cluster.nodes:
+            nid = node.node_id
+            sample = present.get(nid)
+            if sample is None:
+                dark = self._dark_count.get(nid, 0) + 1
+                self._dark_count[nid] = dark
+                drawing = pdu.get(nid, 0.0) > cfg.dead_watts
+                if nid in self._dead:
+                    if drawing:
+                        # Rebooting (PDU sees it) but the agent is not
+                        # back yet: contain the full-clock boot now.
+                        self._contain(nid)
+                    carved[nid] = pdu.get(nid, 0.0)
+                    forced[nid] = self._floor.frequency
+                    continue
+                if dark >= cfg.dead_windows and not drawing:
+                    # Watchdog: dark *and* drawing nothing — crashed.
+                    # Its budget share redistributes to the survivors
+                    # (carve-out of 0 W); pre-floor the ceiling so the
+                    # eventual reboot is contained as early as possible.
+                    self._dead.add(nid)
+                    self._repair(
+                        nid,
+                        "declared-dead",
+                        f"dark {dark} windows at "
+                        f"{pdu.get(nid, 0.0):.2f} W",
+                    )
+                    self._contain(nid)
+                    carved[nid] = 0.0
+                    forced[nid] = self._floor.frequency
+                    continue
+                if dark >= cfg.stale_windows:
+                    # Alive but blind: budget it at worst case and drop
+                    # to the uniform policy for the whole window.
+                    if dark == cfg.stale_windows:
+                        self._repair(
+                            nid,
+                            "stale-fallback",
+                            f"dark {dark} windows, still drawing "
+                            f"{pdu.get(nid, 0.0):.2f} W",
+                        )
+                    stale_fallback = True
+                    usable.append(self._worst_case_sample(nid, t0, t1))
+                    continue
+                # One-window blip: carry the last sample forward.
+                last = self._last_sample.get(nid)
+                usable.append(
+                    last
+                    if last is not None
+                    else self._worst_case_sample(nid, t0, t1)
+                )
+                continue
+            # Sample present.
+            self._dark_count[nid] = 0
+            self._last_sample[nid] = sample
+            if nid in self._dead:
+                # Rejoin: telemetry is back.  Contain the reboot-at-max
+                # hazard immediately, and hold the node at the floor for
+                # one window before normal allocation resumes.
+                self._dead.discard(nid)
+                self._repair(
+                    nid, "rejoined", "containing at the ladder floor"
+                )
+                self._contain(nid)
+                if cfg.rejoin_at_floor:
+                    carved[nid] = self._predict(sample, self._floor)
+                    forced[nid] = self._floor.frequency
+                    continue
+            stuck_frequency = self._check_stuck(sample, cfg)
+            if stuck_frequency is not None:
+                # Uncontrollable at its actual clock: budget reality,
+                # compress the survivors, keep the intended ceiling on
+                # the books so the retry loop has a target.
+                actual = self._table.point_for(stuck_frequency)
+                carved[nid] = self._predict(sample, actual)
+                forced[nid] = self._pending_target[nid]
+                continue
+            usable.append(sample)
+
+        reserve = sum(carved.values())
+        target = self.target_watts - reserve
+        policy: CapPolicy = self.policy
+        if stale_fallback and not isinstance(policy, UniformCapPolicy):
+            policy = UniformCapPolicy()
+        if not usable:
+            return CapAllocation(
+                frequencies=dict(forced),
+                predicted_watts=reserve,
+                feasible=reserve <= self.target_watts,
+            )
+        if target <= 0:
+            # The uncontrollable draw alone exceeds the target: all the
+            # governor can do is pin every controllable node at the
+            # floor and report infeasibility.
+            frequencies = {s.node_id: self._floor.frequency for s in usable}
+            frequencies.update(forced)
+            predicted = reserve + sum(
+                self._predict(s, self._floor) for s in usable
+            )
+            return CapAllocation(
+                frequencies=frequencies,
+                predicted_watts=predicted,
+                feasible=False,
+            )
+        allocation = policy.allocate(
+            usable, target, self._table, self._floor, self._ceiling, self._predict
+        )
+        frequencies = dict(allocation.frequencies)
+        frequencies.update(forced)
+        return CapAllocation(
+            frequencies=frequencies,
+            predicted_watts=allocation.predicted_watts + reserve,
+            feasible=allocation.feasible,
+        )
 
     def _run(self, engine: Engine) -> Generator[Event, object, None]:
         while not self._stopped:

@@ -27,6 +27,7 @@ from repro.hardware.cluster import Cluster
 from repro.powercap.budget import PowerBudget
 from repro.powercap.governor import CapGovernor, CapGovernorConfig
 from repro.powercap.policy import CapPolicy, SlackRedistributionPolicy
+from repro.powercap.resilience import ResilienceConfig
 
 __all__ = ["PowerCapStrategy"]
 
@@ -78,17 +79,24 @@ class PowerCapStrategy(DVSStrategy):
         policy: Optional[CapPolicy] = None,
         config: Optional[CapGovernorConfig] = None,
         inner: Optional[DVSStrategy] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         super().__init__()
         self.budget = budget
         self.policy = policy or SlackRedistributionPolicy()
         self.config = config
         self.inner = inner
+        #: enables the governor's degraded-mode defenses (see
+        #: :class:`~repro.powercap.resilience.ResilienceConfig`); ``None``
+        #: keeps the legacy fair-weather control loop
+        self.resilience = resilience
         self.governor: Optional[CapGovernor] = None
 
     @property
     def name(self) -> str:
         label = f"cap@{self.budget.cluster_watts:.0f}W/{self.policy.name}"
+        if self.resilience is not None:
+            label += "+selfheal"
         if self.inner is not None:
             label += f"+{self.inner.name}"
         return label
@@ -114,6 +122,7 @@ class PowerCapStrategy(DVSStrategy):
             policy=self.policy,
             config=self.config,
             cpufreqs=capped,
+            resilience=self.resilience,
         )
         self.governor.start(cluster.engine)
 

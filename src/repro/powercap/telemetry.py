@@ -82,23 +82,41 @@ class ClusterTelemetry:
         return self._prev_time
 
     def sample(self) -> List[NodeWindowSample]:
-        """Close the current window and return one sample per node."""
+        """Close the current window and return one sample per *visible*
+        node.
+
+        A zero-length window (the governor fired twice at the same sim
+        time) returns the empty list — there is nothing to average, and
+        NaN-from-0/0 must never reach the policies.
+
+        Nodes whose monitoring agent is down (``telemetry_dark``, or
+        crashed outright) report **no sample** — exactly the hole a real
+        collector leaves — and consumers must cope with missing node
+        ids.  A node with an active power-noise fault reports a
+        perturbed ``avg_watts``.
+        """
         now = self.cluster.engine.now
         t0 = self._prev_time
+        if now <= t0:
+            return []
         samples = []
         for node in self.cluster.nodes:
             node.cpu.finalize()
             stat = node.procstat.snapshot()
             busy = stat.utilization_since(self._prev_stat[node.node_id])
             self._prev_stat[node.node_id] = stat
+            if not node.telemetry_visible:
+                continue
+            avg_watts = node.timeline.average_power(t0, now)
+            noise = node.faults.power_noise
+            if noise is not None:
+                avg_watts = noise(avg_watts, now)
             samples.append(
                 NodeWindowSample(
                     node_id=node.node_id,
                     t0=t0,
                     t1=now,
-                    avg_watts=node.timeline.average_power(t0, now)
-                    if now > t0
-                    else node.timeline.power_at(now),
+                    avg_watts=avg_watts,
                     busy_fraction=busy,
                     frequency=node.cpu.frequency,
                 )

@@ -161,3 +161,64 @@ def test_serial_crash_reports_all_failures_in_order(tmp_path):
         run_sweep(tasks, n_workers=0)
     assert [index for index, _, _ in excinfo.value.failures] == [0, 1, 2]
     assert excinfo.value.completed == [None, None, None]
+
+
+class InterruptingMicro(L2BoundMicro):
+    """Raises a non-``Exception`` mid-run (a Ctrl-C / sys.exit stand-in)."""
+
+    def __init__(self, exc_name: str):
+        super().__init__(passes=5)
+        self.exc_name = exc_name
+
+    def program(self, comm, dvs):
+        raise {"KeyboardInterrupt": KeyboardInterrupt, "SystemExit": SystemExit}[
+            self.exc_name
+        ]()
+        yield  # pragma: no cover - makes this a generator
+
+
+class TestFailureReporting:
+    def test_traceback_points_at_the_original_raise_site(self, tmp_path):
+        marker = tmp_path / "marker"
+        marker.write_text("armed")
+        tasks = [
+            SweepTask(
+                CrashableMicro(str(marker), crash=True), "stat", frequency=FREQS[0]
+            )
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(tasks, n_workers=0)
+        err = excinfo.value
+        assert len(err.tracebacks) == 1
+        # The formatted traceback names the line that raised, not the
+        # re-raise inside run_sweep.
+        assert "injected worker crash" in err.tracebacks[0]
+        assert "in program" in err.tracebacks[0]
+        assert "in program" in str(err)  # and the message carries it too
+
+    def test_pool_worker_traceback_travels_across_the_process_boundary(
+        self, tmp_path
+    ):
+        marker = tmp_path / "marker"
+        marker.write_text("armed")
+        tasks = [
+            SweepTask(CrashableMicro(str(marker), crash=True), "stat", frequency=f)
+            for f in FREQS[:2]
+        ]
+        with pytest.raises(SweepError) as excinfo:
+            run_sweep(tasks, n_workers=2)
+        # concurrent.futures chains the worker's formatted traceback as
+        # the exception's cause (_RemoteTraceback); format_exception
+        # follows the chain, so the original raise site survives the hop.
+        for text in excinfo.value.tracebacks:
+            assert "injected worker crash" in text
+            assert "in program" in text
+
+    @pytest.mark.parametrize("exc_name", ["KeyboardInterrupt", "SystemExit"])
+    def test_interrupts_are_never_collected_into_a_sweeperror(self, exc_name):
+        tasks = [
+            SweepTask(InterruptingMicro(exc_name), "stat", frequency=f)
+            for f in FREQS
+        ]
+        with pytest.raises((KeyboardInterrupt, SystemExit)):
+            run_sweep(tasks, n_workers=0)

@@ -14,7 +14,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-DOC_FILES = ["README.md", "EXPERIMENTS.md", "docs/CACHING.md"]
+DOC_FILES = ["README.md", "EXPERIMENTS.md", "docs/CACHING.md", "docs/FAULTS.md"]
 
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

@@ -16,7 +16,7 @@ def test_registry_covers_every_table_and_figure():
     expected = (
         {f"fig{i}" for i in range(1, 9)}
         | {"table1", "table2", "table3"}
-        | {"headline", "powercap"}
+        | {"headline", "powercap", "chaos"}
     )
     assert set(EXPERIMENTS) == expected
 
@@ -188,6 +188,16 @@ def test_powercap_extension_shapes():
     # ...and wins outright where slack is imbalanced across ranks.
     margin = by_name["imbalanced.4c4s@0.90 redist−uniform slowdown"]
     assert margin < -0.05
+
+
+def test_chaos_extension_shapes():
+    result = run_experiment("chaos", expected_faults=(2.0,), seeds=(0,))
+    by_name = {c.quantity: c.measured for c in result.comparisons}
+    # The hardened variants fully recover on every plan; the fair-weather
+    # control demonstrably fails the composite drill.
+    assert by_name["selfheal+redist worst post-recovery violations"] == 0.0
+    assert by_name["selfheal+uniform worst post-recovery violations"] == 0.0
+    assert by_name["fairweather+redist drill post-recovery violations"] > 0.0
 
 
 def test_table3_selections():

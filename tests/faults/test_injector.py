@@ -1,0 +1,210 @@
+"""Tests for the fault injector against live cluster hardware.
+
+Each test arms a small cluster with a plan, drives plain work through
+the sim engine, and asserts on the *symptoms* the defenders see: power
+timelines, telemetry visibility, refused DVFS transitions, transfer
+times.  Determinism tests assert that identical seeds replay identical
+timelines — the property the chaos sweep's caching relies on.
+"""
+
+import pytest
+
+from repro.faults import (
+    DvfsStuck,
+    FaultInjector,
+    FaultPlan,
+    LinkDegraded,
+    NodeCrash,
+    TelemetryDropout,
+    TelemetryNoise,
+    acceleration_for,
+)
+from repro.hardware.cluster import Cluster
+from repro.hardware.reliability import ReliabilityModel
+from repro.powercap.telemetry import ClusterTelemetry
+
+
+def build(n_nodes: int, plan: FaultPlan) -> "tuple[Cluster, FaultInjector]":
+    cluster = Cluster.build(n_nodes)
+    injector = FaultInjector(cluster, plan)
+    injector.install()
+    return cluster, injector
+
+
+class TestCrash:
+    PLAN = FaultPlan(faults=(NodeCrash(0, at=1.0, downtime=1.0),))
+
+    def test_crashed_node_draws_nothing_and_goes_dark(self):
+        cluster, _ = build(2, self.PLAN)
+        cpu = cluster.nodes[0].cpu
+        cluster.engine.process(cpu.run_cycles(3.0 * cpu.frequency))
+        cluster.engine.run(until=1.5)
+        assert not cpu.powered
+        assert not cluster.nodes[0].telemetry_visible
+        assert cluster.nodes[1].telemetry_visible
+        assert cluster.nodes[0].timeline.average_power(1.0, 1.5) == 0.0
+        assert cluster.nodes[1].timeline.average_power(1.0, 1.5) > 0.0
+
+    def test_restart_boots_at_the_fastest_point(self):
+        cluster, _ = build(1, self.PLAN)
+        cpu = cluster.nodes[0].cpu
+        cpu.set_frequency(cluster.table.point_for(600e6))
+        cluster.engine.process(cpu.run_cycles(3.0 * cpu.frequency))
+        cluster.engine.run(until=2.5)
+        assert cpu.powered
+        assert cpu.frequency == cluster.table.fastest.frequency
+
+    def test_downtime_delays_the_work(self):
+        def finish_time(plan: FaultPlan) -> float:
+            cluster = Cluster.build(1)
+            FaultInjector(cluster, plan).install()
+            cpu = cluster.nodes[0].cpu
+            cluster.engine.process(cpu.run_cycles(2.0 * cpu.frequency))
+            cluster.engine.run()
+            return cluster.engine.now
+
+        faulted = finish_time(self.PLAN)
+        clean = finish_time(FaultPlan())
+        # Instant checkpoint-restart: the outage costs exactly its downtime.
+        assert faulted == pytest.approx(clean + 1.0)
+
+
+class TestStuckDvfs:
+    PLAN = FaultPlan(faults=(DvfsStuck(0, at=0.5, duration=1.0),))
+
+    def test_transitions_silently_refused_while_stuck(self):
+        cluster, _ = build(1, self.PLAN)
+        cpu = cluster.nodes[0].cpu
+        slow = cluster.table.point_for(600e6)
+        cluster.engine.process(cpu.run_cycles(5.0 * cpu.frequency))
+        cluster.engine.run(until=0.75)
+        before = cpu.frequency
+        cpu.set_frequency(slow)  # no exception: the knob just doesn't move
+        assert cpu.frequency == before
+        assert cpu.refused_transitions == 1
+
+    def test_transitions_work_again_after_clearance(self):
+        cluster, _ = build(1, self.PLAN)
+        cpu = cluster.nodes[0].cpu
+        slow = cluster.table.point_for(600e6)
+        cluster.engine.process(cpu.run_cycles(5.0 * cpu.frequency))
+        cluster.engine.run(until=2.0)
+        cpu.set_frequency(slow)
+        assert cpu.frequency == slow.frequency
+
+
+class TestTelemetryFaults:
+    def test_dropout_hides_the_node_while_it_keeps_drawing(self):
+        plan = FaultPlan(
+            faults=(TelemetryDropout(0, at=0.5, duration=1.0),)
+        )
+        cluster, _ = build(2, plan)
+        telemetry = ClusterTelemetry(cluster)
+        for node in cluster.nodes:
+            cluster.engine.process(
+                node.cpu.run_cycles(3.0 * node.cpu.frequency)
+            )
+        cluster.engine.run(until=1.0)
+        visible = {s.node_id for s in telemetry.sample()}
+        assert visible == {1}
+        # The dark node is a *measurement* fault: it still draws power.
+        assert cluster.nodes[0].timeline.average_power(0.5, 1.0) > 0.0
+        cluster.engine.run(until=2.0)
+        assert {s.node_id for s in telemetry.sample()} == {0, 1}
+
+    def test_noise_perturbs_readings_deterministically(self):
+        plan = FaultPlan(
+            faults=(
+                TelemetryNoise(0, at=0.0, duration=9.0, sigma_watts=2.0),
+            ),
+            seed=5,
+        )
+
+        def observed() -> "tuple[float, float]":
+            cluster, _ = build(1, plan)
+            telemetry = ClusterTelemetry(cluster)
+            cpu = cluster.nodes[0].cpu
+            cluster.engine.process(cpu.run_cycles(2.0 * cpu.frequency))
+            cluster.engine.run(until=1.0)
+            (sample,) = telemetry.sample()
+            true_watts = cluster.nodes[0].timeline.average_power(0.0, 1.0)
+            return sample.avg_watts, true_watts
+
+        first_observed, first_true = observed()
+        second_observed, _ = observed()
+        assert first_observed != first_true  # the meter lies...
+        assert first_observed == second_observed  # ...reproducibly
+
+
+class TestLinkDegraded:
+    def test_penalty_slows_transfers(self):
+        def transfer_time(plan: FaultPlan) -> float:
+            cluster, _ = build(2, plan)
+            result = {}
+
+            def mover():
+                result["t"] = yield from cluster.fabric.transfer(
+                    0, 1, 1_000_000
+                )
+
+            cluster.engine.process(mover())
+            cluster.engine.run()
+            return result["t"]
+
+        plan = FaultPlan(
+            faults=(
+                LinkDegraded(0, at=0.0, duration=30.0, extra_latency=0.05),
+            )
+        )
+        assert transfer_time(plan) == pytest.approx(
+            transfer_time(FaultPlan()) + 0.05
+        )
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_timelines(self):
+        model = ReliabilityModel()
+        accel = acceleration_for(
+            model, n_nodes=4, horizon_s=4.0, expected_faults=5.0
+        )
+
+        def timeline(seed: int):
+            plan = FaultPlan.from_reliability(
+                model,
+                n_nodes=4,
+                horizon_s=4.0,
+                seed=seed,
+                acceleration=accel,
+                downtime_s=0.5,
+                dropout_weight=1.0,
+                stuck_weight=1.0,
+            )
+            cluster = Cluster.build(4)
+            injector = FaultInjector(cluster, plan)
+            injector.install()
+            for node in cluster.nodes:
+                cluster.engine.process(
+                    node.cpu.run_cycles(4.0 * node.cpu.frequency)
+                )
+            cluster.engine.run()
+            return injector.timeline
+
+        first = timeline(seed=11)
+        assert first  # the accelerated plan actually injected something
+        assert first == timeline(seed=11)
+        assert first != timeline(seed=12)
+
+
+class TestGuards:
+    def test_plan_beyond_cluster_size_rejected(self):
+        cluster = Cluster.build(2)
+        plan = FaultPlan(faults=(NodeCrash(5, at=0.0),))
+        with pytest.raises(ValueError, match="node 5"):
+            FaultInjector(cluster, plan)
+
+    def test_double_install_rejected(self):
+        cluster = Cluster.build(1)
+        injector = FaultInjector(cluster, FaultPlan())
+        injector.install()
+        with pytest.raises(RuntimeError, match="already installed"):
+            injector.install()

@@ -1,0 +1,175 @@
+"""Tests for fault specs and plans: validation, determinism, cache keys."""
+
+import pytest
+
+from repro.cache.keys import canonical_json
+from repro.faults import (
+    DvfsStuck,
+    FaultPlan,
+    LinkDegraded,
+    NodeCrash,
+    TelemetryDropout,
+    TelemetryNoise,
+    acceleration_for,
+)
+from repro.faults.spec import SECONDS_PER_YEAR
+from repro.hardware.reliability import ReliabilityModel
+
+
+class TestSpecValidation:
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError, match="node_id"):
+            NodeCrash(-1, at=0.5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="at"):
+            TelemetryDropout(0, at=-0.1)
+
+    def test_nonpositive_durations_rejected(self):
+        with pytest.raises(ValueError, match="duration"):
+            DvfsStuck(0, at=0.0, duration=0.0)
+        with pytest.raises(ValueError, match="downtime"):
+            NodeCrash(0, at=0.0, downtime=-1.0)
+        with pytest.raises(ValueError, match="extra_latency"):
+            LinkDegraded(0, at=0.0, duration=1.0, extra_latency=0.0)
+
+    def test_noise_spike_probability_bounds(self):
+        with pytest.raises(ValueError, match="spike_probability"):
+            TelemetryNoise(0, at=0.0, spike_probability=1.5)
+
+    def test_clears_at(self):
+        assert NodeCrash(0, at=1.0).clears_at is None
+        assert NodeCrash(0, at=1.0, downtime=0.5).clears_at == 1.5
+        assert DvfsStuck(0, at=2.0, duration=3.0).clears_at == 5.0
+
+
+class TestPlanValidation:
+    def test_overlapping_same_kind_same_node_rejected(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                faults=(
+                    TelemetryDropout(0, at=0.0, duration=2.0),
+                    TelemetryDropout(0, at=1.0, duration=2.0),
+                )
+            )
+
+    def test_permanent_fault_blocks_any_later_same_kind(self):
+        with pytest.raises(ValueError, match="overlapping"):
+            FaultPlan(
+                faults=(NodeCrash(0, at=0.0), NodeCrash(0, at=5.0))
+            )
+
+    def test_different_nodes_and_kinds_may_overlap(self):
+        plan = FaultPlan(
+            faults=(
+                TelemetryDropout(0, at=0.0, duration=2.0),
+                TelemetryDropout(1, at=0.0, duration=2.0),
+                DvfsStuck(0, at=0.5, duration=2.0),
+            )
+        )
+        assert len(plan) == 3
+        assert len(plan.for_node(0)) == 2
+        assert plan.max_node_id == 1
+
+    def test_transition_times_sorted_and_deduplicated(self):
+        plan = FaultPlan(
+            faults=(
+                NodeCrash(0, at=1.0, downtime=1.0),
+                TelemetryDropout(1, at=2.0, duration=0.5),
+                NodeCrash(2, at=3.0),  # permanent: no clearance
+            )
+        )
+        assert plan.transition_times() == (1.0, 2.0, 2.5, 3.0)
+
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.max_node_id == -1
+        assert plan.transition_times() == ()
+
+
+class TestFromReliability:
+    MODEL = ReliabilityModel()
+
+    def test_identical_seeds_identical_plans(self):
+        kwargs = dict(
+            n_nodes=8, horizon_s=10.0, acceleration=1e7, downtime_s=0.5
+        )
+        a = FaultPlan.from_reliability(self.MODEL, seed=42, **kwargs)
+        b = FaultPlan.from_reliability(self.MODEL, seed=42, **kwargs)
+        assert a == b
+        assert a.faults == b.faults
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(n_nodes=8, horizon_s=10.0, acceleration=1e7)
+        a = FaultPlan.from_reliability(self.MODEL, seed=0, **kwargs)
+        b = FaultPlan.from_reliability(self.MODEL, seed=1, **kwargs)
+        assert a != b
+
+    def test_faults_sorted_and_within_horizon(self):
+        accel = acceleration_for(
+            self.MODEL, n_nodes=4, horizon_s=5.0, expected_faults=6.0
+        )
+        plan = FaultPlan.from_reliability(
+            self.MODEL, n_nodes=4, horizon_s=5.0, seed=3, acceleration=accel
+        )
+        assert plan.faults
+        times = [f.at for f in plan.faults]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 5.0 for t in times)
+
+    def test_weights_enable_extra_fault_kinds(self):
+        accel = acceleration_for(
+            self.MODEL, n_nodes=4, horizon_s=5.0, expected_faults=8.0
+        )
+        plan = FaultPlan.from_reliability(
+            self.MODEL,
+            n_nodes=4,
+            horizon_s=5.0,
+            seed=0,
+            acceleration=accel,
+            dropout_weight=1.0,
+            stuck_weight=1.0,
+        )
+        kinds = {type(f) for f in plan.faults}
+        assert kinds == {NodeCrash, TelemetryDropout, DvfsStuck}
+
+    def test_zero_weights_sample_only_crashes(self):
+        accel = acceleration_for(
+            self.MODEL, n_nodes=4, horizon_s=5.0, expected_faults=8.0
+        )
+        plan = FaultPlan.from_reliability(
+            self.MODEL, n_nodes=4, horizon_s=5.0, seed=0, acceleration=accel
+        )
+        assert {type(f) for f in plan.faults} == {NodeCrash}
+
+    def test_acceleration_for_inverts_the_poisson_mean(self):
+        accel = acceleration_for(
+            self.MODEL, n_nodes=8, horizon_s=2.0, expected_faults=4.0
+        )
+        rate = self.MODEL.annual_failure_rate * accel / SECONDS_PER_YEAR
+        assert rate * 8 * 2.0 == pytest.approx(4.0)
+
+
+class TestCacheKeying:
+    def test_plans_canonically_encode(self):
+        plan = FaultPlan(
+            faults=(
+                NodeCrash(0, at=1.0, downtime=0.5),
+                TelemetryNoise(1, at=0.0, duration=2.0, sigma_watts=1.5),
+            ),
+            seed=7,
+        )
+        text = canonical_json(plan)
+        assert "NodeCrash" in text and "TelemetryNoise" in text
+
+    def test_equal_plans_encode_identically(self):
+        make = lambda: FaultPlan(
+            faults=(NodeCrash(0, at=1.0, downtime=0.5),), seed=7
+        )
+        assert canonical_json(make()) == canonical_json(make())
+
+    def test_seed_changes_the_encoding(self):
+        a = FaultPlan(faults=(NodeCrash(0, at=1.0),), seed=0)
+        b = FaultPlan(faults=(NodeCrash(0, at=1.0),), seed=1)
+        assert canonical_json(a) != canonical_json(b)

@@ -1,0 +1,86 @@
+"""Reliability ↔ faults integration: sampled rates match the model.
+
+`FaultPlan.from_reliability` promises a Poisson crash process at
+``annual_failure_rate × acceleration / SECONDS_PER_YEAR`` per node.
+These tests check the promise statistically — sampled counts sit near
+the configured mean, scale linearly with acceleration, and respect the
+no-overlap hold-off — with fixed seeds, so every run sees the same
+draw and the tolerances are exact, not flaky.
+"""
+
+import pytest
+
+from repro.faults import FaultPlan, NodeCrash, acceleration_for
+from repro.faults.spec import SECONDS_PER_YEAR
+from repro.hardware.reliability import ReliabilityModel
+
+MODEL = ReliabilityModel()  # 2.5 %/year at the reference power
+N_NODES = 32
+HORIZON = 10.0
+EXPECTED = 320.0  # 1 crash/node-second: large enough for tight stats
+#: Tiny restart hold-off so the renewal process stays ≈ Poisson (the
+#: hold lowers the effective rate by hold/(1/rate + hold) ≈ 1 %).
+DOWNTIME = 0.01
+
+
+def sample_counts(seed: int, expected: float = EXPECTED) -> int:
+    accel = acceleration_for(MODEL, N_NODES, HORIZON, expected)
+    plan = FaultPlan.from_reliability(
+        MODEL,
+        N_NODES,
+        HORIZON,
+        seed=seed,
+        acceleration=accel,
+        downtime_s=DOWNTIME,
+    )
+    assert all(isinstance(f, NodeCrash) for f in plan.faults)
+    return len(plan.faults)
+
+
+def test_sampled_count_matches_the_configured_mean():
+    # Poisson sd is √320 ≈ 18, so 10 % (32 crashes) is nearly 2σ —
+    # a real rate bug (2×, off-by-SECONDS_PER_YEAR) lands far outside.
+    assert sample_counts(seed=0) == pytest.approx(EXPECTED, rel=0.10)
+
+
+def test_mean_over_many_seeds_is_tighter():
+    counts = [sample_counts(seed) for seed in range(10)]
+    mean = sum(counts) / len(counts)
+    assert mean == pytest.approx(EXPECTED, rel=0.04)
+    assert len(set(counts)) > 1  # seeds genuinely vary the draw
+
+
+def test_count_scales_linearly_with_acceleration():
+    half = sum(sample_counts(s, EXPECTED / 2) for s in range(6)) / 6
+    full = sum(sample_counts(s, EXPECTED) for s in range(6)) / 6
+    assert full / half == pytest.approx(2.0, rel=0.10)
+
+
+def test_acceleration_for_round_trips_the_rate():
+    accel = acceleration_for(MODEL, N_NODES, HORIZON, EXPECTED)
+    rate = MODEL.annual_failure_rate * accel / SECONDS_PER_YEAR
+    assert rate * N_NODES * HORIZON == pytest.approx(EXPECTED)
+
+
+def test_per_node_crashes_respect_the_restart_holdoff():
+    accel = acceleration_for(MODEL, N_NODES, HORIZON, EXPECTED)
+    plan = FaultPlan.from_reliability(
+        MODEL,
+        N_NODES,
+        HORIZON,
+        seed=3,
+        acceleration=accel,
+        downtime_s=DOWNTIME,
+    )
+    for node in range(N_NODES):
+        times = [f.at for f in plan.for_node(node)]
+        assert times == sorted(times)
+        for prev, cur in zip(times, times[1:]):
+            assert cur - prev >= DOWNTIME  # down nodes cannot crash again
+
+
+def test_unaccelerated_rate_injects_nothing_in_seconds_of_simulation():
+    # 2.5 %/year over 10 simulated seconds: the accelerator exists for a
+    # reason.
+    plan = FaultPlan.from_reliability(MODEL, N_NODES, HORIZON, seed=0)
+    assert plan.faults == ()

@@ -1,0 +1,127 @@
+"""Unit tests for the invariant monitor and the window guards."""
+
+import pytest
+
+from repro.powercap import InvariantMonitor, PowerBudget
+from repro.powercap.governor import GovernorWindow
+
+BUDGET = PowerBudget(cluster_watts=100.0, tolerance=0.05)  # limit 105 W
+
+
+def window(
+    avg: float,
+    predicted: float = 90.0,
+    feasible: bool = True,
+    frequencies=None,
+) -> GovernorWindow:
+    return GovernorWindow(
+        t0=0.0,
+        t1=0.25,
+        cluster_avg_watts=avg,
+        compliant=BUDGET.complies(avg),
+        frequencies=frequencies or {0: 1.0e9},
+        predicted_watts=predicted,
+        feasible=feasible,
+    )
+
+
+def observe(monitor, w, node_frequencies=None, ceilings=None, **kwargs):
+    return monitor.observe_window(
+        w,
+        target_watts=95.0,
+        node_frequencies=node_frequencies or {0: 1.0e9},
+        ceilings=ceilings or {0: 1.0e9},
+        **kwargs,
+    )
+
+
+class TestWindowOverBudget:
+    def test_within_limit_is_silent(self):
+        monitor = InvariantMonitor(BUDGET)
+        observe(monitor, window(avg=104.9))  # inside the tolerance band
+        assert monitor.count == 0
+
+    def test_over_limit_is_recorded(self):
+        monitor = InvariantMonitor(BUDGET)
+        found = observe(monitor, window(avg=106.0))
+        assert [v.kind for v in found] == [monitor.WINDOW_OVER_BUDGET]
+        assert monitor.count_of(monitor.WINDOW_OVER_BUDGET) == 1
+
+
+class TestNodeOverCeiling:
+    def test_node_running_above_its_ceiling_is_recorded(self):
+        monitor = InvariantMonitor(BUDGET)
+        found = observe(
+            monitor,
+            window(avg=90.0),
+            node_frequencies={0: 1.4e9, 1: 0.6e9},
+            ceilings={0: 1.0e9, 1: 1.0e9},
+        )
+        assert [v.kind for v in found] == [monitor.NODE_OVER_CEILING]
+        assert found[0].node_id == 0
+
+    def test_node_without_a_known_ceiling_is_skipped(self):
+        monitor = InvariantMonitor(BUDGET)
+        observe(
+            monitor,
+            window(avg=90.0),
+            node_frequencies={7: 1.4e9},
+            ceilings={0: 1.0e9},
+        )
+        assert monitor.count == 0
+
+
+class TestAllocationOverTarget:
+    def test_feasible_claim_above_target_is_a_policy_bug(self):
+        monitor = InvariantMonitor(BUDGET)
+        found = observe(
+            monitor, window(avg=90.0, predicted=96.0, feasible=True)
+        )
+        assert [v.kind for v in found] == [monitor.ALLOCATION_OVER_TARGET]
+
+    def test_declared_infeasible_overshoot_is_honest(self):
+        monitor = InvariantMonitor(BUDGET)
+        observe(monitor, window(avg=90.0, predicted=200.0, feasible=False))
+        assert monitor.count == 0
+
+    def test_unallocated_windows_skip_the_check(self):
+        # The trailing partial window carries no policy allocation.
+        monitor = InvariantMonitor(BUDGET)
+        observe(
+            monitor,
+            window(avg=90.0, predicted=200.0, feasible=True),
+            allocated=False,
+        )
+        assert monitor.count == 0
+
+
+class TestRecord:
+    def test_after_filters_strictly(self):
+        monitor = InvariantMonitor(BUDGET)
+        observe(monitor, window(avg=106.0))  # violation at t1=0.25
+        assert len(monitor.after(0.0)) == 1
+        assert monitor.after(0.25) == ()
+
+    def test_violations_accumulate_across_windows(self):
+        monitor = InvariantMonitor(BUDGET)
+        observe(monitor, window(avg=106.0))
+        observe(monitor, window(avg=107.0))
+        assert monitor.count == 2
+
+
+class TestGovernorWindowGuards:
+    def test_backwards_window_rejected(self):
+        with pytest.raises(ValueError, match="ends before it starts"):
+            GovernorWindow(
+                t0=1.0,
+                t1=0.5,
+                cluster_avg_watts=0.0,
+                compliant=True,
+                frequencies={},
+                predicted_watts=0.0,
+                feasible=True,
+            )
+
+    def test_duration_never_negative(self):
+        w = window(avg=50.0)
+        assert w.duration == pytest.approx(0.25)

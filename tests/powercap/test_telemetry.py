@@ -153,3 +153,22 @@ class TestClusterTelemetry:
         # After the work ends the nodes idle, and the windows see it.
         for s in second:
             assert s.busy_fraction == pytest.approx(0.5, abs=1e-6)
+
+
+class TestWindowGuards:
+    def test_zero_length_window_returns_no_samples(self):
+        # The governor fired twice at the same sim time: nothing was
+        # measured, and a NaN from 0/0 must never reach the policies.
+        cluster = Cluster.build(2)
+        telemetry = ClusterTelemetry(cluster)
+        assert telemetry.sample() == []
+
+    def test_dark_node_reports_no_sample(self):
+        cluster = Cluster.build(2)
+        telemetry = ClusterTelemetry(cluster)
+        cluster.nodes[0].faults.telemetry_dark = True
+        cluster.engine.process(
+            cluster.nodes[1].cpu.run_cycles(0.1 * cluster.nodes[1].cpu.frequency)
+        )
+        cluster.engine.run(until=0.2)
+        assert [s.node_id for s in telemetry.sample()] == [1]
