@@ -51,7 +51,7 @@ def main(seeds) -> int:
         for seed in seeds
         for hardened in (True, False)
     ]
-    outcomes = run_chaos_sweep(tasks, n_workers=0)
+    outcomes = run_chaos_sweep(tasks)
 
     rows = []
     failures = 0

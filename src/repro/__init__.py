@@ -6,7 +6,17 @@ power-performance of distributed scientific applications under dynamic
 voltage scaling, built on a calibrated discrete-event simulation of the
 paper's platform (16 Pentium M laptops, 100 Mb Ethernet, MPICH-1).
 
-Layers (bottom-up):
+The names exported here are the **stable public API** (see
+``docs/API.md``): everything a script or notebook needs without deep
+imports, re-exported lazily (PEP 562) so ``import repro`` stays cheap::
+
+    from repro import Session, SweepTask, Tracer
+
+    s = Session(use_cache=True, tracer=Tracer())
+    run = s.run(workload, strategy)
+    report = s.attribution(run)
+
+Layers (bottom-up), for when you do want the deep modules:
 
 * :mod:`repro.sim` — discrete-event simulation kernel;
 * :mod:`repro.hardware` — DVFS ladder, CMOS power model, CPU/memory/
@@ -18,13 +28,104 @@ Layers (bottom-up):
 * :mod:`repro.measurement` — ACPI battery and Baytech meter emulation,
   PowerPack session, data alignment;
 * :mod:`repro.metrics` — ED²P and weighted ED²P, operating-point
-  selection, trade-off curves;
+  selection, trade-off curves, per-phase energy attribution;
 * :mod:`repro.workloads` — NAS FT, parallel matrix transpose, SPEC-like
   kernels, microbenchmarks;
+* :mod:`repro.obs` — structured tracing/profiling and trace exporters;
+* :mod:`repro.powercap` / :mod:`repro.faults` — cluster power-budget
+  governor and fault-injection drills;
+* :mod:`repro.cache` — content-addressed run cache;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — crescendo sweeps,
   reporting, and one driver per paper table/figure.
 """
 
-__version__ = "1.0.0"
+from typing import TYPE_CHECKING
 
-__all__ = ["__version__"]
+__version__ = "1.1.0"
+
+#: public name → defining module, the single source of truth for the
+#: lazy facade below.  Every entry is importable as ``from repro import
+#: <name>`` and asserted stable in ``tests/test_facade.py``.
+_EXPORTS = {
+    # front door
+    "Session": "repro.session",
+    # tracing / profiling (repro.obs)
+    "Tracer": "repro.obs.tracer",
+    "tracing": "repro.obs.tracer",
+    "active_tracer": "repro.obs.tracer",
+    "export_chrome_trace": "repro.obs.export",
+    "export_jsonl": "repro.obs.export",
+    "load_trace_file": "repro.obs.export",
+    "validate_chrome_trace": "repro.obs.export",
+    # runs and sweeps
+    "run_measured": "repro.analysis.runner",
+    "traced_run": "repro.analysis.runner",
+    "run_sweep": "repro.analysis.parallel",
+    "SweepTask": "repro.analysis.parallel",
+    "SweepError": "repro.analysis.parallel",
+    # chaos
+    "run_chaos_sweep": "repro.faults.sweep",
+    "ChaosTask": "repro.faults.sweep",
+    "ChaosOutcome": "repro.faults.sweep",
+    "FaultPlan": "repro.faults.spec",
+    "FaultInjector": "repro.faults.injector",
+    # power capping
+    "PowerBudget": "repro.powercap.budget",
+    "PowerCapStrategy": "repro.powercap.strategy",
+    # cache
+    "RunCache": "repro.cache.store",
+    "sweep_context": "repro.cache.context",
+    # metrics
+    "EnergyDelayPoint": "repro.metrics.records",
+    "AttributionReport": "repro.metrics.attribution",
+    "build_attribution_report": "repro.metrics.attribution",
+    # experiments
+    "run_experiment": "repro.experiments.registry",
+    "list_experiments": "repro.experiments.registry",
+    # workloads
+    "Workload": "repro.workloads.base",
+}
+
+__all__ = ["__version__", *sorted(_EXPORTS)]
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from repro.analysis.parallel import SweepError, SweepTask, run_sweep
+    from repro.analysis.runner import run_measured, traced_run
+    from repro.cache.context import sweep_context
+    from repro.cache.store import RunCache
+    from repro.experiments.registry import list_experiments, run_experiment
+    from repro.faults.injector import FaultInjector
+    from repro.faults.spec import FaultPlan
+    from repro.faults.sweep import ChaosOutcome, ChaosTask, run_chaos_sweep
+    from repro.metrics.attribution import (
+        AttributionReport,
+        build_attribution_report,
+    )
+    from repro.metrics.records import EnergyDelayPoint
+    from repro.obs.export import (
+        export_chrome_trace,
+        export_jsonl,
+        load_trace_file,
+        validate_chrome_trace,
+    )
+    from repro.obs.tracer import Tracer, active_tracer, tracing
+    from repro.powercap.budget import PowerBudget
+    from repro.powercap.strategy import PowerCapStrategy
+    from repro.session import Session
+    from repro.workloads.base import Workload

@@ -27,9 +27,12 @@ everything else (caching the successes) and then raises
 from __future__ import annotations
 
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dvs.strategy import (
     CpuspeedStrategy,
@@ -39,6 +42,7 @@ from repro.dvs.strategy import (
 )
 from repro.hardware.calibration import Calibration
 from repro.metrics.records import EnergyDelayPoint
+from repro.obs.tracer import Tracer, tracing
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -48,6 +52,12 @@ __all__ = [
     "parallel_full_sweep",
     "run_sweep",
 ]
+
+#: Distinguishes "not passed" from any legitimate value in the
+#: deprecated-parameter shims.  Shared with
+#: :func:`repro.faults.sweep.run_chaos_sweep` so the two signatures
+#: compare equal parameter-for-parameter (asserted in the tests).
+_UNSET = object()
 
 #: The strategy recipes a :class:`SweepTask` can describe.
 STRATEGY_KINDS = ("cpuspeed", "dyn", "stat")
@@ -202,47 +212,141 @@ def _execute(task: SweepTask) -> EnergyDelayPoint:
     return run.point
 
 
+def resolve_sweep_options(
+    caller: str,
+    jobs: Optional[int],
+    use_cache,
+    cache_dir,
+    tracer: Optional[Tracer],
+    n_workers,
+    cache,
+) -> Tuple[Optional[int], object]:
+    """Normalise the unified sweep keywords to ``(n_workers, cache)``.
+
+    The shared front door of :func:`run_sweep` and
+    :func:`repro.faults.sweep.run_chaos_sweep`: translates the public
+    ``jobs`` convention (``None`` = serial in-process, ``0`` = one
+    worker per core, ``N`` = N workers — the same meaning as
+    ``repro-experiment --jobs``) to :func:`run_collected`'s internal
+    ``n_workers`` convention, resolves ``use_cache``/``cache_dir``
+    through :func:`repro.cache.context.resolve_cache`, and applies the
+    :class:`DeprecationWarning` shims for the pre-unification
+    ``n_workers``/``cache`` keywords.  A ``tracer`` forces serial
+    in-process execution — records live in this process's ring buffers,
+    so pool workers would trace into the void.
+    """
+    if n_workers is not _UNSET:
+        warnings.warn(
+            f"{caller}(n_workers=...) is deprecated; use jobs=... "
+            "(None = serial in-process, 0 = one worker per core, "
+            "N = N workers)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if jobs is None:
+            # Old convention: 0 = serial, None = all cores, N = N.
+            jobs = 0 if n_workers is None else (None if n_workers == 0 else n_workers)
+    if cache is not _UNSET:
+        warnings.warn(
+            f"{caller}(cache=...) is deprecated; use use_cache=... "
+            "(True, False, or a RunCache to share)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if use_cache is False and cache is not None:
+            use_cache = cache
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be None or >= 0, got {jobs}")
+
+    from repro.cache.context import resolve_cache
+
+    resolved = resolve_cache(use_cache, cache_dir)
+    if tracer is not None:
+        internal: Optional[int] = 0
+    else:
+        internal = 0 if jobs is None else (None if jobs == 0 else jobs)
+    return internal, resolved
+
+
 def run_sweep(
     tasks: Sequence[SweepTask],
-    n_workers: Optional[int] = None,
-    cache=None,
+    *,
+    jobs: Optional[int] = None,
+    use_cache: Union[bool, object] = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    tracer: Optional[Tracer] = None,
+    n_workers=_UNSET,
+    cache=_UNSET,
 ) -> List[EnergyDelayPoint]:
     """Run tasks, preserving input order.
 
-    ``n_workers=0`` (or ≤1 task to simulate) runs in-process; otherwise a
-    process pool of ``n_workers`` (default: ``os.cpu_count()``) is used.
+    Parameters (keyword-only, shared verbatim with
+    :func:`repro.faults.sweep.run_chaos_sweep`):
 
-    ``cache`` (a :class:`repro.cache.store.RunCache`) short-circuits
-    tasks whose content hash is already stored and persists each new
-    point the moment it completes, so re-running any sweep skips the
-    completed points and an interrupted sweep resumes where it stopped.
+    ``jobs``
+        ``None`` runs serial in-process (the default), ``0`` uses one
+        worker process per CPU core, ``N`` uses N workers.  Parallel
+        runs are bit-identical to serial ones.
+    ``use_cache`` / ``cache_dir``
+        ``True`` opens a :class:`~repro.cache.store.RunCache` at
+        ``cache_dir`` (default: ``$REPRO_CACHE_DIR`` or
+        ``~/.cache/repro/runs``); an existing :class:`RunCache` is
+        shared as-is.  Stored points short-circuit their tasks and
+        fresh points persist the moment they complete, so interrupted
+        sweeps resume.
+    ``tracer``
+        A :class:`~repro.obs.tracer.Tracer` to record the sweep into:
+        installed as the active tracer for the whole call (deep
+        simulator instrumentation included) plus one wall-clock span
+        per executed task.  Forces serial in-process execution.
+    ``n_workers`` / ``cache``
+        Deprecated pre-unification names (``DeprecationWarning``);
+        note ``n_workers`` had *inverted* serial semantics
+        (``0`` = serial, ``None`` = all cores).
 
     Raises
     ------
     SweepError
         After all tasks have been attempted, if any of them failed.
     """
-    points: List[Optional[EnergyDelayPoint]] = [None] * len(tasks)
-    keys: List[Optional[str]] = [None] * len(tasks)
-    if cache is not None:
-        from repro.cache.keys import task_key
+    internal_workers, run_cache = resolve_sweep_options(
+        "run_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
+    )
+    scope = tracing(tracer) if tracer is not None else nullcontext()
+    with scope:
+        points: List[Optional[EnergyDelayPoint]] = [None] * len(tasks)
+        keys: List[Optional[str]] = [None] * len(tasks)
+        if run_cache is not None:
+            from repro.cache.keys import task_key
 
-        for i, task in enumerate(tasks):
-            keys[i] = task_key(task)
-            points[i] = cache.get(keys[i])
+            for i, task in enumerate(tasks):
+                keys[i] = task_key(task)
+                points[i] = run_cache.get(keys[i])
 
-    pending = [i for i, p in enumerate(points) if p is None]
+        pending = [i for i, p in enumerate(points) if p is None]
 
-    def finish(index: int, point: EnergyDelayPoint) -> None:
-        points[index] = point
-        if cache is not None:
-            cache.put(
-                keys[index],
-                point,
-                meta={"workload": getattr(tasks[index].workload, "name", "")},
-            )
+        def finish(index: int, point: EnergyDelayPoint) -> None:
+            points[index] = point
+            if run_cache is not None:
+                run_cache.put(
+                    keys[index],
+                    point,
+                    meta={
+                        "workload": getattr(tasks[index].workload, "name", "")
+                    },
+                )
 
-    failures = run_collected(tasks, pending, _execute, finish, n_workers)
+        execute = _execute
+        if tracer is not None:
+            def execute(task):  # noqa: F811 - traced replacement
+                with tracer.wall_span(
+                    _describe_task(task), "sweep.task", "sweep"
+                ):
+                    return _execute(task)
+
+        failures = run_collected(
+            tasks, pending, execute, finish, internal_workers
+        )
     if failures:
         raise SweepError(failures, points)
     return points  # type: ignore[return-value] - no None left
@@ -258,7 +362,12 @@ def parallel_full_sweep(
     cache=None,
 ) -> Dict[str, List[EnergyDelayPoint]]:
     """The parallel counterpart of
-    :func:`repro.analysis.runner.full_strategy_sweep`."""
+    :func:`repro.analysis.runner.full_strategy_sweep`.
+
+    Keeps the historical ``n_workers`` convention (``None`` = one worker
+    per core, ``0`` = serial in-process) and translates to
+    :func:`run_sweep`'s unified ``jobs`` keyword internally.
+    """
     tasks: List[SweepTask] = [
         SweepTask(workload, "cpuspeed", calibration=calibration)
     ]
@@ -275,7 +384,8 @@ def parallel_full_sweep(
                     calibration=calibration,
                 )
             )
-    points = run_sweep(tasks, n_workers=n_workers, cache=cache)
+    jobs = 0 if n_workers is None else (None if n_workers == 0 else n_workers)
+    points = run_sweep(tasks, jobs=jobs, use_cache=cache if cache else False)
 
     out: Dict[str, List[EnergyDelayPoint]] = {"cpuspeed": [points[0]]}
     n = len(frequencies)

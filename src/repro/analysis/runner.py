@@ -24,12 +24,14 @@ from repro.dvs.strategy import (
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
 from repro.metrics.records import EnergyDelayPoint
+from repro.obs.tracer import Tracer, tracing
 from repro.simmpi import SpmdResult, run_spmd
 from repro.workloads.base import Workload
 
 __all__ = [
     "MeasuredRun",
     "run_measured",
+    "traced_run",
     "static_crescendo",
     "dynamic_crescendo",
     "cpuspeed_run",
@@ -82,6 +84,42 @@ def run_measured(
         frequency=frequency,
     )
     return MeasuredRun(point=point, spmd=result, cluster=cluster, strategy=strategy)
+
+
+def traced_run(
+    workload: Workload,
+    strategy: DVSStrategy,
+    tracer: Tracer,
+    calibration: Optional[Calibration] = None,
+    cluster_factory: Optional[Callable[[], Cluster]] = None,
+) -> MeasuredRun:
+    """:func:`run_measured` with ``tracer`` installed as the active tracer.
+
+    Everything the deep instrumentation emits during the run — sim-engine
+    process spans, MPI phases, DVS transitions, governor windows, fault
+    instants — lands in ``tracer``'s ring buffers, plus one run-level
+    sim-clock span on track ``"run"`` covering the whole job interval.
+    The natural input for
+    :func:`repro.metrics.attribution.build_attribution_report` and the
+    Chrome-trace exporters in :mod:`repro.obs.export`.
+    """
+    with tracing(tracer):
+        run = run_measured(
+            workload,
+            strategy,
+            calibration=calibration,
+            cluster_factory=cluster_factory,
+        )
+        if tracer.enabled:
+            tracer.span(
+                getattr(workload, "name", type(workload).__name__),
+                "run",
+                "run",
+                run.spmd.start,
+                run.spmd.end,
+                strategy=strategy.name,
+            )
+    return run
 
 
 def static_crescendo(

@@ -33,6 +33,7 @@ from repro.cache.context import (
     SweepContext,
     active_context,
     default_cache_dir,
+    resolve_cache,
     sweep_context,
 )
 from repro.cache.keys import (
@@ -53,6 +54,7 @@ __all__ = [
     "canonical_encode",
     "canonical_json",
     "default_cache_dir",
+    "resolve_cache",
     "simulator_salt",
     "sweep_context",
     "task_key",

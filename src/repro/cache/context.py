@@ -26,7 +26,7 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Union
 
 from repro.cache.store import RunCache
 
@@ -34,6 +34,7 @@ __all__ = [
     "SweepContext",
     "active_context",
     "default_cache_dir",
+    "resolve_cache",
     "sweep_context",
 ]
 
@@ -67,6 +68,28 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env).expanduser()
     return Path("~/.cache/repro/runs").expanduser()
+
+
+def resolve_cache(
+    use_cache: Union[bool, RunCache, None],
+    cache_dir: Optional[Union[str, Path]] = None,
+) -> Optional[RunCache]:
+    """The one ``use_cache``/``cache_dir`` convention, shared by
+    :func:`repro.analysis.parallel.run_sweep`,
+    :func:`repro.faults.sweep.run_chaos_sweep`, the experiment registry,
+    and :class:`repro.session.Session`.
+
+    ``use_cache`` is a :class:`RunCache` to share (returned as-is),
+    ``True`` to open one at ``cache_dir`` (default:
+    :func:`default_cache_dir`), or ``False``/``None`` for no caching.
+    """
+    if isinstance(use_cache, RunCache):
+        return use_cache
+    if use_cache:
+        return RunCache(
+            Path(cache_dir).expanduser() if cache_dir else default_cache_dir()
+        )
+    return None
 
 
 @contextmanager

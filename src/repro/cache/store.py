@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.metrics.records import EnergyDelayPoint
+from repro.obs.tracer import WALL_CLOCK, active_tracer
 
 __all__ = ["CacheStats", "RunCache"]
 
@@ -164,10 +165,21 @@ class RunCache:
         """The stored point for ``key``, or ``None`` (counted as a miss)."""
         records = self._load_shard(key[:2])
         record = records.get(key)
+        tracer = active_tracer()
         if record is None:
             self._misses += 1
+            if tracer.enabled:
+                tracer.instant(
+                    "miss", "cache", "cache", tracer.wall_time(),
+                    WALL_CLOCK, key=key[:12],
+                )
             return None
         self._hits += 1
+        if tracer.enabled:
+            tracer.instant(
+                "hit", "cache", "cache", tracer.wall_time(),
+                WALL_CLOCK, key=key[:12],
+            )
         path = self._shard_path(key[:2])
         if path.exists():
             os.utime(path)  # LRU recency signal

@@ -25,6 +25,7 @@ from repro.hardware.activity import CpuActivity
 from repro.hardware.calibration import Calibration
 from repro.hardware.dvfs import OperatingPoint
 from repro.hardware.node import Node
+from repro.obs.tracer import active_tracer
 from repro.sim.events import Event
 
 __all__ = ["CpuFreq"]
@@ -56,7 +57,10 @@ class CpuFreq:
     def set_speed_now(self, frequency: float) -> None:
         """Daemon-context switch: instantaneous for the application."""
         point = self.resolve(frequency)
+        before = self.node.cpu.frequency
         self.node.cpu.set_frequency(point)
+        if before != point.frequency:
+            self._trace_transition(before, point.frequency, "daemon")
 
     def set_speed(self, frequency: float) -> Generator[Event, object, None]:
         """Application-context switch: the caller pays the transition cost.
@@ -65,10 +69,25 @@ class CpuFreq:
         No cost is paid when the target equals the current frequency.
         """
         point = self.resolve(frequency)
-        if point.frequency == self.node.cpu.frequency:
+        before = self.node.cpu.frequency
+        if point.frequency == before:
             return
         cal = self.calibration
         cost = cal.transition_latency + cal.transition_penalty
         if cost > 0:
             yield from self.node.cpu.stall(cost, CpuActivity.ACTIVE)
         self.node.cpu.set_frequency(point)
+        self._trace_transition(before, point.frequency, "app")
+
+    def _trace_transition(self, before: float, after: float, mode: str) -> None:
+        """Emit the DVS transition instant + clock counter (traced runs)."""
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return
+        now = self.node.engine.now
+        nid = self.node.node_id
+        tracer.instant(
+            "transition", "dvs", nid, now,
+            from_mhz=before / 1e6, to_mhz=after / 1e6, mode=mode,
+        )
+        tracer.counter("freq_mhz", nid, now, after / 1e6)

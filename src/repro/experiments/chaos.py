@@ -38,6 +38,7 @@ from repro.faults.spec import (
     TelemetryDropout,
     acceleration_for,
 )
+from repro.experiments.common import context_jobs
 from repro.faults.sweep import ChaosOutcome, ChaosTask, run_chaos_sweep
 from repro.hardware.reliability import ReliabilityModel
 from repro.metrics.chaos import ChaosReport
@@ -187,7 +188,9 @@ def run(
         workload, budget_watts, all_plans, interval, allowed_recovery
     )
     outcomes = run_chaos_sweep(
-        tasks, n_workers=ctx.n_workers, cache=ctx.cache
+        tasks,
+        jobs=context_jobs(ctx.n_workers),
+        use_cache=ctx.cache if ctx.cache is not None else False,
     )
     by_task: Dict[Tuple[int, str], ChaosOutcome] = {}
     for task, outcome in zip(tasks, outcomes):

@@ -20,10 +20,12 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from repro.cache.context import default_cache_dir
 from repro.cache.store import RunCache
+from repro.obs.tracer import tracing
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
 __all__ = ["main"]
@@ -90,6 +92,27 @@ def build_parser() -> argparse.ArgumentParser:
             "~/.cache/repro/runs)"
         ),
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record a structured trace of the selected experiments and "
+            "write Chrome trace-event JSON to PATH (inspect with "
+            "repro-trace, chrome://tracing, or Perfetto; forces serial "
+            "sweeps)"
+        ),
+    )
+    parser.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        metavar="N",
+        help=(
+            "trace ring-buffer size per record kind (default: 65536; "
+            "oldest records are overwritten beyond this)"
+        ),
+    )
     return parser
 
 
@@ -133,25 +156,53 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache_dir = args.cache_dir or default_cache_dir()
         cache = RunCache(cache_dir)
 
-    json_lines = []
-    for experiment_id in ids:
-        import inspect
+    tracer = None
+    jobs = args.jobs
+    if args.trace is not None:
+        from repro.obs.tracer import Tracer
 
-        fn = EXPERIMENTS[experiment_id]
-        accepted = set(inspect.signature(fn).parameters)
-        kwargs = {k: v for k, v in params.items() if k in accepted}
-        result = run_experiment(
-            experiment_id,
-            use_cache=cache if cache is not None else False,
-            jobs=args.jobs,
-            **kwargs,
-        )
-        print(result.render())
-        print()
-        json_lines.append(result.to_json(indent=None if args.json else 2))
+        tracer = Tracer(capacity=args.trace_capacity)
+        if jobs is not None:
+            print(
+                "note: --trace forces serial sweeps; ignoring --jobs",
+                file=sys.stderr,
+            )
+            jobs = None
+
+    json_lines = []
+    scope = tracing(tracer) if tracer is not None else nullcontext()
+    with scope:
+        for experiment_id in ids:
+            import inspect
+
+            fn = EXPERIMENTS[experiment_id]
+            accepted = set(inspect.signature(fn).parameters)
+            kwargs = {k: v for k, v in params.items() if k in accepted}
+            result = run_experiment(
+                experiment_id,
+                use_cache=cache if cache is not None else False,
+                jobs=jobs,
+                **kwargs,
+            )
+            print(result.render())
+            print()
+            json_lines.append(result.to_json(indent=None if args.json else 2))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write("\n".join(json_lines) + "\n")
+    if tracer is not None:
+        from repro.obs.export import export_chrome_trace
+
+        n_events = export_chrome_trace(args.trace, tracer)
+        dropped = (
+            f", {tracer.dropped} overwritten (raise --trace-capacity)"
+            if tracer.dropped
+            else ""
+        )
+        print(
+            f"trace: {n_events} events -> {args.trace}{dropped}",
+            file=sys.stderr,
+        )
     if cache is not None:
         stats = cache.stats
         print(

@@ -27,6 +27,7 @@ from repro.workloads.base import Workload
 
 __all__ = [
     "LADDER_FREQUENCIES",
+    "context_jobs",
     "points_of",
     "static_points",
     "dynamic_points",
@@ -47,9 +48,20 @@ def points_of(runs: Sequence[MeasuredRun]) -> List[EnergyDelayPoint]:
     return [run.point for run in runs]
 
 
+def context_jobs(n_workers: Optional[int]) -> Optional[int]:
+    """Translate :class:`~repro.cache.context.SweepContext.n_workers`
+    (``0`` = serial, ``None`` = one per core) to the unified ``jobs``
+    convention (``None`` = serial, ``0`` = one per core)."""
+    return None if n_workers == 0 else (0 if n_workers is None else n_workers)
+
+
 def _context_sweep(tasks: Sequence[SweepTask]) -> List[EnergyDelayPoint]:
     ctx = active_context()
-    return run_sweep(tasks, n_workers=ctx.n_workers, cache=ctx.cache)
+    return run_sweep(
+        tasks,
+        jobs=context_jobs(ctx.n_workers),
+        use_cache=ctx.cache if ctx.cache is not None else False,
+    )
 
 
 def static_points(

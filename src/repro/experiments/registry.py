@@ -6,7 +6,7 @@ from pathlib import Path
 from typing import Callable, Dict, Optional, Union
 
 from repro.analysis.records import ExperimentResult
-from repro.cache.context import default_cache_dir, sweep_context
+from repro.cache.context import resolve_cache, sweep_context
 from repro.cache.store import RunCache
 from repro.experiments import (
     chaos,
@@ -114,11 +114,7 @@ def run_experiment(
             f"unknown experiment {experiment_id!r}; "
             f"available: {sorted(EXPERIMENTS)}"
         )
-    cache: Optional[RunCache] = None
-    if isinstance(use_cache, RunCache):
-        cache = use_cache
-    elif use_cache:
-        cache = RunCache(Path(cache_dir) if cache_dir else default_cache_dir())
+    cache = resolve_cache(use_cache, cache_dir)
     if cache is None and jobs is None:
         return EXPERIMENTS[experiment_id](**kwargs)
     n_workers: Optional[int] = 0 if jobs is None else (None if jobs == 0 else jobs)

@@ -19,6 +19,7 @@ import random
 from typing import Callable, Generator, List, Tuple
 
 from repro.hardware.cluster import Cluster
+from repro.obs.tracer import active_tracer
 from repro.sim.events import Event
 
 from repro.faults.spec import (
@@ -102,12 +103,16 @@ class FaultInjector:
         self._clear(fault)
 
     def _log(self, verb: str, fault: FaultSpec) -> None:
+        now = self.cluster.engine.now
         self.timeline.append(
-            (
-                self.cluster.engine.now,
-                f"{verb} {type(fault).__name__} node={fault.node_id}",
-            )
+            (now, f"{verb} {type(fault).__name__} node={fault.node_id}")
         )
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.instant(
+                verb, "fault", fault.node_id, now,
+                fault=type(fault).__name__,
+            )
 
     def _apply(self, fault: FaultSpec) -> None:
         node = self.cluster.nodes[fault.node_id]

@@ -20,16 +20,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
 
-from repro.analysis.parallel import SweepError, run_collected
+from repro.analysis.parallel import (
+    _UNSET,
+    SweepError,
+    resolve_sweep_options,
+    run_collected,
+)
 from repro.analysis.runner import run_measured
 from repro.cache.keys import canonical_encode, simulator_salt
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
 from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.records import EnergyDelayPoint
+from repro.obs.tracer import Tracer, tracing
 from repro.powercap import (
     CapGovernorConfig,
     PowerBudget,
@@ -179,41 +187,66 @@ def _cached_outcome(cache, key: str) -> Optional[ChaosOutcome]:
 
 def run_chaos_sweep(
     tasks: Sequence[ChaosTask],
-    n_workers: Optional[int] = None,
-    cache=None,
+    *,
+    jobs: Optional[int] = None,
+    use_cache: Union[bool, object] = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    tracer: Optional[Tracer] = None,
+    n_workers=_UNSET,
+    cache=_UNSET,
 ) -> List[ChaosOutcome]:
     """Run chaos tasks, preserving input order.
 
-    The chaos counterpart of :func:`repro.analysis.parallel.run_sweep`:
-    same worker-pool semantics (``n_workers=0`` runs in-process), same
-    failure collection (:class:`~repro.analysis.parallel.SweepError`
-    after everything has been attempted), same cache contract (stored
-    outcomes short-circuit, fresh outcomes persist on completion, so
-    interrupted sweeps resume).
+    The chaos counterpart of :func:`repro.analysis.parallel.run_sweep`,
+    with the identical keyword-only signature (asserted
+    parameter-for-parameter in the tests): same ``jobs`` convention
+    (``None`` = serial in-process, ``0`` = one worker per core, ``N`` =
+    N workers), same ``use_cache``/``cache_dir`` resolution, same
+    ``tracer`` semantics (installed as the active tracer, one wall-clock
+    span per executed task, forces serial execution), same deprecated
+    ``n_workers``/``cache`` shims, same failure collection
+    (:class:`~repro.analysis.parallel.SweepError` after everything has
+    been attempted), and the same cache contract (stored outcomes
+    short-circuit, fresh outcomes persist on completion, so interrupted
+    sweeps resume).
     """
-    outcomes: List[Optional[ChaosOutcome]] = [None] * len(tasks)
-    keys: List[Optional[str]] = [None] * len(tasks)
-    if cache is not None:
-        for i, task in enumerate(tasks):
-            keys[i] = chaos_task_key(task)
-            outcomes[i] = _cached_outcome(cache, keys[i])
+    internal_workers, run_cache = resolve_sweep_options(
+        "run_chaos_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
+    )
+    scope = tracing(tracer) if tracer is not None else nullcontext()
+    with scope:
+        outcomes: List[Optional[ChaosOutcome]] = [None] * len(tasks)
+        keys: List[Optional[str]] = [None] * len(tasks)
+        if run_cache is not None:
+            for i, task in enumerate(tasks):
+                keys[i] = chaos_task_key(task)
+                outcomes[i] = _cached_outcome(run_cache, keys[i])
 
-    pending = [i for i, o in enumerate(outcomes) if o is None]
+        pending = [i for i, o in enumerate(outcomes) if o is None]
 
-    def finish(index: int, outcome: ChaosOutcome) -> None:
-        outcomes[index] = outcome
-        if cache is not None:
-            cache.put(
-                keys[index],
-                outcome.point,
-                meta={
-                    "kind": _META_KIND,
-                    "workload": getattr(tasks[index].workload, "name", ""),
-                    "report": outcome.report.to_dict(),
-                },
-            )
+        def finish(index: int, outcome: ChaosOutcome) -> None:
+            outcomes[index] = outcome
+            if run_cache is not None:
+                run_cache.put(
+                    keys[index],
+                    outcome.point,
+                    meta={
+                        "kind": _META_KIND,
+                        "workload": getattr(tasks[index].workload, "name", ""),
+                        "report": outcome.report.to_dict(),
+                    },
+                )
 
-    failures = run_collected(tasks, pending, _execute_chaos, finish, n_workers)
+        execute = _execute_chaos
+        if tracer is not None:
+            def execute(task):  # noqa: F811 - traced replacement
+                label = f"{task.policy}/{'hardened' if task.hardened else 'fairweather'}"
+                with tracer.wall_span(label, "sweep.task", "sweep"):
+                    return _execute_chaos(task)
+
+        failures = run_collected(
+            tasks, pending, execute, finish, internal_workers
+        )
     if failures:
         raise SweepError(failures, outcomes)
     return outcomes  # type: ignore[return-value] - no None left

@@ -7,12 +7,21 @@ from repro.metrics.ed2p import (
     DELTA_ENERGY,
     DELTA_HPC,
     DELTA_PERFORMANCE,
+    Ed2pReport,
+    Ed2pRow,
+    build_ed2p_report,
     check_delta,
     ed2p,
     weighted_ed2p,
 )
+from repro.metrics.attribution import (
+    AttributionReport,
+    AttributionRow,
+    build_attribution_report,
+)
 from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.powercap import PowerCapReport, build_cap_report
+from repro.metrics.protocol import ReportBase, ReportProtocol
 from repro.metrics.records import EnergyDelayPoint, normalize_points
 from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
 from repro.metrics.tradeoff import (
@@ -29,11 +38,19 @@ __all__ = [
     "DELTA_ED2P",
     "DELTA_HPC",
     "DELTA_PERFORMANCE",
+    "Ed2pReport",
+    "Ed2pRow",
+    "build_ed2p_report",
     "EnergyDelayPoint",
     "PowerCapReport",
     "build_cap_report",
     "ChaosReport",
     "build_chaos_report",
+    "AttributionReport",
+    "AttributionRow",
+    "build_attribution_report",
+    "ReportBase",
+    "ReportProtocol",
     "normalize_points",
     "BestPoint",
     "best_operating_point",

@@ -22,13 +22,14 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.metrics.ed2p import DELTA_HPC, weighted_ed2p
+from repro.metrics.protocol import ReportBase
 from repro.powercap.budget import PowerBudget
 
 __all__ = ["ChaosReport", "build_chaos_report"]
 
 
 @dataclass(frozen=True)
-class ChaosReport:
+class ChaosReport(ReportBase):
     """Outcome of one run under one budget and one fault plan."""
 
     label: str  #: e.g. "cap@120W/redist+selfheal"
@@ -100,6 +101,25 @@ class ChaosReport:
             invariant_violations=int(data["invariant_violations"]),
             allowed_recovery_s=float(data["allowed_recovery_s"]),
         )
+
+    def summary_lines(self) -> List[str]:
+        verdict = (
+            "recovered (all violations transient)"
+            if self.recovered
+            else f"{self.post_recovery_violations} post-recovery violations"
+        )
+        return [
+            f"{self.label}: cap {self.cap_watts:.1f} W, "
+            f"{self.n_transitions} fault transitions — {verdict}",
+            f"  {self.violation_windows}/{self.total_windows} windows over "
+            f"cap ({self.excused_violations} excused within "
+            f"{self.allowed_recovery_s:.2f} s grace)",
+            f"  worst recovery latency {self.worst_recovery_latency_s:.3f} s, "
+            f"{self.repair_events} repairs, "
+            f"{self.invariant_violations} invariant violations",
+            f"  E={self.energy_j:.2f} J  D={self.delay_s:.4f} s  "
+            f"wED2P={self.ed2p():.4g}",
+        ]
 
 
 def build_chaos_report(

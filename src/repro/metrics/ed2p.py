@@ -16,6 +16,10 @@ win — "significant yet practically feasible".
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.metrics.protocol import ReportBase
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -26,6 +30,9 @@ __all__ = [
     "ed2p",
     "weighted_ed2p",
     "check_delta",
+    "Ed2pRow",
+    "Ed2pReport",
+    "build_ed2p_report",
 ]
 
 #: All weight on energy: metric degenerates to E² (paper's "energy" rows).
@@ -63,3 +70,96 @@ def weighted_ed2p(energy: float, delay: float, delta: float = DELTA_ED2P) -> flo
     check_positive("delay", delay)
     check_delta(delta)
     return energy ** (1.0 - delta) * delay ** (2.0 * (1.0 + delta))
+
+
+@dataclass(frozen=True)
+class Ed2pRow:
+    """One operating point scored under one δ."""
+
+    label: str
+    frequency: float  #: Hz; 0.0 when the point has no single frequency
+    energy_j: float
+    delay_s: float
+    weighted: float  #: ``weighted_ed2p(energy, delay, delta)``
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "frequency": self.frequency,
+            "energy_j": self.energy_j,
+            "delay_s": self.delay_s,
+            "weighted": self.weighted,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Ed2pRow":
+        return cls(
+            label=str(data["label"]),
+            frequency=float(data["frequency"]),
+            energy_j=float(data["energy_j"]),
+            delay_s=float(data["delay_s"]),
+            weighted=float(data["weighted"]),
+        )
+
+
+@dataclass(frozen=True)
+class Ed2pReport(ReportBase):
+    """A crescendo's operating points scored under one δ (Eq. 5)."""
+
+    label: str
+    delta: float
+    rows: Tuple[Ed2pRow, ...]
+
+    @property
+    def best(self) -> Ed2pRow:
+        """The winning point (minimum weighted ED²P — lower is better)."""
+        if not self.rows:
+            raise ValueError("empty Ed2pReport has no best point")
+        return min(self.rows, key=lambda row: row.weighted)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "delta": self.delta,
+            "rows": [row.to_dict() for row in self.rows],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Ed2pReport":
+        return cls(
+            label=str(data["label"]),
+            delta=float(data["delta"]),
+            rows=tuple(Ed2pRow.from_dict(row) for row in data["rows"]),
+        )
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"{self.label}: weighted ED²P at δ={self.delta:g}"]
+        best = self.best if self.rows else None
+        for row in self.rows:
+            marker = "  <- best" if row is best else ""
+            mhz = f"{row.frequency / 1e6:7.0f} MHz" if row.frequency else "        - "
+            lines.append(
+                f"  {row.label:24s} {mhz}  E={row.energy_j:9.2f} J  "
+                f"D={row.delay_s:8.4f} s  wED2P={row.weighted:.4g}{marker}"
+            )
+        return lines
+
+
+def build_ed2p_report(
+    points: Sequence,
+    delta: float = DELTA_HPC,
+    label: str = "ed2p",
+) -> Ed2pReport:
+    """Score :class:`~repro.metrics.records.EnergyDelayPoint`\\ s under δ."""
+    check_delta(delta)
+    rows = tuple(
+        Ed2pRow(
+            label=p.label,
+            frequency=p.frequency or 0.0,
+            energy_j=p.energy,
+            delay_s=p.delay,
+            weighted=weighted_ed2p(p.energy, p.delay, delta),
+        )
+        for p in points
+    )
+    return Ed2pReport(label=label, delta=delta, rows=rows)

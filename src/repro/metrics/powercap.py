@@ -10,15 +10,16 @@ capped operating points drop into the existing selection machinery).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.metrics.ed2p import DELTA_HPC, weighted_ed2p
+from repro.metrics.protocol import ReportBase
 
 __all__ = ["PowerCapReport", "build_cap_report"]
 
 
 @dataclass(frozen=True)
-class PowerCapReport:
+class PowerCapReport(ReportBase):
     """Outcome of one run under one power budget."""
 
     label: str  #: e.g. "cap@150W/redist"
@@ -46,6 +47,56 @@ class PowerCapReport:
     def ed2p(self, delta: float = DELTA_HPC) -> float:
         """Weighted ED²P of the capped run (lower is better)."""
         return weighted_ed2p(self.energy_j, self.delay_s, delta)
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "cap_watts": self.cap_watts,
+            "tolerance": self.tolerance,
+            "energy_j": self.energy_j,
+            "delay_s": self.delay_s,
+            "achieved_avg_watts": self.achieved_avg_watts,
+            "peak_window_watts": self.peak_window_watts,
+            "violation_windows": self.violation_windows,
+            "total_windows": self.total_windows,
+            "slowdown_vs_uncapped": self.slowdown_vs_uncapped,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PowerCapReport":
+        slowdown = data.get("slowdown_vs_uncapped")
+        return cls(
+            label=str(data["label"]),
+            cap_watts=float(data["cap_watts"]),
+            tolerance=float(data["tolerance"]),
+            energy_j=float(data["energy_j"]),
+            delay_s=float(data["delay_s"]),
+            achieved_avg_watts=float(data["achieved_avg_watts"]),
+            peak_window_watts=float(data["peak_window_watts"]),
+            violation_windows=int(data["violation_windows"]),
+            total_windows=int(data["total_windows"]),
+            slowdown_vs_uncapped=(
+                None if slowdown is None else float(slowdown)
+            ),
+        )
+
+    def summary_lines(self) -> List[str]:
+        verdict = "compliant" if self.compliant else (
+            f"{self.violation_windows}/{self.total_windows} windows over cap"
+        )
+        lines = [
+            f"{self.label}: cap {self.cap_watts:.1f} W "
+            f"(+{self.tolerance:.0%} tolerance) — {verdict}",
+            f"  achieved {self.achieved_avg_watts:.1f} W avg, "
+            f"{self.peak_window_watts:.1f} W peak window",
+            f"  E={self.energy_j:.2f} J  D={self.delay_s:.4f} s  "
+            f"wED2P={self.ed2p():.4g}",
+        ]
+        if self.slowdown_vs_uncapped is not None:
+            lines.append(
+                f"  slowdown vs uncapped: {self.slowdown_vs_uncapped:+.1%}"
+            )
+        return lines
 
 
 def build_cap_report(

@@ -1,0 +1,62 @@
+"""The common report protocol every metrics report implements.
+
+Four report classes come out of the metrics layer — :class:`Ed2pReport`
+(operating-point efficiency), :class:`PowerCapReport` (budget
+compliance), :class:`ChaosReport` (fault recovery), and
+:class:`AttributionReport` (per-phase energy) — and they all speak the
+same surface:
+
+* ``label`` — what the report describes;
+* ``to_dict()`` — JSON-able plain data (what the run cache stores);
+* ``to_json(indent=None)`` — the same, serialised;
+* ``summary_lines()`` — human-readable lines for terminals and logs.
+
+:class:`ReportProtocol` is runtime-checkable, so callers can accept
+"any report" structurally::
+
+    from repro.metrics import ReportProtocol
+
+    def archive(report: ReportProtocol) -> None:
+        assert isinstance(report, ReportProtocol)
+        path.write_text(report.to_json(indent=2))
+
+``tests/metrics/test_report_protocol.py`` exercises all four classes
+against this contract so a new report (or a renamed method) cannot
+silently fork the surface.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Protocol, runtime_checkable
+
+__all__ = ["ReportProtocol", "ReportBase"]
+
+
+@runtime_checkable
+class ReportProtocol(Protocol):
+    """Structural type of every metrics report."""
+
+    @property
+    def label(self) -> str: ...
+
+    def to_dict(self) -> dict: ...
+
+    def to_json(self, indent: Optional[int] = None) -> str: ...
+
+    def summary_lines(self) -> List[str]: ...
+
+
+class ReportBase:
+    """Shared ``to_json`` so report classes only define ``to_dict``.
+
+    Plain mixin (no dataclass fields) — frozen dataclasses inherit from
+    it without affecting their generated ``__init__``/``__eq__``.
+    """
+
+    def to_dict(self) -> dict:  # pragma: no cover - always overridden
+        raise NotImplementedError
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """``to_dict()`` serialised with sorted keys (stable diffs)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -1,0 +1,61 @@
+"""Unified tracing & profiling (the PowerPack measurement analogue).
+
+The paper's first contribution is PowerPack itself: a framework that
+collects, aligns, and *attributes* per-node power profiles to
+application phases.  :mod:`repro.obs` is that layer for the simulated
+cluster — one process-wide :class:`Tracer` with bounded ring buffers of
+span/counter/instant records, fed by instrumentation hooks across the
+stack (sim processes, MPI collectives and point-to-point phases, DVS
+transitions, governor control windows, fault apply/clear, cache
+hits/misses), exported to Chrome trace-event JSON (Perfetto-loadable)
+or JSONL, and joined against the power timeline by
+:func:`repro.metrics.attribution.build_attribution_report`.
+
+Disabled tracing is the default and costs one global read plus one
+attribute check per hook — every instrumentation site guards with
+``if tracer.enabled:`` and touches nothing else.
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SIM_CLOCK,
+    WALL_CLOCK,
+    CounterRecord,
+    InstantRecord,
+    SpanRecord,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+    tracing,
+)
+from repro.obs.export import (
+    TraceData,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    load_trace_file,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "SIM_CLOCK",
+    "WALL_CLOCK",
+    "CounterRecord",
+    "InstantRecord",
+    "SpanRecord",
+    "Tracer",
+    "active_tracer",
+    "set_active_tracer",
+    "tracing",
+    "TraceData",
+    "chrome_trace_events",
+    "export_chrome_trace",
+    "export_jsonl",
+    "load_trace_file",
+    "to_chrome_trace",
+    "to_jsonl",
+    "validate_chrome_trace",
+]

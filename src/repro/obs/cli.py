@@ -1,0 +1,160 @@
+"""Command-line entry point: ``repro-trace``.
+
+Examples::
+
+    repro-experiment fig3 --no-cache --trace trace.json
+    repro-trace summary trace.json
+    repro-trace export trace.json -o trace.jsonl --format jsonl
+    repro-trace validate trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import List, Optional
+
+from repro.obs.export import (
+    export_chrome_trace,
+    export_jsonl,
+    load_trace_file,
+    validate_chrome_trace,
+)
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description=(
+            "Inspect, convert, and validate traces recorded by the "
+            "repro.obs tracing layer (Chrome trace-event JSON or JSONL)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summary = sub.add_parser(
+        "summary", help="per-category span/counter/instant statistics"
+    )
+    summary.add_argument("trace", metavar="FILE", help="trace file to read")
+    summary.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    export = sub.add_parser(
+        "export", help="convert between Chrome JSON and JSONL"
+    )
+    export.add_argument("trace", metavar="FILE", help="trace file to read")
+    export.add_argument(
+        "-o", "--output", required=True, metavar="PATH", help="output file"
+    )
+    export.add_argument(
+        "--format",
+        choices=("chrome", "jsonl"),
+        default="chrome",
+        help="output format (default: chrome)",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a Chrome trace-event file against the minimal schema",
+    )
+    validate.add_argument("trace", metavar="FILE", help="trace file to read")
+    return parser
+
+
+def _summary_payload(data) -> dict:
+    by_cat = defaultdict(lambda: {"spans": 0, "total_s": 0.0})
+    for s in data.spans:
+        bucket = by_cat[s.cat or "(uncategorised)"]
+        bucket["spans"] += 1
+        bucket["total_s"] += max(0.0, s.duration)
+    instants = defaultdict(int)
+    for i in data.instants:
+        instants[f"{i.cat or '(uncategorised)'}/{i.name}"] += 1
+    tracks = sorted(
+        {str(r.track) for r in (*data.spans, *data.counters, *data.instants)}
+    )
+    return {
+        "records": {
+            "spans": len(data.spans),
+            "counters": len(data.counters),
+            "instants": len(data.instants),
+        },
+        "tracks": tracks,
+        "span_categories": {
+            cat: dict(stats) for cat, stats in sorted(by_cat.items())
+        },
+        "instant_counts": dict(sorted(instants.items())),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "validate":
+        text = open(args.trace, encoding="utf-8").read()
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as exc:
+            print(f"invalid: not JSON ({exc})", file=sys.stderr)
+            return 1
+        errors = validate_chrome_trace(document)
+        if errors:
+            for error in errors[:20]:
+                print(f"invalid: {error}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"... and {len(errors) - 20} more", file=sys.stderr)
+            return 1
+        n = len(document["traceEvents"])
+        print(f"{args.trace}: valid Chrome trace ({n} events)")
+        return 0
+
+    try:
+        data = load_trace_file(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {args.trace}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.command == "summary":
+        payload = _summary_payload(data)
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            counts = payload["records"]
+            print(
+                f"{args.trace}: {counts['spans']} spans, "
+                f"{counts['counters']} counters, "
+                f"{counts['instants']} instants"
+            )
+            print(f"tracks: {', '.join(payload['tracks']) or '(none)'}")
+            if payload["span_categories"]:
+                print("span categories:")
+                for cat, stats in payload["span_categories"].items():
+                    print(
+                        f"  {cat:24s} {stats['spans']:6d} spans  "
+                        f"{stats['total_s']:.6f} s total"
+                    )
+            if payload["instant_counts"]:
+                print("instants:")
+                for key, count in payload["instant_counts"].items():
+                    print(f"  {key:24s} {count:6d}")
+        return 0
+
+    if args.command == "export":
+        if args.format == "chrome":
+            n = export_chrome_trace(args.output, data)
+            print(f"wrote {n} events to {args.output}")
+        else:
+            n = export_jsonl(args.output, data)
+            print(f"wrote {n} records to {args.output}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Helpers the instrumentation hooks share.
+
+The one non-obvious piece is :func:`traced_generator`: every simulated
+MPI call is a *generator* driven with ``yield from`` inside a rank
+program, so wrapping it in a plain decorator would record the wrong
+thing (the call that *builds* the generator, not the simulated time it
+spans).  The wrapper delegates with ``yield from`` and reads the engine
+clock on entry and exit, so the span covers exactly the simulated
+interval the operation occupied — including the failure path.
+
+Call sites keep the zero-cost contract themselves::
+
+    gen = collectives.barrier(self)
+    tracer = active_tracer()
+    if not tracer.enabled:
+        return gen           # untraced: the original generator, no wrapper
+    return traced_generator(tracer, self.engine, gen, ...)
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.obs.tracer import SIM_CLOCK, Tracer
+
+__all__ = ["traced_generator"]
+
+
+def traced_generator(
+    tracer: Tracer,
+    engine,
+    gen: Generator,
+    name: str,
+    cat: str,
+    track,
+    args: Optional[dict] = None,
+) -> Generator:
+    """Drive ``gen`` to completion, recording its sim-time extent.
+
+    Returns a new generator with the same protocol (yields, sends, and
+    return value pass straight through).  The span is recorded in a
+    ``finally`` block so an operation that dies mid-flight (a crashed
+    peer, an interrupt) still leaves its partial extent in the trace,
+    tagged ``error=True``.
+    """
+    def wrapper():
+        t0 = engine.now
+        failed = False
+        try:
+            result = yield from gen
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            extra = dict(args) if args else {}
+            if failed:
+                extra["error"] = True
+            tracer.span(
+                name, cat, track, t0, engine.now, SIM_CLOCK, **extra
+            )
+        return result
+
+    return wrapper()

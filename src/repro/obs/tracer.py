@@ -1,0 +1,350 @@
+"""The process-wide tracer: bounded ring buffers of structured records.
+
+Three record kinds, mirroring the Chrome trace-event vocabulary:
+
+* :class:`SpanRecord` — a named interval ``[t0, t1]`` on a track
+  (an MPI collective, a governor control window, a rank process);
+* :class:`CounterRecord` — a sampled value at an instant (cluster
+  watts, a node's clock in MHz);
+* :class:`InstantRecord` — a point event (a DVS transition, a fault
+  apply/clear, a cache hit).
+
+Records carry either the *simulated* clock (:data:`SIM_CLOCK`, seconds
+of engine time — the default, since everything interesting happens
+there) or the *wall* clock (:data:`WALL_CLOCK`, seconds since the
+tracer was created — cache traffic and sweep orchestration, which
+happen outside any engine).
+
+Buffers are ``collections.deque(maxlen=capacity)`` ring buffers: a
+tracer can run forever inside a long sweep without growing; overwritten
+records are counted in :attr:`Tracer.dropped_spans` et al. so exports
+can say what they lost.
+
+**Zero-cost when disabled.**  Instrumentation sites throughout the
+stack follow one idiom::
+
+    tracer = active_tracer()
+    if tracer.enabled:
+        tracer.instant(...)
+
+The default active tracer is :data:`NULL_TRACER` (permanently
+disabled), so an untraced run pays one module-global read and one
+attribute test per hook — measured under 5 % on a full NAS FT run by
+``tests/obs/test_overhead.py`` and ``benchmarks/bench_extension_tracing.py``.
+
+The active tracer is deliberately *process-global*, not a contextvar:
+records are emitted from deep inside the simulator where no context is
+threaded, and a simulation never spans threads.  Worker processes of a
+parallel sweep start with the default (disabled) tracer — tracing a
+sweep forces serial in-process execution (see
+:func:`repro.analysis.parallel.run_sweep`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, Optional, Tuple, Union
+
+__all__ = [
+    "SIM_CLOCK",
+    "WALL_CLOCK",
+    "SpanRecord",
+    "CounterRecord",
+    "InstantRecord",
+    "Tracer",
+    "NULL_TRACER",
+    "active_tracer",
+    "set_active_tracer",
+    "tracing",
+]
+
+#: Record timestamps are simulated-engine seconds.
+SIM_CLOCK = "sim"
+#: Record timestamps are wall seconds since the tracer's creation.
+WALL_CLOCK = "wall"
+
+_CLOCKS = (SIM_CLOCK, WALL_CLOCK)
+
+#: A track names the horizontal lane a record renders on: rank ids
+#: (ints) or subsystem names ("governor", "cache", "sweep").
+Track = Union[int, str]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """A named ``[t0, t1]`` interval on a track."""
+
+    name: str
+    cat: str
+    track: Track
+    t0: float
+    t1: float
+    clock: str = SIM_CLOCK
+    args: Optional[dict] = None
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass(frozen=True, slots=True)
+class CounterRecord:
+    """A sampled value at one instant."""
+
+    name: str
+    track: Track
+    t: float
+    value: float
+    clock: str = SIM_CLOCK
+
+
+@dataclass(frozen=True, slots=True)
+class InstantRecord:
+    """A point event."""
+
+    name: str
+    cat: str
+    track: Track
+    t: float
+    clock: str = SIM_CLOCK
+    args: Optional[dict] = None
+
+
+@dataclass
+class _Ring:
+    """One bounded buffer plus its overwrite count."""
+
+    buffer: Deque
+    dropped: int = 0
+
+    def append(self, record) -> None:
+        if len(self.buffer) == self.buffer.maxlen:
+            self.dropped += 1
+        self.buffer.append(record)
+
+
+class Tracer:
+    """Bounded collector of span/counter/instant records.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size *per record kind* (spans, counters, instants each get
+        their own ring, so a counter flood cannot evict spans).  Must be
+        ≥ 1.
+    enabled:
+        Initial state; flip :attr:`enabled` at any time.  A disabled
+        tracer's record methods still work when called directly — the
+        flag is the contract instrumentation sites check *before*
+        calling, not a gate inside the hot path.
+    """
+
+    __slots__ = ("enabled", "capacity", "_spans", "_counters", "_instants", "_epoch")
+
+    def __init__(self, capacity: int = 65536, enabled: bool = True):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self.enabled = bool(enabled)
+        self._spans = _Ring(deque(maxlen=self.capacity))
+        self._counters = _Ring(deque(maxlen=self.capacity))
+        self._instants = _Ring(deque(maxlen=self.capacity))
+        self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+    def span(
+        self,
+        name: str,
+        cat: str,
+        track: Track,
+        t0: float,
+        t1: float,
+        clock: str = SIM_CLOCK,
+        **args,
+    ) -> None:
+        """Record a completed interval."""
+        self._spans.append(
+            SpanRecord(name, cat, track, t0, t1, clock, args or None)
+        )
+
+    def counter(
+        self,
+        name: str,
+        track: Track,
+        t: float,
+        value: float,
+        clock: str = SIM_CLOCK,
+    ) -> None:
+        """Record a sampled value."""
+        self._counters.append(CounterRecord(name, track, t, value, clock))
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        track: Track,
+        t: float,
+        clock: str = SIM_CLOCK,
+        **args,
+    ) -> None:
+        """Record a point event."""
+        self._instants.append(
+            InstantRecord(name, cat, track, t, clock, args or None)
+        )
+
+    @contextmanager
+    def wall_span(self, name: str, cat: str, track: Track, **args) -> Iterator[None]:
+        """Record the wall-clock extent of a ``with`` block.
+
+        An exception escaping the block still records the span — with
+        ``error: True`` in its args — and propagates."""
+        t0 = self.wall_time()
+        failed = False
+        try:
+            yield
+        except BaseException:
+            failed = True
+            raise
+        finally:
+            if failed:
+                args = dict(args, error=True)
+            self.span(name, cat, track, t0, self.wall_time(), WALL_CLOCK, **args)
+
+    def wall_time(self) -> float:
+        """Seconds since this tracer was created (the wall-clock origin)."""
+        return time.perf_counter() - self._epoch
+
+    # -- access --------------------------------------------------------
+    @property
+    def spans(self) -> Tuple[SpanRecord, ...]:
+        return tuple(self._spans.buffer)
+
+    @property
+    def counters(self) -> Tuple[CounterRecord, ...]:
+        return tuple(self._counters.buffer)
+
+    @property
+    def instants(self) -> Tuple[InstantRecord, ...]:
+        return tuple(self._instants.buffer)
+
+    @property
+    def dropped_spans(self) -> int:
+        return self._spans.dropped
+
+    @property
+    def dropped_counters(self) -> int:
+        return self._counters.dropped
+
+    @property
+    def dropped_instants(self) -> int:
+        return self._instants.dropped
+
+    @property
+    def dropped(self) -> int:
+        """Total records overwritten by the ring buffers."""
+        return (
+            self._spans.dropped
+            + self._counters.dropped
+            + self._instants.dropped
+        )
+
+    def __len__(self) -> int:
+        """Records currently held (never exceeds ``3 × capacity``)."""
+        return (
+            len(self._spans.buffer)
+            + len(self._counters.buffer)
+            + len(self._instants.buffer)
+        )
+
+    def clear(self) -> None:
+        """Drop all records and reset the overwrite counters."""
+        for ring in (self._spans, self._counters, self._instants):
+            ring.buffer.clear()
+            ring.dropped = 0
+
+    def counts(self) -> Dict[str, int]:
+        """Record and drop counts, JSON-able (the CLI summary's header)."""
+        return {
+            "spans": len(self._spans.buffer),
+            "counters": len(self._counters.buffer),
+            "instants": len(self._instants.buffer),
+            "dropped_spans": self._spans.dropped,
+            "dropped_counters": self._counters.dropped,
+            "dropped_instants": self._instants.dropped,
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return (
+            f"<Tracer {state} capacity={self.capacity} "
+            f"records={len(self)} dropped={self.dropped}>"
+        )
+
+
+class _NullTracer(Tracer):
+    """The default active tracer: permanently disabled, holds nothing.
+
+    Attempts to enable it raise — a record written here is discarded,
+    so an "enabled" null tracer would silently lose everything.  Its
+    record methods are explicit no-ops: even a hook that skips the
+    ``enabled`` check cannot make the null tracer hold state.
+    """
+
+    __slots__ = ()
+
+    def __init__(self):
+        super().__init__(capacity=1, enabled=False)
+
+    def span(self, *args, **kwargs) -> None:
+        pass
+
+    def counter(self, *args, **kwargs) -> None:
+        pass
+
+    def instant(self, *args, **kwargs) -> None:
+        pass
+
+    def __setattr__(self, key, value):
+        if key == "enabled" and value:
+            raise ValueError(
+                "the null tracer cannot be enabled; install a real Tracer "
+                "via tracing()/set_active_tracer()"
+            )
+        super().__setattr__(key, value)
+
+
+#: The permanently-disabled default (reads as ``enabled == False``).
+NULL_TRACER = _NullTracer()
+
+_ACTIVE: Tracer = NULL_TRACER
+
+
+def active_tracer() -> Tracer:
+    """The process-wide tracer instrumentation hooks report to."""
+    return _ACTIVE
+
+
+def set_active_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` (``None`` restores the null tracer).
+
+    Returns the previously active tracer so callers can restore it;
+    prefer the :func:`tracing` context manager.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the active tracer for the extent of a block."""
+    previous = set_active_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active_tracer(previous)

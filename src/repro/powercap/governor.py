@@ -29,6 +29,7 @@ from typing import Dict, Generator, List, Optional
 from repro.dvs.capped import CappedCpuFreq
 from repro.hardware.activity import CpuActivity
 from repro.hardware.cluster import Cluster
+from repro.obs.tracer import active_tracer
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.process import Process
@@ -354,6 +355,15 @@ class CapGovernor:
             feasible=allocation.feasible,
         )
         self.windows.append(window)
+        tracer = active_tracer()
+        if tracer.enabled:
+            tracer.span(
+                "window", "powercap.governor", "governor", t0, t1,
+                avg_watts=avg, target_watts=self.target_watts,
+                compliant=window.compliant, feasible=allocation.feasible,
+                reallocated=reallocate,
+            )
+            tracer.counter("cluster_watts", "governor", t1, avg)
         self.monitor.observe_window(
             window,
             target_watts=self.target_watts,

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Generator, Optional
 
+from repro.obs.tracer import active_tracer
 from repro.sim.errors import Interrupt, SimulationError
 from repro.sim.events import Event
 
@@ -36,7 +37,7 @@ class Process(Event):
         Optional human-readable name used in traces and error messages.
     """
 
-    __slots__ = ("generator", "name", "_target", "_resume_event")
+    __slots__ = ("generator", "name", "_target", "_resume_event", "_trace_t0")
 
     def __init__(
         self,
@@ -54,6 +55,10 @@ class Process(Event):
         #: The event this process is currently waiting on (``None`` when the
         #: process is scheduled to run or has terminated).
         self._target: Optional[Event] = None
+        #: Birth time when a tracer was active at spawn (span on death).
+        self._trace_t0: Optional[float] = (
+            engine.now if active_tracer().enabled else None
+        )
 
         # Kick the process off at the current simulation time.
         init = Event(engine)
@@ -117,15 +122,18 @@ class Process(Event):
                 result = self.generator.throw(event._value)  # type: ignore[arg-type]
         except StopIteration as stop:
             engine._active_process = None
+            self._trace_exit(failed=False)
             self.succeed(stop.value)
             return
         except Interrupt as exc:
             # An interrupt escaped the process body: treat as failure.
             engine._active_process = None
+            self._trace_exit(failed=True)
             self.fail(exc)
             return
         except BaseException as exc:
             engine._active_process = None
+            self._trace_exit(failed=True)
             if engine.strict:
                 raise
             self.fail(exc)
@@ -150,6 +158,24 @@ class Process(Event):
             immediate.callbacks.append(self._resume)
             immediate.trigger(result)
             self._target = immediate
+
+    def _trace_exit(self, failed: bool) -> None:
+        """Record the process's lifetime span (only if traced at spawn)."""
+        if self._trace_t0 is None:
+            return
+        tracer = active_tracer()
+        if tracer.enabled:
+            if failed:
+                tracer.span(
+                    self.name, "sim.process", self.name,
+                    self._trace_t0, self.engine.now, error=True,
+                )
+            else:
+                tracer.span(
+                    self.name, "sim.process", self.name,
+                    self._trace_t0, self.engine.now,
+                )
+        self._trace_t0 = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "dead" if self.triggered else "alive"

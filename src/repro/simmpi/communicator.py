@@ -34,6 +34,8 @@ from typing import Generator, List, Optional, Sequence
 from repro.hardware.activity import CpuActivity
 from repro.hardware.cpu import SimCPU
 from repro.hardware.node import Node
+from repro.obs.instrument import traced_generator
+from repro.obs.tracer import active_tracer
 from repro.sim.events import Event
 from repro.simmpi.message import ANY_SOURCE, ANY_TAG, Message, Status, payload_nbytes
 from repro.simmpi.request import Request
@@ -208,6 +210,22 @@ class Communicator:
         nbytes: Optional[int] = None,
     ) -> Generator[Event, object, None]:
         """Blocking send (completes locally for eager messages)."""
+        gen = self._send_phase(payload, dest, tag, nbytes)
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return gen
+        return traced_generator(
+            tracer, self.engine, gen, "send", "mpi.p2p", self.rank,
+            {"dest": dest, "tag": tag},
+        )
+
+    def _send_phase(
+        self,
+        payload: object,
+        dest: int,
+        tag: int,
+        nbytes: Optional[int],
+    ) -> Generator[Event, object, None]:
         req = yield from self.isend(payload, dest, tag, nbytes)
         yield from self.wait(req)
 
@@ -217,6 +235,18 @@ class Communicator:
         tag: int = ANY_TAG,
     ) -> Generator[Event, object, object]:
         """Blocking receive; returns the payload."""
+        gen = self._recv_phase(source, tag)
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return gen
+        return traced_generator(
+            tracer, self.engine, gen, "recv", "mpi.p2p", self.rank,
+            {"source": source, "tag": tag},
+        )
+
+    def _recv_phase(
+        self, source: int, tag: int
+    ) -> Generator[Event, object, object]:
         req = self.irecv(source, tag)
         return (yield from self.wait(req))
 
@@ -229,6 +259,23 @@ class Communicator:
         nbytes: Optional[int] = None,
     ) -> Generator[Event, object, object]:
         """Simultaneous send+receive (deadlock-free pairwise exchange)."""
+        gen = self._sendrecv_phase(payload, dest, source, tag, nbytes)
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return gen
+        return traced_generator(
+            tracer, self.engine, gen, "sendrecv", "mpi.p2p", self.rank,
+            {"dest": dest, "source": source, "tag": tag},
+        )
+
+    def _sendrecv_phase(
+        self,
+        payload: object,
+        dest: int,
+        source: int,
+        tag: int,
+        nbytes: Optional[int],
+    ) -> Generator[Event, object, object]:
         rreq = self.irecv(source, tag)
         sreq = yield from self.isend(payload, dest, tag, nbytes)
         yield from self.wait(sreq)
@@ -237,47 +284,75 @@ class Communicator:
     # ------------------------------------------------------------------
     # collectives (implemented in collectives.py, re-exported as methods)
     # ------------------------------------------------------------------
+    def _traced_collective(self, name: str, gen, args: Optional[dict] = None):
+        """Wrap a collective's generator in a span (untouched when the
+        active tracer is disabled — the zero-cost path returns ``gen``)."""
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return gen
+        return traced_generator(
+            tracer, self.engine, gen, name, "mpi.coll", self.rank, args
+        )
+
     def barrier(self):
         from repro.simmpi import collectives
 
-        return collectives.barrier(self)
+        return self._traced_collective("barrier", collectives.barrier(self))
 
     def bcast(self, payload: object = None, root: int = 0, nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.bcast(self, payload, root, nbytes)
+        return self._traced_collective(
+            "bcast", collectives.bcast(self, payload, root, nbytes),
+            {"root": root},
+        )
 
     def reduce(self, value: object, root: int = 0, nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.reduce(self, value, root, nbytes)
+        return self._traced_collective(
+            "reduce", collectives.reduce(self, value, root, nbytes),
+            {"root": root},
+        )
 
     def allreduce(self, value: object, nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.allreduce(self, value, nbytes)
+        return self._traced_collective(
+            "allreduce", collectives.allreduce(self, value, nbytes)
+        )
 
     def gather(self, value: object, root: int = 0, nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.gather(self, value, root, nbytes)
+        return self._traced_collective(
+            "gather", collectives.gather(self, value, root, nbytes),
+            {"root": root},
+        )
 
     def scatter(self, values: Optional[Sequence[object]], root: int = 0,
                 nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.scatter(self, values, root, nbytes)
+        return self._traced_collective(
+            "scatter", collectives.scatter(self, values, root, nbytes),
+            {"root": root},
+        )
 
     def allgather(self, value: object, nbytes: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.allgather(self, value, nbytes)
+        return self._traced_collective(
+            "allgather", collectives.allgather(self, value, nbytes)
+        )
 
     def alltoall(self, values: Optional[Sequence[object]] = None,
                  nbytes_each: Optional[int] = None):
         from repro.simmpi import collectives
 
-        return collectives.alltoall(self, values, nbytes_each)
+        return self._traced_collective(
+            "alltoall", collectives.alltoall(self, values, nbytes_each)
+        )
 
     def next_collective_tag(self) -> int:
         """Fresh internal tag; stays in lockstep across SPMD ranks."""

@@ -86,7 +86,7 @@ def test_strategy_kinds_is_the_public_vocabulary():
 
 def test_inprocess_sweep_preserves_order():
     tasks = [SweepTask(make_workload(), "stat", f) for f in FREQS]
-    points = run_sweep(tasks, n_workers=0)
+    points = run_sweep(tasks)
     assert [p.frequency for p in points] == FREQS
 
 
@@ -130,7 +130,7 @@ def test_worker_crash_completes_siblings_and_resumes_from_cache(tmp_path):
     ]
     cache = RunCache(tmp_path / "cache")
     with pytest.raises(SweepError) as excinfo:
-        run_sweep(tasks, n_workers=2, cache=cache)
+        run_sweep(tasks, jobs=2, use_cache=cache)
     err = excinfo.value
     assert [index for index, _, _ in err.failures] == [1]
     assert isinstance(err.failures[0][2], RuntimeError)
@@ -142,7 +142,7 @@ def test_worker_crash_completes_siblings_and_resumes_from_cache(tmp_path):
     # "Fix the crash" and rerun: the cache fills everything but the gap.
     marker.unlink()
     resumed_cache = RunCache(tmp_path / "cache")
-    points = run_sweep(tasks, n_workers=0, cache=resumed_cache)
+    points = run_sweep(tasks, use_cache=resumed_cache)
     assert points[0] == err.completed[0]
     assert points[2] == err.completed[2]
     assert points[1] is not None
@@ -158,7 +158,7 @@ def test_serial_crash_reports_all_failures_in_order(tmp_path):
         for f in FREQS
     ]
     with pytest.raises(SweepError) as excinfo:
-        run_sweep(tasks, n_workers=0)
+        run_sweep(tasks)
     assert [index for index, _, _ in excinfo.value.failures] == [0, 1, 2]
     assert excinfo.value.completed == [None, None, None]
 
@@ -187,7 +187,7 @@ class TestFailureReporting:
             )
         ]
         with pytest.raises(SweepError) as excinfo:
-            run_sweep(tasks, n_workers=0)
+            run_sweep(tasks)
         err = excinfo.value
         assert len(err.tracebacks) == 1
         # The formatted traceback names the line that raised, not the
@@ -206,7 +206,7 @@ class TestFailureReporting:
             for f in FREQS[:2]
         ]
         with pytest.raises(SweepError) as excinfo:
-            run_sweep(tasks, n_workers=2)
+            run_sweep(tasks, jobs=2)
         # concurrent.futures chains the worker's formatted traceback as
         # the exception's cause (_RemoteTraceback); format_exception
         # follows the chain, so the original raise site survives the hop.
@@ -221,4 +221,4 @@ class TestFailureReporting:
             for f in FREQS
         ]
         with pytest.raises((KeyboardInterrupt, SystemExit)):
-            run_sweep(tasks, n_workers=0)
+            run_sweep(tasks)

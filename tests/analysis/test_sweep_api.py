@@ -1,0 +1,125 @@
+"""The unified sweep contract: one signature, one error contract, one
+deprecation story for ``run_sweep`` and ``run_chaos_sweep``."""
+
+import inspect
+
+import pytest
+
+from repro.analysis.parallel import SweepTask, run_sweep
+from repro.cache.store import RunCache
+from repro.faults.sweep import run_chaos_sweep
+from repro.obs.tracer import Tracer
+from repro.util.units import MHZ
+from repro.workloads.micro import L2BoundMicro
+
+FREQS = [600 * MHZ, 1400 * MHZ]
+
+
+def make_tasks():
+    return [
+        SweepTask(L2BoundMicro(passes=3), "stat", frequency=f) for f in FREQS
+    ]
+
+
+class TestSignatureSync:
+    def test_signatures_match_parameter_for_parameter(self):
+        """The two sweeps must never drift apart: same parameter names,
+        same kinds, same defaults (identical objects, not just equal),
+        in the same order — only the task type differs."""
+        sweep = inspect.signature(run_sweep)
+        chaos = inspect.signature(run_chaos_sweep)
+        assert list(sweep.parameters) == list(chaos.parameters)
+        for name in sweep.parameters:
+            a, b = sweep.parameters[name], chaos.parameters[name]
+            assert a.kind == b.kind, name
+            if name != "tasks":
+                assert a.default is b.default, name
+
+    def test_options_are_keyword_only(self):
+        for fn in (run_sweep, run_chaos_sweep):
+            sig = inspect.signature(fn)
+            for name, param in sig.parameters.items():
+                if name == "tasks":
+                    continue
+                assert param.kind is inspect.Parameter.KEYWORD_ONLY, (
+                    f"{fn.__name__}({name}) must be keyword-only"
+                )
+
+    def test_positional_options_rejected(self):
+        with pytest.raises(TypeError):
+            run_sweep(make_tasks(), 2)
+        with pytest.raises(TypeError):
+            run_chaos_sweep([], 2)
+
+
+class TestJobsConvention:
+    def test_default_is_serial_in_process(self):
+        points = run_sweep(make_tasks())
+        assert [p.frequency for p in points] == FREQS
+
+    def test_explicit_jobs_n(self):
+        assert run_sweep(make_tasks(), jobs=2) == run_sweep(make_tasks())
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep(make_tasks(), jobs=-1)
+        with pytest.raises(ValueError):
+            run_chaos_sweep([], jobs=-1)
+
+
+class TestDeprecatedShims:
+    def test_n_workers_warns_and_translates(self):
+        with pytest.warns(DeprecationWarning, match="n_workers"):
+            points = run_sweep(make_tasks(), n_workers=0)  # old serial
+        assert [p.frequency for p in points] == FREQS
+
+    def test_cache_warns_and_still_caches(self, tmp_path):
+        cache = RunCache(tmp_path)
+        with pytest.warns(DeprecationWarning, match="cache"):
+            run_sweep(make_tasks(), cache=cache)
+        assert cache.stats.entries == len(FREQS)
+
+    def test_new_keywords_win_over_deprecated_ones(self, tmp_path):
+        # jobs explicitly given: the deprecated n_workers only warns.
+        with pytest.warns(DeprecationWarning):
+            points = run_sweep(make_tasks(), jobs=None, n_workers=4)
+        assert [p.frequency for p in points] == FREQS
+
+    def test_chaos_sweep_shims_mirror(self):
+        with pytest.warns(DeprecationWarning, match="n_workers"):
+            outcomes = run_chaos_sweep([], n_workers=0)
+        assert outcomes == []
+
+
+class TestTracerParameter:
+    def test_tracer_records_one_wall_span_per_task(self):
+        tracer = Tracer()
+        run_sweep(make_tasks(), tracer=tracer)
+        task_spans = [s for s in tracer.spans if s.cat == "sweep.task"]
+        assert len(task_spans) == len(FREQS)
+        assert all(s.clock == "wall" for s in task_spans)
+
+    def test_tracer_forces_serial_but_identical_results(self):
+        untraced = run_sweep(make_tasks())
+        traced = run_sweep(make_tasks(), jobs=2, tracer=Tracer())
+        assert traced == untraced
+
+    def test_tracer_sees_cache_hits(self, tmp_path):
+        cache = RunCache(tmp_path)
+        run_sweep(make_tasks(), use_cache=cache)
+        tracer = Tracer()
+        run_sweep(make_tasks(), use_cache=cache, tracer=tracer)
+        hits = [i for i in tracer.instants if i.name == "hit"]
+        assert len(hits) == len(FREQS)
+
+
+class TestUseCache:
+    def test_use_cache_true_opens_at_cache_dir(self, tmp_path):
+        run_sweep(make_tasks(), use_cache=True, cache_dir=tmp_path)
+        warm = RunCache(tmp_path)
+        assert warm.stats.entries == len(FREQS)
+
+    def test_use_cache_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        run_sweep(make_tasks(), use_cache=True)
+        assert RunCache(tmp_path / "env").stats.entries == len(FREQS)

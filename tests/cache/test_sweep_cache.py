@@ -53,7 +53,7 @@ def test_resume_simulates_only_the_gap(tmp_path):
     tasks = [
         SweepTask(make_workload(), "stat", frequency=f) for f in FREQS[:3]
     ]
-    full = run_sweep(tasks, n_workers=0, cache=RunCache(tmp_path / "full"))
+    full = run_sweep(tasks, use_cache=RunCache(tmp_path / "full"))
 
     # Reconstruct an interrupted sweep: all but the last point persisted.
     partial_dir = tmp_path / "partial"
@@ -62,7 +62,7 @@ def test_resume_simulates_only_the_gap(tmp_path):
         partial.put(task_key(task), point)
 
     resumed_cache = RunCache(partial_dir)
-    resumed = run_sweep(tasks, n_workers=0, cache=resumed_cache)
+    resumed = run_sweep(tasks, use_cache=resumed_cache)
     assert resumed == full
     assert resumed_cache.stats.hits == 2
     assert resumed_cache.stats.misses == 1  # only the gap was simulated
@@ -72,10 +72,10 @@ def test_parallel_cached_sweep_matches_serial(tmp_path):
     tasks = [
         SweepTask(make_workload(), "stat", frequency=f) for f in FREQS[:3]
     ]
-    serial = run_sweep(tasks, n_workers=0)
+    serial = run_sweep(tasks)
 
     cache = RunCache(tmp_path)
-    parallel = run_sweep(tasks, n_workers=2, cache=cache)
+    parallel = run_sweep(tasks, jobs=2, use_cache=cache)
     assert parallel == serial
     assert cache.stats.entries == 3
     # Every point the parallel run persisted replays exactly.
@@ -85,6 +85,6 @@ def test_parallel_cached_sweep_matches_serial(tmp_path):
 def test_cache_stores_workload_metadata(tmp_path):
     cache = RunCache(tmp_path)
     task = SweepTask(make_workload(), "cpuspeed")
-    run_sweep([task], n_workers=0, cache=cache)
+    run_sweep([task], use_cache=cache)
     meta = cache.get_meta(task_key(task))
     assert meta == {"workload": make_workload().name}

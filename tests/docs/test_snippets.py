@@ -14,7 +14,13 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
-DOC_FILES = ["README.md", "EXPERIMENTS.md", "docs/CACHING.md", "docs/FAULTS.md"]
+DOC_FILES = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "docs/API.md",
+    "docs/CACHING.md",
+    "docs/FAULTS.md",
+]
 
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 

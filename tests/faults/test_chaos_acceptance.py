@@ -64,7 +64,6 @@ class TestHeadlineClaim:
                 drill_task(drill_setup, hardened=True),
                 drill_task(drill_setup, hardened=False),
             ],
-            n_workers=0,
         )
         # The self-healing governor: zero violations outside the allowed
         # recovery latency of a fault transition, on a composite fault.
@@ -92,7 +91,6 @@ class TestHeadlineClaim:
         )
         clean, drilled = run_chaos_sweep(
             [clean_task, drill_task(drill_setup, hardened=True)],
-            n_workers=0,
         )
         assert clean.report.violation_windows == 0
         assert clean.report.repair_events == 0
@@ -108,7 +106,7 @@ class TestHeadlineClaim:
 class TestDeterminism:
     def test_identical_tasks_identical_outcomes(self, drill_setup):
         task = drill_task(drill_setup, hardened=True)
-        first, second = run_chaos_sweep([task, task], n_workers=0)
+        first, second = run_chaos_sweep([task, task])
         assert first.report == second.report
         assert first.point.energy == second.point.energy
         assert first.point.delay == second.point.delay
@@ -123,13 +121,13 @@ class TestCacheResume:
             drill_task(drill_setup, hardened=True),
             drill_task(drill_setup, hardened=False),
         ]
-        first = run_chaos_sweep(tasks, n_workers=0, cache=cache)
+        first = run_chaos_sweep(tasks, use_cache=cache)
 
         def boom(task):
             raise AssertionError("cache miss: chaos run re-simulated")
 
         monkeypatch.setattr(chaos_sweep_module, "_execute_chaos", boom)
-        second = run_chaos_sweep(tasks, n_workers=0, cache=cache)
+        second = run_chaos_sweep(tasks, use_cache=cache)
         assert [o.report for o in second] == [o.report for o in first]
         assert [o.point for o in second] == [o.point for o in first]
 
@@ -138,12 +136,12 @@ class TestCacheResume:
     ):
         cache = RunCache(tmp_path / "cache")
         task = drill_task(drill_setup, hardened=True)
-        (fresh,) = run_chaos_sweep([task], n_workers=0, cache=cache)
+        (fresh,) = run_chaos_sweep([task], use_cache=cache)
         # Overwrite the record with one missing the chaos meta — as if a
         # plain sweep point landed under the same key.
         key = chaos_task_key(task)
         cache.put(key, fresh.point, meta={"workload": WORKLOAD.name})
-        (again,) = run_chaos_sweep([task], n_workers=0, cache=cache)
+        (again,) = run_chaos_sweep([task], use_cache=cache)
         assert again.report == fresh.report  # re-simulated, not decoded
 
 

@@ -1,0 +1,125 @@
+"""Attribution unit tests against a synthetic constant-power cluster —
+every expected energy is hand-computable as watts × seconds."""
+
+import pytest
+
+from repro.metrics.attribution import (
+    COMPUTE_PHASE,
+    AttributionReport,
+    build_attribution_report,
+)
+from repro.obs.tracer import Tracer
+
+
+class FakeTimeline:
+    def __init__(self, watts):
+        self.watts = watts
+
+    def energy(self, t0, t1):
+        return self.watts * (t1 - t0)
+
+
+class FakeNode:
+    def __init__(self, node_id, watts):
+        self.node_id = node_id
+        self.timeline = FakeTimeline(watts)
+
+
+class FakeCluster:
+    def __init__(self, watts_per_node):
+        self.nodes = [FakeNode(i, w) for i, w in enumerate(watts_per_node)]
+
+
+def test_phases_partition_the_interval_exactly():
+    tracer = Tracer()
+    # Rank 0, [0, 10]s at 20 W: send [2,4], allreduce [6,9].
+    tracer.span("send", "mpi.p2p", 0, 2.0, 4.0)
+    tracer.span("allreduce", "mpi.coll", 0, 6.0, 9.0)
+    report = build_attribution_report(
+        FakeCluster([20.0]), tracer, 0.0, 10.0
+    )
+    by_phase = {r.phase: r for r in report.rows}
+    assert by_phase["send"].time_s == pytest.approx(2.0)
+    assert by_phase["send"].energy_j == pytest.approx(40.0)
+    assert by_phase["allreduce"].energy_j == pytest.approx(60.0)
+    assert by_phase[COMPUTE_PHASE].time_s == pytest.approx(5.0)
+    assert report.total_energy_j == pytest.approx(200.0)
+
+
+def test_nested_span_charges_the_outermost():
+    tracer = Tracer()
+    tracer.span("alltoall", "mpi.coll", 0, 1.0, 5.0)
+    tracer.span("sendrecv", "mpi.p2p", 0, 2.0, 3.0)  # nested inside
+    report = build_attribution_report(FakeCluster([10.0]), tracer, 0.0, 6.0)
+    by_phase = {r.phase: r for r in report.rows}
+    assert by_phase["alltoall"].time_s == pytest.approx(4.0)
+    assert "sendrecv" not in by_phase  # fully shadowed by the collective
+
+
+def test_spans_clip_to_the_run_interval():
+    tracer = Tracer()
+    tracer.span("send", "mpi.p2p", 0, -1.0, 1.0)  # straddles t0
+    tracer.span("recv", "mpi.p2p", 0, 9.0, 12.0)  # straddles t1
+    report = build_attribution_report(FakeCluster([10.0]), tracer, 0.0, 10.0)
+    by_phase = {r.phase: r for r in report.rows}
+    assert by_phase["send"].time_s == pytest.approx(1.0)
+    assert by_phase["recv"].time_s == pytest.approx(1.0)
+    assert report.total_energy_j == pytest.approx(100.0)
+
+
+def test_other_ranks_categories_and_clocks_are_ignored():
+    tracer = Tracer()
+    tracer.span("send", "mpi.p2p", 1, 0.0, 5.0)  # other rank
+    tracer.span("step", "sim.process", 0, 0.0, 5.0)  # non-mpi category
+    tracer.span("task", "mpi.p2p", 0, 0.0, 5.0, clock="wall")  # wall clock
+    report = build_attribution_report(
+        FakeCluster([10.0, 10.0]), tracer, 0.0, 10.0, ranks=[0]
+    )
+    assert [r.phase for r in report.rows] == [COMPUTE_PHASE]
+    assert report.rows[0].energy_j == pytest.approx(100.0)
+
+
+def test_per_rank_sums_match_each_nodes_power():
+    tracer = Tracer()
+    tracer.span("send", "mpi.p2p", 0, 1.0, 2.0)
+    tracer.span("recv", "mpi.p2p", 1, 3.0, 5.0)
+    report = build_attribution_report(
+        FakeCluster([10.0, 30.0]), tracer, 0.0, 10.0
+    )
+    assert report.rank_energy() == {
+        0: pytest.approx(100.0),
+        1: pytest.approx(300.0),
+    }
+    assert report.total_energy_j == pytest.approx(400.0)
+
+
+def test_occurrences_count_spans_not_intervals():
+    tracer = Tracer()
+    for i in range(3):
+        tracer.span("send", "mpi.p2p", 0, float(i), float(i) + 0.5)
+    report = build_attribution_report(FakeCluster([10.0]), tracer, 0.0, 5.0)
+    by_phase = {r.phase: r for r in report.rows}
+    assert by_phase["send"].occurrences == 3
+    assert by_phase["send"].time_s == pytest.approx(1.5)
+
+
+def test_custom_categories_select_other_layers():
+    tracer = Tracer()
+    tracer.span("window", "powercap.governor", 0, 0.0, 4.0)
+    report = build_attribution_report(
+        FakeCluster([10.0]), tracer, 0.0, 10.0, categories=("powercap.",)
+    )
+    by_phase = {r.phase: r for r in report.rows}
+    assert by_phase["window"].time_s == pytest.approx(4.0)
+
+
+def test_inverted_interval_rejected():
+    with pytest.raises(ValueError):
+        build_attribution_report(FakeCluster([10.0]), Tracer(), 5.0, 1.0)
+
+
+def test_round_trip_through_dict():
+    tracer = Tracer()
+    tracer.span("send", "mpi.p2p", 0, 1.0, 2.0)
+    report = build_attribution_report(FakeCluster([10.0]), tracer, 0.0, 3.0)
+    assert AttributionReport.from_dict(report.to_dict()) == report

@@ -1,0 +1,150 @@
+"""One report protocol, four reports: every metrics report exposes the
+same machine face (``to_dict``/``to_json``) and human face
+(``summary_lines``), checked structurally via ``ReportProtocol``."""
+
+import json
+
+import pytest
+
+from repro.metrics import ReportProtocol
+from repro.metrics.attribution import AttributionReport, AttributionRow
+from repro.metrics.chaos import ChaosReport
+from repro.metrics.ed2p import build_ed2p_report
+from repro.metrics.powercap import build_cap_report
+from repro.metrics.records import EnergyDelayPoint
+
+
+def ed2p_report():
+    points = [
+        EnergyDelayPoint("stat-600", 90.0, 12.0, 600e6),
+        EnergyDelayPoint("stat-1400", 120.0, 8.0, 1400e6),
+    ]
+    return build_ed2p_report(points, label="crescendo")
+
+
+def powercap_report():
+    return build_cap_report(
+        label="cap@150W/redist",
+        cap_watts=150.0,
+        tolerance=0.05,
+        energy_j=1200.0,
+        delay_s=10.0,
+        window_watts=[140.0, 149.0, 151.0],
+        window_durations=[0.25, 0.25, 0.25],
+        uncapped_delay_s=9.0,
+    )
+
+
+def chaos_report():
+    return ChaosReport(
+        label="cap@120W/selfheal",
+        cap_watts=120.0,
+        tolerance=0.05,
+        energy_j=900.0,
+        delay_s=9.0,
+        total_windows=36,
+        violation_windows=3,
+        excused_violations=3,
+        post_recovery_violations=0,
+        worst_recovery_latency_s=0.4,
+        n_transitions=6,
+        repair_events=2,
+        invariant_violations=0,
+        allowed_recovery_s=1.0,
+    )
+
+
+def attribution_report():
+    rows = (
+        AttributionRow(0, "(compute)", 6.0, 60.0, 1),
+        AttributionRow(0, "alltoall", 4.0, 45.0, 8),
+        AttributionRow(1, "(compute)", 5.5, 55.0, 1),
+        AttributionRow(1, "alltoall", 4.5, 50.0, 8),
+    )
+    return AttributionReport(
+        label="ft-S",
+        t0=0.0,
+        t1=10.0,
+        total_energy_j=210.0,
+        rows=rows,
+        categories=("mpi.",),
+    )
+
+
+REPORTS = {
+    "ed2p": ed2p_report,
+    "powercap": powercap_report,
+    "chaos": chaos_report,
+    "attribution": attribution_report,
+}
+
+
+@pytest.fixture(params=sorted(REPORTS), ids=sorted(REPORTS))
+def report(request):
+    return REPORTS[request.param]()
+
+
+class TestProtocol:
+    def test_satisfies_report_protocol(self, report):
+        assert isinstance(report, ReportProtocol)
+
+    def test_to_dict_is_jsonable_and_labelled(self, report):
+        data = report.to_dict()
+        assert data["label"] == report.label
+        json.dumps(data)  # raises on anything non-JSON-able
+
+    def test_to_json_round_trips_to_dict(self, report):
+        assert json.loads(report.to_json()) == json.loads(
+            json.dumps(report.to_dict(), sort_keys=True)
+        )
+        # indent is cosmetic, content identical
+        assert json.loads(report.to_json(indent=2)) == json.loads(
+            report.to_json()
+        )
+
+    def test_summary_lines_are_nonempty_strings(self, report):
+        lines = report.summary_lines()
+        assert lines and all(isinstance(line, str) and line for line in lines)
+        assert report.label in lines[0]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", ["ed2p", "chaos", "attribution"])
+    def test_from_dict_inverts_to_dict(self, name):
+        original = REPORTS[name]()
+        assert type(original).from_dict(original.to_dict()) == original
+
+    def test_powercap_from_dict_inverts_to_dict(self):
+        original = powercap_report()
+        assert type(original).from_dict(original.to_dict()) == original
+
+
+class TestProtocolIsStructural:
+    def test_foreign_object_with_the_shape_passes(self):
+        class Foreign:
+            @property
+            def label(self):
+                return "foreign"
+
+            def to_dict(self):
+                return {"label": "foreign"}
+
+            def to_json(self, indent=None):
+                return "{}"
+
+            def summary_lines(self):
+                return ["foreign"]
+
+        assert isinstance(Foreign(), ReportProtocol)
+
+    def test_object_missing_summary_lines_fails(self):
+        class Half:
+            label = "half"
+
+            def to_dict(self):
+                return {}
+
+            def to_json(self, indent=None):
+                return "{}"
+
+        assert not isinstance(Half(), ReportProtocol)

@@ -1,0 +1,66 @@
+"""The issue's acceptance criterion, end to end: a traced fig3-sized run
+exports valid Chrome trace-event JSON whose per-rank span energy
+attribution sums to within 1% of the run's total energy from the
+existing metrics path."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import traced_run
+from repro.dvs.strategy import StaticStrategy
+from repro.metrics.attribution import build_attribution_report
+from repro.obs.export import export_chrome_trace, validate_chrome_trace
+from repro.obs.tracer import Tracer
+from repro.workloads.nas_ft import NasFT
+
+
+@pytest.fixture(scope="module")
+def traced_fig3():
+    tracer = Tracer()
+    run = traced_run(
+        NasFT("S", n_ranks=4, iterations=2), StaticStrategy(1.4e9), tracer
+    )
+    return tracer, run
+
+
+def test_traced_fig3_exports_valid_chrome_trace(traced_fig3, tmp_path):
+    tracer, _ = traced_fig3
+    path = tmp_path / "fig3.trace.json"
+    n_events = export_chrome_trace(path, tracer)
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) == []
+    assert len(document["traceEvents"]) == n_events
+    assert n_events > len(tracer.spans)  # spans + counters/instants + metadata
+
+
+def test_attribution_sums_to_total_energy_within_1_percent(traced_fig3):
+    tracer, run = traced_fig3
+    report = build_attribution_report(
+        run.cluster, tracer, run.spmd.start, run.spmd.end
+    )
+    # The existing metrics path: the exact power-timeline integral that
+    # EnergyDelayPoint carries.
+    total = run.point.energy
+    attributed = sum(row.energy_j for row in report.rows)
+    assert attributed == pytest.approx(total, rel=0.01)
+    assert report.total_energy_j == pytest.approx(total, rel=0.01)
+    # And per rank: each rank's rows sum to its node's timeline energy.
+    for rank, energy in report.rank_energy().items():
+        node = run.cluster.nodes[rank]
+        want = node.timeline.energy(run.spmd.start, run.spmd.end)
+        assert energy == pytest.approx(want, rel=0.01)
+
+
+def test_attribution_phases_are_the_mpi_phases(traced_fig3):
+    tracer, run = traced_fig3
+    report = build_attribution_report(
+        run.cluster, tracer, run.spmd.start, run.spmd.end
+    )
+    phases = {row.phase for row in report.rows}
+    assert "alltoall" in phases  # FT's dominant communication phase
+    assert "(compute)" in phases  # gaps between MPI spans
+    # Communication must not be attributed to compute: FT 'S' at 4 ranks
+    # spends a visible share of its energy in alltoall.
+    totals = report.phase_totals()
+    assert totals["alltoall"][1] > 0

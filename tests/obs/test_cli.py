@@ -1,0 +1,98 @@
+"""``repro-trace`` CLI: summary, export, validate, error paths."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import export_chrome_trace, export_jsonl, load_trace_file
+from repro.obs.tracer import Tracer
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    t = Tracer()
+    t.span("allreduce", "mpi.coll", 0, 1.0, 2.0)
+    t.span("send", "mpi.p2p", 1, 1.5, 1.75)
+    t.counter("cluster_watts", "governor", 2.0, 180.0)
+    t.instant("transition", "dvs", 0, 2.5)
+    path = tmp_path / "trace.json"
+    export_chrome_trace(path, t)
+    return path
+
+
+class TestSummary:
+    def test_human_summary(self, trace_file, capsys):
+        assert main(["summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "2 spans" in out
+        assert "mpi.coll" in out and "mpi.p2p" in out
+
+    def test_json_summary(self, trace_file, capsys):
+        assert main(["summary", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == {
+            "spans": 2,
+            "counters": 1,
+            "instants": 1,
+        }
+        assert payload["span_categories"]["mpi.coll"]["spans"] == 1
+
+    def test_unreadable_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["summary", str(tmp_path / "missing.json")]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExport:
+    def test_chrome_to_jsonl_round_trip(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                ["export", str(trace_file), "-o", str(out), "--format", "jsonl"]
+            )
+            == 0
+        )
+        data = load_trace_file(out)
+        assert len(data.spans) == 2
+
+    def test_jsonl_to_chrome(self, tmp_path, capsys):
+        t = Tracer()
+        t.span("s", "c", 0, 0.0, 1.0)
+        src = tmp_path / "in.jsonl"
+        export_jsonl(src, t)
+        out = tmp_path / "out.json"
+        assert main(["export", str(src), "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestValidate:
+    def test_valid_trace_passes(self, trace_file, capsys):
+        assert main(["validate", str(trace_file)]) == 0
+        assert "valid Chrome trace" in capsys.readouterr().out
+
+    def test_schema_violation_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(
+            json.dumps({"traceEvents": [{"ph": "X", "pid": 0, "ts": 0}]})
+        )
+        assert main(["validate", str(bad)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_non_json_fails(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["validate", str(bad)]) == 1
+        assert "not JSON" in capsys.readouterr().err
+
+
+def test_module_is_runnable(trace_file):
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs", "validate", str(trace_file)],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,119 @@
+"""Exporters: Chrome trace-event JSON, JSONL, round-trips, validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    TraceData,
+    chrome_trace_events,
+    export_chrome_trace,
+    export_jsonl,
+    load_trace_file,
+    to_chrome_trace,
+    to_jsonl,
+    validate_chrome_trace,
+)
+from repro.obs.tracer import WALL_CLOCK, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.span("allreduce", "mpi.coll", 0, 1.0, 2.0, root=0)
+    t.span("send", "mpi.p2p", 1, 1.5, 1.75)
+    t.counter("cluster_watts", "governor", 2.0, 180.5)
+    t.instant("transition", "dvs", 0, 2.5, from_mhz=600, to_mhz=1400)
+    t.span("task", "sweep.task", "sweep", 0.0, 0.5, WALL_CLOCK)
+    return t
+
+
+class TestChromeTrace:
+    def test_document_shape(self, tracer):
+        doc = to_chrome_trace(tracer)
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert validate_chrome_trace(doc) == []
+
+    def test_events_cover_every_record(self, tracer):
+        events = chrome_trace_events(tracer)
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert len(by_ph["X"]) == 3
+        assert len(by_ph["C"]) == 1
+        assert len(by_ph["i"]) == 1
+        assert len(by_ph["M"]) >= 1  # track-name metadata
+
+    def test_timestamps_are_microseconds(self, tracer):
+        events = chrome_trace_events(tracer)
+        allreduce = next(e for e in events if e.get("name") == "allreduce")
+        assert allreduce["ts"] == pytest.approx(1.0e6)
+        assert allreduce["dur"] == pytest.approx(1.0e6)
+
+    def test_string_tracks_get_stable_distinct_pids(self, tracer):
+        events = chrome_trace_events(tracer)
+        pids = {e["pid"] for e in events if e["ph"] != "M"}
+        # int tracks keep their rank id; string tracks live above 1000.
+        assert 0 in pids and 1 in pids
+        assert any(isinstance(p, int) and p >= 1000 for p in pids)
+
+    def test_export_writes_loadable_json(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        n = export_chrome_trace(path, tracer)
+        doc = json.loads(path.read_text())
+        assert len(doc["traceEvents"]) == n
+        assert validate_chrome_trace(doc) == []
+
+
+class TestJsonl:
+    def test_one_record_per_line(self, tracer):
+        lines = to_jsonl(tracer).strip().splitlines()
+        kinds = [json.loads(line)["kind"] for line in lines]
+        assert kinds.count("span") == 3
+        assert kinds.count("counter") == 1
+        assert kinds.count("instant") == 1
+
+    def test_export_and_reload_round_trip(self, tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(path, tracer)
+        data = load_trace_file(path)
+        assert isinstance(data, TraceData)
+        assert len(data.spans) == 3
+        assert len(data.counters) == 1
+        assert len(data.instants) == 1
+        names = sorted(s.name for s in data.spans)
+        assert names == ["allreduce", "send", "task"]
+
+    def test_bad_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "span"}\nnot json\n')
+        with pytest.raises(ValueError):
+            load_trace_file(path)
+
+
+class TestChromeRoundTrip:
+    def test_chrome_reload_preserves_spans(self, tracer, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome_trace(path, tracer)
+        data = load_trace_file(path)
+        assert len(data.spans) == 3
+        allreduce = next(s for s in data.spans if s.name == "allreduce")
+        assert allreduce.t0 == pytest.approx(1.0)
+        assert allreduce.t1 == pytest.approx(2.0)
+        assert allreduce.track == 0
+
+
+class TestValidation:
+    def test_rejects_non_dict_document(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_unknown_phase(self):
+        doc = {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "ts": 0}]}
+        assert any("ph" in e for e in validate_chrome_trace(doc))
+
+    def test_rejects_missing_duration(self):
+        doc = {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "ts": 0}]}
+        assert validate_chrome_trace(doc) != []
+
+    def test_accepts_empty_trace(self):
+        assert validate_chrome_trace({"traceEvents": []}) == []

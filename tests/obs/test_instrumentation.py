@@ -1,0 +1,110 @@
+"""The deep hooks: what a traced run actually records, layer by layer."""
+
+import pytest
+
+from repro.analysis.runner import run_measured, traced_run
+from repro.dvs.strategy import DynamicStrategy, StaticStrategy
+from repro.obs.tracer import Tracer, active_tracer, tracing
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+from repro.workloads.synthetic import SyntheticMix
+
+
+def ft(iterations=2, n_ranks=4):
+    return NasFT("S", n_ranks=n_ranks, iterations=iterations)
+
+
+@pytest.fixture
+def traced_ft():
+    tracer = Tracer()
+    run = traced_run(ft(), StaticStrategy(1.4e9), tracer)
+    return tracer, run
+
+
+class TestSimAndMpi:
+    def test_process_spans_cover_every_rank(self, traced_ft):
+        tracer, run = traced_ft
+        procs = [s for s in tracer.spans if s.cat == "sim.process"]
+        assert len(procs) >= 4  # one per rank (plus daemons, if any)
+
+    def test_collectives_and_p2p_are_spanned_per_rank(self, traced_ft):
+        tracer, _ = traced_ft
+        colls = {s.name for s in tracer.spans if s.cat == "mpi.coll"}
+        p2p = {s.name for s in tracer.spans if s.cat == "mpi.p2p"}
+        assert "alltoall" in colls and "allreduce" in colls
+        assert p2p & {"send", "recv", "sendrecv"}
+        tracks = {s.track for s in tracer.spans if s.cat == "mpi.coll"}
+        assert tracks == {0, 1, 2, 3}
+
+    def test_span_times_lie_inside_the_run(self, traced_ft):
+        tracer, run = traced_ft
+        for s in tracer.spans:
+            if s.clock != "sim":
+                continue
+            assert run.spmd.start - 1e-9 <= s.t0 <= s.t1 <= run.spmd.end + 1e-9
+
+    def test_run_level_span_matches_job_interval(self, traced_ft):
+        tracer, run = traced_ft
+        (top,) = [s for s in tracer.spans if s.cat == "run"]
+        assert top.t0 == run.spmd.start
+        assert top.t1 == run.spmd.end
+
+
+class TestDvs:
+    def test_dynamic_strategy_emits_transitions_and_freq_counters(self):
+        tracer = Tracer()
+        traced_run(
+            ft(), DynamicStrategy(1.4e9, regions=["fft"]), tracer
+        )
+        trans = [i for i in tracer.instants if i.cat == "dvs"]
+        assert trans, "dynamic run must record DVS transitions"
+        freqs = [c for c in tracer.counters if c.name == "freq_mhz"]
+        assert freqs
+        modes = {i.args["mode"] for i in trans}
+        assert "app" in modes
+
+    def test_static_run_records_no_transition_churn(self, traced_ft):
+        tracer, _ = traced_ft
+        # The initial pin may register; there must be no per-iteration churn.
+        assert len([i for i in tracer.instants if i.cat == "dvs"]) <= 4
+
+
+class TestUntracedPath:
+    def test_untraced_run_leaves_null_tracer_empty(self):
+        before = active_tracer()
+        run = run_measured(ft(), StaticStrategy(1.4e9))
+        assert active_tracer() is before
+        assert len(active_tracer()) == 0
+        assert run.point.energy > 0
+
+    def test_traced_and_untraced_runs_are_bit_identical(self):
+        untraced = run_measured(ft(), StaticStrategy(1.4e9))
+        traced = traced_run(ft(), StaticStrategy(1.4e9), Tracer())
+        assert traced.point.energy == untraced.point.energy
+        assert traced.point.delay == untraced.point.delay
+
+
+class TestErrorPaths:
+    def test_failing_process_span_marks_error(self):
+        class Exploding(SyntheticMix):
+            def program(self, comm, dvs):
+                yield from super().program(comm, dvs)
+                if comm.rank == 0:
+                    raise RuntimeError("rank 0 dies at the end")
+
+        tracer = Tracer()
+        with tracing(tracer):
+            with pytest.raises(Exception):
+                run_measured(
+                    Exploding(
+                        1.0, 0.0, 0.0, iteration_seconds=0.05,
+                        iterations=1, n_ranks=2,
+                    ),
+                    StaticStrategy(1.4e9),
+                )
+        errored = [
+            s
+            for s in tracer.spans
+            if s.cat == "sim.process" and (s.args or {}).get("error")
+        ]
+        assert errored

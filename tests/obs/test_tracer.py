@@ -1,0 +1,137 @@
+"""Tracer core: rings, bounds, the null tracer, active-tracer plumbing."""
+
+import pytest
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    SIM_CLOCK,
+    WALL_CLOCK,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+    tracing,
+)
+
+
+class TestRecords:
+    def test_span_record_fields_and_duration(self):
+        t = Tracer()
+        t.span("allreduce", "mpi.coll", 3, 1.0, 2.5, root=0)
+        (span,) = t.spans
+        assert span.name == "allreduce"
+        assert span.cat == "mpi.coll"
+        assert span.track == 3
+        assert span.duration == pytest.approx(1.5)
+        assert span.clock == SIM_CLOCK
+        assert span.args == {"root": 0}
+
+    def test_counter_and_instant(self):
+        t = Tracer()
+        t.counter("freq_mhz", 0, 0.5, 600.0)
+        t.instant("transition", "dvs", 0, 0.5, from_mhz=600, to_mhz=800)
+        assert t.counters[0].value == 600.0
+        assert t.instants[0].args == {"from_mhz": 600, "to_mhz": 800}
+        assert len(t) == 2
+
+    def test_records_are_immutable(self):
+        t = Tracer()
+        t.span("s", "c", 0, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            t.spans[0].name = "other"
+
+    def test_wall_span_uses_wall_clock(self):
+        t = Tracer()
+        with t.wall_span("task", "sweep.task", "sweep"):
+            pass
+        (span,) = t.spans
+        assert span.clock == WALL_CLOCK
+        assert span.t1 >= span.t0
+
+    def test_wall_span_marks_errors_and_reraises(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with t.wall_span("task", "sweep.task", "sweep"):
+                raise RuntimeError("boom")
+        assert t.spans[0].args.get("error") is True
+
+
+class TestRingBounds:
+    def test_capacity_is_a_hard_bound_per_kind(self):
+        t = Tracer(capacity=4)
+        for i in range(10):
+            t.span(f"s{i}", "c", 0, float(i), float(i) + 0.5)
+            t.instant(f"i{i}", "c", 0, float(i))
+        assert len(t.spans) == 4
+        assert len(t.instants) == 4
+        assert t.dropped_spans == 6
+        assert t.dropped_instants == 6
+        assert t.dropped == 12
+        # Oldest evicted, newest kept.
+        assert [s.name for s in t.spans] == ["s6", "s7", "s8", "s9"]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear_resets_records_and_drop_counts(self):
+        t = Tracer(capacity=2)
+        for i in range(5):
+            t.counter("c", 0, float(i), float(i))
+        t.clear()
+        assert len(t) == 0
+        assert t.dropped == 0
+
+
+class TestDisabledPath:
+    def test_enabled_flag_is_the_hook_contract_not_a_method_gate(self):
+        # Instrumentation sites check `tracer.enabled` *before* calling;
+        # the record methods themselves stay unconditional (no branch in
+        # the hot path).  A direct call on a disabled tracer records.
+        t = Tracer(enabled=False)
+        t.span("s", "c", 0, 0.0, 1.0)
+        assert len(t) == 1
+
+    def test_null_tracer_is_permanently_disabled(self):
+        assert not NULL_TRACER.enabled
+        with pytest.raises(ValueError):
+            NULL_TRACER.enabled = True
+        NULL_TRACER.enabled = False  # idempotent no-op stays legal
+
+    def test_null_tracer_accepts_records_silently(self):
+        NULL_TRACER.span("s", "c", 0, 0.0, 1.0)
+        assert len(NULL_TRACER) == 0
+
+
+class TestActiveTracer:
+    def test_default_active_is_null(self):
+        assert active_tracer() is NULL_TRACER
+
+    def test_tracing_installs_and_restores(self):
+        t = Tracer()
+        with tracing(t):
+            assert active_tracer() is t
+        assert active_tracer() is NULL_TRACER
+
+    def test_tracing_restores_on_exception(self):
+        t = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracing(t):
+                raise RuntimeError
+        assert active_tracer() is NULL_TRACER
+
+    def test_set_active_returns_previous(self):
+        t = Tracer()
+        prev = set_active_tracer(t)
+        try:
+            assert active_tracer() is t
+        finally:
+            set_active_tracer(prev)
+        assert active_tracer() is NULL_TRACER
+
+    def test_nested_tracing_unwinds_in_order(self):
+        a, b = Tracer(), Tracer()
+        with tracing(a):
+            with tracing(b):
+                assert active_tracer() is b
+            assert active_tracer() is a
+        assert active_tracer() is NULL_TRACER

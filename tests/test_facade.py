@@ -1,0 +1,112 @@
+"""The stable top-level API: ``from repro import ...`` with no deep
+imports, lazily resolved (PEP 562), documented in ``docs/API.md``."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_the_issue_line_works(self):
+        from repro import Session, Tracer, run_sweep  # noqa: F401
+
+    def test_every_all_name_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_all_is_sorted_and_complete(self):
+        assert repro.__all__ == ["__version__", *sorted(repro._EXPORTS)]
+        assert set(repro._EXPORTS) <= set(dir(repro))
+
+    def test_facade_names_are_the_canonical_objects(self):
+        from repro.analysis.parallel import run_sweep as deep_run_sweep
+        from repro.obs.tracer import Tracer as DeepTracer
+        from repro.session import Session as DeepSession
+
+        assert repro.run_sweep is deep_run_sweep
+        assert repro.Tracer is DeepTracer
+        assert repro.Session is DeepSession
+
+    def test_unknown_attribute_raises_attribute_error(self):
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.does_not_exist
+
+    def test_stable_surface_is_exactly_the_documented_one(self):
+        """Removing a name from this list is an API break; additions are
+        fine (extend the list and docs/API.md together)."""
+        documented = {
+            "AttributionReport",
+            "ChaosOutcome",
+            "ChaosTask",
+            "EnergyDelayPoint",
+            "FaultInjector",
+            "FaultPlan",
+            "PowerBudget",
+            "PowerCapStrategy",
+            "RunCache",
+            "Session",
+            "SweepError",
+            "SweepTask",
+            "Tracer",
+            "Workload",
+            "active_tracer",
+            "build_attribution_report",
+            "export_chrome_trace",
+            "export_jsonl",
+            "list_experiments",
+            "load_trace_file",
+            "run_chaos_sweep",
+            "run_experiment",
+            "run_measured",
+            "run_sweep",
+            "sweep_context",
+            "traced_run",
+            "tracing",
+            "validate_chrome_trace",
+        }
+        assert documented <= set(repro._EXPORTS)
+
+
+class TestLaziness:
+    def test_bare_import_does_not_pull_the_stack(self):
+        """``import repro`` must stay cheap: no simulator, no numpy-era
+        heavyweights, no experiment registry until a name is touched."""
+        code = (
+            "import sys; import repro; "
+            "heavy = [m for m in sys.modules if m.startswith(("
+            "'repro.sim', 'repro.simmpi', 'repro.experiments', "
+            "'repro.workloads', 'repro.hardware'))]; "
+            "print(','.join(heavy))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == "", (
+            f"import repro eagerly imported: {out.stdout.strip()}"
+        )
+
+
+class TestSessionFacade:
+    def test_default_session_is_bare(self):
+        s = repro.Session()
+        assert s.cache is None
+        assert s.tracer is None
+        assert s.jobs is None
+
+    def test_untraced_session_rejects_trace_asks(self):
+        s = repro.Session()
+        with pytest.raises(ValueError, match="tracer"):
+            s.attribution(object())
+        with pytest.raises(ValueError, match="tracer"):
+            s.export_trace("x.json")
+
+    def test_traced_session_rejects_unknown_format(self, tmp_path):
+        s = repro.Session(tracer=repro.Tracer())
+        with pytest.raises(ValueError, match="format"):
+            s.export_trace(tmp_path / "x.bin", format="protobuf")
