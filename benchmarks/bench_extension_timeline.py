@@ -1,0 +1,92 @@
+"""Extension: columnar power-series kernel vs scalar segment walks.
+
+The workload is the issue's sizing: 16 nodes, ~10k power segments per
+node, 1k query windows.  Two arms answer the same windowed-energy
+questions over identical traces:
+
+* ``scalar`` — the pre-kernel path: one Python segment walk
+  (``PowerTimeline._energy_walk``) per node per window;
+* ``batch``  — one ``energy_many`` prefix-sum query per node for all
+  windows at once against the frozen :class:`PowerSeries`.
+
+The benchmark asserts both the *semantic* price (answers agree to
+1e-6 J, i.e. prefix-sum rounding only) and the *performance* claim from
+the issue: the batch path is at least 10× faster per query.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks._harness import run_once
+from repro.hardware.timeline import PowerTimeline
+
+N_NODES = 16
+N_SEGMENTS = 10_000
+N_WINDOWS = 1_000
+
+
+def _build_timelines():
+    """Deterministic pseudo-random piecewise traces (no RNG in arms)."""
+    rng = np.random.default_rng(20260806)
+    timelines = []
+    for node in range(N_NODES):
+        tl = PowerTimeline(start_time=0.0, initial_power=50.0 + node)
+        t = 0.0
+        dts = rng.uniform(1e-3, 0.2, N_SEGMENTS)
+        watts = rng.uniform(5.0, 250.0, N_SEGMENTS)
+        for dt, w in zip(dts, watts):
+            t += dt
+            tl.set_power(float(t), float(w))
+        timelines.append(tl)
+    return timelines
+
+
+def _build_windows(t_end):
+    rng = np.random.default_rng(4223)
+    starts = rng.uniform(0.0, t_end * 0.9, N_WINDOWS)
+    widths = rng.uniform(1e-3, t_end * 0.1, N_WINDOWS)
+    return np.column_stack((starts, starts + widths))
+
+
+def bench_extension_timeline_kernel(benchmark):
+    timelines = _build_timelines()
+    t_end = min(tl.last_change for tl in timelines)
+    windows = _build_windows(t_end)
+
+    def both_arms():
+        t0 = time.perf_counter()
+        scalar = np.array(
+            [
+                [tl._energy_walk(float(a), float(b)) for a, b in windows]
+                for tl in timelines
+            ]
+        )
+        t_scalar = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        batch = np.array([tl.series().energy_many(windows) for tl in timelines])
+        t_batch = time.perf_counter() - t0
+        return scalar, batch, t_scalar, t_batch
+
+    scalar, batch, t_scalar, t_batch = run_once(benchmark, both_arms)
+
+    np.testing.assert_allclose(batch, scalar, rtol=1e-9, atol=1e-6)
+    speedup = t_scalar / t_batch
+    benchmark.extra_info["timeline_kernel"] = {
+        "nodes": N_NODES,
+        "segments_per_node": N_SEGMENTS,
+        "windows": N_WINDOWS,
+        "scalar_s": round(t_scalar, 4),
+        "batch_s": round(t_batch, 4),
+        "speedup": round(speedup, 1),
+    }
+    print(
+        f"\ntimeline kernel: {N_NODES} nodes x {N_SEGMENTS} segments x "
+        f"{N_WINDOWS} windows -> scalar {t_scalar:.3f}s, "
+        f"batch {t_batch:.3f}s ({speedup:.0f}x)"
+    )
+    assert speedup >= 10.0, (
+        f"batch path only {speedup:.1f}x faster than scalar walks "
+        f"(scalar {t_scalar:.3f}s, batch {t_batch:.3f}s)"
+    )

@@ -56,7 +56,13 @@ _EXPORTS = {
     "export_chrome_trace": "repro.obs.export",
     "export_jsonl": "repro.obs.export",
     "load_trace_file": "repro.obs.export",
+    "power_counter_records": "repro.obs.export",
     "validate_chrome_trace": "repro.obs.export",
+    # power-series kernel (repro.hardware)
+    "PowerTimeline": "repro.hardware.timeline",
+    "EnergyCursor": "repro.hardware.timeline",
+    "PowerSeries": "repro.hardware.series",
+    "ClusterSeries": "repro.hardware.series",
     # runs and sweeps
     "run_measured": "repro.analysis.runner",
     "traced_run": "repro.analysis.runner",

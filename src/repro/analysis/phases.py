@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.dvs.controller import ControlGen, DvsController
 from repro.dvs.strategy import DVSStrategy
 from repro.hardware.cluster import Cluster
@@ -138,12 +140,20 @@ def phase_breakdown(
     marked regions, so rows sum to the job's total energy.
     """
     phases: Dict[str, PhaseEnergy] = {}
+    by_rank: Dict[int, List[PhaseInterval]] = {}
     for iv in intervals:
-        timeline = cluster.nodes[iv.rank].timeline
-        entry = phases.setdefault(iv.name, PhaseEnergy(iv.name))
-        entry.energy += timeline.energy(iv.start, iv.end)
-        entry.time += iv.duration
-        entry.occurrences += 1
+        by_rank.setdefault(iv.rank, []).append(iv)
+    # One batch kernel query per rank instead of one scalar integral per
+    # interval (regions repeat every iteration, so this is the hot join).
+    for rank, rank_ivs in by_rank.items():
+        series = cluster.nodes[rank].timeline.series()
+        windows = np.array([(iv.start, iv.end) for iv in rank_ivs])
+        energies = series.energy_many(windows)
+        for iv, joules in zip(rank_ivs, energies):
+            entry = phases.setdefault(iv.name, PhaseEnergy(iv.name))
+            entry.energy += float(joules)
+            entry.time += iv.duration
+            entry.occurrences += 1
 
     if spmd is not None:
         total = cluster.total_energy(spmd.start, spmd.end)

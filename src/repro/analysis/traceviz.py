@@ -66,12 +66,12 @@ def trace_events(
         )
 
     # Power levels as counters (sampled at segment change points, clipped
-    # to the window and thinned to power_resolution).
+    # to the window and thinned to power_resolution).  The frozen series
+    # gives the clipped window as one array slice.
     for node in cluster.nodes:
+        times, watts_levels = node.timeline.series().window(t0, t1)
         last_emitted = None
-        for time, watts in node.timeline.segments():
-            if time < t0 or time > t1:
-                continue
+        for time, watts in zip(times, watts_levels):
             if last_emitted is not None and time - last_emitted < power_resolution:
                 continue
             last_emitted = time
@@ -81,7 +81,7 @@ def trace_events(
                     "name": "power_w",
                     "pid": node.node_id,
                     "ts": time * _US,
-                    "args": {"watts": round(watts, 3)},
+                    "args": {"watts": round(float(watts), 3)},
                 }
             )
 

@@ -33,7 +33,8 @@ from repro.hardware.reliability import (
     StrategyReliability,
     compare_reliability,
 )
-from repro.hardware.timeline import PowerTimeline
+from repro.hardware.series import ClusterSeries, PowerSeries
+from repro.hardware.timeline import EnergyCursor, PowerTimeline
 
 __all__ = [
     "CpuActivity",
@@ -48,6 +49,9 @@ __all__ = [
     "NodePowerModel",
     "DEFAULT_FACTORS",
     "PowerTimeline",
+    "PowerSeries",
+    "ClusterSeries",
+    "EnergyCursor",
     "ProcStat",
     "ProcStatSample",
     "SimCPU",

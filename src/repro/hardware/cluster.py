@@ -9,12 +9,13 @@ node power timelines.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hardware.dvfs import DVFSTable, PENTIUM_M_1400
 from repro.hardware.network import NetworkFabric
 from repro.hardware.node import Node
+from repro.hardware.series import ClusterSeries
 from repro.sim.engine import Engine
 from repro.sim.trace import NullRecorder, TraceRecorder
 
@@ -37,6 +38,7 @@ class Cluster:
         self.fabric = fabric
         self.calibration = calibration
         self.trace = trace
+        self._series_cache: Optional[Tuple[Tuple[int, ...], ClusterSeries]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -92,41 +94,51 @@ class Cluster:
         for node in self.nodes:
             node.finalize()
 
+    def series(self) -> ClusterSeries:
+        """The frozen per-node + merged columnar views of every timeline.
+
+        Cached against every node timeline's mutation counter, so
+        repeated aggregate queries between power changes reuse one
+        kernel build (the merged total itself materialises lazily on the
+        first cluster-total query).
+        """
+        versions = tuple(node.timeline.version for node in self.nodes)
+        cached = self._series_cache
+        if cached is not None and cached[0] == versions:
+            return cached[1]
+        series = ClusterSeries(
+            {node.node_id: node.timeline.series() for node in self.nodes}
+        )
+        self._series_cache = (versions, series)
+        return series
+
     def total_energy(self, t0: float, t1: float) -> float:
         """Exact total cluster energy (joules) over ``[t0, t1]``."""
-        return sum(node.timeline.energy(t0, t1) for node in self.nodes)
+        return self.series().total_energy(t0, t1)
 
     # ------------------------------------------------------------------
     # windowed power accounting (the cap governor's measurement substrate)
     # ------------------------------------------------------------------
     def average_power(self, t0: float, t1: float) -> float:
         """Average cluster power (watts) over ``[t0, t1]``."""
-        if t1 == t0:
-            return self.power_at(t0)
-        return self.total_energy(t0, t1) / (t1 - t0)
+        return self.series().average_power(t0, t1)
 
     def node_average_powers(self, t0: float, t1: float) -> Dict[int, float]:
         """Per-node average power (watts) over ``[t0, t1]``."""
-        return {
-            node.node_id: node.timeline.average_power(t0, t1)
-            for node in self.nodes
-        }
+        return self.series().node_average_powers(t0, t1)
 
     def power_at(self, time: float) -> float:
         """Instantaneous cluster power (watts) at ``time``."""
-        return sum(node.timeline.power_at(time) for node in self.nodes)
+        return self.series().power_at(time)
 
     def peak_power(self, t0: float, t1: float) -> float:
         """Maximum instantaneous *cluster* power (watts) over ``[t0, t1]``.
 
-        The cluster trace is the sum of per-node piecewise-constant traces,
-        so its maximum is attained at ``t0`` or at some node's change point
-        inside the window — evaluate the sum at exactly those instants.
+        The cluster trace is the sum of per-node piecewise-constant
+        traces, so its maximum lives on the merged series — one kernel
+        query instead of evaluating the sum at every candidate instant.
         """
-        candidates = {t0}
-        for node in self.nodes:
-            candidates.update(node.timeline.change_times(t0, t1))
-        return max(self.power_at(t) for t in candidates)
+        return self.series().peak_power(t0, t1)
 
 
 def _nic_listener(fabric: NetworkFabric, node: Node):

@@ -4,6 +4,16 @@ The simulator knows the exact instantaneous power of every node at every
 moment (piecewise-constant between state changes).  :class:`PowerTimeline`
 records those segments; energy over any interval is an exact integral.
 
+The timeline has two phases.  *Recording* is the cheap append-only path
+the simulator's writers hit (:meth:`PowerTimeline.set_power`); *querying*
+goes through the columnar prefix-sum kernel
+(:class:`~repro.hardware.series.PowerSeries`), materialised on demand by
+:meth:`PowerTimeline.series` and invalidated automatically whenever a new
+change point lands.  The scalar methods (``energy``, ``power_at``, …)
+keep their historical signatures but delegate to the frozen view, so
+every reader gets O(log n) queries; batch consumers should grab the
+series once and use its vectorised APIs.
+
 The *measurement* layer (:mod:`repro.measurement`) never reads this
 directly in experiments — it samples it through emulated instruments (ACPI
 battery, Baytech meter) exactly the way the paper's PowerPack did, with the
@@ -14,11 +24,12 @@ instruments against this ground truth.
 from __future__ import annotations
 
 import bisect
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
+from repro.hardware.series import PowerSeries
 from repro.util.validation import check_nonnegative
 
-__all__ = ["PowerTimeline"]
+__all__ = ["EnergyCursor", "PowerTimeline"]
 
 
 class PowerTimeline:
@@ -28,12 +39,18 @@ class PowerTimeline:
         check_nonnegative("initial_power", initial_power)
         self._times: List[float] = [start_time]
         self._watts: List[float] = [initial_power]
+        #: bumped on every mutation; the frozen-view staleness token
+        self._version = 0
+        self._frozen: Optional[Tuple[int, PowerSeries]] = None
 
     # ------------------------------------------------------------------
     def set_power(self, time: float, watts: float) -> None:
         """Record that the node's power changed to ``watts`` at ``time``.
 
-        Multiple changes at the same instant collapse to the last one.
+        Multiple changes at the same instant collapse to the last one;
+        if the collapse lands back on the previous segment's level, the
+        now-redundant change point is dropped entirely (no zero-delta
+        points, so ``change_times`` never reports phantom changes).
         Out-of-order appends are a modelling bug and raise.
         """
         check_nonnegative("watts", watts)
@@ -44,12 +61,55 @@ class PowerTimeline:
                 f"(got t={time} after t={last_t})"
             )
         if time == last_t:
-            self._watts[-1] = watts
+            if watts == self._watts[-1]:
+                return  # overwrite with the same level: nothing changed
+            if len(self._times) > 1 and watts == self._watts[-2]:
+                # Collapsed back to the previous level: the change point
+                # no longer changes anything — drop it.
+                self._times.pop()
+                self._watts.pop()
+            else:
+                self._watts[-1] = watts
+            self._version += 1
             return
         if watts == self._watts[-1]:
             return  # no change; avoid zero-length bookkeeping
         self._times.append(time)
         self._watts.append(watts)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    def series(self) -> PowerSeries:
+        """The frozen columnar view of the trace recorded so far.
+
+        Cached until the next :meth:`set_power` mutation; repeated
+        queries against an unchanged timeline reuse the same arrays.
+        """
+        cached = self._frozen
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        view = PowerSeries(self._times, self._watts)
+        self._frozen = (self._version, view)
+        return view
+
+    #: alias — the record-phase/frozen-phase naming used by the docs
+    frozen = series
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (consumers key their own caches off it)."""
+        return self._version
+
+    def cursor(self, start: Optional[float] = None) -> "EnergyCursor":
+        """An incremental energy integrator from ``start`` (default: the
+        last change point).
+
+        The live-instrument primitive: each ``advance(t)`` walks only the
+        change points recorded since the previous call, so per-tick
+        sampling over a growing trace stays O(total segments) amortised
+        instead of re-integrating from the start every tick.
+        """
+        return EnergyCursor(self, self._times[-1] if start is None else start)
 
     # ------------------------------------------------------------------
     @property
@@ -62,10 +122,7 @@ class PowerTimeline:
 
     def power_at(self, time: float) -> float:
         """Instantaneous power at ``time`` (watts)."""
-        if time < self._times[0]:
-            raise ValueError(f"t={time} precedes timeline start {self._times[0]}")
-        idx = bisect.bisect_right(self._times, time) - 1
-        return self._watts[idx]
+        return self.series().power_at(time)
 
     def energy(self, t0: float, t1: float) -> float:
         """Exact energy in joules consumed over ``[t0, t1]``.
@@ -74,6 +131,34 @@ class PowerTimeline:
         keeps drawing its last-known power), which is how a real meter
         would see it.
         """
+        return self.series().energy(t0, t1)
+
+    def average_power(self, t0: float, t1: float) -> float:
+        """Average power over ``[t0, t1]`` (Eq. 3: ``E = P_avg × D``)."""
+        return self.series().average_power(t0, t1)
+
+    def peak_power(self, t0: float, t1: float) -> float:
+        """Maximum instantaneous power (watts) over ``[t0, t1]``."""
+        return self.series().peak_power(t0, t1)
+
+    def change_times(self, t0: float, t1: float) -> List[float]:
+        """The change points strictly inside ``(t0, t1]`` (for merging)."""
+        return self.series().change_times(t0, t1).tolist()
+
+    def segments(self) -> List[Tuple[float, float]]:
+        """The ``(time, watts)`` change points, oldest first."""
+        return list(zip(self._times, self._watts))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    # ------------------------------------------------------------------
+    # reference implementations (pre-columnar scalar walks)
+    # ------------------------------------------------------------------
+    # Kept verbatim as the brute-force oracle the property-based tests
+    # and ``benchmarks/bench_extension_timeline.py`` compare the kernel
+    # against.  Do not use in product code.
+    def _energy_walk(self, t0: float, t1: float) -> float:
         if t1 < t0:
             raise ValueError(f"energy interval reversed: [{t0}, {t1}]")
         if t0 < self._times[0]:
@@ -91,19 +176,13 @@ class PowerTimeline:
             idx += 1
         return total
 
-    def average_power(self, t0: float, t1: float) -> float:
-        """Average power over ``[t0, t1]`` (Eq. 3: ``E = P_avg × D``)."""
-        if t1 == t0:
-            return self.power_at(t0)
-        return self.energy(t0, t1) / (t1 - t0)
+    def _power_at_walk(self, time: float) -> float:
+        if time < self._times[0]:
+            raise ValueError(f"t={time} precedes timeline start {self._times[0]}")
+        idx = bisect.bisect_right(self._times, time) - 1
+        return self._watts[idx]
 
-    def peak_power(self, t0: float, t1: float) -> float:
-        """Maximum instantaneous power (watts) over ``[t0, t1]``.
-
-        Piecewise-constant traces attain their maximum at segment starts,
-        so only the segment active at ``t0`` and the change points inside
-        the window need inspecting.
-        """
+    def _peak_walk(self, t0: float, t1: float) -> float:
         if t1 < t0:
             raise ValueError(f"peak interval reversed: [{t0}, {t1}]")
         if t0 < self._times[0]:
@@ -116,15 +195,59 @@ class PowerTimeline:
             peak = max(peak, self._watts[i])
         return peak
 
-    def change_times(self, t0: float, t1: float) -> List[float]:
-        """The change points strictly inside ``(t0, t1]`` (for merging)."""
-        lo = bisect.bisect_right(self._times, t0)
-        hi = bisect.bisect_right(self._times, t1)
-        return self._times[lo:hi]
 
-    def segments(self) -> List[Tuple[float, float]]:
-        """The ``(time, watts)`` change points, oldest first."""
-        return list(zip(self._times, self._watts))
+class EnergyCursor:
+    """Exact cumulative energy over a *growing* timeline, fed forward.
 
-    def __len__(self) -> int:
-        return len(self._times)
+    Live instruments (the ACPI battery, the Baytech outlet) integrate a
+    trace that is still being recorded; rebuilding the frozen view every
+    refresh tick would re-scan the whole history each time.  The cursor
+    instead advances monotonically, walking only the segments between
+    the previous tick and the new one, and accumulating their integral —
+    the window energies telescope, so the running total equals the exact
+    interval integral at every tick.
+    """
+
+    __slots__ = ("_timeline", "_t", "_joules")
+
+    def __init__(self, timeline: PowerTimeline, start: float):
+        if start < timeline.start_time:
+            raise ValueError(
+                f"cursor start {start} precedes timeline start "
+                f"{timeline.start_time}"
+            )
+        self._timeline = timeline
+        self._t = start
+        self._joules = 0.0
+
+    @property
+    def time(self) -> float:
+        """The instant the cursor has integrated up to."""
+        return self._t
+
+    @property
+    def joules(self) -> float:
+        """Energy accumulated from the cursor's start to :attr:`time`."""
+        return self._joules
+
+    def advance(self, upto: float) -> float:
+        """Integrate forward to ``upto``; returns the *increment* (joules
+        over ``[previous time, upto]``).
+
+        The increment is computed by one fresh segment walk over the new
+        window, so it is bit-identical to what a scalar
+        ``energy(prev, upto)`` query over the same window returns — the
+        property closed-loop consumers (the power-cap governor's
+        telemetry) rely on for reproducible control trajectories.  The
+        running total since the cursor's start is :attr:`joules`.
+        """
+        if upto < self._t:
+            raise ValueError(
+                f"cursor cannot move backwards (at {self._t}, asked {upto})"
+            )
+        if upto == self._t:
+            return 0.0
+        step = self._timeline._energy_walk(self._t, upto)
+        self._joules += step
+        self._t = upto
+        return step

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from repro.hardware.node import Node
+from repro.hardware.timeline import EnergyCursor
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.process import Process
@@ -55,6 +56,7 @@ class SmartBattery:
         self.full_capacity_mwh = int(full_capacity_mwh)
         self.refresh_interval = refresh_interval
         self._attach_time: Optional[float] = None
+        self._drain: Optional[EnergyCursor] = None
         self._last_reading: Optional[BatteryReading] = None
         self._process: Optional[Process] = None
         self._stopped = False
@@ -67,6 +69,7 @@ class SmartBattery:
         if self._process is not None:
             raise RuntimeError("battery already started")
         self._attach_time = self.engine.now
+        self._drain = self.node.timeline.cursor(self.engine.now)
         self._last_reading = BatteryReading(
             time=self.engine.now, remaining_mwh=self.full_capacity_mwh
         )
@@ -87,8 +90,13 @@ class SmartBattery:
             self._refresh()
 
     def _refresh(self) -> None:
-        assert self._attach_time is not None
-        joules = self.node.timeline.energy(self._attach_time, self.engine.now)
+        assert self._drain is not None
+        # Incremental discharge integration: the cursor walks only the
+        # change points since the previous refresh (their window energies
+        # telescope to the exact integral since attach), instead of
+        # re-integrating the whole growing trace every tick.
+        self._drain.advance(self.engine.now)
+        joules = self._drain.joules
         remaining = self.full_capacity_mwh - round(joules / JOULES_PER_MWH)
         if remaining < 0:
             raise RuntimeError(

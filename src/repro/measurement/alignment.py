@@ -18,6 +18,7 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 __all__ = [
+    "sample_grid",
     "step_resample",
     "align_profiles",
     "aggregate_power",
@@ -26,6 +27,19 @@ __all__ = [
 ]
 
 Samples = Sequence[Tuple[float, float]]
+
+
+def sample_grid(t0: float, t1: float, dt: float) -> np.ndarray:
+    """The common sampling grid over ``[t0, t1]`` with spacing ``dt``.
+
+    The single grid-construction rule every aligned view shares (profiles,
+    windowed averages, exports), so their cells always line up.
+    """
+    if t1 <= t0:
+        raise ValueError(f"alignment interval reversed or empty: [{t0}, {t1}]")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    return np.arange(t0, t1 + dt / 2, dt)
 
 
 def step_resample(samples: Samples, grid: np.ndarray) -> np.ndarray:
@@ -56,11 +70,7 @@ def align_profiles(
     Returns ``(grid, matrix)`` where ``matrix[i]`` is node ``i``'s profile
     (rows ordered by node id).
     """
-    if t1 <= t0:
-        raise ValueError(f"alignment interval reversed or empty: [{t0}, {t1}]")
-    if dt <= 0:
-        raise ValueError(f"dt must be positive, got {dt}")
-    grid = np.arange(t0, t1 + dt / 2, dt)
+    grid = sample_grid(t0, t1, dt)
     rows = [
         step_resample(profiles[node], grid) for node in sorted(profiles.keys())
     ]

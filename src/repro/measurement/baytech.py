@@ -14,7 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, List, Optional
 
+import numpy as np
+
 from repro.hardware.node import Node
+from repro.hardware.timeline import EnergyCursor
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.sim.process import Process
@@ -43,6 +46,7 @@ class BaytechOutlet:
         self._process: Optional[Process] = None
         self._stopped = False
         self._window_start: Optional[float] = None
+        self._meter: Optional[EnergyCursor] = None
         #: whether the outlet supplies power (PowerPack also uses the
         #: Baytech gear to disconnect wall power before battery runs)
         self.switched_on = True
@@ -52,6 +56,7 @@ class BaytechOutlet:
         if self._process is not None:
             raise RuntimeError("outlet already started")
         self._window_start = self.engine.now
+        self._meter = self.node.timeline.cursor(self.engine.now)
         self._process = self.engine.process(
             self._poll_loop(), name=f"baytech[node{self.node.node_id}]"
         )
@@ -69,12 +74,14 @@ class BaytechOutlet:
             yield self.engine.timeout(self.poll_interval)
             if self._stopped:
                 return
-            assert self._window_start is not None
+            assert self._window_start is not None and self._meter is not None
             now = self.engine.now
+            # Incremental window integral: the cursor only walks change
+            # points recorded since the previous poll, and its increment
+            # equals the window's scalar energy query bit-for-bit.
+            joules = self._meter.advance(now)
             watts = (
-                self.node.timeline.average_power(self._window_start, now)
-                if self.switched_on
-                else 0.0
+                joules / (now - self._window_start) if self.switched_on else 0.0
             )
             self.samples.append(OutletSample(time=now, watts=watts))
             self._window_start = now
@@ -89,13 +96,12 @@ class BaytechOutlet:
         """
         if t1 < t0:
             raise ValueError(f"interval reversed: [{t0}, {t1}]")
-        total = 0.0
-        for sample in self.samples:
-            w_start = sample.time - self.poll_interval
-            overlap = min(t1, sample.time) - max(t0, w_start)
-            if overlap > 0:
-                total += sample.watts * overlap
-        return total
+        if not self.samples:
+            return 0.0
+        ends = np.array([s.time for s in self.samples])
+        watts = np.array([s.watts for s in self.samples])
+        overlap = np.minimum(t1, ends) - np.maximum(t0, ends - self.poll_interval)
+        return float(watts @ np.maximum(overlap, 0.0))
 
 
 class BaytechUnit:

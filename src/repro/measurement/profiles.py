@@ -10,14 +10,19 @@ renders compact text summaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.hardware.cluster import Cluster
-from repro.measurement.alignment import align_profiles
+from repro.measurement.alignment import sample_grid
 
-__all__ = ["PowerProfile", "cluster_power_profile", "profile_summary"]
+__all__ = [
+    "PowerProfile",
+    "cluster_power_profile",
+    "cluster_windowed_profile",
+    "profile_summary",
+]
 
 
 @dataclass(frozen=True)
@@ -26,6 +31,10 @@ class PowerProfile:
 
     grid: np.ndarray  #: sample times (seconds)
     node_power: np.ndarray  #: shape (n_nodes, len(grid)), watts
+    #: exact per-node joules over the profiled interval, set when the
+    #: profile was built by integration (:func:`cluster_windowed_profile`)
+    #: rather than point sampling; ``None`` for sampled profiles.
+    node_energy_j: Optional[np.ndarray] = None
 
     @property
     def total_power(self) -> np.ndarray:
@@ -37,13 +46,17 @@ class PowerProfile:
         return self.node_power.shape[0]
 
     def energy(self) -> float:
-        """Trapezoid-free energy estimate (zero-order hold, like meters)."""
+        """Interval energy: exact when integrated, else zero-order hold."""
+        if self.node_energy_j is not None:
+            return float(self.node_energy_j.sum())
         if len(self.grid) < 2:
             return 0.0
         dt = float(self.grid[1] - self.grid[0])
         return float(self.total_power[:-1].sum() * dt)
 
     def node_energy(self, node: int) -> float:
+        if self.node_energy_j is not None:
+            return float(self.node_energy_j[node])
         if len(self.grid) < 2:
             return 0.0
         dt = float(self.grid[1] - self.grid[0])
@@ -56,14 +69,40 @@ def cluster_power_profile(
     t1: float,
     dt: float = 0.1,
 ) -> PowerProfile:
-    """Sample every node's ground-truth timeline onto a common grid."""
-    profiles: Dict[int, List[Tuple[float, float]]] = {}
-    for node in cluster.nodes:
-        segments = node.timeline.segments()
-        # Ensure a sample at/before t0 exists (segments start at time 0).
-        profiles[node.node_id] = segments
-    grid, matrix = align_profiles(profiles, t0, t1, dt)
+    """Sample every node's ground-truth timeline onto a common grid.
+
+    One vectorised ``sample(times)`` per node against the frozen series
+    (zero-order hold, like the instruments) instead of walking segment
+    lists per grid point.
+    """
+    grid = sample_grid(t0, t1, dt)
+    matrix = cluster.series().sample_matrix(grid)
     return PowerProfile(grid=grid, node_power=matrix)
+
+
+def cluster_windowed_profile(
+    cluster: Cluster,
+    t0: float,
+    t1: float,
+    dt: float = 0.1,
+) -> PowerProfile:
+    """Exact per-cell average-power profile (energy-preserving).
+
+    Where :func:`cluster_power_profile` point-samples (what a meter
+    sees), this integrates: cell ``k`` holds the node's true average
+    power over ``[grid[k], grid[k] + dt]`` via one batch
+    ``windowed_average`` per node, so ``profile.energy()`` equals the
+    cluster's exact interval energy instead of a zero-order-hold
+    estimate.
+    """
+    series = cluster.series()
+    edges = sample_grid(t0, t1, dt)
+    matrix = series.windowed_average_matrix(edges)
+    return PowerProfile(
+        grid=edges[:-1],
+        node_power=matrix,
+        node_energy_j=series.node_energies(float(edges[0]), float(edges[-1])),
+    )
 
 
 def profile_summary(

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.metrics.protocol import ReportBase
 
 __all__ = [
@@ -204,13 +206,18 @@ def build_attribution_report(
     rows: List[AttributionRow] = []
     total = 0.0
     for rank in ranks:
-        timeline = cluster.nodes[rank].timeline
+        series = cluster.nodes[rank].timeline.series()
         clipped = _clip_spans(spans, rank, t0, t1, tuple(categories))
 
         cuts = sorted({t0, t1, *(c[0] for c in clipped), *(c[1] for c in clipped)})
+        # One batch kernel query per rank: the elementary intervals'
+        # energies telescope through the prefix sum, so the per-phase
+        # sums equal the rank's interval energy exactly by construction.
+        elementary = np.column_stack((cuts[:-1], cuts[1:]))
+        energies = series.energy_many(elementary)
         time_by_phase: Dict[str, float] = {}
         energy_by_phase: Dict[str, float] = {}
-        for lo, hi in zip(cuts, cuts[1:]):
+        for (lo, hi), joules in zip(zip(cuts, cuts[1:]), energies):
             if hi <= lo:
                 continue
             # Outermost covering span: earliest start, longest on ties.
@@ -225,7 +232,7 @@ def build_attribution_report(
                 phase = COMPUTE_PHASE
             time_by_phase[phase] = time_by_phase.get(phase, 0.0) + (hi - lo)
             energy_by_phase[phase] = (
-                energy_by_phase.get(phase, 0.0) + timeline.energy(lo, hi)
+                energy_by_phase.get(phase, 0.0) + float(joules)
             )
 
         counts: Dict[str, int] = {}

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
 from repro.obs.tracer import (
     SIM_CLOCK,
@@ -39,11 +39,13 @@ from repro.obs.tracer import (
 
 __all__ = [
     "NAMED_TRACK_BASE",
+    "POWER_COUNTER_NAME",
     "TraceData",
     "chrome_trace_events",
     "export_chrome_trace",
     "export_jsonl",
     "load_trace_file",
+    "power_counter_records",
     "to_chrome_trace",
     "to_jsonl",
     "validate_chrome_trace",
@@ -79,6 +81,58 @@ class TraceData:
 
 
 Source = Union[Tracer, TraceData]
+
+#: counter name power tracks are exported under (one track per node).
+POWER_COUNTER_NAME = "power_w"
+
+
+def power_counter_records(
+    cluster,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+    resolution: float = 0.0,
+) -> List[CounterRecord]:
+    """Per-node power as counter records, read off the frozen series.
+
+    One :class:`CounterRecord` series per node (``name="power_w"``,
+    ``track=node_id``): a sample at ``t0`` with the level then in
+    effect, followed by every change point in ``(t0, t1]``, optionally
+    thinned so consecutive samples are at least ``resolution`` seconds
+    apart.  Interleaves with span/instant records in the same Perfetto
+    timeline, so a run's power shows up as counter tracks next to its
+    phases.
+    """
+    records: List[CounterRecord] = []
+    for node in cluster.nodes:
+        series = node.timeline.series()
+        lo = series.start_time if t0 is None else t0
+        hi = series.last_change if t1 is None else t1
+        if hi < lo:
+            raise ValueError(f"power window reversed: [{lo}, {hi}]")
+        records.append(
+            CounterRecord(
+                name=POWER_COUNTER_NAME,
+                track=node.node_id,
+                t=lo,
+                value=float(series.sample(lo)[0]),
+            )
+        )
+        last = lo
+        for time, watts in zip(*series.window(lo, hi)):
+            if time <= lo:
+                continue
+            if resolution > 0.0 and time - last < resolution:
+                continue
+            last = float(time)
+            records.append(
+                CounterRecord(
+                    name=POWER_COUNTER_NAME,
+                    track=node.node_id,
+                    t=float(time),
+                    value=float(watts),
+                )
+            )
+    return records
 
 
 def _data_of(source: Source) -> TraceData:

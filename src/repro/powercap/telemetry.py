@@ -28,6 +28,7 @@ from repro.hardware.cluster import Cluster
 from repro.hardware.dvfs import DVFSTable, OperatingPoint
 from repro.hardware.power import NodePowerModel
 from repro.hardware.procstat import ProcStatSample
+from repro.hardware.timeline import EnergyCursor
 
 __all__ = [
     "NodeWindowSample",
@@ -75,6 +76,19 @@ class ClusterTelemetry:
         self._prev_stat: Dict[int, ProcStatSample] = {
             node.node_id: node.procstat.snapshot() for node in cluster.nodes
         }
+        # Live per-node integrators.  The governor is a *closed-loop*
+        # consumer: the watts it reads feed back into frequency
+        # decisions, so the window integral must be reproducible
+        # bit-for-bit run over run.  The cursor's per-window increment is
+        # exactly the scalar window walk (see EnergyCursor.advance) —
+        # unlike a frozen-view prefix-sum difference, whose last-ulp
+        # rounding depends on the whole trace before the window and
+        # would perturb control trajectories.  Batch/offline consumers
+        # (profiles, attribution, figures) use the frozen series instead.
+        self._meters: Dict[int, EnergyCursor] = {
+            node.node_id: node.timeline.cursor(cluster.engine.now)
+            for node in cluster.nodes
+        }
 
     @property
     def window_start(self) -> float:
@@ -99,15 +113,19 @@ class ClusterTelemetry:
         t0 = self._prev_time
         if now <= t0:
             return []
-        samples = []
         for node in self.cluster.nodes:
             node.cpu.finalize()
+        samples = []
+        for node in self.cluster.nodes:
             stat = node.procstat.snapshot()
             busy = stat.utilization_since(self._prev_stat[node.node_id])
             self._prev_stat[node.node_id] = stat
+            # Advance every node's meter (dark nodes too — their windows
+            # must stay aligned for when visibility returns).
+            joules = self._meters[node.node_id].advance(now)
             if not node.telemetry_visible:
                 continue
-            avg_watts = node.timeline.average_power(t0, now)
+            avg_watts = joules / (now - t0)
             noise = node.faults.power_noise
             if noise is not None:
                 avg_watts = noise(avg_watts, now)

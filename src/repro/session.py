@@ -183,25 +183,40 @@ class Session:
         )
 
     def export_trace(
-        self, path: Union[str, Path], format: str = "chrome"
+        self, path: Union[str, Path], format: str = "chrome", run=None
     ) -> int:
         """Write the session tracer's records to ``path``.
 
         ``format`` is ``"chrome"`` (trace-event JSON, loads in Perfetto
-        and ``chrome://tracing``) or ``"jsonl"``.  Returns the number of
-        records written.
+        and ``chrome://tracing``) or ``"jsonl"``.  Passing a measured
+        ``run`` (what :meth:`run` returned) additionally exports each
+        node's power timeline as one counter track per node, read off
+        the frozen power series, so the Perfetto view shows watts next
+        to the traced phases.  Returns the number of records written.
         """
         if self.tracer is None:
             raise ValueError(
                 "export_trace needs a traced session: "
                 "Session(tracer=Tracer())"
             )
-        from repro.obs.export import export_chrome_trace, export_jsonl
+        from repro.obs.export import (
+            TraceData,
+            export_chrome_trace,
+            export_jsonl,
+            power_counter_records,
+        )
 
+        source = TraceData.from_tracer(self.tracer)
+        if run is not None:
+            source.counters.extend(
+                power_counter_records(
+                    run.cluster, run.spmd.start, run.spmd.end
+                )
+            )
         if format == "chrome":
-            return export_chrome_trace(path, self.tracer)
+            return export_chrome_trace(path, source)
         if format == "jsonl":
-            return export_jsonl(path, self.tracer)
+            return export_jsonl(path, source)
         raise ValueError(
             f"unknown trace format {format!r}; use 'chrome' or 'jsonl'"
         )

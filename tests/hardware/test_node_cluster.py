@@ -132,3 +132,25 @@ def test_nodes_share_one_engine_and_fabric():
     engines = {n.engine for n in cluster.nodes}
     assert engines == {cluster.engine}
     assert cluster.fabric.n_nodes == 4
+
+
+def test_cluster_series_cached_until_any_node_timeline_changes():
+    cluster = Cluster.build(2)
+    series = cluster.series()
+    assert cluster.series() is series  # reused while no node changed
+    cluster.nodes[1].timeline.set_power(1.0, 99.0)
+    fresh = cluster.series()
+    assert fresh is not series
+    assert fresh.node(1).power_at(2.0) == 99.0
+
+
+def test_cluster_aggregates_delegate_to_merged_series():
+    cluster = Cluster.build(2)
+    for node in cluster.nodes:
+        node.timeline.set_power(1.0, 10.0)
+        node.timeline.set_power(3.0, 30.0)
+    assert cluster.power_at(2.0) == pytest.approx(20.0)
+    assert cluster.peak_power(0.0, 4.0) == pytest.approx(60.0)
+    assert cluster.average_power(1.0, 3.0) == pytest.approx(20.0)
+    by_node = cluster.node_average_powers(1.0, 3.0)
+    assert by_node == {0: pytest.approx(10.0), 1: pytest.approx(10.0)}

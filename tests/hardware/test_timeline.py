@@ -116,3 +116,47 @@ def test_energy_bounded_by_min_max_power(watts):
     duration = float(len(watts))
     energy = tl.energy(0.0, duration)
     assert min(watts) * duration - 1e-9 <= energy <= max(watts) * duration + 1e-9
+
+
+def test_same_instant_collapse_to_previous_level_drops_change_point():
+    """Regression: overwriting a same-instant change back to the previous
+    segment's level used to leave a redundant zero-delta change point
+    behind; ``change_times`` then reported a phantom change."""
+    tl = PowerTimeline(initial_power=5.0)
+    tl.set_power(1.0, 10.0)
+    tl.set_power(1.0, 5.0)  # collapse lands back on the previous level
+    assert len(tl) == 1
+    assert tl.change_times(0.0, 2.0) == []
+    assert tl.power_at(1.5) == 5.0
+    assert tl.energy(0.0, 2.0) == pytest.approx(10.0)
+
+
+def test_same_instant_overwrite_with_same_level_is_a_noop():
+    tl = PowerTimeline(initial_power=5.0)
+    tl.set_power(1.0, 10.0)
+    before = tl.version
+    tl.set_power(1.0, 10.0)  # identical overwrite: nothing changed
+    assert tl.version == before
+    assert len(tl) == 2
+
+
+def test_collapse_only_merges_with_the_immediately_previous_level():
+    tl = PowerTimeline(initial_power=5.0)
+    tl.set_power(1.0, 10.0)
+    tl.set_power(2.0, 20.0)
+    tl.set_power(2.0, 10.0)  # back to the 10 W level started at t=1
+    assert tl.segments() == [(0.0, 5.0), (1.0, 10.0)]
+    tl.set_power(3.0, 7.0)
+    tl.set_power(3.0, 8.0)  # same-instant overwrite to a *new* level
+    assert tl.segments() == [(0.0, 5.0), (1.0, 10.0), (3.0, 8.0)]
+
+
+def test_series_cache_invalidated_by_same_instant_collapse():
+    tl = PowerTimeline(initial_power=5.0)
+    tl.set_power(1.0, 10.0)
+    frozen = tl.series()
+    assert tl.series() is frozen  # cached while unchanged
+    tl.set_power(1.0, 5.0)  # drops the change point
+    fresh = tl.series()
+    assert fresh is not frozen
+    assert len(fresh) == 1

@@ -3,6 +3,7 @@ every expected energy is hand-computable as watts × seconds."""
 
 import pytest
 
+from repro.hardware.timeline import PowerTimeline
 from repro.metrics.attribution import (
     COMPUTE_PHASE,
     AttributionReport,
@@ -11,18 +12,10 @@ from repro.metrics.attribution import (
 from repro.obs.tracer import Tracer
 
 
-class FakeTimeline:
-    def __init__(self, watts):
-        self.watts = watts
-
-    def energy(self, t0, t1):
-        return self.watts * (t1 - t0)
-
-
 class FakeNode:
     def __init__(self, node_id, watts):
         self.node_id = node_id
-        self.timeline = FakeTimeline(watts)
+        self.timeline = PowerTimeline(start_time=0.0, initial_power=watts)
 
 
 class FakeCluster:

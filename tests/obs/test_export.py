@@ -5,11 +5,13 @@ import json
 import pytest
 
 from repro.obs.export import (
+    POWER_COUNTER_NAME,
     TraceData,
     chrome_trace_events,
     export_chrome_trace,
     export_jsonl,
     load_trace_file,
+    power_counter_records,
     to_chrome_trace,
     to_jsonl,
     validate_chrome_trace,
@@ -117,3 +119,79 @@ class TestValidation:
 
     def test_accepts_empty_trace(self):
         assert validate_chrome_trace({"traceEvents": []}) == []
+
+
+class _TimelineNode:
+    def __init__(self, node_id, watts):
+        from repro.hardware.timeline import PowerTimeline
+
+        self.node_id = node_id
+        self.timeline = PowerTimeline(start_time=0.0, initial_power=watts)
+
+
+class _TimelineCluster:
+    def __init__(self, watts_per_node):
+        self.nodes = [
+            _TimelineNode(i, w) for i, w in enumerate(watts_per_node)
+        ]
+
+
+class TestPowerCounters:
+    """Per-node power exported as counter tracks off the frozen series."""
+
+    @pytest.fixture
+    def cluster(self):
+        cluster = _TimelineCluster([10.0, 40.0])
+        cluster.nodes[0].timeline.set_power(1.0, 20.0)
+        cluster.nodes[0].timeline.set_power(3.0, 15.0)
+        cluster.nodes[1].timeline.set_power(2.0, 55.0)
+        return cluster
+
+    def test_one_series_per_node_with_window_start_sample(self, cluster):
+        records = power_counter_records(cluster, 0.5, 4.0)
+        by_node = {}
+        for r in records:
+            assert r.name == POWER_COUNTER_NAME
+            by_node.setdefault(r.track, []).append((r.t, r.value))
+        # Each node opens with the level in effect at t0, then its
+        # change points inside the window.
+        assert by_node[0] == [(0.5, 10.0), (1.0, 20.0), (3.0, 15.0)]
+        assert by_node[1] == [(0.5, 40.0), (2.0, 55.0)]
+
+    def test_defaults_cover_the_whole_trace(self, cluster):
+        records = power_counter_records(cluster)
+        node0 = [(r.t, r.value) for r in records if r.track == 0]
+        assert node0 == [(0.0, 10.0), (1.0, 20.0), (3.0, 15.0)]
+
+    def test_resolution_thins_dense_change_points(self, cluster):
+        tl = cluster.nodes[0].timeline
+        for k in range(1, 20):
+            tl.set_power(3.0 + k * 0.01, 15.0 + k)
+        records = power_counter_records(cluster, resolution=0.5)
+        node0 = [r.t for r in records if r.track == 0]
+        assert all(b - a >= 0.5 for a, b in zip(node0, node0[1:]))
+
+    def test_reversed_window_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            power_counter_records(cluster, 4.0, 1.0)
+
+    def test_chrome_round_trip_preserves_power_counters(
+        self, cluster, tmp_path
+    ):
+        data = TraceData(counters=power_counter_records(cluster))
+        path = tmp_path / "power.json"
+        export_chrome_trace(path, data)
+        assert validate_chrome_trace(json.loads(path.read_text())) == []
+        loaded = load_trace_file(path)
+        assert [
+            (c.track, c.t, c.value, c.name) for c in loaded.counters
+        ] == [(c.track, c.t, c.value, c.name) for c in data.counters]
+
+    def test_jsonl_round_trip_preserves_power_counters(
+        self, cluster, tmp_path
+    ):
+        data = TraceData(counters=power_counter_records(cluster))
+        path = tmp_path / "power.jsonl"
+        export_jsonl(path, data)
+        loaded = load_trace_file(path)
+        assert loaded.counters == data.counters

@@ -1,0 +1,89 @@
+"""Convention guard: no scalar timeline queries inside Python loops.
+
+The columnar power-series kernel exists so consumers batch their energy
+questions (``energy_many`` / ``windowed_average`` / ``sample``) or use
+an :class:`~repro.hardware.timeline.EnergyCursor` instead of hammering
+scalar ``power_at``/``energy`` bisects from Python loops — the O(n·m)
+anti-pattern the refactor removed.  This test scans every module under
+``src/repro`` and fails on any scalar query call lexically inside a
+``for``/``while`` body, so the slow path cannot creep back in.
+
+Only the kernel itself (``hardware/timeline.py``, ``hardware/series.py``)
+may walk segments in loops: it hosts the brute-force oracles the
+property tests compare against.
+"""
+
+import ast
+from pathlib import Path
+
+#: scalar timeline/series query methods that must not be called per-item
+BANNED_CALLS = frozenset(
+    {"power_at", "energy", "average_power", "peak_power"}
+)
+
+#: the kernel itself — the only place segment walks belong
+ALLOWED_FILES = frozenset(
+    {
+        "src/repro/hardware/timeline.py",
+        "src/repro/hardware/series.py",
+    }
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _violations():
+    found = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        if rel in ALLOWED_FILES:
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        for loop in ast.walk(tree):
+            if not isinstance(loop, (ast.For, ast.While, ast.comprehension)):
+                continue
+            body = loop.ifs if isinstance(loop, ast.comprehension) else loop.body
+            for stmt in body:
+                for sub in ast.walk(stmt):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in BANNED_CALLS
+                    ):
+                        found.append(
+                            f"{rel}:{sub.lineno}: .{sub.func.attr}() "
+                            f"called inside a loop"
+                        )
+    return found
+
+
+def test_no_scalar_timeline_queries_inside_loops():
+    violations = _violations()
+    assert not violations, (
+        "scalar timeline queries inside Python loops (batch them with "
+        "energy_many/windowed_average/sample or use an EnergyCursor):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_guard_actually_detects_the_anti_pattern(tmp_path):
+    """Self-check: the scanner flags the exact pattern it exists for."""
+    offender = (
+        "def f(timeline, windows):\n"
+        "    total = 0.0\n"
+        "    for t0, t1 in windows:\n"
+        "        total += timeline.energy(t0, t1)\n"
+        "    return total\n"
+    )
+    tree = ast.parse(offender)
+    hits = [
+        sub.func.attr
+        for loop in ast.walk(tree)
+        if isinstance(loop, (ast.For, ast.While))
+        for stmt in loop.body
+        for sub in ast.walk(stmt)
+        if isinstance(sub, ast.Call)
+        and isinstance(sub.func, ast.Attribute)
+        and sub.func.attr in BANNED_CALLS
+    ]
+    assert hits == ["energy"]

@@ -110,3 +110,28 @@ class TestSessionFacade:
         s = repro.Session(tracer=repro.Tracer())
         with pytest.raises(ValueError, match="format"):
             s.export_trace(tmp_path / "x.bin", format="protobuf")
+
+
+class TestPowerTrackExport:
+    def test_export_trace_with_run_adds_power_counter_tracks(self, tmp_path):
+        import json
+
+        from repro.dvs.strategy import StaticStrategy
+        from repro.workloads.nas_ft import NasFT
+
+        s = repro.Session(tracer=repro.Tracer())
+        run = s.run(
+            NasFT("S", n_ranks=2, iterations=1),
+            StaticStrategy(1.4e9),
+        )
+        bare = tmp_path / "bare.json"
+        with_power = tmp_path / "power.json"
+        n_bare = s.export_trace(bare, run=None)
+        n_power = s.export_trace(with_power, run=run)
+        assert n_power > n_bare
+        events = json.loads(with_power.read_text())["traceEvents"]
+        power = [e for e in events if e.get("name") == "power_w"]
+        assert {e["pid"] for e in power} == {
+            node.node_id for node in run.cluster.nodes
+        }
+        assert all(e["ph"] == "C" for e in power)
