@@ -34,6 +34,8 @@ Layers (bottom-up), for when you do want the deep modules:
 * :mod:`repro.obs` — structured tracing/profiling and trace exporters;
 * :mod:`repro.powercap` / :mod:`repro.faults` — cluster power-budget
   governor and fault-injection drills;
+* :mod:`repro.serving` — request-driven multi-tier serving with
+  per-request energy attribution and per-tier DVS;
 * :mod:`repro.cache` — content-addressed run cache;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — crescendo sweeps,
   reporting, and one driver per paper table/figure.
@@ -75,6 +77,19 @@ _EXPORTS = {
     "ChaosOutcome": "repro.faults.sweep",
     "FaultPlan": "repro.faults.spec",
     "FaultInjector": "repro.faults.injector",
+    # serving
+    "ServingWorkload": "repro.serving.spec",
+    "TierSpec": "repro.serving.spec",
+    "PoissonArrivals": "repro.serving.arrivals",
+    "MMPPArrivals": "repro.serving.arrivals",
+    "DiurnalArrivals": "repro.serving.arrivals",
+    "run_serving": "repro.serving.runner",
+    "TierDvsPolicy": "repro.serving.policy",
+    "ServingTask": "repro.serving.sweep",
+    "ServingOutcome": "repro.serving.sweep",
+    "run_serving_sweep": "repro.serving.sweep",
+    "ServingReport": "repro.metrics.serving",
+    "build_serving_report": "repro.metrics.serving",
     # power capping
     "PowerBudget": "repro.powercap.budget",
     "PowerCapStrategy": "repro.powercap.strategy",
@@ -124,6 +139,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         build_attribution_report,
     )
     from repro.metrics.records import EnergyDelayPoint
+    from repro.metrics.serving import ServingReport, build_serving_report
     from repro.obs.export import (
         export_chrome_trace,
         export_jsonl,
@@ -133,5 +149,18 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.obs.tracer import Tracer, active_tracer, tracing
     from repro.powercap.budget import PowerBudget
     from repro.powercap.strategy import PowerCapStrategy
+    from repro.serving.arrivals import (
+        DiurnalArrivals,
+        MMPPArrivals,
+        PoissonArrivals,
+    )
+    from repro.serving.policy import TierDvsPolicy
+    from repro.serving.runner import run_serving
+    from repro.serving.spec import ServingWorkload, TierSpec
+    from repro.serving.sweep import (
+        ServingOutcome,
+        ServingTask,
+        run_serving_sweep,
+    )
     from repro.session import Session
     from repro.workloads.base import Workload

@@ -45,7 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "experiment ids (fig1..fig8, table1..table3, headline, "
-            "powercap) or 'all'"
+            "powercap, chaos, serving) or 'all'"
         ),
     )
     parser.add_argument(

@@ -20,6 +20,7 @@ from repro.experiments import (
     fig8,
     headline,
     powercap,
+    serving,
     tables,
 )
 
@@ -67,6 +68,7 @@ for _id, _runner in [
     ("headline", headline.run),
     ("powercap", powercap.run),
     ("chaos", chaos.run),
+    ("serving", serving.run),
 ]:
     register(_id, _runner)
 del _id, _runner

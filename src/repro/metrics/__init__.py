@@ -24,6 +24,12 @@ from repro.metrics.powercap import PowerCapReport, build_cap_report
 from repro.metrics.protocol import ReportBase, ReportProtocol
 from repro.metrics.records import EnergyDelayPoint, normalize_points
 from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
+from repro.metrics.serving import (
+    ServingReport,
+    TierBreakdown,
+    build_serving_report,
+    latency_percentile,
+)
 from repro.metrics.tradeoff import (
     iso_efficiency_energy_fraction,
     required_energy_savings,
@@ -46,6 +52,10 @@ __all__ = [
     "build_cap_report",
     "ChaosReport",
     "build_chaos_report",
+    "ServingReport",
+    "TierBreakdown",
+    "build_serving_report",
+    "latency_percentile",
     "AttributionReport",
     "AttributionRow",
     "build_attribution_report",

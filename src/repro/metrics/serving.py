@@ -1,0 +1,308 @@
+"""Serving-run scoring: latency percentiles + joules per request.
+
+:func:`build_serving_report` turns one
+:class:`~repro.serving.runner.ServingRun` into a
+:class:`ServingReport`: end-to-end latency percentiles over completed
+requests, a per-tier wait/service/residence breakdown, and the energy
+ledger.
+
+**Percentile convention** — nearest-rank: ``p(q)`` of ``n`` sorted
+values is element ``ceil(q/100 · n)`` (1-indexed).  Every percentile
+here is reproducible by a brute-force walk over the plain request
+records, which is exactly how the property tests pin it.
+
+**Energy attribution** — each request's tier spans are exclusive
+occupancy of one node, so charging a request is a batch of exact
+:meth:`~repro.hardware.series.PowerSeries.energy_many` interval queries
+against that node's frozen series.  The remainder
+``unattributed_energy_j = total − Σ attributed`` (idle power, base
+power outside spans, control-plane overheads) is computed *by
+construction* as total minus the attributed sum, so
+
+    ``request_energy_j + unattributed_energy_j == energy_j``
+
+holds to float round-off (the acceptance tests assert 1e-9).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.metrics.protocol import ReportBase
+
+__all__ = [
+    "ServingReport",
+    "TierBreakdown",
+    "attribute_request_energy",
+    "build_serving_report",
+    "latency_percentile",
+]
+
+
+def latency_percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile of ``values``; ``None`` when empty.
+
+    ``q`` is in (0, 100].  Nearest-rank is exact on the sample (always
+    returns an observed value), monotone in ``q``, and p100 is the max.
+    """
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"q must be in (0, 100], got {q}")
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def attribute_request_energy(
+    cluster, records: Sequence
+) -> Tuple[Dict[int, float], float]:
+    """Exact joules per request from its tier spans.
+
+    Returns ``(per_request, attributed_total)`` where ``per_request``
+    maps request id → the summed energy of its service intervals
+    (queried per node through the frozen power series, so batch results
+    telescope exactly) and ``attributed_total`` is their float sum in
+    request-id order.  Requests with no spans attribute 0.0 J.
+    """
+    series = cluster.series()
+    by_node: Dict[int, List[Tuple[int, float, float]]] = {}
+    for record in records:
+        for span in record.spans:
+            by_node.setdefault(span.node_id, []).append(
+                (record.request_id, span.started_s, span.finished_s)
+            )
+    per_request: Dict[int, float] = {r.request_id: 0.0 for r in records}
+    for node_id, entries in by_node.items():
+        energies = series.node(node_id).energy_many(
+            [(t0, t1) for _, t0, t1 in entries]
+        )
+        for (request_id, _, _), joules in zip(entries, energies):
+            per_request[request_id] += float(joules)
+    attributed = 0.0
+    for request_id in sorted(per_request):
+        attributed += per_request[request_id]
+    return per_request, attributed
+
+
+@dataclass(frozen=True)
+class TierBreakdown:
+    """One tier's latency contribution across every span it served."""
+
+    tier: str
+    served: int  #: spans (requests that reached service on this tier)
+    mean_wait_s: float
+    mean_service_s: float
+    p50_s: Optional[float]  #: residence (wait + service) percentiles
+    p95_s: Optional[float]
+    p99_s: Optional[float]
+
+    def to_dict(self) -> dict:
+        return {
+            "tier": self.tier,
+            "served": self.served,
+            "mean_wait_s": self.mean_wait_s,
+            "mean_service_s": self.mean_service_s,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TierBreakdown":
+        def opt(value) -> Optional[float]:
+            return None if value is None else float(value)
+
+        return cls(
+            tier=str(data["tier"]),
+            served=int(data["served"]),
+            mean_wait_s=float(data["mean_wait_s"]),
+            mean_service_s=float(data["mean_service_s"]),
+            p50_s=opt(data["p50_s"]),
+            p95_s=opt(data["p95_s"]),
+            p99_s=opt(data["p99_s"]),
+        )
+
+
+@dataclass(frozen=True)
+class ServingReport(ReportBase):
+    """Outcome of one serving run: latency, throughput, energy ledger."""
+
+    label: str
+    n_requests: int
+    completed: int
+    dropped: int
+    timed_out: int
+    duration_s: float
+    throughput_rps: float  #: completed requests / duration
+    p50_s: Optional[float]  #: end-to-end latency percentiles (completed)
+    p95_s: Optional[float]
+    p99_s: Optional[float]
+    energy_j: float  #: total cluster energy over the run window
+    request_energy_j: float  #: Σ per-request attributed service energy
+    unattributed_energy_j: float  #: energy_j − request_energy_j (idle, base)
+    energy_per_request_j: Optional[float]  #: energy_j / completed
+    tiers: Tuple[TierBreakdown, ...]
+
+    @property
+    def average_power_w(self) -> float:
+        return self.energy_j / self.duration_s
+
+    def meets_slo(self, p99_slo_s: float) -> bool:
+        """SLO verdict: every request served, p99 within the budget.
+
+        Dropped or timed-out requests are violations in their own right
+        — a policy must not buy its percentile by shedding load.
+        """
+        return (
+            self.completed > 0
+            and self.dropped == 0
+            and self.timed_out == 0
+            and self.p99_s is not None
+            and self.p99_s <= p99_slo_s
+        )
+
+    # -- cache round-trip ----------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "n_requests": self.n_requests,
+            "completed": self.completed,
+            "dropped": self.dropped,
+            "timed_out": self.timed_out,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "energy_j": self.energy_j,
+            "request_energy_j": self.request_energy_j,
+            "unattributed_energy_j": self.unattributed_energy_j,
+            "energy_per_request_j": self.energy_per_request_j,
+            "tiers": [tier.to_dict() for tier in self.tiers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingReport":
+        def opt(value) -> Optional[float]:
+            return None if value is None else float(value)
+
+        return cls(
+            label=str(data["label"]),
+            n_requests=int(data["n_requests"]),
+            completed=int(data["completed"]),
+            dropped=int(data["dropped"]),
+            timed_out=int(data["timed_out"]),
+            duration_s=float(data["duration_s"]),
+            throughput_rps=float(data["throughput_rps"]),
+            p50_s=opt(data["p50_s"]),
+            p95_s=opt(data["p95_s"]),
+            p99_s=opt(data["p99_s"]),
+            energy_j=float(data["energy_j"]),
+            request_energy_j=float(data["request_energy_j"]),
+            unattributed_energy_j=float(data["unattributed_energy_j"]),
+            energy_per_request_j=opt(data["energy_per_request_j"]),
+            tiers=tuple(
+                TierBreakdown.from_dict(t) for t in data.get("tiers", [])
+            ),
+        )
+
+    def summary_lines(self) -> List[str]:
+        def ms(value: Optional[float]) -> str:
+            return "n/a" if value is None else f"{value * 1e3:.1f}ms"
+
+        lines = [
+            f"{self.label}: {self.completed}/{self.n_requests} served "
+            f"({self.dropped} dropped, {self.timed_out} timed out) "
+            f"over {self.duration_s:.2f}s — {self.throughput_rps:.1f} req/s",
+            f"  latency p50={ms(self.p50_s)} p95={ms(self.p95_s)} "
+            f"p99={ms(self.p99_s)}",
+            f"  energy {self.energy_j:.1f}J total "
+            f"({self.request_energy_j:.1f}J attributed to requests, "
+            f"{self.unattributed_energy_j:.1f}J idle/base), "
+            + (
+                "n/a J/req"
+                if self.energy_per_request_j is None
+                else f"{self.energy_per_request_j:.3f} J/req"
+            ),
+        ]
+        for tier in self.tiers:
+            lines.append(
+                f"  tier {tier.tier}: {tier.served} served, "
+                f"wait {tier.mean_wait_s * 1e3:.2f}ms, "
+                f"service {tier.mean_service_s * 1e3:.2f}ms, "
+                f"residence p99={ms(tier.p99_s)}"
+            )
+        return lines
+
+
+def build_serving_report(run, label: Optional[str] = None) -> ServingReport:
+    """Score one :class:`~repro.serving.runner.ServingRun`.
+
+    Percentiles cover *completed* requests only (a dropped request has
+    no meaningful end-to-end latency; its count is reported separately
+    and fails :meth:`ServingReport.meets_slo` regardless).  The tier
+    breakdown covers every span actually served, including spans of
+    requests that later timed out or were dropped downstream — that
+    work happened on the tier and belongs in its statistics.
+    """
+    records = run.records
+    completed = [r for r in records if r.status == "ok"]
+    dropped = sum(1 for r in records if r.status == "dropped")
+    timed_out = sum(1 for r in records if r.status == "timeout")
+    duration = run.duration_s
+    latencies = [r.latency_s for r in completed]
+
+    per_request, attributed = attribute_request_energy(run.cluster, records)
+    del per_request  # report carries the ledger; callers re-derive rows
+    energy = run.energy_j
+
+    tiers = []
+    for name in run.workload.tier_names:
+        spans = [
+            span
+            for record in records
+            for span in record.spans
+            if span.tier == name
+        ]
+        residences = [span.residence_s for span in spans]
+        served = len(spans)
+        tiers.append(
+            TierBreakdown(
+                tier=name,
+                served=served,
+                mean_wait_s=(
+                    sum(s.wait_s for s in spans) / served if served else 0.0
+                ),
+                mean_service_s=(
+                    sum(s.service_s for s in spans) / served if served else 0.0
+                ),
+                p50_s=latency_percentile(residences, 50.0),
+                p95_s=latency_percentile(residences, 95.0),
+                p99_s=latency_percentile(residences, 99.0),
+            )
+        )
+
+    return ServingReport(
+        label=label
+        if label is not None
+        else getattr(run.policy, "name", "serving"),
+        n_requests=len(records),
+        completed=len(completed),
+        dropped=dropped,
+        timed_out=timed_out,
+        duration_s=duration,
+        throughput_rps=len(completed) / duration if duration > 0 else 0.0,
+        p50_s=latency_percentile(latencies, 50.0),
+        p95_s=latency_percentile(latencies, 95.0),
+        p99_s=latency_percentile(latencies, 99.0),
+        energy_j=energy,
+        request_energy_j=attributed,
+        unattributed_energy_j=energy - attributed,
+        energy_per_request_j=(
+            energy / len(completed) if completed else None
+        ),
+        tiers=tuple(tiers),
+    )

@@ -1,0 +1,135 @@
+"""Open-loop arrival generators: Poisson, bursty (MMPP), diurnal.
+
+Each generator is a frozen dataclass — picklable and content-hashable
+through :func:`repro.cache.keys.canonical_encode` — whose only method,
+:meth:`times`, expands the spec into the full arrival timeline for a
+horizon.  Determinism is a hard contract here: every generator draws
+from a *local* ``random.Random(self.seed)`` (never the module-global
+``random`` or ``numpy.random`` state, audited by
+``tests/serving/test_determinism.py``), so the same spec always yields
+the bit-identical timeline regardless of process, import order, or what
+else the host program has been sampling.
+
+All three generators model an *open loop*: arrivals do not slow down
+when the cluster saturates, which is what makes overload visible as
+queueing delay instead of silently throttled load.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.util.validation import check_fraction, check_positive
+
+__all__ = ["PoissonArrivals", "MMPPArrivals", "DiurnalArrivals"]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Memoryless arrivals at a constant mean rate (requests/second)."""
+
+    rate: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+
+    def times(self, horizon_s: float) -> Tuple[float, ...]:
+        """Arrival instants in ``[0, horizon_s)``, strictly ordered."""
+        check_positive("horizon_s", horizon_s)
+        rng = random.Random(self.seed)
+        out = []
+        t = rng.expovariate(self.rate)
+        while t < horizon_s:
+            out.append(t)
+            t += rng.expovariate(self.rate)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class MMPPArrivals:
+    """Bursty arrivals: a two-state Markov-modulated Poisson process.
+
+    The generator alternates between a *base* state and a *burst* state
+    (dwell times exponential with the given means, always starting in
+    base), emitting Poisson arrivals at the state's rate.  This is the
+    load shape that separates utilization-driven governors from
+    latency-aware ones: a daemon that scaled down during the base lull
+    eats the burst at low clock.
+    """
+
+    base_rate: float
+    burst_rate: float
+    base_dwell_s: float = 3.0
+    burst_dwell_s: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("base_rate", self.base_rate)
+        check_positive("burst_rate", self.burst_rate)
+        check_positive("base_dwell_s", self.base_dwell_s)
+        check_positive("burst_dwell_s", self.burst_dwell_s)
+
+    def times(self, horizon_s: float) -> Tuple[float, ...]:
+        """Arrival instants in ``[0, horizon_s)``, strictly ordered."""
+        check_positive("horizon_s", horizon_s)
+        rng = random.Random(self.seed)
+        out = []
+        t = 0.0
+        burst = False
+        while t < horizon_s:
+            rate = self.burst_rate if burst else self.base_rate
+            dwell = rng.expovariate(
+                1.0 / (self.burst_dwell_s if burst else self.base_dwell_s)
+            )
+            state_end = min(t + dwell, horizon_s)
+            arrival = t + rng.expovariate(rate)
+            while arrival < state_end:
+                out.append(arrival)
+                arrival += rng.expovariate(rate)
+            t = state_end
+            burst = not burst
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals:
+    """Slow sinusoidal load swing (a compressed day/night cycle).
+
+    The instantaneous rate is ``base_rate × (1 + swing·sin(2πt/period))``
+    — peak at a quarter period, trough at three quarters.  Sampled by
+    thinning a Poisson stream at the peak rate, so the realised process
+    is an exact inhomogeneous Poisson process.
+    """
+
+    base_rate: float
+    swing: float = 0.5
+    period_s: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("base_rate", self.base_rate)
+        check_fraction("swing", self.swing)
+        check_positive("period_s", self.period_s)
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at time ``t``."""
+        return self.base_rate * (
+            1.0 + self.swing * math.sin(2.0 * math.pi * t / self.period_s)
+        )
+
+    def times(self, horizon_s: float) -> Tuple[float, ...]:
+        """Arrival instants in ``[0, horizon_s)``, strictly ordered."""
+        check_positive("horizon_s", horizon_s)
+        rng = random.Random(self.seed)
+        peak = self.base_rate * (1.0 + self.swing)
+        out = []
+        t = rng.expovariate(peak)
+        while t < horizon_s:
+            if rng.random() * peak < self.rate_at(t):
+                out.append(t)
+            t += rng.expovariate(peak)
+        return tuple(out)

@@ -1,0 +1,240 @@
+"""Cached, resumable serving sweeps: workloads × policies.
+
+A :class:`ServingTask` is the picklable description of one serving run
+— workload spec plus a policy recipe.  Every field lowers through
+:func:`repro.cache.keys.canonical_encode` (the workload is a tree of
+frozen dataclasses, arrival generators included), so a task has a
+content hash (:func:`serving_task_key`) and serving sweeps get the same
+caching contract as ordinary and chaos sweeps: :func:`run_serving_sweep`
+short-circuits stored outcomes and persists each fresh one the moment
+it completes, so an interrupted sweep resumes where it stopped — and a
+warm re-run is bit-identical to the cold one (asserted in the tests).
+
+The stored record reuses the run cache unchanged: the energy/delay
+point goes in as the point, the
+:class:`~repro.metrics.serving.ServingReport` rides in the record's
+``meta`` dict.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from contextlib import nullcontext
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.analysis.parallel import (
+    _UNSET,
+    SweepError,
+    resolve_sweep_options,
+    run_collected,
+)
+from repro.cache.keys import canonical_encode, simulator_salt
+from repro.hardware.calibration import Calibration
+from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.serving import ServingReport, build_serving_report
+from repro.obs.tracer import Tracer, tracing
+from repro.serving.policy import (
+    CpuspeedServingPolicy,
+    PowerCapServingPolicy,
+    ServingPolicy,
+    StaticServingPolicy,
+    TierDvsPolicy,
+)
+from repro.serving.runner import run_serving
+from repro.serving.spec import ServingWorkload
+from repro.util.validation import check_in, check_positive
+
+__all__ = [
+    "SERVING_POLICIES",
+    "ServingOutcome",
+    "ServingTask",
+    "run_serving_sweep",
+    "serving_task_key",
+]
+
+#: Policy recipes a :class:`ServingTask` can name.
+SERVING_POLICIES = ("static", "cpuspeed", "powercap", "tierdvs")
+
+#: ``meta`` tag marking a cache record as a serving outcome.
+_META_KIND = "serving-report"
+
+
+@dataclass(frozen=True)
+class ServingTask:
+    """One serving run (picklable, content-hashable).
+
+    ``frequency`` applies to ``"static"`` (``None`` = ladder fastest);
+    ``budget_watts`` is required for ``"powercap"``; ``interval`` and
+    ``safety`` tune the control loops of ``"powercap"``/``"tierdvs"``.
+    """
+
+    workload: ServingWorkload
+    policy: str = "tierdvs"  #: one of :data:`SERVING_POLICIES`
+    frequency: Optional[float] = None
+    budget_watts: Optional[float] = None
+    interval: float = 0.25
+    safety: float = 1.5
+    calibration: Optional[Calibration] = None
+
+    def __post_init__(self) -> None:
+        check_in("policy", self.policy, SERVING_POLICIES)
+        if self.policy == "powercap" and self.budget_watts is None:
+            raise ValueError(
+                "powercap task needs budget_watts "
+                "(ServingTask(workload, 'powercap', budget_watts=...))"
+            )
+        if self.budget_watts is not None:
+            check_positive("budget_watts", self.budget_watts)
+        if self.frequency is not None:
+            check_positive("frequency", self.frequency)
+        check_positive("interval", self.interval)
+        check_positive("safety", self.safety)
+
+    def build_policy(self) -> ServingPolicy:
+        if self.policy == "static":
+            return StaticServingPolicy(self.frequency)
+        if self.policy == "cpuspeed":
+            return CpuspeedServingPolicy()
+        if self.policy == "powercap":
+            assert self.budget_watts is not None
+            return PowerCapServingPolicy(
+                self.budget_watts, interval=self.interval
+            )
+        return TierDvsPolicy(interval=self.interval, safety=self.safety)
+
+    @property
+    def label(self) -> str:
+        if self.policy == "static" and self.frequency is not None:
+            return f"static@{self.frequency / 1e6:.0f}MHz"
+        if self.policy == "powercap":
+            return f"powercap@{self.budget_watts:.0f}W"
+        return self.policy
+
+
+@dataclass(frozen=True)
+class ServingOutcome:
+    """What one serving run produces: its point plus its report."""
+
+    point: EnergyDelayPoint
+    report: ServingReport
+
+
+def serving_task_key(task: ServingTask, salt: Optional[str] = None) -> str:
+    """SHA-256 content hash of one serving task (hex digest).
+
+    Shares :func:`~repro.cache.keys.task_key`'s conventions: the version
+    salt is folded in, and a ``calibration`` of ``None`` is normalised
+    to the default calibration the runner substitutes at execution time.
+    The workload (tiers, arrival generator, seeds) is part of the hash,
+    so two sweeps differing only in arrival seed never collide.
+    """
+    from repro.hardware.calibration import DEFAULT_CALIBRATION
+
+    if task.calibration is None:
+        task = dataclasses.replace(task, calibration=DEFAULT_CALIBRATION)
+    payload = {
+        "salt": salt if salt is not None else simulator_salt(),
+        "kind": _META_KIND,
+        "task": canonical_encode(task),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _execute_serving(task: ServingTask) -> ServingOutcome:
+    """Worker body: one serving run on a fresh cluster, scored."""
+    run = run_serving(
+        task.workload, task.build_policy(), calibration=task.calibration
+    )
+    report = build_serving_report(run, label=task.label)
+    point = EnergyDelayPoint(
+        label=task.label,
+        energy=run.energy_j,
+        delay=run.duration_s,
+        frequency=task.frequency,
+    )
+    return ServingOutcome(point=point, report=report)
+
+
+def _cached_outcome(cache, key: str) -> Optional[ServingOutcome]:
+    """Decode a stored serving record, or ``None`` on miss/foreign record."""
+    point = cache.get(key)
+    if point is None:
+        return None
+    meta = cache.get_meta(key)
+    if not meta or meta.get("kind") != _META_KIND:
+        return None
+    try:
+        report = ServingReport.from_dict(meta["report"])
+    except (KeyError, TypeError, ValueError):
+        return None  # poisoned meta: fall through to re-simulation
+    return ServingOutcome(point=point, report=report)
+
+
+def run_serving_sweep(
+    tasks: Sequence[ServingTask],
+    *,
+    jobs: Optional[int] = None,
+    use_cache: Union[bool, object] = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    tracer: Optional[Tracer] = None,
+    n_workers=_UNSET,
+    cache=_UNSET,
+) -> List[ServingOutcome]:
+    """Run serving tasks, preserving input order.
+
+    The serving counterpart of :func:`repro.analysis.parallel.run_sweep`
+    and :func:`repro.faults.sweep.run_chaos_sweep`, with the identical
+    keyword-only signature (asserted parameter-for-parameter in the
+    tests): same ``jobs`` convention, same ``use_cache``/``cache_dir``
+    resolution, same ``tracer`` semantics (installed as the active
+    tracer, one wall-clock span per executed task, forces serial
+    execution), same deprecated ``n_workers``/``cache`` shims, same
+    failure collection (:class:`~repro.analysis.parallel.SweepError`
+    after everything has been attempted), and the same cache contract
+    (stored outcomes short-circuit, fresh outcomes persist on
+    completion, so interrupted sweeps resume).
+    """
+    internal_workers, run_cache = resolve_sweep_options(
+        "run_serving_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
+    )
+    scope = tracing(tracer) if tracer is not None else nullcontext()
+    with scope:
+        outcomes: List[Optional[ServingOutcome]] = [None] * len(tasks)
+        keys: List[Optional[str]] = [None] * len(tasks)
+        if run_cache is not None:
+            for i, task in enumerate(tasks):
+                keys[i] = serving_task_key(task)
+                outcomes[i] = _cached_outcome(run_cache, keys[i])
+
+        pending = [i for i, o in enumerate(outcomes) if o is None]
+
+        def finish(index: int, outcome: ServingOutcome) -> None:
+            outcomes[index] = outcome
+            if run_cache is not None:
+                run_cache.put(
+                    keys[index],
+                    outcome.point,
+                    meta={
+                        "kind": _META_KIND,
+                        "workload": tasks[index].workload.name,
+                        "report": outcome.report.to_dict(),
+                    },
+                )
+
+        execute = _execute_serving
+        if tracer is not None:
+            def execute(task):  # noqa: F811 - traced replacement
+                with tracer.wall_span(task.label, "sweep.task", "sweep"):
+                    return _execute_serving(task)
+
+        failures = run_collected(
+            tasks, pending, execute, finish, internal_workers
+        )
+    if failures:
+        raise SweepError(failures, outcomes)
+    return outcomes  # type: ignore[return-value] - no None left

@@ -133,6 +133,34 @@ class Session:
             tracer=self.tracer,
         )
 
+    def serving_sweep(self, tasks: Sequence) -> List:
+        """:func:`~repro.serving.sweep.run_serving_sweep` with this
+        session's cache, jobs, and tracer."""
+        from repro.serving.sweep import run_serving_sweep
+
+        return run_serving_sweep(
+            tasks,
+            jobs=self.jobs,
+            use_cache=self.cache if self.cache is not None else False,
+            tracer=self.tracer,
+        )
+
+    def run_serving(self, tasks):
+        """Run serving tasks under this session's options.
+
+        ``tasks`` is one :class:`~repro.serving.sweep.ServingTask` or a
+        sequence of them; a single task returns its
+        :class:`~repro.serving.sweep.ServingOutcome`, a sequence returns
+        the outcome list (input order).  Caching, parallelism, and
+        tracing follow the session exactly like :meth:`sweep` /
+        :meth:`chaos_sweep`.
+        """
+        from repro.serving.sweep import ServingTask
+
+        if isinstance(tasks, ServingTask):
+            return self.serving_sweep([tasks])[0]
+        return self.serving_sweep(tasks)
+
     # -- experiments ---------------------------------------------------
     def experiment(self, experiment_id: str, **kwargs):
         """:func:`~repro.experiments.registry.run_experiment` under this

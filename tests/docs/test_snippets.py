@@ -20,6 +20,7 @@ DOC_FILES = [
     "docs/API.md",
     "docs/CACHING.md",
     "docs/FAULTS.md",
+    "docs/SERVING.md",
 ]
 
 FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)

@@ -1,4 +1,4 @@
-"""One report protocol, four reports: every metrics report exposes the
+"""One report protocol, five reports: every metrics report exposes the
 same machine face (``to_dict``/``to_json``) and human face
 (``summary_lines``), checked structurally via ``ReportProtocol``."""
 
@@ -12,6 +12,7 @@ from repro.metrics.chaos import ChaosReport
 from repro.metrics.ed2p import build_ed2p_report
 from repro.metrics.powercap import build_cap_report
 from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.serving import ServingReport, TierBreakdown
 
 
 def ed2p_report():
@@ -71,11 +72,35 @@ def attribution_report():
     )
 
 
+def serving_report():
+    return ServingReport(
+        label="tierdvs",
+        n_requests=100,
+        completed=97,
+        dropped=2,
+        timed_out=1,
+        duration_s=10.0,
+        throughput_rps=9.7,
+        p50_s=0.010,
+        p95_s=0.021,
+        p99_s=0.034,
+        energy_j=500.0,
+        request_energy_j=120.0,
+        unattributed_energy_j=380.0,
+        energy_per_request_j=500.0 / 97,
+        tiers=(
+            TierBreakdown("app", 98, 0.002, 0.006, 0.007, 0.011, 0.015),
+            TierBreakdown("quiet", 0, 0.0, 0.0, None, None, None),
+        ),
+    )
+
+
 REPORTS = {
     "ed2p": ed2p_report,
     "powercap": powercap_report,
     "chaos": chaos_report,
     "attribution": attribution_report,
+    "serving": serving_report,
 }
 
 
@@ -109,7 +134,7 @@ class TestProtocol:
 
 
 class TestRoundTrips:
-    @pytest.mark.parametrize("name", ["ed2p", "chaos", "attribution"])
+    @pytest.mark.parametrize("name", ["ed2p", "chaos", "attribution", "serving"])
     def test_from_dict_inverts_to_dict(self, name):
         original = REPORTS[name]()
         assert type(original).from_dict(original.to_dict()) == original

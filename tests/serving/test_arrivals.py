@@ -1,0 +1,115 @@
+"""Arrival generators: seed-deterministic, bounded, correctly shaped."""
+
+import pytest
+
+from repro.serving.arrivals import (
+    DiurnalArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+
+HORIZON = 20.0
+
+GENERATORS = {
+    "poisson": lambda seed=0: PoissonArrivals(50.0, seed=seed),
+    "mmpp": lambda seed=0: MMPPArrivals(
+        20.0, 200.0, base_dwell_s=2.0, burst_dwell_s=0.5, seed=seed
+    ),
+    "diurnal": lambda seed=0: DiurnalArrivals(
+        50.0, swing=0.8, period_s=5.0, seed=seed
+    ),
+}
+
+
+@pytest.fixture(params=sorted(GENERATORS), ids=sorted(GENERATORS))
+def make(request):
+    return GENERATORS[request.param]
+
+
+class TestShape:
+    def test_all_within_horizon_and_sorted(self, make):
+        times = make().times(HORIZON)
+        assert times
+        assert all(0.0 <= t < HORIZON for t in times)
+        assert list(times) == sorted(times)
+
+    def test_returns_tuple(self, make):
+        assert isinstance(make().times(HORIZON), tuple)
+
+    def test_longer_horizon_extends_the_stream(self, make):
+        short = make().times(HORIZON / 2)
+        long = make().times(HORIZON)
+        assert len(long) > len(short)
+
+
+class TestDeterminism:
+    def test_same_generator_same_stream(self, make):
+        gen = make()
+        assert gen.times(HORIZON) == gen.times(HORIZON)
+
+    def test_fresh_instance_same_stream(self, make):
+        assert make().times(HORIZON) == make().times(HORIZON)
+
+    def test_seed_changes_the_stream(self, make):
+        assert make(seed=0).times(HORIZON) != make(seed=1).times(HORIZON)
+
+
+class TestRates:
+    def test_poisson_count_tracks_rate(self):
+        times = PoissonArrivals(50.0, seed=42).times(HORIZON)
+        # ~N(1000, ~32): a 5-sigma band, deterministic under the seed.
+        assert 0.8 * 50.0 * HORIZON < len(times) < 1.2 * 50.0 * HORIZON
+
+    def test_mmpp_mean_rate_between_base_and_burst(self):
+        gen = MMPPArrivals(
+            20.0, 200.0, base_dwell_s=2.0, burst_dwell_s=0.5, seed=7
+        )
+        rate = len(gen.times(HORIZON)) / HORIZON
+        assert 20.0 < rate < 200.0
+
+    def test_mmpp_is_burstier_than_poisson_at_equal_mean(self):
+        """Second-by-second arrival counts must spread far wider under
+        MMPP than under Poisson at a comparable mean rate."""
+
+        def variance_of_counts(times):
+            counts = [0] * int(HORIZON)
+            for t in times:
+                counts[int(t)] += 1
+            mean = sum(counts) / len(counts)
+            return sum((c - mean) ** 2 for c in counts) / len(counts)
+
+        mmpp = MMPPArrivals(
+            20.0, 200.0, base_dwell_s=2.0, burst_dwell_s=0.5, seed=3
+        ).times(HORIZON)
+        poisson = PoissonArrivals(
+            len(mmpp) / HORIZON, seed=3
+        ).times(HORIZON)
+        assert variance_of_counts(mmpp) > 2.0 * variance_of_counts(poisson)
+
+    def test_diurnal_rate_at_oscillates(self):
+        gen = DiurnalArrivals(50.0, swing=0.8, period_s=5.0, seed=0)
+        assert gen.rate_at(1.25) == pytest.approx(90.0)  # peak
+        assert gen.rate_at(3.75) == pytest.approx(10.0)  # trough
+        assert gen.rate_at(0.0) == pytest.approx(50.0)
+
+    def test_diurnal_peaks_carry_more_arrivals_than_troughs(self):
+        gen = DiurnalArrivals(50.0, swing=0.8, period_s=HORIZON, seed=9)
+        times = gen.times(HORIZON)
+        first_half = sum(1 for t in times if t < HORIZON / 2)
+        assert first_half > 0.6 * len(times)  # sin > 0 on the first half
+
+
+class TestValidation:
+    def test_rates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(0.0, 100.0)
+        with pytest.raises(ValueError):
+            MMPPArrivals(10.0, -1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(-5.0)
+
+    def test_diurnal_swing_is_a_fraction(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(50.0, swing=1.5)

@@ -30,6 +30,17 @@ class TestExports:
         assert repro.Tracer is DeepTracer
         assert repro.Session is DeepSession
 
+    def test_serving_facade_names_are_the_canonical_objects(self):
+        from repro.metrics.serving import ServingReport as DeepReport
+        from repro.serving.runner import run_serving as deep_run_serving
+        from repro.serving.spec import ServingWorkload as DeepWorkload
+        from repro.serving.sweep import run_serving_sweep as deep_sweep
+
+        assert repro.run_serving is deep_run_serving
+        assert repro.run_serving_sweep is deep_sweep
+        assert repro.ServingWorkload is DeepWorkload
+        assert repro.ServingReport is DeepReport
+
     def test_unknown_attribute_raises_attribute_error(self):
         with pytest.raises(AttributeError, match="no attribute"):
             repro.does_not_exist
@@ -44,10 +55,19 @@ class TestExports:
             "EnergyDelayPoint",
             "FaultInjector",
             "FaultPlan",
+            "DiurnalArrivals",
+            "MMPPArrivals",
+            "PoissonArrivals",
             "PowerBudget",
             "PowerCapStrategy",
             "RunCache",
+            "ServingOutcome",
+            "ServingReport",
+            "ServingTask",
+            "ServingWorkload",
             "Session",
+            "TierDvsPolicy",
+            "TierSpec",
             "SweepError",
             "SweepTask",
             "Tracer",
@@ -58,9 +78,12 @@ class TestExports:
             "export_jsonl",
             "list_experiments",
             "load_trace_file",
+            "build_serving_report",
             "run_chaos_sweep",
             "run_experiment",
             "run_measured",
+            "run_serving",
+            "run_serving_sweep",
             "run_sweep",
             "sweep_context",
             "traced_run",
@@ -78,7 +101,7 @@ class TestLaziness:
             "import sys; import repro; "
             "heavy = [m for m in sys.modules if m.startswith(("
             "'repro.sim', 'repro.simmpi', 'repro.experiments', "
-            "'repro.workloads', 'repro.hardware'))]; "
+            "'repro.workloads', 'repro.hardware', 'repro.serving'))]; "
             "print(','.join(heavy))"
         )
         out = subprocess.run(
