@@ -60,6 +60,15 @@ _EXPORTS = {
     "load_trace_file": "repro.obs.export",
     "power_counter_records": "repro.obs.export",
     "validate_chrome_trace": "repro.obs.export",
+    # simulation engine (repro.sim)
+    "Engine": "repro.sim.engine",
+    "ColumnarEngine": "repro.sim.columnar",
+    "EngineStats": "repro.sim.columnar",
+    "ENGINE_MODES": "repro.sim.factory",
+    "make_engine": "repro.sim.factory",
+    "engine_mode": "repro.sim.factory",
+    "set_engine_mode": "repro.sim.factory",
+    "using_engine_mode": "repro.sim.factory",
     # power-series kernel (repro.hardware)
     "PowerTimeline": "repro.hardware.timeline",
     "EnergyCursor": "repro.hardware.timeline",
@@ -155,6 +164,15 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         PoissonArrivals,
     )
     from repro.serving.policy import TierDvsPolicy
+    from repro.sim.columnar import ColumnarEngine, EngineStats
+    from repro.sim.engine import Engine
+    from repro.sim.factory import (
+        ENGINE_MODES,
+        engine_mode,
+        make_engine,
+        set_engine_mode,
+        using_engine_mode,
+    )
     from repro.serving.runner import run_serving
     from repro.serving.spec import ServingWorkload, TierSpec
     from repro.serving.sweep import (

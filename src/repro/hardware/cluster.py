@@ -17,6 +17,7 @@ from repro.hardware.network import NetworkFabric
 from repro.hardware.node import Node
 from repro.hardware.series import ClusterSeries
 from repro.sim.engine import Engine
+from repro.sim.factory import make_engine
 from repro.sim.trace import NullRecorder, TraceRecorder
 
 __all__ = ["Cluster"]
@@ -55,7 +56,7 @@ class Cluster:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
         cal = calibration or DEFAULT_CALIBRATION
         ladder = table or PENTIUM_M_1400
-        eng = engine or Engine()
+        eng = engine if engine is not None else make_engine()
         tracer = trace if trace is not None else NullRecorder()
 
         power_model = cal.node_power_model(ladder)
@@ -126,6 +127,39 @@ class Cluster:
     def node_average_powers(self, t0: float, t1: float) -> Dict[int, float]:
         """Per-node average power (watts) over ``[t0, t1]``."""
         return self.series().node_average_powers(t0, t1)
+
+    def window_average_power(self, t0: float, t1: float) -> float:
+        """Average cluster power over ``[t0, t1]`` from the live timelines.
+
+        The control-loop variant of :meth:`average_power`: walks only
+        the window's segments on each still-growing node timeline
+        (O(window) per call) instead of freezing and merging every
+        timeline (O(recorded history) per call).  Per-node integrals are
+        exact; only the summation order across nodes differs from the
+        merged-series query.
+        """
+        duration = t1 - t0
+        if duration <= 0:
+            raise ValueError(f"window reversed or empty: [{t0}, {t1}]")
+        total = 0.0
+        for node in self.nodes:
+            total += node.timeline.window_energy(t0, t1)
+        return total / duration
+
+    def window_node_average_powers(self, t0: float, t1: float) -> Dict[int, float]:
+        """Per-node average power over ``[t0, t1]`` from the live timelines.
+
+        Windowed-telemetry variant of :meth:`node_average_powers` (same
+        values — the kernel and the live walk agree exactly — without
+        freezing each timeline's columnar view per control window).
+        """
+        duration = t1 - t0
+        if duration <= 0:
+            raise ValueError(f"window reversed or empty: [{t0}, {t1}]")
+        return {
+            node.node_id: node.timeline.window_energy(t0, t1) / duration
+            for node in self.nodes
+        }
 
     def power_at(self, time: float) -> float:
         """Instantaneous cluster power (watts) at ``time``."""

@@ -19,7 +19,7 @@ is notified so it can record the new power level on its timeline.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Optional
+from typing import Callable, Generator, List, Optional
 
 from repro.hardware.activity import CpuActivity
 from repro.hardware.dvfs import DVFSTable, OperatingPoint
@@ -33,6 +33,27 @@ __all__ = ["SimCPU"]
 #: Minimum leftover cycles treated as "done" (guards float dust when a
 #: frequency change lands at the exact end of a work quantum).
 _CYCLE_EPSILON = 1e-6
+
+
+class _CycleWork:
+    """One in-flight ``run_cycles`` quantum on the columnar fast path.
+
+    The worker generator parks on ``done``; the CPU keeps a cancellable
+    ``deadline`` timeout armed at the quantum's completion instant and
+    re-arms it (after re-timing ``remaining`` with the scalar walk's
+    exact arithmetic) whenever the frequency changes — so completion
+    lands on the same float the scalar AnyOf race would produce, without
+    racing any events while the frequency holds still.
+    """
+
+    __slots__ = ("done", "deadline", "remaining", "freq", "started")
+
+    def __init__(self, engine: Engine, remaining: float):
+        self.done = Event(engine)
+        self.deadline: Optional[Event] = None
+        self.remaining = remaining
+        self.freq = 0.0
+        self.started = 0.0
 
 
 class SimCPU:
@@ -71,6 +92,7 @@ class SimCPU:
         self.spin_block_threshold = spin_block_threshold
 
         self._point: OperatingPoint = table.fastest
+        self._inflight: List[_CycleWork] = []
         self._state: CpuActivity = CpuActivity.IDLE
         self._utilization: float = 1.0
         self._floor: CpuActivity = CpuActivity.IDLE
@@ -185,6 +207,8 @@ class SimCPU:
         # Wake anything racing work completion against a frequency change.
         old_event, self._freq_event = self._freq_event, self.engine.event()
         old_event.succeed(point)
+        # Columnar fast path: re-time in-flight quanta at the new clock.
+        self._retime_inflight()
 
     # ------------------------------------------------------------------
     # fail-stop power gating (repro.faults)
@@ -219,6 +243,7 @@ class SimCPU:
         # Wake in-flight work so it re-times and parks on power_restored.
         old_event, self._freq_event = self._freq_event, self.engine.event()
         old_event.succeed(None)
+        self._retime_inflight()
 
     def power_on(self, boot_point: Optional[OperatingPoint] = None) -> None:
         """Restart after a fail-stop outage.
@@ -257,8 +282,18 @@ class SimCPU:
         The work takes ``cycles / f`` seconds at the current frequency; a
         mid-run P-state change re-times the remainder at the new frequency,
         exactly as a real core slows down under the daemon's feet.
+
+        On a cancellable (columnar) engine this takes the bulk fast path:
+        one armed completion per quantum, re-timed in place on frequency
+        and power events, instead of a timeout-vs-freq_event ``AnyOf``
+        race per scheduling round.  Completion instants are float-exact
+        matches of the scalar race (the re-timing arithmetic is the same
+        expression the scalar loop evaluates on wake-up).
         """
         check_nonnegative("cycles", cycles)
+        if self.engine.supports_cancel:
+            yield from self._run_cycles_bulk(float(cycles), state)
+            return
         remaining = float(cycles)
         self.set_state(state, 1.0)
         try:
@@ -281,6 +316,66 @@ class SimCPU:
                     remaining -= (self.engine.now - started) * freq
         finally:
             self.set_state(CpuActivity.IDLE, 1.0)
+
+    def _run_cycles_bulk(
+        self,
+        remaining: float,
+        state: CpuActivity,
+    ) -> Generator[Event, object, None]:
+        """Columnar fast path for :meth:`run_cycles` (see its docstring)."""
+        self.set_state(state, 1.0)
+        try:
+            while remaining > _CYCLE_EPSILON:
+                if not self._powered:
+                    self.set_state(CpuActivity.IDLE, 1.0)
+                    yield self._power_restored
+                    self.set_state(state, 1.0)
+                    continue
+                work = _CycleWork(self.engine, remaining)
+                self._arm_work(work)
+                self._inflight.append(work)
+                yield work.done
+                remaining = work.remaining
+        finally:
+            self.set_state(CpuActivity.IDLE, 1.0)
+
+    def _arm_work(self, work: _CycleWork) -> None:
+        work.freq = self._point.frequency
+        work.started = self.engine.now
+        deadline = self.engine.timeout(work.remaining / work.freq)
+        work.deadline = deadline
+
+        def complete(_event: Event, work: _CycleWork = work) -> None:
+            self._inflight.remove(work)
+            work.remaining = 0.0
+            work.done.succeed(None)
+
+        deadline.callbacks.append(complete)
+
+    def _retime_inflight(self) -> None:
+        """Re-time armed quanta after a frequency or power transition.
+
+        Uses the exact scalar expression
+        ``remaining -= (now - started) * freq`` so the re-armed deadline
+        lands on the same float instant the scalar wake-and-reschedule
+        walk computes.  During an outage the quantum's waiter is woken
+        instead (it parks on ``power_restored``, like the scalar loop).
+        """
+        if not self._inflight:
+            return
+        engine = self.engine
+        now = engine.now
+        works, self._inflight = self._inflight, []
+        for work in works:
+            work.remaining -= (now - work.started) * work.freq
+            engine.cancel(work.deadline)
+            if self._powered and work.remaining > _CYCLE_EPSILON:
+                self._arm_work(work)
+                self._inflight.append(work)
+            else:
+                if work.remaining <= _CYCLE_EPSILON:
+                    work.remaining = 0.0
+                work.done.succeed(None)
 
     def stall(
         self,

@@ -75,6 +75,17 @@ class DVFSTable:
                     f"{slow} vs {fast}"
                 )
         self._points: Tuple[OperatingPoint, ...] = tuple(ordered)
+        # Precomputed lookups for the ladder's own points.  The table and
+        # its points are immutable, so these are pure memoisations: the
+        # cached floats come from the exact expressions the uncached
+        # methods evaluate (id-keyed — self._points pins every id).
+        self._index_by_freq = {p.frequency: i for i, p in enumerate(ordered)}
+        fastest_fv2 = ordered[-1].fv2()
+        fastest_v = ordered[-1].voltage
+        self._rel_fv2_by_id = {id(p): p.fv2() / fastest_fv2 for p in ordered}
+        self._rel_v2_by_id = {
+            id(p): (p.voltage / fastest_v) ** 2 for p in ordered
+        }
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -106,20 +117,20 @@ class DVFSTable:
     # ------------------------------------------------------------------
     def point_for(self, frequency: float) -> OperatingPoint:
         """The operating point with exactly ``frequency`` (Hz)."""
-        for p in self._points:
-            if p.frequency == frequency:
-                return p
-        raise KeyError(
-            f"no operating point at {pretty_freq(frequency)}; "
-            f"available: {[pretty_freq(f) for f in self.frequencies]}"
-        )
+        idx = self._index_by_freq.get(frequency)
+        if idx is None:
+            raise KeyError(
+                f"no operating point at {pretty_freq(frequency)}; "
+                f"available: {[pretty_freq(f) for f in self.frequencies]}"
+            )
+        return self._points[idx]
 
     def index_of(self, frequency: float) -> int:
         """Index (0 = slowest) of the point with exactly ``frequency``."""
-        for i, p in enumerate(self._points):
-            if p.frequency == frequency:
-                return i
-        raise KeyError(f"no operating point at {pretty_freq(frequency)}")
+        idx = self._index_by_freq.get(frequency)
+        if idx is None:
+            raise KeyError(f"no operating point at {pretty_freq(frequency)}")
+        return idx
 
     def closest(self, frequency: float) -> OperatingPoint:
         """The legal point nearest to an arbitrary requested frequency.
@@ -145,6 +156,9 @@ class DVFSTable:
         This is the frequency-dependent scale factor of CPU dynamic power
         (Eq. 2): at the fastest point it is 1.0.
         """
+        cached = self._rel_fv2_by_id.get(id(point))
+        if cached is not None:
+            return cached
         return point.fv2() / self.fastest.fv2()
 
     def relative_v2(self, point: OperatingPoint) -> float:
@@ -153,6 +167,9 @@ class DVFSTable:
         Used for the leakage-like component of idle power, which tracks
         voltage but not clock frequency (the clock is gated when halted).
         """
+        cached = self._rel_v2_by_id.get(id(point))
+        if cached is not None:
+            return cached
         return (point.voltage / self.fastest.voltage) ** 2
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -23,6 +23,7 @@ protocol cycles for the bytes moved.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Callable, Generator, List, Optional
 
@@ -114,6 +115,15 @@ class NetworkFabric:
         self._rx = [Resource(engine) for _ in range(n_nodes)]
         self._tx_activity = [_LinkActivity(engine) for _ in range(n_nodes)]
         self._rx_activity = [_LinkActivity(engine) for _ in range(n_nodes)]
+        # Lazily-created combined tx|rx change events (columnar engines):
+        # one shared event per node instead of a fresh nested AnyOf per
+        # activity_changed() call.  None ⇒ nobody is currently waiting.
+        self._node_changed: List[Optional[Event]] = [None] * n_nodes
+        if engine.columnar:
+            for nid in range(n_nodes):
+                notify = self._node_notifier(nid)
+                self._tx_activity[nid].listeners.append(notify)
+                self._rx_activity[nid].listeners.append(notify)
         # Per-endpoint extra one-way latency (seconds) — a degraded link
         # (flaky cable, renegotiated duplex).  The fault injector sets it.
         self._latency_penalty = [0.0] * n_nodes
@@ -135,9 +145,24 @@ class NetworkFabric:
 
     def activity_changed(self, node: int) -> Event:
         """Event firing at the node's next tx *or* rx activity transition."""
+        if self.engine.columnar:
+            ev = self._node_changed[node]
+            if ev is None:
+                ev = self.engine.event()
+                self._node_changed[node] = ev
+            return ev
         return self.engine.any_of(
             [self._tx_activity[node].changed, self._rx_activity[node].changed]
         )
+
+    def _node_notifier(self, node: int) -> Callable[[], None]:
+        def notify() -> None:
+            ev = self._node_changed[node]
+            if ev is not None:
+                self._node_changed[node] = None
+                ev.succeed(self.traffic_active(node))
+
+        return notify
 
     def add_activity_listener(self, node: int, listener: Callable[[], None]) -> None:
         """Synchronous callback on every tx/rx activity flip (NIC power)."""
@@ -212,8 +237,8 @@ class NetworkFabric:
         remaining = int(nbytes)
         tx, rx = self._tx[src], self._rx[dst]
         tx_act, rx_act = self._tx_activity[src], self._rx_activity[dst]
+        bulk = self.engine.supports_cancel
         while remaining > 0:
-            chunk = min(cfg.chunk_bytes, remaining)
             tx_req = tx.request()
             yield tx_req
             rx_req = rx.request()
@@ -221,15 +246,71 @@ class NetworkFabric:
             tx_act.acquire()
             rx_act.acquire()
             try:
-                yield self.engine.timeout(chunk / rate)
+                if (
+                    bulk
+                    and remaining > cfg.chunk_bytes
+                    and not tx.queue_length
+                    and not rx.queue_length
+                ):
+                    # Uncontended multi-chunk message on a cancellable
+                    # engine: hold both links across every chunk, racing
+                    # completion against new contention (see _bulk_hold).
+                    remaining = yield from self._bulk_hold(
+                        remaining, rate, tx, rx
+                    )
+                else:
+                    chunk = min(cfg.chunk_bytes, remaining)
+                    yield self.engine.timeout(chunk / rate)
+                    remaining -= chunk
             finally:
                 tx_act.release()
                 rx_act.release()
                 tx.release(tx_req)
                 rx.release(rx_req)
-            remaining -= chunk
         self.bytes_transferred += int(nbytes)
         return self.engine.now - start
+
+    def _bulk_hold(
+        self,
+        remaining: int,
+        rate: float,
+        tx: Resource,
+        rx: Resource,
+    ) -> Generator[Event, object, int]:
+        """Transmit as many chunks as possible in one link hold.
+
+        Schedules a single cancellable completion at the message's last
+        chunk boundary instead of one timeout (plus resource churn and
+        activity flaps) per chunk.  The chunk boundaries are computed
+        with the same left-to-right float fold the scalar per-chunk walk
+        performs (``t = t + chunk/rate`` per chunk), so both completion
+        and preemption land on the **exact** float instants the oracle
+        produces.  A request queueing on either link fires
+        ``contended()``; the hold is then released at the next chunk
+        boundary — restoring the scalar walk's chunk-granularity fair
+        sharing under contention.  Returns the bytes still to send.
+        """
+        engine = self.engine
+        chunk_bytes = self.config.chunk_bytes
+        boundaries = []
+        t = engine.now
+        left = remaining
+        while left > 0:
+            chunk = min(chunk_bytes, left)
+            t = t + chunk / rate
+            boundaries.append(t)
+            left -= chunk
+        done = engine.timeout_at(boundaries[-1])
+        yield engine.any_of([done, tx.contended(), rx.contended()])
+        if done.processed:
+            return 0
+        engine.cancel(done)
+        # Contention: finish the chunk in flight, then hand over.
+        k = bisect_left(boundaries, engine.now)
+        boundary = boundaries[k]
+        if boundary > engine.now:
+            yield engine.timeout_at(boundary)
+        return remaining - min((k + 1) * chunk_bytes, remaining)
 
     def _check_endpoint(self, node: int) -> None:
         if not 0 <= node < self.n_nodes:

@@ -110,14 +110,15 @@ class Node:
     def _update_power(self) -> None:
         watts = self._current_power()
         self.timeline.set_power(self.engine.now, watts)
-        self.trace.record(
-            self.engine.now,
-            "node.power",
-            node=self.node_id,
-            watts=round(watts, 6),
-            state=str(self.cpu.state),
-            mhz=self.cpu.frequency / 1e6,
-        )
+        if self.trace.active:
+            self.trace.record(
+                self.engine.now,
+                "node.power",
+                node=self.node_id,
+                watts=round(watts, 6),
+                state=str(self.cpu.state),
+                mhz=self.cpu.frequency / 1e6,
+            )
 
     def finalize(self) -> None:
         """Close open accounting segments at the end of a run."""

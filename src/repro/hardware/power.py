@@ -82,6 +82,11 @@ class CpuPowerModel:
         self.table = table
         self.max_power = check_positive("max_power", max_power)
         self.factors = factors or ActivityFactors()
+        # Memoised _state_power per (point, state).  Everything involved
+        # is immutable, so each cached float is exactly what the formula
+        # below computes; values keep a strong reference to their point,
+        # which pins its id for the cache's lifetime.
+        self._state_watts: Dict[tuple, tuple] = {}
 
     def power(
         self,
@@ -104,10 +109,17 @@ class CpuPowerModel:
         return utilization * busy + (1.0 - utilization) * rest
 
     def _state_power(self, point: OperatingPoint, state: CpuActivity) -> float:
+        key = (id(point), state)
+        hit = self._state_watts.get(key)
+        if hit is not None:
+            return hit[0]
         alpha = self.factors[state]
         if state is CpuActivity.IDLE:
-            return alpha * self.max_power * self.table.relative_v2(point)
-        return alpha * self.max_power * self.table.relative_fv2(point)
+            watts = alpha * self.max_power * self.table.relative_v2(point)
+        else:
+            watts = alpha * self.max_power * self.table.relative_fv2(point)
+        self._state_watts[key] = (watts, point)
+        return watts
 
 
 @dataclass(frozen=True)

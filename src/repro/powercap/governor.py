@@ -170,6 +170,13 @@ class CapGovernor:
         #: per-node compute-demand high-water mark (decayed each window);
         #: missing nodes read as the worst-case 1.0
         self._demand: Dict[int, float] = {}
+        # Memoised _predict per (sample, point) within one control
+        # window — the greedy allocator re-evaluates the same pair on
+        # every step-selection pass.  Both inputs to the prediction
+        # (the sample and the demand high-water marks) are fixed between
+        # _observe_demand calls, which is where the memo resets; entries
+        # hold strong references so ids cannot be reused while cached.
+        self._predict_memo: Dict[tuple, tuple] = {}
         # Wire the demand-tracked slack metric into the policy if it
         # wants one and the caller didn't supply their own.
         if (
@@ -224,6 +231,7 @@ class CapGovernor:
             self._demand[s.node_id] = max(
                 measured, self.config.demand_decay * prev
             )
+        self._predict_memo.clear()
 
     def _predict(self, sample: NodeWindowSample, point) -> float:
         """Node power at ``point``: mix carryover vs demand, worst wins.
@@ -234,12 +242,18 @@ class CapGovernor:
         Taking the max makes allocation robust to barrier-boundary
         windows that sample a transiently quiet mix.
         """
-        return max(
+        key = (id(sample), id(point))
+        hit = self._predict_memo.get(key)
+        if hit is not None:
+            return hit[0]
+        watts = max(
             predict_node_power(self._model, self._table, sample, point),
             demand_power(
                 self._model, self._table, self._demand_of(sample.node_id), point
             ),
         )
+        self._predict_memo[key] = (watts, sample, point)
+        return watts
 
     def _apply(self, allocation: CapAllocation) -> None:
         """Install an allocation as per-node ceilings (daemon context)."""
@@ -322,7 +336,7 @@ class CapGovernor:
             # close and no basis to reallocate on.
             return []
         samples = self._telemetry.sample()
-        avg = self.cluster.average_power(t0, t1)
+        avg = self.cluster.window_average_power(t0, t1)
         self._observe_demand(samples)
         if reallocate:
             if self.resilience is not None:
@@ -492,7 +506,7 @@ class CapGovernor:
         cfg = self.resilience
         assert cfg is not None
         present = {s.node_id: s for s in samples}
-        pdu = self.cluster.node_average_powers(t0, t1)
+        pdu = self.cluster.window_node_average_powers(t0, t1)
         usable: List[NodeWindowSample] = []
         carved: Dict[int, float] = {}
         forced: Dict[int, float] = {}

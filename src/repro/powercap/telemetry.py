@@ -146,18 +146,51 @@ class ClusterTelemetry:
 # ---------------------------------------------------------------------------
 # the governor's node power model
 # ---------------------------------------------------------------------------
-def _busy_capacity(model: NodePowerModel, table: DVFSTable, point) -> float:
-    """Fully-active CPU draw (watts) at ``point`` — the α=1 reference."""
-    return model.cpu.max_power * table.relative_fv2(point)
+#: Memoised (busy-capacity, idle) watts per (model, table, point) triple.
+#: All three are immutable, so the cached floats are pure memoisations of
+#: the exact expressions below; the stored strong references pin the ids,
+#: so an id can never be reused by a different object while cached.
+#: Both memo dicts reset wholesale at this size — stale hits stay
+#: impossible (a cleared cache drops the pins *and* the entries) while
+#: long processes (the test suite) stay bounded.
+_MEMO_LIMIT = 65536
+
+_POINT_WATTS: Dict[tuple, tuple] = {}
 
 
-def _idle_watts(model: NodePowerModel, table: DVFSTable, point) -> float:
-    """Halted-CPU draw (watts) at ``point`` (leakage tracks V²)."""
-    return (
+def _point_watts(model: NodePowerModel, table: DVFSTable, point) -> tuple:
+    key = (id(model), id(table), id(point))
+    hit = _POINT_WATTS.get(key)
+    if hit is not None:
+        return hit
+    busy = model.cpu.max_power * table.relative_fv2(point)
+    idle = (
         model.cpu.factors[CpuActivity.IDLE]
         * model.cpu.max_power
         * table.relative_v2(point)
     )
+    if len(_POINT_WATTS) >= _MEMO_LIMIT:
+        _POINT_WATTS.clear()
+    entry = (busy, idle, model, table, point)
+    _POINT_WATTS[key] = entry
+    return entry
+
+
+def _busy_capacity(model: NodePowerModel, table: DVFSTable, point) -> float:
+    """Fully-active CPU draw (watts) at ``point`` — the α=1 reference."""
+    return _point_watts(model, table, point)[0]
+
+
+def _idle_watts(model: NodePowerModel, table: DVFSTable, point) -> float:
+    """Halted-CPU draw (watts) at ``point`` (leakage tracks V²)."""
+    return _point_watts(model, table, point)[1]
+
+
+#: Memoised α per (model, table, sample) — the allocator's greedy loop
+#: re-evaluates the same window sample at every candidate ladder point,
+#: and α depends only on the sample.  Same strong-reference id-pinning
+#: scheme as :data:`_POINT_WATTS`.
+_ALPHA_MEMO: Dict[tuple, tuple] = {}
 
 
 def infer_busy_alpha(
@@ -169,15 +202,26 @@ def infer_busy_alpha(
     Windows with almost no busy time return the conservative 1.0 (if the
     node *does* get busy next window, assume full draw).
     """
+    key = (id(model), id(table), id(sample))
+    hit = _ALPHA_MEMO.get(key)
+    if hit is not None:
+        return hit[0]
     if sample.busy_fraction < _MIN_BUSY_FOR_INFERENCE:
-        return 1.0
-    point = table.point_for(sample.frequency)
-    cpu_watts = sample.avg_watts - model.base_power
-    residual = cpu_watts - (1.0 - sample.busy_fraction) * _idle_watts(
-        model, table, point
-    )
-    alpha = residual / (sample.busy_fraction * _busy_capacity(model, table, point))
-    return max(0.0, min(1.0, alpha))
+        alpha = 1.0
+    else:
+        point = table.point_for(sample.frequency)
+        cpu_watts = sample.avg_watts - model.base_power
+        residual = cpu_watts - (1.0 - sample.busy_fraction) * _idle_watts(
+            model, table, point
+        )
+        alpha = residual / (
+            sample.busy_fraction * _busy_capacity(model, table, point)
+        )
+        alpha = max(0.0, min(1.0, alpha))
+    if len(_ALPHA_MEMO) >= _MEMO_LIMIT:
+        _ALPHA_MEMO.clear()
+    _ALPHA_MEMO[key] = (alpha, model, table, sample)
+    return alpha
 
 
 def predict_node_power(

@@ -11,6 +11,7 @@ a single engine, which is what lets the framework measure energy exactly
 while still modelling asynchronous behaviour such as governor preemption.
 """
 
+from repro.sim.columnar import ColumnarEngine, EngineStats
 from repro.sim.engine import (
     Engine,
     PRIORITY_LOW,
@@ -18,6 +19,13 @@ from repro.sim.engine import (
     PRIORITY_URGENT,
 )
 from repro.sim.errors import Interrupt, SimulationError, StopSimulation
+from repro.sim.factory import (
+    ENGINE_MODES,
+    engine_mode,
+    make_engine,
+    set_engine_mode,
+    using_engine_mode,
+)
 from repro.sim.events import AllOf, AnyOf, Condition, Event, Timeout
 from repro.sim.process import Process
 from repro.sim.resources import FilterStore, Request, Resource, Store
@@ -25,6 +33,13 @@ from repro.sim.trace import NullRecorder, TraceRecord, TraceRecorder
 
 __all__ = [
     "Engine",
+    "ColumnarEngine",
+    "EngineStats",
+    "ENGINE_MODES",
+    "engine_mode",
+    "make_engine",
+    "set_engine_mode",
+    "using_engine_mode",
     "Event",
     "Timeout",
     "Condition",

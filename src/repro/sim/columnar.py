@@ -1,0 +1,406 @@
+"""Columnar batched event core: the engine's vectorized hot path.
+
+:class:`ColumnarEngine` is a drop-in :class:`~repro.sim.engine.Engine`
+replacement that stores future events as **NumPy columns** (due-time,
+priority, sequence number) instead of a binary heap of tuples, and
+dispatches whole *timestamp frontiers* at once:
+
+* New events land in a small *tail* heap (O(log tail) push, O(1) min).
+  When the tail grows past a threshold it is ``lexsort``-ed by
+  ``(time, priority, seq)`` into an immutable sorted *run* of NumPy
+  arrays; runs are periodically merged so lookups stay cheap — the
+  classic LSM / ladder-queue arrangement, here with columnar storage.
+* :meth:`step` extracts **every** event due at the next time frontier in
+  one batched ``searchsorted`` slice per run and drains them through a
+  tiny per-frontier heap ordered by ``(priority, seq)`` — one clock
+  comparison per *frontier* instead of one heap pop per *event*.
+* Because rows are columns rather than heap entries, cancellation is a
+  set insertion: :meth:`cancel` makes the bulk fast paths in the
+  hardware layer possible (a whole-message network transfer or a
+  re-timed ``run_cycles`` quantum schedules *one* completion event and
+  cancels it on preemption, instead of racing an ``AnyOf`` per chunk).
+
+**Oracle contract** (enforced by hypothesis tests in
+``tests/sim/test_columnar_engine.py``): for any program, the columnar
+core processes the exact same events, in the exact same order, at the
+exact same ``float`` clock values as the scalar :class:`Engine` — both
+order by ``(time, priority, insertion-seq)``, and the frontier batching
+is invisible to simulation code.  The scalar walk stays intact as the
+property-test oracle, exactly as ``PowerSeries`` kept ``_energy_walk``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Engine, PRIORITY_NORMAL
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+__all__ = ["ColumnarEngine", "EngineStats"]
+
+_INF = float("inf")
+
+#: Tail pushes before a lexsort flush into a sorted run.  Small enough
+#: that tail heap operations stay cache-friendly, large enough to
+#: amortise the sort.
+_TAIL_LIMIT = 64
+
+#: Sorted runs kept before merging them into one (bounds the per-frontier
+#: min-of-heads scan).
+_MAX_RUNS = 8
+
+
+class EngineStats:
+    """Counters the columnar core maintains (cheap ints, always on)."""
+
+    __slots__ = (
+        "frontiers",
+        "dispatched",
+        "cancelled",
+        "flushes",
+        "merges",
+        "max_frontier",
+    )
+
+    def __init__(self) -> None:
+        self.frontiers = 0  #: timestamp batches extracted
+        self.dispatched = 0  #: events actually processed
+        self.cancelled = 0  #: events revoked before dispatch
+        self.flushes = 0  #: tail → sorted-run conversions
+        self.merges = 0  #: run compactions
+        self.max_frontier = 0  #: largest simultaneous batch seen
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"<EngineStats {body}>"
+
+
+class _Run:
+    """An immutable sorted slab of future events (columns + cursor)."""
+
+    __slots__ = ("when", "prio", "seq", "events", "cursor")
+
+    def __init__(
+        self,
+        when: np.ndarray,
+        prio: np.ndarray,
+        seq: np.ndarray,
+        events: List[Event],
+    ):
+        self.when = when
+        self.prio = prio
+        self.seq = seq
+        self.events = events
+        self.cursor = 0
+
+    def __len__(self) -> int:
+        return len(self.events) - self.cursor
+
+    def head_time(self) -> float:
+        if self.cursor >= len(self.events):
+            return _INF
+        return self.when[self.cursor]
+
+    def extract_at(
+        self,
+        t: float,
+        out: List[Tuple[int, int, Event]],
+        cancelled: Set[Event],
+    ) -> None:
+        """Append every live ``(prio, seq, event)`` row due exactly at ``t``."""
+        cursor = self.cursor
+        if cursor >= len(self.events) or self.when[cursor] != t:
+            return
+        end = int(np.searchsorted(self.when, t, side="right"))
+        prios = self.prio[cursor:end].tolist()
+        seqs = self.seq[cursor:end].tolist()
+        evs = self.events[cursor:end]
+        self.cursor = end
+        if cancelled:
+            for row in zip(prios, seqs, evs):
+                if row[2] in cancelled:
+                    cancelled.discard(row[2])
+                else:
+                    out.append(row)
+        else:
+            out.extend(zip(prios, seqs, evs))
+
+
+def _sorted_run(
+    when: np.ndarray, prio: np.ndarray, seq: np.ndarray, events: List[Event]
+) -> _Run:
+    order = np.lexsort((seq, prio, when))
+    return _Run(
+        when[order], prio[order], seq[order], [events[i] for i in order]
+    )
+
+
+class ColumnarEngine(Engine):
+    """Batched-frontier engine on columnar storage (see module docstring).
+
+    Identical public semantics to :class:`Engine`, plus:
+
+    * :meth:`cancel` — O(1) revocation of a scheduled event;
+    * :meth:`schedule_at` / :meth:`timeout_at` — absolute-time
+      scheduling, which the bulk fast paths use to land completions on
+      the *exact* float instants the scalar per-chunk walk would have
+      produced;
+    * :attr:`stats` — always-on frontier/dispatch/cancel counters.
+    """
+
+    columnar = True
+    supports_cancel = True
+
+    def __init__(self, start_time: float = 0.0, strict: bool = True):
+        super().__init__(start_time, strict)
+        # Current frontier: a tiny heap of (priority, seq, event) all due
+        # at _batch_time.  Only meaningful while non-empty.
+        self._batch: List[Tuple[int, int, Event]] = []
+        self._batch_time: float = self._now
+        # Future store: sorted columnar runs + a small tail heap of
+        # (when, prio, seq, event) rows awaiting a lexsort flush.  seq is
+        # unique, so heap comparisons never reach the Event itself.
+        self._runs: List[_Run] = []
+        self._tail: List[Tuple[float, int, int, Event]] = []
+        # Cancelled-but-still-stored events, skipped lazily at dispatch.
+        self._cancelled: Set[Event] = set()
+        self._n_alive = 0
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # queue primitives (overrides)
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        event: Event,
+        delay: float = 0.0,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Queue ``event`` for processing ``delay`` seconds from now."""
+        if not 0.0 <= delay < _INF:
+            raise SimulationError(
+                f"cannot schedule into the past or with a non-finite "
+                f"delay (delay={delay})"
+            )
+        self._enqueue(self._now + delay, priority, event)
+
+    def schedule_at(
+        self,
+        event: Event,
+        when: float,
+        priority: int = PRIORITY_NORMAL,
+    ) -> None:
+        """Queue ``event`` for processing at absolute time ``when``.
+
+        Unlike ``schedule(delay=when - now)`` this does not round-trip
+        through a subtraction, so a caller that *computed* an exact float
+        instant (e.g. a chunk boundary replayed from the scalar walk)
+        gets the event dispatched at exactly that float.
+        """
+        if not self._now <= when < _INF:
+            raise SimulationError(
+                f"cannot schedule at {when!r} (now={self._now}, "
+                f"non-finite and past instants are rejected)"
+            )
+        self._enqueue(when, priority, event)
+
+    def timeout_at(self, when: float, value: object = None) -> Event:
+        """An event that fires at absolute time ``when`` (cancellable)."""
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, when)
+        return event
+
+    def cancel(self, event: Event) -> bool:
+        """Revoke a scheduled-but-unprocessed event in O(1).
+
+        Returns ``True`` when the event was live and is now cancelled.
+        The event object stays *triggered* (it carries its value) but its
+        callbacks will never run.  Only events currently in the queue may
+        be cancelled — that is the only state in which the fast paths
+        call this.
+        """
+        if event.callbacks is None or not event.triggered:
+            return False
+        if event in self._cancelled:
+            return False
+        self._cancelled.add(event)
+        self._n_alive -= 1
+        self.stats.cancelled += 1
+        return True
+
+    def _enqueue(self, when: float, priority: int, event: Event) -> None:
+        seq = next(self._eid)
+        self._n_alive += 1
+        if self._batch and when == self._batch_time:
+            # Joins the live frontier: dispatch order within a frontier is
+            # (priority, seq), exactly the scalar heap's tie-break.
+            heapq.heappush(self._batch, (priority, seq, event))
+            return
+        heapq.heappush(self._tail, (when, priority, seq, event))
+        if len(self._tail) >= _TAIL_LIMIT:
+            self._flush_tail()
+
+    def peek(self) -> float:
+        """Time of the next live event, or ``inf`` if none."""
+        if self._cancelled:
+            self._purge()
+        if self._batch:
+            return self._batch_time
+        t = self._tail[0][0] if self._tail else _INF
+        for run in self._runs:
+            ht = run.head_time()
+            if ht < t:
+                t = ht
+        return float(t)
+
+    def _has_pending(self) -> bool:
+        return self._n_alive > 0
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        cancelled = self._cancelled
+        while True:
+            batch = self._batch
+            while batch:
+                prio, seq, event = heapq.heappop(batch)
+                if cancelled and event in cancelled:
+                    cancelled.discard(event)
+                    continue
+                self._now = self._batch_time
+                self._n_alive -= 1
+                self.stats.dispatched += 1
+                callbacks, event.callbacks = event.callbacks, None
+                if callbacks is None:  # pragma: no cover - defensive
+                    raise SimulationError(f"{event!r} processed twice")
+                for callback in callbacks:
+                    callback(event)
+                return
+            if not self._refill_batch():
+                raise SimulationError("step() on an empty event queue")
+
+    # ------------------------------------------------------------------
+    # columnar internals
+    # ------------------------------------------------------------------
+    def _refill_batch(self) -> bool:
+        """Extract the next timestamp frontier into the batch heap."""
+        if self._cancelled:
+            self._purge()
+        tail = self._tail
+        t = tail[0][0] if tail else _INF
+        for run in self._runs:
+            ht = run.head_time()
+            if ht < t:
+                t = ht
+        if t == _INF:
+            return False
+        t = float(t)
+        entries: List[Tuple[int, int, Event]] = []
+        if tail and tail[0][0] == t:
+            self._extract_tail_at(t, entries)
+        if self._runs:
+            for run in self._runs:
+                run.extract_at(t, entries, self._cancelled)
+            self._runs = [run for run in self._runs if len(run)]
+        heapq.heapify(entries)
+        self._batch = entries
+        self._batch_time = t
+        self.stats.frontiers += 1
+        if len(entries) > self.stats.max_frontier:
+            self.stats.max_frontier = len(entries)
+        return True
+
+    def _extract_tail_at(
+        self, t: float, out: List[Tuple[int, int, Event]]
+    ) -> None:
+        tail = self._tail
+        while tail and tail[0][0] == t:
+            _, prio, seq, event = heapq.heappop(tail)
+            out.append((prio, seq, event))
+
+    def _flush_tail(self) -> None:
+        tail = self._tail
+        when = np.fromiter(
+            (row[0] for row in tail), dtype=np.float64, count=len(tail)
+        )
+        prio = np.fromiter(
+            (row[1] for row in tail), dtype=np.int64, count=len(tail)
+        )
+        seq = np.fromiter(
+            (row[2] for row in tail), dtype=np.int64, count=len(tail)
+        )
+        events = [row[3] for row in tail]
+        self._runs.append(_sorted_run(when, prio, seq, events))
+        self._tail = []
+        self.stats.flushes += 1
+        if len(self._runs) >= _MAX_RUNS:
+            self._merge_runs()
+
+    def _merge_runs(self) -> None:
+        whens = np.concatenate([run.when[run.cursor :] for run in self._runs])
+        prios = np.concatenate([run.prio[run.cursor :] for run in self._runs])
+        seqs = np.concatenate([run.seq[run.cursor :] for run in self._runs])
+        events: List[Event] = []
+        for run in self._runs:
+            events.extend(run.events[run.cursor :])
+        cancelled = self._cancelled
+        if cancelled:
+            keep = [i for i, ev in enumerate(events) if ev not in cancelled]
+            if len(keep) != len(events):
+                for ev in events:
+                    cancelled.discard(ev)
+                idx = np.asarray(keep, dtype=np.int64)
+                whens, prios, seqs = whens[idx], prios[idx], seqs[idx]
+                events = [events[i] for i in keep]
+        self._runs = (
+            [_sorted_run(whens, prios, seqs, events)] if events else []
+        )
+        self.stats.merges += 1
+
+    def _purge(self) -> None:
+        """Physically drop cancelled rows wherever they sit at a head.
+
+        Keeps :meth:`peek` honest: a cancelled event must never determine
+        the next frontier time, or ``run(until=t)`` could overshoot.
+        """
+        cancelled = self._cancelled
+        batch = self._batch
+        while batch and batch[0][2] in cancelled:
+            cancelled.discard(heapq.heappop(batch)[2])
+        live_runs: List[_Run] = []
+        for run in self._runs:
+            events = run.events
+            n = len(events)
+            cursor = run.cursor
+            while cursor < n and events[cursor] in cancelled:
+                cancelled.discard(events[cursor])
+                cursor += 1
+            run.cursor = cursor
+            if cursor < n:
+                live_runs.append(run)
+        self._runs = live_runs
+        tail = self._tail
+        while tail and tail[0][3] in cancelled:
+            cancelled.discard(heapq.heappop(tail)[3])
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of live (scheduled, uncancelled) events."""
+        return self._n_alive
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ColumnarEngine t={self._now:.6g} pending={self._n_alive} "
+            f"frontiers={self.stats.frontiers}>"
+        )

@@ -29,6 +29,8 @@ PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
 
+_INF = float("inf")
+
 
 class Engine:
     """Discrete-event simulation core.
@@ -43,6 +45,14 @@ class Engine:
         you want in tests.  When ``False`` the process simply fails and
         waiters observe the exception.
     """
+
+    #: True on engines that batch same-timestamp events through columnar
+    #: storage (see :class:`repro.sim.columnar.ColumnarEngine`).
+    columnar = False
+    #: True on engines exposing O(1) ``cancel()`` — the hardware layer's
+    #: bulk fast paths (whole-message transfers, re-timed ``run_cycles``)
+    #: require it and fall back to per-chunk/per-race event walks here.
+    supports_cancel = False
 
     def __init__(self, start_time: float = 0.0, strict: bool = True):
         self._now = float(start_time)
@@ -72,15 +82,24 @@ class Engine:
         priority: int = PRIORITY_NORMAL,
     ) -> None:
         """Queue ``event`` for processing ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if not 0.0 <= delay < _INF:
+            # NaN fails both comparisons; a NaN (or inf) key would silently
+            # corrupt heap ordering, so reject every non-finite delay here.
+            raise SimulationError(
+                f"cannot schedule into the past or with a non-finite "
+                f"delay (delay={delay})"
+            )
         heapq.heappush(
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
+
+    def _has_pending(self) -> bool:
+        """Whether any event is still queued (the :meth:`run` loop guard)."""
+        return bool(self._queue)
 
     def step(self) -> None:
         """Process exactly one event (advancing the clock to it)."""
@@ -131,7 +150,7 @@ class Engine:
 
         self._running = True
         try:
-            while self._queue:
+            while self._has_pending():
                 if stop_at is not None and self.peek() > stop_at:
                     self._now = stop_at
                     return None

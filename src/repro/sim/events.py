@@ -132,8 +132,10 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: object = None):
-        if delay < 0:
-            raise SimulationError(f"negative timeout delay {delay!r}")
+        if not 0.0 <= delay < float("inf"):
+            # Same guard as Engine.schedule: a NaN delay slips past a plain
+            # `delay < 0` check and corrupts heap ordering.
+            raise SimulationError(f"non-finite or negative timeout delay {delay!r}")
         super().__init__(engine)
         self.delay = float(delay)
         self._ok = True

@@ -52,6 +52,7 @@ class Resource:
         self.capacity = int(capacity)
         self._users: List[Request] = []
         self._waiters: Deque[Request] = deque()
+        self._contended: Optional[Event] = None
 
     # ------------------------------------------------------------------
     @property
@@ -72,7 +73,28 @@ class Resource:
             req.succeed(self)
         else:
             self._waiters.append(req)
+            ev, self._contended = self._contended, None
+            if ev is not None:
+                ev.succeed(None)
         return req
+
+    def contended(self) -> Event:
+        """Event firing the next time a request has to queue.
+
+        Bulk holders (the columnar fast path in
+        :meth:`repro.hardware.network.NetworkFabric.transfer`) race this
+        against their completion so they can hand the resource over at
+        the next chunk boundary, reproducing the scalar walk's
+        chunk-granularity fair sharing without per-chunk events while
+        uncontended.  Note it only reports *future* arrivals — a holder
+        must check :attr:`queue_length` for waiters that queued before
+        the call.
+        """
+        ev = self._contended
+        if ev is None:
+            ev = Event(self.engine)
+            self._contended = ev
+        return ev
 
     def release(self, request: Request) -> None:
         """Give the resource back and wake the next waiter (if any)."""

@@ -50,6 +50,11 @@ class TraceRecorder:
         prefixes are kept.  ``None`` keeps everything.
     """
 
+    #: Hot emitters check this before building a record's fields — a
+    #: ``round()``/``str()`` payload for a recorder that drops everything
+    #: is pure waste on the simulator's innermost loops.
+    active = True
+
     def __init__(self, categories: Optional[List[str]] = None):
         self._records: List[TraceRecord] = []
         self._prefixes = tuple(categories) if categories else None
@@ -92,6 +97,8 @@ class TraceRecorder:
 
 class NullRecorder(TraceRecorder):
     """A recorder that drops everything (zero overhead bookkeeping)."""
+
+    active = False
 
     def __init__(self) -> None:
         super().__init__()

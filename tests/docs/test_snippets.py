@@ -19,6 +19,7 @@ DOC_FILES = [
     "EXPERIMENTS.md",
     "docs/API.md",
     "docs/CACHING.md",
+    "docs/ENGINE.md",
     "docs/FAULTS.md",
     "docs/SERVING.md",
 ]

@@ -29,7 +29,38 @@ ALLOWED_FILES = frozenset(
     }
 )
 
+#: per-event scheduling methods that must not be called per-item.  A
+#: ``yield engine.timeout(dt)`` inside a daemon loop is a *wait* (one
+#: event alive at a time) and stays legal; queueing many future events
+#: one ``schedule``/``schedule_at``/``timeout_at`` call at a time is the
+#: scalar anti-pattern the columnar engine's bulk paths (``run_cycles``
+#: cycle work, the fabric's bulk holds) exist to replace.
+BANNED_SCHEDULING = frozenset({"schedule", "schedule_at", "timeout_at"})
+
+#: the engine internals — batching has to be built out of something
+ALLOWED_SCHEDULING_PREFIX = "src/repro/sim/"
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _calls_in_loops(tree, rel, banned):
+    found = []
+    for loop in ast.walk(tree):
+        if not isinstance(loop, (ast.For, ast.While, ast.comprehension)):
+            continue
+        body = loop.ifs if isinstance(loop, ast.comprehension) else loop.body
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in banned
+                ):
+                    found.append(
+                        f"{rel}:{sub.lineno}: .{sub.func.attr}() "
+                        f"called inside a loop"
+                    )
+    return found
 
 
 def _violations():
@@ -39,21 +70,18 @@ def _violations():
         if rel in ALLOWED_FILES:
             continue
         tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
-        for loop in ast.walk(tree):
-            if not isinstance(loop, (ast.For, ast.While, ast.comprehension)):
-                continue
-            body = loop.ifs if isinstance(loop, ast.comprehension) else loop.body
-            for stmt in body:
-                for sub in ast.walk(stmt):
-                    if (
-                        isinstance(sub, ast.Call)
-                        and isinstance(sub.func, ast.Attribute)
-                        and sub.func.attr in BANNED_CALLS
-                    ):
-                        found.append(
-                            f"{rel}:{sub.lineno}: .{sub.func.attr}() "
-                            f"called inside a loop"
-                        )
+        found.extend(_calls_in_loops(tree, rel, BANNED_CALLS))
+    return found
+
+
+def _scheduling_violations():
+    found = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        if rel.startswith(ALLOWED_SCHEDULING_PREFIX):
+            continue
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        found.extend(_calls_in_loops(tree, rel, BANNED_SCHEDULING))
     return found
 
 
@@ -64,6 +92,27 @@ def test_no_scalar_timeline_queries_inside_loops():
         "energy_many/windowed_average/sample or use an EnergyCursor):\n"
         + "\n".join(violations)
     )
+
+
+def test_no_per_event_scheduling_inside_loops():
+    violations = _scheduling_violations()
+    assert not violations, (
+        "per-event scheduling inside Python loops outside repro.sim "
+        "(charge the work in bulk — run_cycles cycle batches, the "
+        "fabric's bulk holds — or wait on one event per pass):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_scheduling_guard_detects_the_anti_pattern():
+    """Self-check: the scanner flags one schedule call per loop item."""
+    offender = (
+        "def f(engine, events):\n"
+        "    for i, ev in enumerate(events):\n"
+        "        engine.schedule_at(ev, float(i))\n"
+    )
+    hits = _calls_in_loops(ast.parse(offender), "x.py", BANNED_SCHEDULING)
+    assert hits == ["x.py:3: .schedule_at() called inside a loop"]
 
 
 def test_guard_actually_detects_the_anti_pattern(tmp_path):
