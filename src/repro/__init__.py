@@ -80,6 +80,19 @@ _EXPORTS = {
     "run_sweep": "repro.analysis.parallel",
     "SweepTask": "repro.analysis.parallel",
     "SweepError": "repro.analysis.parallel",
+    "SweepEvent": "repro.analysis.parallel",
+    # execution backends (repro.exec)
+    "BACKENDS": "repro.exec.backends",
+    "ExecBackend": "repro.exec.backends",
+    "SerialBackend": "repro.exec.backends",
+    "ProcessPoolBackend": "repro.exec.backends",
+    "MpiBackend": "repro.exec.mpi",
+    "resolve_backend": "repro.exec.backends",
+    "mpi_available": "repro.exec.mpi",
+    "RetryPolicy": "repro.exec.retry",
+    "AttemptRecord": "repro.exec.retry",
+    "WorkerLostError": "repro.exec.retry",
+    "SweepTimeoutError": "repro.exec.retry",
     # chaos
     "run_chaos_sweep": "repro.faults.sweep",
     "ChaosTask": "repro.faults.sweep",
@@ -135,10 +148,29 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
-    from repro.analysis.parallel import SweepError, SweepTask, run_sweep
+    from repro.analysis.parallel import (
+        SweepError,
+        SweepEvent,
+        SweepTask,
+        run_sweep,
+    )
     from repro.analysis.runner import run_measured, traced_run
     from repro.cache.context import sweep_context
     from repro.cache.store import RunCache
+    from repro.exec.backends import (
+        BACKENDS,
+        ExecBackend,
+        ProcessPoolBackend,
+        SerialBackend,
+        resolve_backend,
+    )
+    from repro.exec.mpi import MpiBackend, mpi_available
+    from repro.exec.retry import (
+        AttemptRecord,
+        RetryPolicy,
+        SweepTimeoutError,
+        WorkerLostError,
+    )
     from repro.experiments.registry import list_experiments, run_experiment
     from repro.faults.injector import FaultInjector
     from repro.faults.spec import FaultPlan

@@ -1,44 +1,74 @@
-"""Parallel experiment sweeps across OS processes, with a run cache.
+"""Fault-tolerant experiment sweeps over pluggable backends, with a run cache.
 
 Every run in a crescendo is an independent simulation with no shared
-state, so sweeps parallelise embarrassingly across cores.  Because the
-simulator is fully deterministic, a parallel sweep returns *bit-identical*
-results to the serial one — asserted in the tests — so callers can use
-whichever fits their machine.
+state, so sweeps parallelise embarrassingly.  Because the simulator is
+fully deterministic, every backend returns *bit-identical* results to
+the serial one — asserted in the tests — so callers pick whichever fits
+their machine: in-process serial, a hardened local process pool, or
+mpi4py ranks (``backend="serial" | "process" | "mpi"``, see
+:mod:`repro.exec` and ``docs/BACKENDS.md``).
 
-Workers receive a picklable task description and build their own cluster;
-only the resulting :class:`~repro.metrics.records.EnergyDelayPoint`
-travels back.
+Workers receive a picklable task description and build their own
+cluster; only the resulting
+:class:`~repro.metrics.records.EnergyDelayPoint` travels back.
 
 Determinism also makes runs *cacheable*: pass a
 :class:`~repro.cache.store.RunCache` and :func:`run_sweep` resolves each
 task to a content hash (:func:`repro.cache.keys.task_key`), returns
 stored points for hits, and inserts every freshly simulated point as it
 completes.  Insertion-on-completion is what makes sweeps **resumable**:
-an interrupted or partially failed sweep has already persisted its
-finished points, so the re-run simulates only the gap.
+an interrupted, crashed, or half-killed sweep has already persisted its
+finished points, so the re-run simulates only the gap.  Results also
+*stream*: pass ``on_result`` and every completed point (cache hits
+included) arrives as a :class:`SweepEvent` with progress counters the
+moment it lands, instead of gather-at-the-end.
 
-Failures are collected, not contagious: a task that raises does not stop
-the remaining tasks.  When any task fails, :func:`run_sweep` finishes
-everything else (caching the successes) and then raises
-:class:`SweepError` listing each failed task by index.
+Failures are collected, not contagious: a task that raises does not
+stop the remaining tasks, and a task whose *worker* dies (SIGKILL, OOM)
+costs only that task a retry on a respawned pool — never a cascading
+``BrokenProcessPool`` failure for every sibling.  Retries, backoff, and
+per-task timeouts follow the sweep's
+:class:`~repro.exec.retry.RetryPolicy`.  When any task remains failed
+after its attempts, :func:`run_sweep` finishes everything else (caching
+the successes) and then raises :class:`SweepError` listing each failed
+task by index with its per-attempt history.
 """
 
 from __future__ import annotations
 
 import traceback
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.dvs.strategy import (
     CpuspeedStrategy,
     DVSStrategy,
     DynamicStrategy,
     StaticStrategy,
+)
+from repro.exec.backends import (
+    ExecBackend,
+    SerialBackend,
+    TaskUnit,
+    resolve_backend,
+)
+from repro.exec.retry import (
+    DEFAULT_RETRY,
+    AttemptRecord,
+    RetryPolicy,
+    format_attempts,
+    task_seed,
 )
 from repro.hardware.calibration import Calibration
 from repro.metrics.records import EnergyDelayPoint
@@ -48,14 +78,17 @@ from repro.workloads.base import Workload
 __all__ = [
     "STRATEGY_KINDS",
     "SweepError",
+    "SweepEvent",
     "SweepTask",
+    "execute_sweep",
     "parallel_full_sweep",
     "run_sweep",
 ]
 
 #: Distinguishes "not passed" from any legitimate value in the
 #: deprecated-parameter shims.  Shared with
-#: :func:`repro.faults.sweep.run_chaos_sweep` so the two signatures
+#: :func:`repro.faults.sweep.run_chaos_sweep` and
+#: :func:`repro.serving.sweep.run_serving_sweep` so the signatures
 #: compare equal parameter-for-parameter (asserted in the tests).
 _UNSET = object()
 
@@ -73,6 +106,11 @@ class SweepError(RuntimeError):
     completed:
         The full result list, ``None`` at each failed index — everything
         that *did* finish (and was cached, when a cache was active).
+    attempts:
+        Per-failure attempt histories aligned with ``failures``: each a
+        tuple of :class:`~repro.exec.retry.AttemptRecord` covering every
+        attempt the retry policy allowed (timeouts, lost workers, and
+        the final error all appear).
     tracebacks:
         Formatted traceback text aligned with ``failures`` — the original
         raise site, not the re-raise here.  Pool workers' tracebacks
@@ -84,26 +122,65 @@ class SweepError(RuntimeError):
         self,
         failures: Sequence[Tuple[int, object, BaseException]],
         completed: Sequence[Optional[object]],
+        attempts: Optional[Sequence[Tuple[AttemptRecord, ...]]] = None,
     ):
         self.failures = list(failures)
         self.completed = list(completed)
+        self.attempts: List[Tuple[AttemptRecord, ...]] = (
+            [tuple(a) for a in attempts]
+            if attempts is not None
+            else [() for _ in self.failures]
+        )
         self.tracebacks: List[str] = [
             "".join(traceback.format_exception(type(err), err, err.__traceback__))
             for _, _, err in self.failures
         ]
         summary = "; ".join(
             f"task[{i}] ({_describe_task(task)}): {err!r}"
-            for i, task, err in self.failures
+            + (
+                f" after {len(history)} attempts"
+                if len(history) > 1
+                else ""
+            )
+            for (i, task, err), history in zip(self.failures, self.attempts)
+        )
+        histories = "\n".join(
+            f"task[{i}] attempt history:\n{format_attempts(history)}"
+            for (i, _, _), history in zip(self.failures, self.attempts)
+            if history
         )
         super().__init__(
             f"{len(self.failures)} of {len(self.completed)} sweep tasks "
             f"failed: {summary}\n"
+            + (histories + "\n" if histories else "")
             + "\n".join(self.tracebacks)
         )
 
 
+@dataclass(frozen=True)
+class SweepEvent:
+    """One streamed sweep completion (see ``on_result``).
+
+    ``source`` is ``"cache"`` for a warm hit (streamed before execution
+    starts, in input order) or ``"run"`` for a freshly executed task.
+    ``completed``/``total`` are progress counters: ``completed`` counts
+    this event.  ``attempts`` carries the failed attempts that preceded
+    a successful run (empty for first-try successes and cache hits).
+    """
+
+    index: int
+    total: int
+    completed: int
+    source: str
+    result: object
+    label: str = ""
+    attempts: Tuple[AttemptRecord, ...] = ()
+
+
 def _describe_task(task: object) -> str:
-    label = getattr(task, "strategy_kind", None)
+    label = getattr(task, "strategy_kind", None) or getattr(
+        task, "label", None
+    )
     return label if label is not None else type(task).__name__
 
 
@@ -113,46 +190,39 @@ def run_collected(
     execute: Callable[[object], object],
     finish: Callable[[int, object], None],
     n_workers: Optional[int],
+    *,
+    backend: Union[str, ExecBackend, None] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> List[Tuple[int, object, BaseException]]:
     """Run ``execute(tasks[i])`` for each pending index, collecting
     failures instead of spreading them.
 
-    The shared engine under :func:`run_sweep` and the chaos sweep
-    (:func:`repro.faults.sweep.run_chaos_sweep`): serial in-process when
-    ``n_workers == 0`` (or ≤1 pending task), otherwise a process pool.
-    ``finish(i, result)`` is called the moment task ``i`` completes (the
-    cache-insertion hook that makes sweeps resumable).
+    Pre-backend compatibility shim over :mod:`repro.exec`: ``n_workers``
+    keeps the internal convention (``0`` = serial in-process, ``None`` =
+    one worker per core, ``N`` = N workers) and ``finish(i, result)`` is
+    called the moment task ``i`` completes.  New code should use
+    :func:`execute_sweep` (or a backend directly) — this wrapper drops
+    the attempt histories.
 
     Only :class:`Exception` is collected — ``KeyboardInterrupt`` /
     ``SystemExit`` always propagate immediately, whether raised in
     process or re-raised from a pool worker, so a Ctrl-C can never be
     swallowed into a :class:`SweepError`.
     """
-    failures: List[Tuple[int, object, BaseException]] = []
-    if n_workers == 0 or len(pending) <= 1:
-        for i in pending:
-            try:
-                finish(i, execute(tasks[i]))
-            except (KeyboardInterrupt, SystemExit):
-                raise
-            except Exception as exc:  # noqa: BLE001 - reported via SweepError
-                failures.append((i, tasks[i], exc))
-    else:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            futures = {pool.submit(execute, tasks[i]): i for i in pending}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
-                    i = futures[future]
-                    try:
-                        finish(i, future.result())
-                    except (KeyboardInterrupt, SystemExit):
-                        raise
-                    except Exception as exc:  # noqa: BLE001
-                        failures.append((i, tasks[i], exc))
-    failures.sort(key=lambda f: f[0])
-    return failures
+    resolved = resolve_backend(backend, n_workers, n_pending=len(pending))
+    units = [
+        TaskUnit(i, tasks[i], task_seed(i, tasks[i])) for i in pending
+    ]
+    task_failures = resolved.run(
+        execute,
+        units,
+        retry=retry if retry is not None else DEFAULT_RETRY,
+        on_result=lambda i, result, attempts: finish(i, result),
+    )
+    return sorted(
+        ((f.index, f.task, f.error) for f in task_failures),
+        key=lambda f: f[0],
+    )
 
 
 @dataclass(frozen=True)
@@ -220,20 +290,24 @@ def resolve_sweep_options(
     tracer: Optional[Tracer],
     n_workers,
     cache,
+    backend: Union[str, ExecBackend, None] = None,
 ) -> Tuple[Optional[int], object]:
     """Normalise the unified sweep keywords to ``(n_workers, cache)``.
 
-    The shared front door of :func:`run_sweep` and
-    :func:`repro.faults.sweep.run_chaos_sweep`: translates the public
+    The shared front door of every sweep family: translates the public
     ``jobs`` convention (``None`` = serial in-process, ``0`` = one
     worker per core, ``N`` = N workers — the same meaning as
-    ``repro-experiment --jobs``) to :func:`run_collected`'s internal
-    ``n_workers`` convention, resolves ``use_cache``/``cache_dir``
-    through :func:`repro.cache.context.resolve_cache`, and applies the
+    ``repro-experiment --jobs``) to the internal ``n_workers``
+    convention, resolves ``use_cache``/``cache_dir`` through
+    :func:`repro.cache.context.resolve_cache`, and applies the
     :class:`DeprecationWarning` shims for the pre-unification
-    ``n_workers``/``cache`` keywords.  A ``tracer`` forces serial
-    in-process execution — records live in this process's ring buffers,
-    so pool workers would trace into the void.
+    ``n_workers``/``cache`` keywords.
+
+    A ``tracer`` forces serial in-process execution — records live in
+    this process's ring buffers, so pool workers would trace into the
+    void.  When that overrides an explicit ``jobs``/``backend`` request,
+    a :class:`UserWarning` names the override so the caller learns why
+    the sweep is not parallel.
     """
     if n_workers is not _UNSET:
         warnings.warn(
@@ -241,7 +315,7 @@ def resolve_sweep_options(
             "(None = serial in-process, 0 = one worker per core, "
             "N = N workers)",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
         if jobs is None:
             # Old convention: 0 = serial, None = all cores, N = N.
@@ -251,7 +325,7 @@ def resolve_sweep_options(
             f"{caller}(cache=...) is deprecated; use use_cache=... "
             "(True, False, or a RunCache to share)",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=4,
         )
         if use_cache is False and cache is not None:
             use_cache = cache
@@ -262,10 +336,133 @@ def resolve_sweep_options(
 
     resolved = resolve_cache(use_cache, cache_dir)
     if tracer is not None:
+        parallel_requested = jobs is not None or not (
+            backend is None
+            or backend == "serial"
+            or isinstance(backend, SerialBackend)
+        )
+        if parallel_requested:
+            requested = []
+            if jobs is not None:
+                requested.append(f"jobs={jobs!r}")
+            if backend is not None and backend != "serial":
+                requested.append(f"backend={getattr(backend, 'name', backend)!r}")
+            warnings.warn(
+                f"{caller}: a tracer records into this process's ring "
+                "buffers, so tracing forces serial in-process execution; "
+                f"ignoring {' and '.join(requested)}",
+                UserWarning,
+                stacklevel=4,
+            )
         internal: Optional[int] = 0
     else:
         internal = 0 if jobs is None else (None if jobs == 0 else jobs)
     return internal, resolved
+
+
+def execute_sweep(
+    tasks: Sequence[object],
+    *,
+    caller: str,
+    execute: Callable[[object], object],
+    describe: Callable[[object], str] = _describe_task,
+    key_of: Optional[Callable[[object], str]] = None,
+    lookup: Optional[Callable[[object, str], Optional[object]]] = None,
+    store: Optional[Callable[[object, str, object, object], None]] = None,
+    jobs: Optional[int] = None,
+    use_cache: Union[bool, object] = False,
+    cache_dir: Optional[Union[str, Path]] = None,
+    tracer: Optional[Tracer] = None,
+    backend: Union[str, ExecBackend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[SweepEvent], None]] = None,
+    n_workers=_UNSET,
+    cache=_UNSET,
+) -> List[object]:
+    """The engine shared by all three sweep families.
+
+    ``run_sweep``, ``run_chaos_sweep`` and ``run_serving_sweep`` are
+    thin shells over this: they supply the family-specific hooks
+    (``execute`` worker body, ``key_of`` content hash, ``lookup`` /
+    ``store`` cache codecs, ``describe`` labels) and this function owns
+    everything uniform — option resolution, cache short-circuiting,
+    streamed :class:`SweepEvent` delivery with progress counters,
+    backend dispatch with the :class:`~repro.exec.retry.RetryPolicy`,
+    tracer installation, and :class:`SweepError` assembly with attempt
+    histories.
+    """
+    internal_workers, run_cache = resolve_sweep_options(
+        caller, jobs, use_cache, cache_dir, tracer, n_workers, cache, backend
+    )
+    retry_policy = retry if retry is not None else DEFAULT_RETRY
+    scope = tracing(tracer) if tracer is not None else nullcontext()
+    with scope:
+        total = len(tasks)
+        results: List[Optional[object]] = [None] * total
+        keys: List[Optional[str]] = [None] * total
+        completed = 0
+        if run_cache is not None and key_of is not None:
+            get = lookup if lookup is not None else (
+                lambda cache_obj, key: cache_obj.get(key)
+            )
+            for i, task in enumerate(tasks):
+                keys[i] = key_of(task)
+                results[i] = get(run_cache, keys[i])
+
+        pending = [i for i, r in enumerate(results) if r is None]
+        if on_result is not None:
+            for i, hit in enumerate(results):
+                if hit is not None:
+                    completed += 1
+                    on_result(
+                        SweepEvent(
+                            i, total, completed, "cache", hit,
+                            describe(tasks[i]),
+                        )
+                    )
+
+        def finish(index: int, result: object, attempts) -> None:
+            nonlocal completed
+            results[index] = result
+            if run_cache is not None and store is not None:
+                store(run_cache, keys[index], tasks[index], result)
+            completed += 1
+            if on_result is not None:
+                on_result(
+                    SweepEvent(
+                        index, total, completed, "run", result,
+                        describe(tasks[index]), tuple(attempts),
+                    )
+                )
+
+        exec_fn = execute
+        if tracer is not None:
+            def exec_fn(task):  # noqa: F811 - traced replacement
+                with tracer.wall_span(
+                    describe(task), "sweep.task", "sweep"
+                ):
+                    return execute(task)
+
+            backend_obj: ExecBackend = SerialBackend()
+        else:
+            backend_obj = resolve_backend(
+                backend, internal_workers, n_pending=len(pending)
+            )
+        units = [
+            TaskUnit(i, tasks[i], task_seed(i, tasks[i], keys[i]))
+            for i in pending
+        ]
+        task_failures = backend_obj.run(
+            exec_fn, units, retry=retry_policy, on_result=finish
+        )
+    if task_failures:
+        ordered = sorted(task_failures, key=lambda f: f.index)
+        raise SweepError(
+            [(f.index, f.task, f.error) for f in ordered],
+            results,
+            attempts=[f.attempts for f in ordered],
+        )
+    return results
 
 
 def run_sweep(
@@ -275,13 +472,17 @@ def run_sweep(
     use_cache: Union[bool, object] = False,
     cache_dir: Optional[Union[str, Path]] = None,
     tracer: Optional[Tracer] = None,
+    backend: Union[str, ExecBackend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[SweepEvent], None]] = None,
     n_workers=_UNSET,
     cache=_UNSET,
 ) -> List[EnergyDelayPoint]:
     """Run tasks, preserving input order.
 
     Parameters (keyword-only, shared verbatim with
-    :func:`repro.faults.sweep.run_chaos_sweep`):
+    :func:`repro.faults.sweep.run_chaos_sweep` and
+    :func:`repro.serving.sweep.run_serving_sweep`):
 
     ``jobs``
         ``None`` runs serial in-process (the default), ``0`` uses one
@@ -293,12 +494,28 @@ def run_sweep(
         ``~/.cache/repro/runs``); an existing :class:`RunCache` is
         shared as-is.  Stored points short-circuit their tasks and
         fresh points persist the moment they complete, so interrupted
-        sweeps resume.
+        sweeps resume.  The store is safe to share between concurrent
+        sweeps (see ``docs/CACHING.md``).
     ``tracer``
         A :class:`~repro.obs.tracer.Tracer` to record the sweep into:
         installed as the active tracer for the whole call (deep
         simulator instrumentation included) plus one wall-clock span
-        per executed task.  Forces serial in-process execution.
+        per executed task.  Forces serial in-process execution (a
+        ``UserWarning`` names the override when it ignores an explicit
+        ``jobs``/``backend``).
+    ``backend``
+        ``"serial"``, ``"process"``, ``"mpi"``, or an
+        :class:`~repro.exec.backends.ExecBackend` instance; ``None``
+        infers from ``jobs``.  See ``docs/BACKENDS.md``.
+    ``retry``
+        A :class:`~repro.exec.retry.RetryPolicy` bounding per-task
+        attempts, backoff, and wall-clock timeout.  The default retries
+        substrate failures (lost workers, timeouts) up to 3 attempts
+        and fails deterministic task errors fast.
+    ``on_result``
+        Streaming callback: invoked with a :class:`SweepEvent` the
+        moment each result lands (cache hits first, in input order;
+        then fresh runs in completion order) with progress counters.
     ``n_workers`` / ``cache``
         Deprecated pre-unification names (``DeprecationWarning``);
         note ``n_workers`` had *inverted* serial semantics
@@ -307,49 +524,37 @@ def run_sweep(
     Raises
     ------
     SweepError
-        After all tasks have been attempted, if any of them failed.
+        After all tasks have been attempted, if any of them failed —
+        with per-task attempt histories attached.
     """
-    internal_workers, run_cache = resolve_sweep_options(
-        "run_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
-    )
-    scope = tracing(tracer) if tracer is not None else nullcontext()
-    with scope:
-        points: List[Optional[EnergyDelayPoint]] = [None] * len(tasks)
-        keys: List[Optional[str]] = [None] * len(tasks)
-        if run_cache is not None:
-            from repro.cache.keys import task_key
+    def key_of(task) -> str:
+        from repro.cache.keys import task_key
 
-            for i, task in enumerate(tasks):
-                keys[i] = task_key(task)
-                points[i] = run_cache.get(keys[i])
+        return task_key(task)
 
-        pending = [i for i, p in enumerate(points) if p is None]
-
-        def finish(index: int, point: EnergyDelayPoint) -> None:
-            points[index] = point
-            if run_cache is not None:
-                run_cache.put(
-                    keys[index],
-                    point,
-                    meta={
-                        "workload": getattr(tasks[index].workload, "name", "")
-                    },
-                )
-
-        execute = _execute
-        if tracer is not None:
-            def execute(task):  # noqa: F811 - traced replacement
-                with tracer.wall_span(
-                    _describe_task(task), "sweep.task", "sweep"
-                ):
-                    return _execute(task)
-
-        failures = run_collected(
-            tasks, pending, execute, finish, internal_workers
+    def store(run_cache, key, task, point) -> None:
+        run_cache.put(
+            key,
+            point,
+            meta={"workload": getattr(task.workload, "name", "")},
         )
-    if failures:
-        raise SweepError(failures, points)
-    return points  # type: ignore[return-value] - no None left
+
+    return execute_sweep(
+        tasks,
+        caller="run_sweep",
+        execute=_execute,
+        key_of=key_of,
+        store=store,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        tracer=tracer,
+        backend=backend,
+        retry=retry,
+        on_result=on_result,
+        n_workers=n_workers,
+        cache=cache,
+    )
 
 
 def parallel_full_sweep(

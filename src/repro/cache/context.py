@@ -1,10 +1,11 @@
-"""The ambient sweep context: caching and parallelism without plumbing.
+"""The ambient sweep context: caching, parallelism, and backends without
+plumbing.
 
 Thirteen experiment drivers build crescendos through the shared helpers
 in :mod:`repro.experiments.common`.  Rather than thread
-``cache``/``n_workers`` arguments through every ``fig*.run`` signature,
-the registry (and anything else) installs a :class:`SweepContext` for
-the duration of a call::
+``cache``/``n_workers``/``backend`` arguments through every ``fig*.run``
+signature, the registry (and anything else) installs a
+:class:`SweepContext` for the duration of a call::
 
     from repro.cache import RunCache, sweep_context
     from repro.experiments.registry import run_experiment
@@ -14,9 +15,10 @@ the duration of a call::
 
 Helpers that honour the context (``static_points``, ``dynamic_points``,
 ``cpuspeed_point``, ``strategy_point_sweep``) route through
-:func:`repro.analysis.parallel.run_sweep` with the active cache and
-worker count.  The default context (no cache, in-process serial
-execution) reproduces the pre-cache behaviour exactly.
+:func:`repro.analysis.parallel.run_sweep` with the active cache, worker
+count, execution backend, and retry policy.  The default context (no
+cache, in-process serial execution, default retries) reproduces the
+pre-cache behaviour exactly.
 """
 
 from __future__ import annotations
@@ -43,13 +45,20 @@ __all__ = [
 class SweepContext:
     """What ambient machinery sweeps should use.
 
-    ``n_workers`` follows :func:`repro.analysis.parallel.run_sweep`
-    semantics: ``0`` runs in-process (the default — serial, no pool),
-    ``None`` uses ``os.cpu_count()`` workers, ``N`` uses N workers.
+    ``n_workers`` follows the internal convention: ``0`` runs in-process
+    (the default — serial, no pool), ``None`` uses ``os.cpu_count()``
+    workers, ``N`` uses N workers.  ``backend`` is a name from
+    :data:`repro.exec.backends.BACKENDS` (or an
+    :class:`~repro.exec.backends.ExecBackend` instance); ``None`` infers
+    from ``n_workers``.  ``retry`` is a
+    :class:`~repro.exec.retry.RetryPolicy` (``None`` = the sweep
+    default).
     """
 
     cache: Optional[RunCache] = None
     n_workers: Optional[int] = 0
+    backend: object = None
+    retry: object = None
 
 
 _ACTIVE: ContextVar[SweepContext] = ContextVar(
@@ -96,9 +105,13 @@ def resolve_cache(
 def sweep_context(
     cache: Optional[RunCache] = None,
     n_workers: Optional[int] = 0,
+    backend: object = None,
+    retry: object = None,
 ) -> Iterator[SweepContext]:
     """Install a :class:`SweepContext` for the dynamic extent of a block."""
-    ctx = SweepContext(cache=cache, n_workers=n_workers)
+    ctx = SweepContext(
+        cache=cache, n_workers=n_workers, backend=backend, retry=retry
+    )
     token = _ACTIVE.set(ctx)
     try:
         yield ctx

@@ -20,18 +20,51 @@ Design properties:
 * **last-writer-wins** — duplicate keys may appear when concurrent
   sweeps share a directory; the latest appended record is returned.
 
-Writes happen only in the sweep-coordinating process (workers return
-points over the pool, the parent inserts), so a single ``RunCache``
-instance never races itself.
+Concurrency contract (multiple processes sharing one ``cache_dir``):
+
+* **appends are atomic** — :meth:`RunCache.put` writes one record as a
+  single ``write()`` on a file opened in append mode while holding that
+  shard's advisory lock (``<cache_dir>/locks/<kk>.lock``, ``flock``
+  where available), so concurrent appenders interleave whole lines,
+  never bytes;
+* **reads are lock-free** — lookups never block on writers.  Keys are
+  content hashes, so any record found for a key holds exactly the value
+  re-simulation would produce; a reader racing an appender at worst
+  misses a record that just landed (costing one re-simulation) or reads
+  a record that was just evicted (saving one);
+* **staleness detection** — the in-memory shard image is tagged with
+  the byte count it parsed; a lookup whose shard file grew (another
+  process appended) or vanished (evicted) reloads before answering, so
+  fleets of sweeps sharing a directory see each other's completed
+  points;
+* **eviction is crash-consistent** — the LRU cap takes each victim
+  shard's lock *non-blocking* (a shard held by a concurrent appender is
+  skipped this round) and re-checks size+mtime under the lock (a shard
+  touched since the scan is skipped as recently used), so eviction can
+  never delete a shard out from under an in-flight append;
+* **lock files are permanent** — ``locks/<kk>.lock`` files are never
+  deleted (not even by :meth:`RunCache.clear`): unlinking a lock file
+  while another process holds its ``flock`` would let a third process
+  lock a fresh inode and believe it holds the same lock.
+
+Counters (hits/misses/evictions/corrupt) are per-instance; ``entries``
+and ``bytes`` are measured from disk, so they reflect every process
+sharing the directory.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple
+
+try:  # pragma: no cover - platform-dependent import
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX: locks degrade to no-ops
+    fcntl = None  # type: ignore[assignment]
 
 from repro.metrics.records import EnergyDelayPoint
 from repro.obs.tracer import WALL_CLOCK, active_tracer
@@ -39,6 +72,10 @@ from repro.obs.tracer import WALL_CLOCK, active_tracer
 __all__ = ["CacheStats", "RunCache"]
 
 _SHARD_SUFFIX = ".jsonl"
+_LOCK_SUFFIX = ".lock"
+
+#: size tag meaning "shard file absent when last examined"
+_ABSENT = -1
 
 
 @dataclass(frozen=True)
@@ -65,6 +102,11 @@ class CacheStats:
 
 class RunCache:
     """Content-addressed store of :class:`EnergyDelayPoint` records.
+
+    Safe to share one ``cache_dir`` across processes — concurrent sweeps
+    (even whole fleets of them) may append and look up simultaneously
+    without losing completed points; see the module docstring for the
+    exact contract.
 
     Parameters
     ----------
@@ -98,11 +140,21 @@ class RunCache:
         self._corrupt = 0
         #: shard prefix -> {key -> record dict}, lazily loaded
         self._shards: Dict[str, Dict[str, dict]] = {}
+        #: shard prefix -> byte count the in-memory image parsed
+        #: (:data:`_ABSENT` when the file was missing).  Shard files only
+        #: ever grow in place, so a size match means the image is
+        #: current; any mismatch (growth, eviction, rebuild) forces a
+        #: reload on next access.
+        self._tags: Dict[str, int] = {}
 
     # -- layout --------------------------------------------------------
     @property
     def shard_dir(self) -> Path:
         return self.cache_dir / "shards"
+
+    @property
+    def lock_dir(self) -> Path:
+        return self.cache_dir / "locks"
 
     def _shard_path(self, prefix: str) -> Path:
         return self.shard_dir / f"{prefix}{_SHARD_SUFFIX}"
@@ -112,22 +164,73 @@ class RunCache:
             return iter(())
         return iter(sorted(self.shard_dir.glob(f"*{_SHARD_SUFFIX}")))
 
+    # -- locking -------------------------------------------------------
+    @contextmanager
+    def _shard_lock(self, prefix: str, blocking: bool = True):
+        """Hold the advisory lock for one shard (exclusive).
+
+        Yields ``True`` when the lock is held.  With ``blocking=False``
+        yields ``False`` instead of waiting when another process holds
+        it.  Where ``flock`` is unavailable the lock degrades to a
+        no-op (single-process behaviour is unchanged; cross-process
+        appends still interleave at line granularity thanks to
+        single-``write()`` appends).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield True
+            return
+        self.lock_dir.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            self.lock_dir / f"{prefix}{_LOCK_SUFFIX}",
+            os.O_CREAT | os.O_RDWR,
+            0o644,
+        )
+        try:
+            try:
+                fcntl.flock(
+                    fd,
+                    fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB),
+                )
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
     # -- load ----------------------------------------------------------
     def _load_shard(self, prefix: str) -> Dict[str, dict]:
-        loaded = self._shards.get(prefix)
-        if loaded is not None:
-            return loaded
-        records: Dict[str, dict] = {}
         path = self._shard_path(prefix)
         try:
-            text = path.read_text(encoding="utf-8")
-        except FileNotFoundError:
-            text = ""
-        except (OSError, UnicodeDecodeError):
-            # Unreadable shard: discard it rather than fail the sweep.
+            size = path.stat().st_size
+        except OSError:
+            size = _ABSENT
+        loaded = self._shards.get(prefix)
+        if loaded is not None and self._tags.get(prefix) == size:
+            return loaded
+        records: Dict[str, dict] = {}
+        data = b""
+        if size != _ABSENT:
+            try:
+                data = path.read_bytes()
+            except FileNotFoundError:
+                size = _ABSENT
+            except OSError:
+                # Unreadable shard: discard it rather than fail the sweep.
+                self._corrupt += 1
+                with self._shard_lock(prefix):
+                    path.unlink(missing_ok=True)
+                data, size = b"", _ABSENT
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError:
             self._corrupt += 1
-            path.unlink(missing_ok=True)
-            text = ""
+            with self._shard_lock(prefix):
+                path.unlink(missing_ok=True)
+            text, data, size = "", b"", _ABSENT
         for line in text.splitlines():
             if not line.strip():
                 continue
@@ -144,6 +247,9 @@ class RunCache:
                 continue
             records[key] = record  # duplicate keys: last writer wins
         self._shards[prefix] = records
+        # Tag with the bytes actually parsed: if the file grew between
+        # the stat and the read, the tag still matches the image.
+        self._tags[prefix] = len(data) if size != _ABSENT else _ABSENT
         return records
 
     @staticmethod
@@ -180,9 +286,10 @@ class RunCache:
                 "hit", "cache", "cache", tracer.wall_time(),
                 WALL_CLOCK, key=key[:12],
             )
-        path = self._shard_path(key[:2])
-        if path.exists():
-            os.utime(path)  # LRU recency signal
+        try:
+            os.utime(self._shard_path(key[:2]))  # LRU recency signal
+        except OSError:
+            pass  # shard evicted by a concurrent process mid-lookup
         return self._point_of(record)
 
     def get_meta(self, key: str) -> Optional[dict]:
@@ -193,7 +300,13 @@ class RunCache:
     def put(
         self, key: str, point: EnergyDelayPoint, meta: Optional[dict] = None
     ) -> None:
-        """Append one record (idempotent re-puts are harmless)."""
+        """Append one record (idempotent re-puts are harmless).
+
+        The append is one ``write()`` on an append-mode handle under the
+        shard's advisory lock, so records from concurrent processes land
+        whole — a torn line can only come from a crash mid-write, and
+        the corruption-tolerant loader skips it.
+        """
         record = {
             "key": key,
             "point": {
@@ -206,21 +319,38 @@ class RunCache:
         if meta:
             record["meta"] = meta
         prefix = key[:2]
-        self._load_shard(prefix)[key] = record
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode(
+            "utf-8"
+        )
         path = self._shard_path(prefix)
         path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("a", encoding="utf-8") as fh:
-            fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        records = self._load_shard(prefix)
+        with self._shard_lock(prefix):
+            with path.open("ab") as fh:
+                fh.write(line)
+        records[key] = record
+        # Advance the size tag optimistically: exact when no other
+        # process appended since the load; any interleaved foreign
+        # append leaves the tag short of the true size, which simply
+        # forces a reload (and pickup of the foreign records) on the
+        # next access.
+        prev = self._tags.get(prefix, _ABSENT)
+        self._tags[prefix] = (0 if prev == _ABSENT else prev) + len(line)
         if self.max_bytes is not None:
             self._enforce_cap(keep=prefix)
 
     def clear(self) -> int:
-        """Delete every shard; returns the number of records removed."""
+        """Delete every shard; returns the number of records removed.
+
+        Lock files are left in place — see the module docstring.
+        """
         removed = 0
         for path in self._shard_files():
             removed += len(self._load_shard(path.stem))
-            path.unlink(missing_ok=True)
+            with self._shard_lock(path.stem):
+                path.unlink(missing_ok=True)
         self._shards.clear()
+        self._tags.clear()
         return removed
 
     # -- accounting ----------------------------------------------------
@@ -253,28 +383,47 @@ class RunCache:
 
         The shard named by ``keep`` (the one just written) is evicted
         last, so the working set of the *current* sweep survives even
-        when the cap is undersized.
+        when the cap is undersized.  Each victim is deleted only while
+        holding its advisory lock (non-blocking: a shard locked by a
+        concurrent appender is skipped this round) and only if its
+        size and mtime still match the scan (a shard touched since is
+        recently used, not LRU).
         """
         assert self.max_bytes is not None
         paths = list(self._shard_files())
         total = 0
-        stats = {}
+        snapshot = {}
         for path in paths:
             try:
-                stats[path] = path.stat()
-                total += stats[path].st_size
+                snapshot[path] = path.stat()
+                total += snapshot[path].st_size
             except OSError:
                 continue
         if total <= self.max_bytes:
             return
         ordered = sorted(
-            stats,
-            key=lambda p: (p.stem == keep, stats[p].st_mtime),
+            snapshot,
+            key=lambda p: (p.stem == keep, snapshot[p].st_mtime),
         )
         for path in ordered:
             if total <= self.max_bytes:
                 break
-            self._evictions += len(self._load_shard(path.stem))
-            self._shards.pop(path.stem, None)
-            path.unlink(missing_ok=True)
-            total -= stats[path].st_size
+            seen = snapshot[path]
+            with self._shard_lock(path.stem, blocking=False) as held:
+                if not held:
+                    continue  # a concurrent appender holds this shard
+                try:
+                    now = path.stat()
+                except OSError:
+                    total -= seen.st_size  # already gone (someone else)
+                    continue
+                if (now.st_size, now.st_mtime_ns) != (
+                    seen.st_size,
+                    seen.st_mtime_ns,
+                ):
+                    continue  # touched since the scan: recently used
+                self._evictions += len(self._load_shard(path.stem))
+                self._shards.pop(path.stem, None)
+                self._tags.pop(path.stem, None)
+                path.unlink(missing_ok=True)
+            total -= seen.st_size

@@ -1,0 +1,156 @@
+"""MPI sweep backend with a graceful single-rank emulator fallback.
+
+Clusters in the paper's setting (and Medhat et al.'s) launch work with
+``mpirun``; this backend lets a sweep fan out across mpi4py ranks with
+round-robin task ownership.  When mpi4py is not installed — laptops, CI
+— the same code path runs against a tiny single-rank emulator exposing
+the handful of ``COMM_WORLD`` methods the backend uses, so
+``MpiBackend()`` is always constructible and a one-rank "cluster" is
+just the serial backend wearing an MPI hat.  (The emulator idiom
+follows cctbx's ``libtbx.mpi4py`` shim.)
+
+Under a real multi-rank communicator every rank computes its own share,
+the shares are ``allgather``-ed, and *every* rank then streams the full
+result set through ``on_result`` in sweep order — so all ranks return
+identical sweep output and cache writes stay correct (the run cache is
+last-writer-wins, so the duplicate puts from N ranks are harmless).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.exec.backends import (
+    ExecBackend,
+    SerialBackend,
+    TaskFailure,
+    _ignore_result,
+    attempt_task,
+    deliver,
+)
+from repro.exec.retry import DEFAULT_RETRY, AttemptRecord, RetryPolicy
+
+__all__ = ["MpiBackend", "load_mpi", "mpi_available"]
+
+
+class _EmulatedComm:
+    """``COMM_WORLD`` for a world of one: every collective is identity."""
+
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 1
+
+    def barrier(self) -> None:
+        return None
+
+    Barrier = barrier
+
+    def bcast(self, obj, root: int = 0):
+        return obj
+
+    def gather(self, obj, root: int = 0):
+        return [obj]
+
+    def allgather(self, obj):
+        return [obj]
+
+
+class _EmulatedMPI:
+    """The module-level surface :func:`load_mpi` falls back to."""
+
+    COMM_WORLD = _EmulatedComm()
+
+    @staticmethod
+    def Wtime() -> float:
+        return time.time()
+
+    @staticmethod
+    def Finalize() -> None:
+        return None
+
+
+def load_mpi() -> Tuple[object, bool]:
+    """``(MPI, emulated)`` — mpi4py's ``MPI`` module when importable,
+    else the single-rank emulator (``emulated=True``)."""
+    try:
+        from mpi4py import MPI  # type: ignore[import-not-found]
+    except ImportError:
+        return _EmulatedMPI(), True
+    return MPI, False
+
+
+def mpi_available() -> bool:
+    """Whether the real mpi4py is importable."""
+    return not load_mpi()[1]
+
+
+class MpiBackend(ExecBackend):
+    """Round-robin task fan-out over mpi4py ranks.
+
+    Parameters
+    ----------
+    comm:
+        An mpi4py-style communicator; defaults to ``COMM_WORLD`` of
+        whatever :func:`load_mpi` found.  :attr:`emulated` reports
+        whether the fallback emulator is in use.
+
+    With one rank (the emulator, or ``mpirun -n 1``) this is exactly
+    :class:`~repro.exec.backends.SerialBackend` — results stream live
+    and bit-identically.  With several ranks, rank ``r`` executes tasks
+    ``r, r+size, r+2*size, ...`` locally (retry policy applied on the
+    owning rank), then an ``allgather`` merges shares and every rank
+    streams the merged results in sweep order.
+    """
+
+    name = "mpi"
+
+    def __init__(self, comm=None) -> None:
+        if comm is None:
+            mpi, emulated = load_mpi()
+            comm = mpi.COMM_WORLD
+            self.emulated = emulated
+        else:
+            self.emulated = False
+        self.comm = comm
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "emulated" if self.emulated else "mpi4py"
+        return f"MpiBackend({mode}, size={self.comm.Get_size()})"
+
+    def run(
+        self,
+        execute,
+        units,
+        *,
+        retry: RetryPolicy = DEFAULT_RETRY,
+        on_result=_ignore_result,
+    ) -> List[TaskFailure]:
+        size = self.comm.Get_size()
+        if size <= 1:
+            return SerialBackend().run(
+                execute, units, retry=retry, on_result=on_result
+            )
+        rank = self.comm.Get_rank()
+        # (position, ok, payload, attempts) for this rank's share.
+        local: List[Tuple[int, bool, object, Tuple[AttemptRecord, ...]]] = []
+        for position, unit in enumerate(units):
+            if position % size != rank:
+                continue
+            ok, payload, attempts = attempt_task(execute, unit, retry)
+            local.append((position, ok, payload, attempts))
+        merged = sorted(
+            entry for share in self.comm.allgather(local) for entry in share
+        )
+        failures: List[TaskFailure] = []
+        for position, ok, payload, attempts in merged:
+            unit = units[position]
+            if ok:
+                deliver(unit, payload, attempts, on_result, failures)
+            else:
+                failures.append(
+                    TaskFailure(unit.index, unit.task, payload, attempts)
+                )
+        return failures

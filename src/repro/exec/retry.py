@@ -1,0 +1,209 @@
+"""Per-task fault tolerance: retry policies, attempt records, timeouts.
+
+Sweep tasks are pure functions of their spec, so a *transient* failure —
+a pool worker OOM-killed mid-run, a wall-clock timeout on an overloaded
+box — is safe to retry: the re-run produces the identical result.  A
+*deterministic* failure (the task itself raises) is not worth retrying:
+the same inputs raise the same error.  :class:`RetryPolicy` encodes that
+split: by default only :class:`WorkerLostError` and
+:class:`SweepTimeoutError` are retried, everything else fails fast.
+
+Backoff between attempts is exponential with deterministic jitter: the
+jitter factor is seeded from the task's content key (or a stable repr
+hash when no key exists), so two runs of the same failing sweep sleep
+the same schedule — reproducibility extends to the failure path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import signal
+import threading
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = [
+    "AttemptRecord",
+    "DEFAULT_RETRY",
+    "NO_RETRY",
+    "RetryPolicy",
+    "SweepTimeoutError",
+    "WorkerLostError",
+    "call_with_timeout",
+    "format_attempts",
+    "task_seed",
+]
+
+
+class WorkerLostError(RuntimeError):
+    """The worker process running a task died (SIGKILL, OOM, crash).
+
+    Distinct from the task *raising*: the task never got to finish, so
+    the failure is attributed to the execution substrate and is
+    retryable by default.
+    """
+
+
+class SweepTimeoutError(RuntimeError):
+    """A task attempt exceeded the policy's per-task wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One failed attempt at a task (successes are not recorded).
+
+    ``backoff_s`` is the sleep *before the next attempt* — ``0.0`` when
+    this was the final attempt.
+    """
+
+    attempt: int  #: 1-based attempt number
+    error: str  #: ``repr`` of the exception
+    traceback: str  #: formatted traceback text ("" when unavailable)
+    backoff_s: float = 0.0
+
+    def describe(self) -> str:
+        suffix = f" (retrying in {self.backoff_s:.3f}s)" if self.backoff_s else ""
+        return f"attempt {self.attempt}: {self.error}{suffix}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to attempt each task, and how long to wait.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per task (``1`` = no retry).
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Exponential backoff: attempt ``k``'s failure sleeps
+        ``min(base * factor**(k-1), max)`` scaled by jitter.
+    jitter:
+        Fractional jitter amplitude in ``[0, 1]``: the sleep is scaled
+        by a factor drawn deterministically from the task seed in
+        ``[1 - jitter, 1 + jitter]``.
+    timeout_s:
+        Per-attempt wall-clock budget, enforced with ``SIGALRM`` in the
+        executing process (see :func:`call_with_timeout`); ``None``
+        disables it.
+    retry_all_errors:
+        ``True`` retries every :class:`Exception`; the default retries
+        only :class:`WorkerLostError` / :class:`SweepTimeoutError`
+        (deterministic task failures would just fail again).
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    jitter: float = 0.25
+    timeout_s: Optional[float] = None
+    retry_all_errors: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        check_nonnegative("backoff_base_s", self.backoff_base_s)
+        check_positive("backoff_factor", self.backoff_factor)
+        check_nonnegative("backoff_max_s", self.backoff_max_s)
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+        if self.timeout_s is not None:
+            check_positive("timeout_s", self.timeout_s)
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Whether ``error`` is worth another attempt (policy-wise)."""
+        if isinstance(error, (KeyboardInterrupt, SystemExit)):
+            return False
+        if self.retry_all_errors:
+            return isinstance(error, Exception)
+        return isinstance(error, (WorkerLostError, SweepTimeoutError))
+
+    def backoff_s(self, attempt: int, seed: str) -> float:
+        """Sleep after failed ``attempt`` (1-based), jitter from ``seed``.
+
+        Deterministic: the same (policy, attempt, seed) always produces
+        the same sleep, so failing sweeps replay identically.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {attempt}")
+        raw = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter == 0.0 or raw == 0.0:
+            return raw
+        rng = random.Random(f"{seed}#{attempt}")
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+#: The sweep default: 3 attempts for substrate failures, fail-fast for
+#: deterministic task errors, no per-task timeout.
+DEFAULT_RETRY = RetryPolicy()
+
+#: Exactly one attempt per task — the pre-backend behaviour.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+def task_seed(index: int, task: object, key: Optional[str] = None) -> str:
+    """The deterministic jitter seed for one task.
+
+    Prefers the task's content-hash ``key`` (what the run cache uses);
+    falls back to a hash of the task's index and ``repr`` — stable for
+    the frozen-dataclass task types the sweeps use.
+    """
+    if key:
+        return key
+    text = f"{index}:{task!r}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def format_attempts(attempts: Tuple[AttemptRecord, ...]) -> str:
+    """Render an attempt history as one indented block (for messages)."""
+    return "\n".join(f"  {record.describe()}" for record in attempts)
+
+
+def format_error(error: BaseException) -> Tuple[str, str]:
+    """(repr, formatted traceback) of one failure, traceback-chain aware."""
+    text = "".join(
+        traceback.format_exception(type(error), error, error.__traceback__)
+    )
+    return repr(error), text
+
+
+def call_with_timeout(
+    fn: Callable[[object], object], task: object, timeout_s: Optional[float]
+) -> object:
+    """Run ``fn(task)``, raising :class:`SweepTimeoutError` past the budget.
+
+    Enforced with ``signal.setitimer``/``SIGALRM``, which requires the
+    main thread of the executing process — exactly where pool workers
+    and serial sweeps run tasks.  Anywhere the alarm cannot be armed
+    (no ``SIGALRM`` on the platform, or a non-main thread) the call runs
+    unguarded: a best-effort contract, documented in
+    ``docs/BACKENDS.md``.
+    """
+    if timeout_s is None:
+        return fn(task)
+    if not hasattr(signal, "SIGALRM") or (
+        threading.current_thread() is not threading.main_thread()
+    ):
+        return fn(task)
+
+    def _expired(signum, frame):
+        raise SweepTimeoutError(
+            f"task exceeded its {timeout_s}s wall-clock budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(task)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

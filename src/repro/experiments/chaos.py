@@ -191,6 +191,8 @@ def run(
         tasks,
         jobs=context_jobs(ctx.n_workers),
         use_cache=ctx.cache if ctx.cache is not None else False,
+        backend=ctx.backend,
+        retry=ctx.retry,
     )
     by_task: Dict[Tuple[int, str], ChaosOutcome] = {}
     for task, outcome in zip(tasks, outcomes):

@@ -25,6 +25,7 @@ from typing import List, Optional
 
 from repro.cache.context import default_cache_dir
 from repro.cache.store import RunCache
+from repro.exec.backends import BACKENDS
 from repro.obs.tracer import tracing
 from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
 
@@ -76,6 +77,39 @@ def build_parser() -> argparse.ArgumentParser:
             "run each experiment's sweeps on N worker processes "
             "(0 = one per CPU core; default: in-process serial; results "
             "are bit-identical either way)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help=(
+            "sweep execution backend: 'serial' (in-process), 'process' "
+            "(hardened worker pool), or 'mpi' (rank-parallel under "
+            "mpiexec; falls back to a single-rank emulator when mpi4py "
+            "is absent).  Default: inferred from --jobs.  Results are "
+            "bit-identical across backends."
+        ),
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "max attempts per sweep task (default: 3; retries cover "
+            "lost workers and timeouts — deterministic task errors "
+            "fail fast)"
+        ),
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "best-effort wall-clock timeout per sweep task (default: "
+            "none; timed-out tasks are retried like lost workers)"
         ),
     )
     parser.add_argument(
@@ -158,16 +192,39 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     tracer = None
     jobs = args.jobs
+    backend = args.backend
     if args.trace is not None:
         from repro.obs.tracer import Tracer
 
         tracer = Tracer(capacity=args.trace_capacity)
-        if jobs is not None:
+        if jobs is not None or backend is not None:
             print(
-                "note: --trace forces serial sweeps; ignoring --jobs",
+                "note: --trace forces serial sweeps; "
+                "ignoring --jobs/--backend",
                 file=sys.stderr,
             )
             jobs = None
+            backend = None
+
+    retry = None
+    if args.retries is not None or args.task_timeout is not None:
+        import dataclasses
+
+        from repro.exec.retry import DEFAULT_RETRY
+
+        if args.retries is not None and args.retries < 1:
+            parser.error("--retries must be >= 1")
+        if args.task_timeout is not None and args.task_timeout <= 0:
+            parser.error("--task-timeout must be > 0")
+        retry = dataclasses.replace(
+            DEFAULT_RETRY,
+            max_attempts=(
+                args.retries
+                if args.retries is not None
+                else DEFAULT_RETRY.max_attempts
+            ),
+            timeout_s=args.task_timeout,
+        )
 
     json_lines = []
     scope = tracing(tracer) if tracer is not None else nullcontext()
@@ -182,6 +239,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 experiment_id,
                 use_cache=cache if cache is not None else False,
                 jobs=jobs,
+                backend=backend,
+                retry=retry,
                 **kwargs,
             )
             print(result.render())

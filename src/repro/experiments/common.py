@@ -61,6 +61,8 @@ def _context_sweep(tasks: Sequence[SweepTask]) -> List[EnergyDelayPoint]:
         tasks,
         jobs=context_jobs(ctx.n_workers),
         use_cache=ctx.cache if ctx.cache is not None else False,
+        backend=ctx.backend,
+        retry=ctx.retry,
     )
 
 

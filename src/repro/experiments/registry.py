@@ -89,6 +89,8 @@ def run_experiment(
     use_cache: Union[bool, RunCache] = False,
     cache_dir: Optional[Union[str, Path]] = None,
     jobs: Optional[int] = None,
+    backend: object = None,
+    retry: object = None,
     **kwargs,
 ) -> ExperimentResult:
     """Run one experiment by id.
@@ -108,6 +110,15 @@ def run_experiment(
         serial in-process execution, ``0`` forces ``os.cpu_count()``
         workers, ``N`` uses N workers.  Parallel runs are bit-identical
         to serial ones.
+    backend:
+        Sweep execution backend — ``"serial"``, ``"process"``, ``"mpi"``
+        or an :class:`~repro.exec.backends.ExecBackend` instance;
+        ``None`` infers from ``jobs``.  Results are bit-identical across
+        backends (see ``docs/BACKENDS.md``).
+    retry:
+        A :class:`~repro.exec.retry.RetryPolicy` applied to every sweep
+        task the experiment runs (``None`` = the sweep default: retry
+        lost workers and timeouts, fail deterministic errors fast).
     kwargs:
         Forwarded to the experiment's runner (e.g. ``iterations=2``).
     """
@@ -117,8 +128,10 @@ def run_experiment(
             f"available: {sorted(EXPERIMENTS)}"
         )
     cache = resolve_cache(use_cache, cache_dir)
-    if cache is None and jobs is None:
+    if cache is None and jobs is None and backend is None and retry is None:
         return EXPERIMENTS[experiment_id](**kwargs)
     n_workers: Optional[int] = 0 if jobs is None else (None if jobs == 0 else jobs)
-    with sweep_context(cache=cache, n_workers=n_workers):
+    with sweep_context(
+        cache=cache, n_workers=n_workers, backend=backend, retry=retry
+    ):
         return EXPERIMENTS[experiment_id](**kwargs)

@@ -113,7 +113,11 @@ def run(
     # are both derived from the static-max run, so every knob of the
     # comparison is a *fraction of the reference*, not a magic number.
     [static] = run_serving_sweep(
-        [ServingTask(workload, "static")], jobs=jobs, use_cache=use_cache
+        [ServingTask(workload, "static")],
+        jobs=jobs,
+        use_cache=use_cache,
+        backend=ctx.backend,
+        retry=ctx.retry,
     )
     assert static.report.p99_s is not None
     slo_s = slo_factor * static.report.p99_s
@@ -125,7 +129,13 @@ def run(
         ServingTask(workload, "cpuspeed"),
         ServingTask(workload, "powercap", budget_watts=budget_watts),
     ]
-    outcomes = run_serving_sweep(tasks, jobs=jobs, use_cache=use_cache)
+    outcomes = run_serving_sweep(
+        tasks,
+        jobs=jobs,
+        use_cache=use_cache,
+        backend=ctx.backend,
+        retry=ctx.retry,
+    )
     reports = [static.report] + [o.report for o in outcomes]
 
     result.tables[workload.name] = format_table(

@@ -20,24 +20,25 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.analysis.parallel import (
     _UNSET,
-    SweepError,
-    resolve_sweep_options,
-    run_collected,
+    SweepError,  # noqa: F401 - re-exported for callers catching sweep failures
+    SweepEvent,
+    execute_sweep,
 )
 from repro.analysis.runner import run_measured
+from repro.exec.backends import ExecBackend
+from repro.exec.retry import RetryPolicy
 from repro.cache.keys import canonical_encode, simulator_salt
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
 from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.records import EnergyDelayPoint
-from repro.obs.tracer import Tracer, tracing
+from repro.obs.tracer import Tracer
 from repro.powercap import (
     CapGovernorConfig,
     PowerBudget,
@@ -185,6 +186,22 @@ def _cached_outcome(cache, key: str) -> Optional[ChaosOutcome]:
     return ChaosOutcome(point=point, report=report)
 
 
+def _describe_chaos(task: ChaosTask) -> str:
+    return f"{task.policy}/{'hardened' if task.hardened else 'fairweather'}"
+
+
+def _store_chaos(run_cache, key: str, task: ChaosTask, outcome: ChaosOutcome) -> None:
+    run_cache.put(
+        key,
+        outcome.point,
+        meta={
+            "kind": _META_KIND,
+            "workload": getattr(task.workload, "name", ""),
+            "report": outcome.report.to_dict(),
+        },
+    )
+
+
 def run_chaos_sweep(
     tasks: Sequence[ChaosTask],
     *,
@@ -192,6 +209,9 @@ def run_chaos_sweep(
     use_cache: Union[bool, object] = False,
     cache_dir: Optional[Union[str, Path]] = None,
     tracer: Optional[Tracer] = None,
+    backend: Union[str, ExecBackend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[SweepEvent], None]] = None,
     n_workers=_UNSET,
     cache=_UNSET,
 ) -> List[ChaosOutcome]:
@@ -203,50 +223,31 @@ def run_chaos_sweep(
     (``None`` = serial in-process, ``0`` = one worker per core, ``N`` =
     N workers), same ``use_cache``/``cache_dir`` resolution, same
     ``tracer`` semantics (installed as the active tracer, one wall-clock
-    span per executed task, forces serial execution), same deprecated
-    ``n_workers``/``cache`` shims, same failure collection
-    (:class:`~repro.analysis.parallel.SweepError` after everything has
-    been attempted), and the same cache contract (stored outcomes
-    short-circuit, fresh outcomes persist on completion, so interrupted
-    sweeps resume).
+    span per executed task, forces serial execution with a
+    ``UserWarning`` when overriding), same ``backend``/``retry``
+    execution substrate (:mod:`repro.exec`), same streamed
+    ``on_result`` :class:`~repro.analysis.parallel.SweepEvent` delivery,
+    same deprecated ``n_workers``/``cache`` shims, same failure
+    collection (:class:`~repro.analysis.parallel.SweepError` with
+    attempt histories after everything has been attempted), and the
+    same cache contract (stored outcomes short-circuit, fresh outcomes
+    persist on completion, so interrupted sweeps resume).
     """
-    internal_workers, run_cache = resolve_sweep_options(
-        "run_chaos_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
+    return execute_sweep(
+        tasks,
+        caller="run_chaos_sweep",
+        execute=_execute_chaos,
+        describe=_describe_chaos,
+        key_of=chaos_task_key,
+        lookup=_cached_outcome,
+        store=_store_chaos,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        tracer=tracer,
+        backend=backend,
+        retry=retry,
+        on_result=on_result,
+        n_workers=n_workers,
+        cache=cache,
     )
-    scope = tracing(tracer) if tracer is not None else nullcontext()
-    with scope:
-        outcomes: List[Optional[ChaosOutcome]] = [None] * len(tasks)
-        keys: List[Optional[str]] = [None] * len(tasks)
-        if run_cache is not None:
-            for i, task in enumerate(tasks):
-                keys[i] = chaos_task_key(task)
-                outcomes[i] = _cached_outcome(run_cache, keys[i])
-
-        pending = [i for i, o in enumerate(outcomes) if o is None]
-
-        def finish(index: int, outcome: ChaosOutcome) -> None:
-            outcomes[index] = outcome
-            if run_cache is not None:
-                run_cache.put(
-                    keys[index],
-                    outcome.point,
-                    meta={
-                        "kind": _META_KIND,
-                        "workload": getattr(tasks[index].workload, "name", ""),
-                        "report": outcome.report.to_dict(),
-                    },
-                )
-
-        execute = _execute_chaos
-        if tracer is not None:
-            def execute(task):  # noqa: F811 - traced replacement
-                label = f"{task.policy}/{'hardened' if task.hardened else 'fairweather'}"
-                with tracer.wall_span(label, "sweep.task", "sweep"):
-                    return _execute_chaos(task)
-
-        failures = run_collected(
-            tasks, pending, execute, finish, internal_workers
-        )
-    if failures:
-        raise SweepError(failures, outcomes)
-    return outcomes  # type: ignore[return-value] - no None left

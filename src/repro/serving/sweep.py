@@ -21,22 +21,23 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.analysis.parallel import (
     _UNSET,
-    SweepError,
-    resolve_sweep_options,
-    run_collected,
+    SweepError,  # noqa: F401 - re-exported for callers catching sweep failures
+    SweepEvent,
+    execute_sweep,
 )
 from repro.cache.keys import canonical_encode, simulator_salt
+from repro.exec.backends import ExecBackend
+from repro.exec.retry import RetryPolicy
 from repro.hardware.calibration import Calibration
 from repro.metrics.records import EnergyDelayPoint
 from repro.metrics.serving import ServingReport, build_serving_report
-from repro.obs.tracer import Tracer, tracing
+from repro.obs.tracer import Tracer
 from repro.serving.policy import (
     CpuspeedServingPolicy,
     PowerCapServingPolicy,
@@ -175,6 +176,24 @@ def _cached_outcome(cache, key: str) -> Optional[ServingOutcome]:
     return ServingOutcome(point=point, report=report)
 
 
+def _describe_serving(task: ServingTask) -> str:
+    return task.label
+
+
+def _store_serving(
+    run_cache, key: str, task: ServingTask, outcome: ServingOutcome
+) -> None:
+    run_cache.put(
+        key,
+        outcome.point,
+        meta={
+            "kind": _META_KIND,
+            "workload": task.workload.name,
+            "report": outcome.report.to_dict(),
+        },
+    )
+
+
 def run_serving_sweep(
     tasks: Sequence[ServingTask],
     *,
@@ -182,6 +201,9 @@ def run_serving_sweep(
     use_cache: Union[bool, object] = False,
     cache_dir: Optional[Union[str, Path]] = None,
     tracer: Optional[Tracer] = None,
+    backend: Union[str, ExecBackend, None] = None,
+    retry: Optional[RetryPolicy] = None,
+    on_result: Optional[Callable[[SweepEvent], None]] = None,
     n_workers=_UNSET,
     cache=_UNSET,
 ) -> List[ServingOutcome]:
@@ -193,48 +215,30 @@ def run_serving_sweep(
     tests): same ``jobs`` convention, same ``use_cache``/``cache_dir``
     resolution, same ``tracer`` semantics (installed as the active
     tracer, one wall-clock span per executed task, forces serial
-    execution), same deprecated ``n_workers``/``cache`` shims, same
+    execution with a ``UserWarning`` when overriding), same
+    ``backend``/``retry`` execution substrate (:mod:`repro.exec`), same
+    streamed ``on_result`` :class:`~repro.analysis.parallel.SweepEvent`
+    delivery, same deprecated ``n_workers``/``cache`` shims, same
     failure collection (:class:`~repro.analysis.parallel.SweepError`
-    after everything has been attempted), and the same cache contract
-    (stored outcomes short-circuit, fresh outcomes persist on
-    completion, so interrupted sweeps resume).
+    with attempt histories after everything has been attempted), and
+    the same cache contract (stored outcomes short-circuit, fresh
+    outcomes persist on completion, so interrupted sweeps resume).
     """
-    internal_workers, run_cache = resolve_sweep_options(
-        "run_serving_sweep", jobs, use_cache, cache_dir, tracer, n_workers, cache
+    return execute_sweep(
+        tasks,
+        caller="run_serving_sweep",
+        execute=_execute_serving,
+        describe=_describe_serving,
+        key_of=serving_task_key,
+        lookup=_cached_outcome,
+        store=_store_serving,
+        jobs=jobs,
+        use_cache=use_cache,
+        cache_dir=cache_dir,
+        tracer=tracer,
+        backend=backend,
+        retry=retry,
+        on_result=on_result,
+        n_workers=n_workers,
+        cache=cache,
     )
-    scope = tracing(tracer) if tracer is not None else nullcontext()
-    with scope:
-        outcomes: List[Optional[ServingOutcome]] = [None] * len(tasks)
-        keys: List[Optional[str]] = [None] * len(tasks)
-        if run_cache is not None:
-            for i, task in enumerate(tasks):
-                keys[i] = serving_task_key(task)
-                outcomes[i] = _cached_outcome(run_cache, keys[i])
-
-        pending = [i for i, o in enumerate(outcomes) if o is None]
-
-        def finish(index: int, outcome: ServingOutcome) -> None:
-            outcomes[index] = outcome
-            if run_cache is not None:
-                run_cache.put(
-                    keys[index],
-                    outcome.point,
-                    meta={
-                        "kind": _META_KIND,
-                        "workload": tasks[index].workload.name,
-                        "report": outcome.report.to_dict(),
-                    },
-                )
-
-        execute = _execute_serving
-        if tracer is not None:
-            def execute(task):  # noqa: F811 - traced replacement
-                with tracer.wall_span(task.label, "sweep.task", "sweep"):
-                    return _execute_serving(task)
-
-        failures = run_collected(
-            tasks, pending, execute, finish, internal_workers
-        )
-    if failures:
-        raise SweepError(failures, outcomes)
-    return outcomes  # type: ignore[return-value] - no None left

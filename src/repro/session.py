@@ -58,6 +58,15 @@ class Session:
         session runs (forces sweeps serial — see
         :func:`~repro.analysis.parallel.run_sweep`).  Feeds
         :meth:`attribution` and :meth:`export_trace`.
+    ``backend``
+        Sweep execution backend — ``"serial"``, ``"process"``, ``"mpi"``,
+        or an :class:`~repro.exec.backends.ExecBackend` instance;
+        ``None`` infers from ``jobs``.  Results are bit-identical across
+        backends (see ``docs/BACKENDS.md``).
+    ``retry``
+        A :class:`~repro.exec.retry.RetryPolicy` applied to every sweep
+        task (``None`` = the sweep default: retry lost workers and
+        timeouts, fail deterministic errors fast).
     ``calibration``
         Default :class:`~repro.hardware.calibration.Calibration` for
         :meth:`run` (sweep tasks carry their own).
@@ -70,11 +79,15 @@ class Session:
         cache_dir: Optional[Union[str, Path]] = None,
         jobs: Optional[int] = None,
         tracer: Optional[Tracer] = None,
+        backend: object = None,
+        retry: object = None,
         calibration: Optional[Calibration] = None,
     ) -> None:
         self.cache: Optional[RunCache] = resolve_cache(use_cache, cache_dir)
         self.jobs = jobs
         self.tracer = tracer
+        self.backend = backend
+        self.retry = retry
         self.calibration = calibration
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -119,6 +132,8 @@ class Session:
             jobs=self.jobs,
             use_cache=self.cache if self.cache is not None else False,
             tracer=self.tracer,
+            backend=self.backend,
+            retry=self.retry,
         )
 
     def chaos_sweep(self, tasks: Sequence) -> List:
@@ -131,6 +146,8 @@ class Session:
             jobs=self.jobs,
             use_cache=self.cache if self.cache is not None else False,
             tracer=self.tracer,
+            backend=self.backend,
+            retry=self.retry,
         )
 
     def serving_sweep(self, tasks: Sequence) -> List:
@@ -143,6 +160,8 @@ class Session:
             jobs=self.jobs,
             use_cache=self.cache if self.cache is not None else False,
             tracer=self.tracer,
+            backend=self.backend,
+            retry=self.retry,
         )
 
     def run_serving(self, tasks):
@@ -169,6 +188,7 @@ class Session:
         from repro.experiments.registry import run_experiment
 
         jobs = self.jobs if self.tracer is None else None
+        backend = self.backend if self.tracer is None else None
         scope = (
             tracing(self.tracer) if self.tracer is not None else nullcontext()
         )
@@ -177,6 +197,8 @@ class Session:
                 experiment_id,
                 use_cache=self.cache if self.cache is not None else False,
                 jobs=jobs,
+                backend=backend,
+                retry=self.retry,
                 **kwargs,
             )
 

@@ -101,8 +101,27 @@ class TestTracerParameter:
 
     def test_tracer_forces_serial_but_identical_results(self):
         untraced = run_sweep(make_tasks())
-        traced = run_sweep(make_tasks(), jobs=2, tracer=Tracer())
+        with pytest.warns(UserWarning, match="ignoring jobs=2"):
+            traced = run_sweep(make_tasks(), jobs=2, tracer=Tracer())
         assert traced == untraced
+
+    def test_tracer_override_warning_names_backend(self):
+        with pytest.warns(UserWarning, match="ignoring backend='process'"):
+            run_sweep(make_tasks(), backend="process", tracer=Tracer())
+
+    def test_tracer_with_default_options_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            run_sweep(make_tasks(), tracer=Tracer())
+
+    def test_tracer_with_explicit_serial_backend_does_not_warn(self):
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            run_sweep(make_tasks(), backend="serial", tracer=Tracer())
 
     def test_tracer_sees_cache_hits(self, tmp_path):
         cache = RunCache(tmp_path)

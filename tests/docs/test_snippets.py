@@ -18,6 +18,7 @@ DOC_FILES = [
     "README.md",
     "EXPERIMENTS.md",
     "docs/API.md",
+    "docs/BACKENDS.md",
     "docs/CACHING.md",
     "docs/ENGINE.md",
     "docs/FAULTS.md",

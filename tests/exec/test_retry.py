@@ -1,0 +1,201 @@
+"""RetryPolicy: classification, deterministic backoff, timeouts, and
+the attempt-history formatting that surfaces in ``SweepError``."""
+
+import signal
+import time
+
+import pytest
+
+from repro.analysis.parallel import SweepError
+from repro.exec.retry import (
+    DEFAULT_RETRY,
+    NO_RETRY,
+    AttemptRecord,
+    RetryPolicy,
+    SweepTimeoutError,
+    WorkerLostError,
+    call_with_timeout,
+    format_attempts,
+    task_seed,
+)
+
+
+class TestPolicyValidation:
+    def test_defaults(self):
+        assert DEFAULT_RETRY.max_attempts == 3
+        assert DEFAULT_RETRY.timeout_s is None
+        assert NO_RETRY.max_attempts == 1
+
+    def test_max_attempts_must_be_positive(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+    def test_timeout_must_be_positive(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+
+
+class TestClassification:
+    def test_substrate_failures_are_retryable_by_default(self):
+        assert DEFAULT_RETRY.is_retryable(WorkerLostError("killed"))
+        assert DEFAULT_RETRY.is_retryable(SweepTimeoutError("slow"))
+
+    def test_deterministic_task_errors_fail_fast_by_default(self):
+        assert not DEFAULT_RETRY.is_retryable(ValueError("bad spec"))
+        assert not DEFAULT_RETRY.is_retryable(RuntimeError("task bug"))
+
+    def test_retry_all_errors_widens_to_exceptions_only(self):
+        policy = RetryPolicy(retry_all_errors=True)
+        assert policy.is_retryable(ValueError("flaky"))
+        assert not policy.is_retryable(KeyboardInterrupt())
+        assert not policy.is_retryable(SystemExit(1))
+
+    def test_interrupts_never_retryable(self):
+        assert not DEFAULT_RETRY.is_retryable(KeyboardInterrupt())
+        assert not DEFAULT_RETRY.is_retryable(SystemExit(0))
+
+
+class TestDeterministicBackoff:
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy()
+        seed = task_seed(3, "some-task")
+        first = [policy.backoff_s(k, seed) for k in (1, 2, 3)]
+        second = [policy.backoff_s(k, seed) for k in (1, 2, 3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        policy = RetryPolicy()
+        a = policy.backoff_s(1, task_seed(0, "task-a"))
+        b = policy.backoff_s(1, task_seed(1, "task-b"))
+        assert a != b
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=10.0,
+            jitter=0.0,
+        )
+        assert policy.backoff_s(1, "s") == pytest.approx(0.1)
+        assert policy.backoff_s(2, "s") == pytest.approx(0.2)
+        assert policy.backoff_s(3, "s") == pytest.approx(0.4)
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=10.0, backoff_max_s=2.0,
+            jitter=0.0,
+        )
+        assert policy.backoff_s(5, "s") == pytest.approx(2.0)
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(
+            backoff_base_s=1.0, backoff_factor=1.0, backoff_max_s=1.0,
+            jitter=0.25,
+        )
+        for i in range(50):
+            value = policy.backoff_s(1, task_seed(i, f"t{i}"))
+            assert 0.75 <= value <= 1.25
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            RetryPolicy().backoff_s(0, "s")
+
+    def test_task_seed_prefers_cache_key(self):
+        key = "ab" * 32
+        assert task_seed(0, object(), key=key) == key
+
+    def test_task_seed_is_stable_without_key(self):
+        assert task_seed(2, "x") == task_seed(2, "x")
+        assert task_seed(2, "x") != task_seed(3, "x")
+
+
+class TestTimeout:
+    def test_no_timeout_runs_unguarded(self):
+        assert call_with_timeout(lambda t: t + 1, 41, None) == 42
+
+    def test_fast_call_returns_within_budget(self):
+        assert call_with_timeout(lambda t: t * 2, 21, 5.0) == 42
+
+    def test_slow_call_raises_sweep_timeout(self):
+        def sleepy(_task):
+            time.sleep(5.0)
+
+        start = time.monotonic()
+        with pytest.raises(SweepTimeoutError, match="wall-clock budget"):
+            call_with_timeout(sleepy, None, 0.05)
+        assert time.monotonic() - start < 2.0
+
+    def test_alarm_handler_is_restored(self):
+        previous = signal.getsignal(signal.SIGALRM)
+        call_with_timeout(lambda t: t, 1, 5.0)
+        assert signal.getsignal(signal.SIGALRM) is previous
+
+    def test_timeout_is_classified_retryable(self):
+        def sleepy(_task):
+            time.sleep(5.0)
+
+        try:
+            call_with_timeout(sleepy, None, 0.05)
+        except SweepTimeoutError as exc:
+            assert DEFAULT_RETRY.is_retryable(exc)
+        else:  # pragma: no cover - the call must time out
+            pytest.fail("expected SweepTimeoutError")
+
+
+class TestAttemptFormatting:
+    def test_describe_mentions_retry_sleep(self):
+        record = AttemptRecord(1, "ValueError('x')", "", backoff_s=0.125)
+        assert "attempt 1" in record.describe()
+        assert "retrying in 0.125s" in record.describe()
+
+    def test_final_attempt_has_no_retry_suffix(self):
+        record = AttemptRecord(3, "ValueError('x')", "")
+        assert "retrying" not in record.describe()
+
+    def test_format_attempts_one_line_per_attempt(self):
+        text = format_attempts(
+            (
+                AttemptRecord(1, "WorkerLostError('died')", "", 0.05),
+                AttemptRecord(2, "WorkerLostError('died')", ""),
+            )
+        )
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "attempt 1" in lines[0] and "attempt 2" in lines[1]
+
+
+class TestSweepErrorHistories:
+    def test_message_includes_attempt_counts_and_histories(self):
+        attempts = (
+            AttemptRecord(1, "WorkerLostError('worker died')", "tb1", 0.05),
+            AttemptRecord(2, "WorkerLostError('worker died')", "tb2", 0.1),
+            AttemptRecord(3, "WorkerLostError('worker died')", "tb3"),
+        )
+        err = SweepError(
+            [(1, "the-task", WorkerLostError("worker died"))],
+            [0.0, None, 2.0],
+            attempts=[attempts],
+        )
+        message = str(err)
+        assert "1 of 3 sweep tasks failed" in message
+        assert "after 3 attempts" in message
+        assert "task[1] attempt history:" in message
+        assert "attempt 2" in message
+        assert err.attempts == [attempts]
+
+    def test_single_attempt_failures_stay_terse(self):
+        err = SweepError(
+            [(0, "t", ValueError("boom"))],
+            [None],
+            attempts=[(AttemptRecord(1, "ValueError('boom')", ""),)],
+        )
+        assert "after 1 attempts" not in str(err)
+
+    def test_attempts_default_to_empty_histories(self):
+        err = SweepError([(0, "t", ValueError("boom"))], [None])
+        assert err.attempts == [()]
+        assert "attempt history" not in str(err)

@@ -54,6 +54,28 @@ class TestExports:
         assert "columnar" in repro.ENGINE_MODES
         assert "scalar" in repro.ENGINE_MODES
 
+    def test_exec_facade_names_are_the_canonical_objects(self):
+        from repro.exec.backends import (
+            ExecBackend as DeepBackend,
+            ProcessPoolBackend as DeepPool,
+            SerialBackend as DeepSerial,
+            resolve_backend as deep_resolve,
+        )
+        from repro.exec.mpi import MpiBackend as DeepMpi
+        from repro.exec.retry import (
+            RetryPolicy as DeepRetry,
+            WorkerLostError as DeepLost,
+        )
+
+        assert repro.ExecBackend is DeepBackend
+        assert repro.SerialBackend is DeepSerial
+        assert repro.ProcessPoolBackend is DeepPool
+        assert repro.MpiBackend is DeepMpi
+        assert repro.resolve_backend is deep_resolve
+        assert repro.RetryPolicy is DeepRetry
+        assert repro.WorkerLostError is DeepLost
+        assert repro.BACKENDS == ("serial", "process", "mpi")
+
     def test_unknown_attribute_raises_attribute_error(self):
         with pytest.raises(AttributeError, match="no attribute"):
             repro.does_not_exist
@@ -90,7 +112,19 @@ class TestExports:
             "TierDvsPolicy",
             "TierSpec",
             "SweepError",
+            "SweepEvent",
             "SweepTask",
+            "BACKENDS",
+            "ExecBackend",
+            "SerialBackend",
+            "ProcessPoolBackend",
+            "MpiBackend",
+            "RetryPolicy",
+            "AttemptRecord",
+            "WorkerLostError",
+            "SweepTimeoutError",
+            "mpi_available",
+            "resolve_backend",
             "Tracer",
             "Workload",
             "active_tracer",
