@@ -16,6 +16,7 @@ from benchmarks._harness import run_once
 from repro.analysis.report import format_table
 from repro.hardware.calibration import DEFAULT_CALIBRATION
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.hardware.network import NetworkConfig
 from repro.simmpi import run_spmd
 from repro.util.units import KIB, MIB
@@ -29,7 +30,7 @@ def _incast_finish_times(chunk_bytes: int):
     calibration = DEFAULT_CALIBRATION.with_overrides(
         network=NetworkConfig(chunk_bytes=chunk_bytes)
     )
-    cluster = Cluster.build(N_SENDERS + 1, calibration=calibration)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(N_SENDERS + 1), calibration=calibration)
     finish = {}
 
     def program(comm):

@@ -13,7 +13,7 @@ Run with::
 """
 
 from repro.analysis import format_table
-from repro.hardware import Cluster
+from repro.hardware import Cluster, ClusterSpec
 from repro.measurement import PowerPackSession
 from repro.simmpi import run_spmd
 from repro.workloads import ParallelTranspose
@@ -26,7 +26,7 @@ def main() -> None:
     # application execution").
     workload = ParallelTranspose(matrix_n=12_000, grid_rows=5, grid_cols=3,
                                  iterations=3)
-    cluster = Cluster.build(workload.n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(workload.n_ranks))
 
     session = PowerPackSession(cluster, battery_refresh=17.5,
                                meter_interval=60.0, settle_time=300.0)

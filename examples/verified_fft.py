@@ -14,7 +14,7 @@ Run with::
 """
 
 from repro.analysis import format_table
-from repro.hardware import Cluster
+from repro.hardware import Cluster, ClusterSpec
 from repro.simmpi import run_spmd
 from repro.workloads import NasFT, verify_distributed_fft
 
@@ -28,7 +28,7 @@ def main() -> None:
         f"(real complex slabs through the simulated all-to-all)\n"
     )
 
-    cluster = Cluster.build(workload.n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(workload.n_ranks))
     result = run_spmd(cluster, workload.bind_plain())
     energy = cluster.total_energy(result.start, result.end)
 

@@ -74,6 +74,18 @@ _EXPORTS = {
     "EnergyCursor": "repro.hardware.timeline",
     "PowerSeries": "repro.hardware.series",
     "ClusterSeries": "repro.hardware.series",
+    # cluster construction + technology scaling (repro.hardware)
+    "Cluster": "repro.hardware.cluster",
+    "NodeSpec": "repro.hardware.spec",
+    "ClusterSpec": "repro.hardware.spec",
+    "TechNode": "repro.hardware.scaling",
+    "CoreKind": "repro.hardware.scaling",
+    "CORE_O3": "repro.hardware.scaling",
+    "CORE_IO": "repro.hardware.scaling",
+    "TECH_NODES": "repro.hardware.scaling",
+    "tech_node": "repro.hardware.scaling",
+    "scaled_table": "repro.hardware.scaling",
+    "scaled_calibration": "repro.hardware.scaling",
     # runs and sweeps
     "run_measured": "repro.analysis.runner",
     "traced_run": "repro.analysis.runner",
@@ -122,6 +134,8 @@ _EXPORTS = {
     "EnergyDelayPoint": "repro.metrics.records",
     "AttributionReport": "repro.metrics.attribution",
     "build_attribution_report": "repro.metrics.attribution",
+    "ScalingReport": "repro.metrics.scaling",
+    "build_scaling_report": "repro.metrics.scaling",
     # experiments
     "run_experiment": "repro.experiments.registry",
     "list_experiments": "repro.experiments.registry",
@@ -175,10 +189,23 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from repro.faults.injector import FaultInjector
     from repro.faults.spec import FaultPlan
     from repro.faults.sweep import ChaosOutcome, ChaosTask, run_chaos_sweep
+    from repro.hardware.cluster import Cluster
+    from repro.hardware.scaling import (
+        CORE_IO,
+        CORE_O3,
+        CoreKind,
+        TECH_NODES,
+        TechNode,
+        scaled_calibration,
+        scaled_table,
+        tech_node,
+    )
+    from repro.hardware.spec import ClusterSpec, NodeSpec
     from repro.metrics.attribution import (
         AttributionReport,
         build_attribution_report,
     )
+    from repro.metrics.scaling import ScalingReport, build_scaling_report
     from repro.metrics.records import EnergyDelayPoint
     from repro.metrics.serving import ServingReport, build_serving_report
     from repro.obs.export import (

@@ -71,6 +71,7 @@ from repro.exec.retry import (
     task_seed,
 )
 from repro.hardware.calibration import Calibration
+from repro.hardware.spec import ClusterSpec
 from repro.metrics.records import EnergyDelayPoint
 from repro.obs.tracer import Tracer, tracing
 from repro.workloads.base import Workload
@@ -238,6 +239,7 @@ class SweepTask:
     frequency: Optional[float] = None  #: static/dynamic base frequency (Hz)
     regions: Optional[tuple] = None  #: dynamic-region names
     calibration: Optional[Calibration] = None
+    spec: Optional[ClusterSpec] = None  #: cluster hardware (None = legacy)
 
     def __post_init__(self) -> None:
         if self.strategy_kind not in STRATEGY_KINDS:
@@ -250,6 +252,11 @@ class SweepTask:
             raise ValueError(
                 f"{noun} task needs a frequency "
                 f"(SweepTask(workload, {self.strategy_kind!r}, frequency=...))"
+            )
+        if self.spec is not None and self.spec.n_nodes < self.workload.n_ranks:
+            raise ValueError(
+                f"cluster spec has {self.spec.n_nodes} nodes; workload "
+                f"needs {self.workload.n_ranks}"
             )
 
     def build_strategy(self) -> DVSStrategy:
@@ -277,7 +284,10 @@ def _execute(task: SweepTask) -> EnergyDelayPoint:
     from repro.analysis.runner import run_measured
 
     run = run_measured(
-        task.workload, task.build_strategy(), calibration=task.calibration
+        task.workload,
+        task.build_strategy(),
+        calibration=task.calibration,
+        spec=task.spec,
     )
     return run.point
 

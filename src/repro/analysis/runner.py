@@ -23,6 +23,7 @@ from repro.dvs.strategy import (
 )
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.metrics.records import EnergyDelayPoint
 from repro.obs.tracer import Tracer, tracing
 from repro.simmpi import SpmdResult, run_spmd
@@ -58,13 +59,27 @@ def run_measured(
     strategy: DVSStrategy,
     calibration: Optional[Calibration] = None,
     cluster_factory: Optional[Callable[[], Cluster]] = None,
+    spec: Optional[ClusterSpec] = None,
 ) -> MeasuredRun:
-    """Run ``workload`` under ``strategy`` on a fresh cluster and measure."""
-    cluster = (
-        cluster_factory()
-        if cluster_factory is not None
-        else Cluster.build(workload.n_ranks, calibration=calibration)
-    )
+    """Run ``workload`` under ``strategy`` on a fresh cluster and measure.
+
+    ``spec`` selects the hardware: ``None`` means the paper's homogeneous
+    cluster sized to the workload; an explicit
+    :class:`~repro.hardware.spec.ClusterSpec` may be larger than the
+    workload's rank count (extra nodes idle at base power) but never
+    smaller.  ``cluster_factory`` overrides both and keeps full control.
+    """
+    if cluster_factory is not None and spec is not None:
+        raise ValueError("pass either cluster_factory or spec, not both")
+    if cluster_factory is not None:
+        cluster = cluster_factory()
+    else:
+        cluster = Cluster.from_spec(
+            spec
+            if spec is not None
+            else ClusterSpec.homogeneous(workload.n_ranks),
+            calibration=calibration,
+        )
     if cluster.n_nodes < workload.n_ranks:
         raise ValueError(
             f"cluster has {cluster.n_nodes} nodes; workload needs "
@@ -92,6 +107,7 @@ def traced_run(
     tracer: Tracer,
     calibration: Optional[Calibration] = None,
     cluster_factory: Optional[Callable[[], Cluster]] = None,
+    spec: Optional[ClusterSpec] = None,
 ) -> MeasuredRun:
     """:func:`run_measured` with ``tracer`` installed as the active tracer.
 
@@ -109,6 +125,7 @@ def traced_run(
             strategy,
             calibration=calibration,
             cluster_factory=cluster_factory,
+            spec=spec,
         )
         if tracer.enabled:
             tracer.span(

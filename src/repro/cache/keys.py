@@ -147,6 +147,11 @@ def task_key(task: Any, salt: Optional[str] = None) -> str:
     ``SweepTask(wl, "stat", f)`` and
     ``SweepTask(wl, "stat", f, calibration=DEFAULT_CALIBRATION)`` are the
     same run and must share a key.
+
+    A ``spec`` of ``None`` (the legacy homogeneous cluster) contributes
+    nothing to the payload, so every pre-spec cache key is unchanged;
+    an explicit :class:`~repro.hardware.spec.ClusterSpec` is folded in
+    canonically (order-sensitive across its node groups).
     """
     from repro.hardware.calibration import DEFAULT_CALIBRATION
 
@@ -163,5 +168,8 @@ def task_key(task: Any, salt: Optional[str] = None) -> str:
         },
         "calibration": canonical_encode(calibration),
     }
+    spec = getattr(task, "spec", None)
+    if spec is not None:
+        payload["cluster"] = canonical_encode(spec)
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -46,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "experiment ids (fig1..fig8, table1..table3, headline, "
-            "powercap, chaos, serving) or 'all'"
+            "powercap, chaos, serving, techscaling) or 'all'"
         ),
     )
     parser.add_argument(

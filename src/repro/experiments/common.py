@@ -21,6 +21,7 @@ from repro.analysis.runner import MeasuredRun
 from repro.cache.context import active_context
 from repro.hardware.calibration import Calibration
 from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.hardware.spec import ClusterSpec
 from repro.metrics.records import EnergyDelayPoint
 from repro.metrics.selection import select_paper_rows
 from repro.workloads.base import Workload
@@ -70,11 +71,15 @@ def static_points(
     workload: Workload,
     frequencies: Sequence[float],
     calibration: Optional[Calibration] = None,
+    spec: Optional[ClusterSpec] = None,
 ) -> List[EnergyDelayPoint]:
     """One static point per frequency, honouring the sweep context."""
     return _context_sweep(
         [
-            SweepTask(workload, "stat", frequency=f, calibration=calibration)
+            SweepTask(
+                workload, "stat", frequency=f, calibration=calibration,
+                spec=spec,
+            )
             for f in frequencies
         ]
     )
@@ -85,6 +90,7 @@ def dynamic_points(
     frequencies: Sequence[float],
     regions: Optional[Sequence[str]] = None,
     calibration: Optional[Calibration] = None,
+    spec: Optional[ClusterSpec] = None,
 ) -> List[EnergyDelayPoint]:
     """One dynamic point per base frequency, honouring the sweep context."""
     return _context_sweep(
@@ -95,6 +101,7 @@ def dynamic_points(
                 frequency=f,
                 regions=tuple(regions) if regions else None,
                 calibration=calibration,
+                spec=spec,
             )
             for f in frequencies
         ]
@@ -102,11 +109,13 @@ def dynamic_points(
 
 
 def cpuspeed_point(
-    workload: Workload, calibration: Optional[Calibration] = None
+    workload: Workload,
+    calibration: Optional[Calibration] = None,
+    spec: Optional[ClusterSpec] = None,
 ) -> EnergyDelayPoint:
     """The cpuspeed operating point, honouring the sweep context."""
     return _context_sweep(
-        [SweepTask(workload, "cpuspeed", calibration=calibration)]
+        [SweepTask(workload, "cpuspeed", calibration=calibration, spec=spec)]
     )[0]
 
 
@@ -116,6 +125,7 @@ def strategy_point_sweep(
     regions: Optional[Sequence[str]] = None,
     calibration: Optional[Calibration] = None,
     include_dynamic: bool = True,
+    spec: Optional[ClusterSpec] = None,
 ) -> Dict[str, List[EnergyDelayPoint]]:
     """The paper's full comparison as raw point series.
 
@@ -125,11 +135,14 @@ def strategy_point_sweep(
     comparison instead of one per series.
     """
     tasks: List[SweepTask] = [
-        SweepTask(workload, "cpuspeed", calibration=calibration)
+        SweepTask(workload, "cpuspeed", calibration=calibration, spec=spec)
     ]
     for f in frequencies:
         tasks.append(
-            SweepTask(workload, "stat", frequency=f, calibration=calibration)
+            SweepTask(
+                workload, "stat", frequency=f, calibration=calibration,
+                spec=spec,
+            )
         )
     if include_dynamic:
         for f in frequencies:
@@ -140,6 +153,7 @@ def strategy_point_sweep(
                     frequency=f,
                     regions=tuple(regions) if regions else None,
                     calibration=calibration,
+                    spec=spec,
                 )
             )
     points = _context_sweep(tasks)

@@ -22,6 +22,7 @@ from repro.experiments import (
     powercap,
     serving,
     tables,
+    techscaling,
 )
 
 __all__ = ["EXPERIMENTS", "register", "run_experiment", "list_experiments"]
@@ -69,6 +70,7 @@ for _id, _runner in [
     ("powercap", powercap.run),
     ("chaos", chaos.run),
     ("serving", serving.run),
+    ("techscaling", techscaling.run),
 ]:
     register(_id, _runner)
 del _id, _runner

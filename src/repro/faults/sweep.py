@@ -36,6 +36,7 @@ from repro.exec.retry import RetryPolicy
 from repro.cache.keys import canonical_encode, simulator_salt
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.records import EnergyDelayPoint
 from repro.obs.tracer import Tracer
@@ -148,8 +149,9 @@ def _execute_chaos(task: ChaosTask) -> ChaosOutcome:
     strategy = task.build_strategy()
 
     def factory() -> Cluster:
-        cluster = Cluster.build(
-            task.workload.n_ranks, calibration=task.calibration
+        cluster = Cluster.from_spec(
+            ClusterSpec.homogeneous(task.workload.n_ranks),
+            calibration=task.calibration,
         )
         FaultInjector(cluster, task.plan).install()
         return cluster

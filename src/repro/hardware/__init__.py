@@ -33,7 +33,22 @@ from repro.hardware.reliability import (
     StrategyReliability,
     compare_reliability,
 )
+from repro.hardware.scaling import (
+    CORE_IO,
+    CORE_KINDS,
+    CORE_O3,
+    CoreKind,
+    PROJECTIONS,
+    TECH_BASE,
+    TECH_NODES,
+    TECH_SIZES_NM,
+    TechNode,
+    scaled_calibration,
+    scaled_table,
+    tech_node,
+)
 from repro.hardware.series import ClusterSeries, PowerSeries
+from repro.hardware.spec import ClusterSpec, NodeSpec
 from repro.hardware.timeline import EnergyCursor, PowerTimeline
 
 __all__ = [
@@ -67,4 +82,18 @@ __all__ = [
     "ReliabilityModel",
     "StrategyReliability",
     "compare_reliability",
+    "CoreKind",
+    "CORE_O3",
+    "CORE_IO",
+    "CORE_KINDS",
+    "TechNode",
+    "TECH_BASE",
+    "TECH_NODES",
+    "TECH_SIZES_NM",
+    "PROJECTIONS",
+    "tech_node",
+    "scaled_table",
+    "scaled_calibration",
+    "NodeSpec",
+    "ClusterSpec",
 ]

@@ -1,21 +1,29 @@
 """Cluster assembly: nodes + interconnect against one engine.
 
-:func:`Cluster.build` is the main entry point used by experiments,
-examples, and the SPMD launcher: it creates the engine, the nodes (with
-identical DVFS ladders and power models, as in the paper's homogeneous
-16-laptop cluster) and the Ethernet fabric, and wires NIC activity into
-node power timelines.
+:meth:`Cluster.from_spec` is the main entry point used by experiments,
+examples, and the SPMD launcher: given a declarative
+:class:`~repro.hardware.spec.ClusterSpec` it creates the engine, the
+nodes (per-group DVFS ladders and power models — the default spec
+reproduces the paper's homogeneous 16-laptop cluster, a multi-group
+spec a heterogeneous machine) and the Ethernet fabric, and wires NIC
+activity into node power timelines.
+
+:meth:`Cluster.build` is the deprecated positional predecessor, kept as
+a thin shim over a single-group homogeneous spec.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.hardware.dvfs import DVFSTable, PENTIUM_M_1400
+from repro.hardware.dvfs import DVFSTable
 from repro.hardware.network import NetworkFabric
 from repro.hardware.node import Node
+from repro.hardware.scaling import scaled_calibration
 from repro.hardware.series import ClusterSeries
+from repro.hardware.spec import ClusterSpec
 from repro.sim.engine import Engine
 from repro.sim.factory import make_engine
 from repro.sim.trace import NullRecorder, TraceRecorder
@@ -24,7 +32,7 @@ __all__ = ["Cluster"]
 
 
 class Cluster:
-    """A homogeneous DVS-capable Beowulf cluster."""
+    """A DVS-capable Beowulf cluster (homogeneous or mixed-generation)."""
 
     def __init__(
         self,
@@ -43,6 +51,59 @@ class Cluster:
 
     # ------------------------------------------------------------------
     @classmethod
+    def from_spec(
+        cls,
+        spec: ClusterSpec,
+        *,
+        calibration: Optional[Calibration] = None,
+        trace: Optional[TraceRecorder] = None,
+        engine: Optional[Engine] = None,
+    ) -> "Cluster":
+        """Construct the cluster a :class:`ClusterSpec` describes.
+
+        Each node group gets its own ladder and power model (the base
+        calibration ported to the group's technology generation and core
+        kind); node ids run sequentially across the groups in
+        declaration order.  ``calibration`` is the *base platform*
+        calibration that per-group scaling starts from; ``spec.network``
+        overrides its fabric config when set.
+        """
+        cal = calibration or DEFAULT_CALIBRATION
+        eng = engine if engine is not None else make_engine()
+        tracer = trace if trace is not None else NullRecorder()
+
+        nodes: List[Node] = []
+        for group in spec.groups:
+            ladder = group.ladder()
+            group_cal = scaled_calibration(cal, group.tech, group.core)
+            power_model = group_cal.node_power_model(ladder)
+            for _ in range(group.count):
+                nodes.append(
+                    Node(
+                        eng,
+                        node_id=len(nodes),
+                        table=ladder,
+                        power_model=power_model,
+                        memory=group_cal.memory,
+                        spin_block_threshold=group_cal.spin_block_threshold,
+                        trace=tracer,
+                        spin_counts_busy=group_cal.procstat_spin_is_busy,
+                        cycles_per_work=group.core.cycles_per_work,
+                    )
+                )
+        fabric = NetworkFabric(
+            eng,
+            len(nodes),
+            spec.network if spec.network is not None else cal.network,
+        )
+        for node in nodes:
+            fabric.add_activity_listener(
+                node.node_id,
+                _nic_listener(fabric, node),
+            )
+        return cls(eng, nodes, fabric, cal, tracer)
+
+    @classmethod
     def build(
         cls,
         n_nodes: int,
@@ -51,35 +112,26 @@ class Cluster:
         trace: Optional[TraceRecorder] = None,
         engine: Optional[Engine] = None,
     ) -> "Cluster":
-        """Construct a cluster of ``n_nodes`` identical nodes."""
+        """Deprecated: construct ``n_nodes`` identical nodes.
+
+        Thin shim over :meth:`from_spec` with a single-group homogeneous
+        spec; kept one release for callers of the positional API.
+        """
+        warnings.warn(
+            "Cluster.build is deprecated; use "
+            "Cluster.from_spec(ClusterSpec.homogeneous(n)) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         if n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {n_nodes}")
-        cal = calibration or DEFAULT_CALIBRATION
-        ladder = table or PENTIUM_M_1400
-        eng = engine if engine is not None else make_engine()
-        tracer = trace if trace is not None else NullRecorder()
-
-        power_model = cal.node_power_model(ladder)
-        nodes = [
-            Node(
-                eng,
-                node_id=i,
-                table=ladder,
-                power_model=power_model,
-                memory=cal.memory,
-                spin_block_threshold=cal.spin_block_threshold,
-                trace=tracer,
-                spin_counts_busy=cal.procstat_spin_is_busy,
-            )
-            for i in range(n_nodes)
-        ]
-        fabric = NetworkFabric(eng, n_nodes, cal.network)
-        for node in nodes:
-            fabric.add_activity_listener(
-                node.node_id,
-                _nic_listener(fabric, node),
-            )
-        return cls(eng, nodes, fabric, cal, tracer)
+        spec = ClusterSpec.homogeneous(
+            n_nodes,
+            points=tuple(table.points) if table is not None else None,
+        )
+        return cls.from_spec(
+            spec, calibration=calibration, trace=trace, engine=engine
+        )
 
     # ------------------------------------------------------------------
     @property

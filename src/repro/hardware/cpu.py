@@ -74,6 +74,11 @@ class SimCPU:
         Seconds of busy-wait polling before a waiting receive falls back to
         blocking in the kernel.  ``inf`` reproduces a pure spin-wait MPI
         implementation, ``0`` a pure blocking one.
+    cycles_per_work:
+        Microarchitectural cost multiplier: how many of *this* core's
+        cycles one unit of nominal (workload-counted) work takes.  1.0 is
+        the calibrated out-of-order reference; an in-order core needs
+        more (see :data:`repro.hardware.scaling.CORE_IO`).
     """
 
     def __init__(
@@ -83,6 +88,7 @@ class SimCPU:
         procstat: Optional[ProcStat] = None,
         on_change: Optional[Callable[[], None]] = None,
         spin_block_threshold: float = 0.005,
+        cycles_per_work: float = 1.0,
     ):
         self.engine = engine
         self.table = table
@@ -90,6 +96,9 @@ class SimCPU:
         self._on_change = on_change or (lambda: None)
         check_nonnegative("spin_block_threshold", spin_block_threshold)
         self.spin_block_threshold = spin_block_threshold
+        if cycles_per_work <= 0:
+            raise ValueError(f"cycles_per_work must be > 0, got {cycles_per_work}")
+        self.cycles_per_work = cycles_per_work
 
         self._point: OperatingPoint = table.fastest
         self._inflight: List[_CycleWork] = []
@@ -291,6 +300,11 @@ class SimCPU:
         expression the scalar loop evaluates on wake-up).
         """
         check_nonnegative("cycles", cycles)
+        if self.cycles_per_work != 1.0:
+            # Workloads count *nominal* work; an in-order core pays more
+            # cycles for it.  Scaled once here so both the bulk and the
+            # scalar paths (and mid-run re-timing) see the same total.
+            cycles = cycles * self.cycles_per_work
         if self.engine.supports_cancel:
             yield from self._run_cycles_bulk(float(cycles), state)
             return

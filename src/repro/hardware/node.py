@@ -57,6 +57,7 @@ class Node:
         spin_block_threshold: float = 0.005,
         trace: Optional[TraceRecorder] = None,
         spin_counts_busy: bool = True,
+        cycles_per_work: float = 1.0,
     ):
         self.engine = engine
         self.node_id = node_id
@@ -72,6 +73,7 @@ class Node:
             procstat=self.procstat,
             on_change=self._update_power,
             spin_block_threshold=spin_block_threshold,
+            cycles_per_work=cycles_per_work,
         )
         self._nic_active = False
         self.faults = NodeFaultState()

@@ -1,0 +1,300 @@
+"""Technology scaling: projected (freq, vdd) scaling across process nodes.
+
+The paper's platform is one fixed technology generation (the 130 nm
+Pentium M "Banias"); its central result — slack-driven DVS wins while
+cpuspeed loses — was measured with the Table-2 ladder's generous voltage
+headroom.  This module asks what happens to that ladder as the process
+shrinks, using Lumos-style projection tables (45 → 8 nm, ITRS vs
+conservative; see PAPERS.md on energy-aware petaflops cluster design):
+
+* :class:`TechNode` — one (process size, projection) point carrying the
+  voltage, frequency, power, and threshold-voltage scale factors
+  relative to the 45 nm reference generation;
+* :func:`scaled_table` — the Table-2 ladder ported to a generation:
+  every :class:`~repro.hardware.dvfs.OperatingPoint` scales as
+  ``(f · freq_scale, V · vdd_scale)`` and the ladder is then cut at a
+  **Vth-bounded lower rail**.  The rail is ``Vth(tech) + guard`` where
+  the guard band is an *absolute* margin (supply noise and process
+  variation do not shrink with vdd) — this is the mechanism by which
+  aggressive ITRS voltage scaling genuinely loses ladder rungs at small
+  nodes while the conservative projection keeps all five;
+* :class:`CoreKind` — in-order vs out-of-order microarchitectures
+  (Lumos's io/o3 split): different peak power and cycles-per-work
+  multipliers feeding
+  :meth:`~repro.hardware.calibration.Calibration.node_power_model`;
+* :func:`scaled_calibration` — the platform calibration ported to a
+  (tech, core) pair: CPU peak power follows the projection's dynamic
+  power scale times the core kind's factor; the frequency-independent
+  platform base follows the square root of the power scale (uncore,
+  DRAM refresh, and VRM losses scale slower than logic).
+
+The 45 nm reference generation has unit scale factors, so a
+:func:`scaled_table` / :func:`scaled_calibration` at the base tech node
+returns its input **unchanged (the same object)** — the spec-built
+cluster path is bit-identical to the legacy homogeneous path by
+construction (asserted in ``tests/hardware/test_spec_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.hardware.calibration import Calibration
+from repro.hardware.dvfs import DVFSTable, OperatingPoint
+from repro.util.validation import check_positive
+
+__all__ = [
+    "BASE_VTH_V",
+    "CORE_IO",
+    "CORE_O3",
+    "CORE_KINDS",
+    "CoreKind",
+    "PROJECTIONS",
+    "TECH_BASE",
+    "TECH_NODES",
+    "TECH_SIZES_NM",
+    "TechNode",
+    "VOLTAGE_GUARD_V",
+    "scaled_calibration",
+    "scaled_table",
+    "tech_node",
+]
+
+#: Projection families: ITRS roadmap targets vs conservative scaling.
+PROJECTIONS: Tuple[str, ...] = ("itrs", "cons")
+
+#: Process sizes with projection data, largest (the reference) first.
+TECH_SIZES_NM: Tuple[int, ...] = (45, 32, 22, 16, 11, 8)
+
+#: Threshold voltage of the reference generation in the *ladder's* frame:
+#: the alpha-power-law fit (Eq. 1, α=1) through the Table-2 endpoints
+#: (1400 MHz @ 1.484 V, 600 MHz @ 0.956 V) solves to Vt ≈ 0.755 V.
+BASE_VTH_V = 0.7547
+
+#: Absolute supply-noise / variation guard band above Vth (volts).  It
+#: does **not** scale with vdd — which is exactly why the usable ladder
+#: shrinks under aggressive voltage scaling: the window between
+#: ``Vth + guard`` and the (shrinking) nominal vdd narrows in absolute
+#: terms until the slow rungs fall out of it.
+VOLTAGE_GUARD_V = 0.18
+
+# Lumos-style projection tables relative to the 45 nm generation
+# (vdd/freq/power from the ITRS 2010 FEP tables vs conservative
+# estimates; vth from sheet 2009_FEP2-HPDevice, normalised to 45 nm).
+_VDD_SCALE = {
+    "itrs": {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62},
+    "cons": {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84},
+}
+_FREQ_SCALE = {
+    "itrs": {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85},
+    "cons": {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34},
+}
+_POWER_SCALE = {
+    "itrs": {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12},
+    "cons": {45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22},
+}
+_VTH_BASE = {45: 0.3201, 32: 0.297, 22: 0.2673, 16: 0.2409, 11: 0.2178, 8: 0.198}
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """One technology generation under one projection family.
+
+    All scale factors are relative to the 45 nm reference generation
+    (unit factors), in which frame the paper's Table-2 ladder is taken
+    as the baseline processor.
+    """
+
+    nm: int  #: process size in nanometres
+    projection: str  #: ``"itrs"`` or ``"cons"``
+    vdd_scale: float  #: nominal supply voltage vs the reference
+    freq_scale: float  #: nominal clock frequency vs the reference
+    power_scale: float  #: dynamic power at nominal (f, V) vs the reference
+    vth_scale: float  #: threshold voltage vs the reference
+
+    def __post_init__(self) -> None:
+        if self.projection not in PROJECTIONS:
+            raise ValueError(
+                f"unknown projection {self.projection!r}; "
+                f"valid projections: {', '.join(PROJECTIONS)}"
+            )
+        check_positive("nm", self.nm)
+        check_positive("vdd_scale", self.vdd_scale)
+        check_positive("freq_scale", self.freq_scale)
+        check_positive("power_scale", self.power_scale)
+        check_positive("vth_scale", self.vth_scale)
+
+    @property
+    def is_base(self) -> bool:
+        """Whether this is the unit-factor reference generation."""
+        return (
+            self.vdd_scale == 1.0
+            and self.freq_scale == 1.0
+            and self.power_scale == 1.0
+            and self.vth_scale == 1.0
+        )
+
+    @property
+    def vth_v(self) -> float:
+        """Absolute threshold voltage in the ladder's frame (volts)."""
+        return BASE_VTH_V * self.vth_scale
+
+    @property
+    def min_voltage(self) -> float:
+        """The Vth-bounded lower rail: minimum usable supply voltage."""
+        return self.vth_v + VOLTAGE_GUARD_V
+
+    @property
+    def platform_power_scale(self) -> float:
+        """Scale factor for the frequency-independent platform base.
+
+        Uncore, DRAM refresh, disk, and PSU losses do not ride the logic
+        shrink; ``sqrt(power_scale)`` is the documented middle ground
+        (exactly 1.0 at the reference generation).
+        """
+        return self.power_scale**0.5
+
+    @property
+    def label(self) -> str:
+        return f"{self.nm}nm/{self.projection}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.label
+
+
+def tech_node(nm: int, projection: str = "itrs") -> TechNode:
+    """The :class:`TechNode` for ``(nm, projection)`` from the tables."""
+    if projection not in PROJECTIONS:
+        raise ValueError(
+            f"unknown projection {projection!r}; "
+            f"valid projections: {', '.join(PROJECTIONS)}"
+        )
+    if nm not in _VTH_BASE:
+        raise ValueError(
+            f"no projection data for {nm} nm; "
+            f"available sizes: {', '.join(str(s) for s in TECH_SIZES_NM)}"
+        )
+    return TechNode(
+        nm=nm,
+        projection=projection,
+        vdd_scale=_VDD_SCALE[projection][nm],
+        freq_scale=_FREQ_SCALE[projection][nm],
+        power_scale=_POWER_SCALE[projection][nm],
+        vth_scale=_VTH_BASE[nm] / _VTH_BASE[45],
+    )
+
+
+#: The unit-factor reference generation (45 nm, ITRS frame).
+TECH_BASE = tech_node(45, "itrs")
+
+#: Every (size, projection) point, itrs first, largest node first.
+TECH_NODES: Tuple[TechNode, ...] = tuple(
+    tech_node(nm, projection)
+    for projection in PROJECTIONS
+    for nm in TECH_SIZES_NM
+)
+
+
+@dataclass(frozen=True)
+class CoreKind:
+    """A core microarchitecture: in-order vs out-of-order.
+
+    Factors are relative to the out-of-order reference (the Pentium M is
+    an o3 core), following Lumos's io/o3 split (6.14 W vs 19.83 W peak,
+    4.2 GHz vs 3.7 GHz nominal clock, ~1.6× IPC gap).
+    """
+
+    name: str
+    power_factor: float  #: peak CPU power vs the o3 reference
+    cycles_per_work: float  #: cycles needed per unit of nominal work
+    freq_factor: float = 1.0  #: nominal clock vs the o3 reference
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a CoreKind needs a non-empty name")
+        check_positive("power_factor", self.power_factor)
+        check_positive("cycles_per_work", self.cycles_per_work)
+        check_positive("freq_factor", self.freq_factor)
+
+    @property
+    def is_reference(self) -> bool:
+        """Whether this core leaves the calibrated model untouched."""
+        return (
+            self.power_factor == 1.0
+            and self.cycles_per_work == 1.0
+            and self.freq_factor == 1.0
+        )
+
+
+#: Out-of-order reference core (what the paper's ladder describes).
+CORE_O3 = CoreKind(name="o3", power_factor=1.0, cycles_per_work=1.0)
+
+#: In-order core: ~0.31× peak power, ~1.14× clock, ~1.6× cycles/work.
+CORE_IO = CoreKind(
+    name="io", power_factor=0.31, cycles_per_work=1.6, freq_factor=1.135
+)
+
+#: name → core kind, for lookups and CLIs.
+CORE_KINDS = {CORE_O3.name: CORE_O3, CORE_IO.name: CORE_IO}
+
+
+def scaled_table(
+    base: DVFSTable, tech: TechNode, core: CoreKind = CORE_O3
+) -> DVFSTable:
+    """Port a DVFS ladder to a technology generation (and core kind).
+
+    Every operating point scales as ``(f · freq_scale · freq_factor,
+    V · vdd_scale)``; points whose scaled voltage falls below the
+    generation's Vth-bounded rail (:attr:`TechNode.min_voltage`) are
+    dropped — the usable ladder genuinely shrinks where vdd scaling
+    outruns the fixed guard band.  At the reference generation with the
+    reference core the input table is returned unchanged (same object),
+    which is what makes spec-built clusters bit-identical to the legacy
+    path.
+
+    Raises
+    ------
+    ValueError
+        If even the fastest point falls below the rail — the projection
+        cannot sustain the ladder's nominal point at all.
+    """
+    if tech.is_base and core.freq_factor == 1.0:
+        return base
+    freq_scale = tech.freq_scale * core.freq_factor
+    points = [
+        OperatingPoint(
+            frequency=p.frequency * freq_scale,
+            voltage=p.voltage * tech.vdd_scale,
+        )
+        for p in base.points
+    ]
+    rail = tech.min_voltage
+    usable = [p for p in points if p.voltage >= rail]
+    if not usable:
+        raise ValueError(
+            f"{tech.label}: nominal point {points[-1]} sits below the "
+            f"Vth-bounded rail ({rail:.3f} V) — the ladder cannot be "
+            "ported to this generation"
+        )
+    return DVFSTable(usable)
+
+
+def scaled_calibration(
+    calibration: Calibration, tech: TechNode, core: CoreKind = CORE_O3
+) -> Calibration:
+    """Port a platform calibration to a (tech, core) pair.
+
+    ``cpu_max_power`` scales with the projection's dynamic power factor
+    times the core kind's; ``base_power`` with
+    :attr:`TechNode.platform_power_scale`.  At the reference (tech,
+    core) the input calibration is returned unchanged (same object).
+    """
+    if tech.is_base and core.power_factor == 1.0:
+        return calibration
+    return calibration.with_overrides(
+        cpu_max_power=calibration.cpu_max_power
+        * tech.power_scale
+        * core.power_factor,
+        base_power=calibration.base_power * tech.platform_power_scale,
+    )

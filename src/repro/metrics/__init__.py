@@ -23,6 +23,11 @@ from repro.metrics.chaos import ChaosReport, build_chaos_report
 from repro.metrics.powercap import PowerCapReport, build_cap_report
 from repro.metrics.protocol import ReportBase, ReportProtocol
 from repro.metrics.records import EnergyDelayPoint, normalize_points
+from repro.metrics.scaling import (
+    GenerationVerdict,
+    ScalingReport,
+    build_scaling_report,
+)
 from repro.metrics.selection import BestPoint, best_operating_point, select_paper_rows
 from repro.metrics.serving import (
     ServingReport,
@@ -59,6 +64,9 @@ __all__ = [
     "AttributionReport",
     "AttributionRow",
     "build_attribution_report",
+    "GenerationVerdict",
+    "ScalingReport",
+    "build_scaling_report",
     "ReportBase",
     "ReportProtocol",
     "normalize_points",

@@ -117,10 +117,11 @@ class CapGovernor:
     Direct construction is for driving the loop yourself::
 
         from repro.hardware.cluster import Cluster
+        from repro.hardware.spec import ClusterSpec
         from repro.powercap import CapGovernor, CapGovernorConfig, PowerBudget
         from repro.simmpi import run_spmd
 
-        cluster = Cluster.build(8)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(8))
         governor = CapGovernor(
             cluster,
             PowerBudget(cluster_watts=130.0),

@@ -29,6 +29,7 @@ from typing import List, Optional, Tuple
 from repro.hardware.activity import CpuActivity
 from repro.hardware.calibration import Calibration
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.obs.tracer import active_tracer
 from repro.serving.records import RequestRecord, TierSpan
 from repro.serving.spec import RequestSpec, ServingWorkload, TierSpec
@@ -137,7 +138,9 @@ def run_serving(
 
     if policy is None:
         policy = StaticServingPolicy()
-    cluster = Cluster.build(workload.total_nodes, calibration=calibration)
+    cluster = Cluster.from_spec(
+        ClusterSpec.homogeneous(workload.total_nodes), calibration=calibration
+    )
     engine = cluster.engine
 
     tiers: List[TierRuntime] = []

@@ -99,10 +99,14 @@ class Session:
         return f"Session({', '.join(parts)})"
 
     # -- single runs ---------------------------------------------------
-    def run(self, workload, strategy, cluster_factory=None):
+    def run(self, workload, strategy, cluster_factory=None, spec=None):
         """One measured run (traced when the session has a tracer).
 
-        Returns a :class:`~repro.analysis.runner.MeasuredRun`.
+        ``spec`` is an optional
+        :class:`~repro.hardware.spec.ClusterSpec` selecting the hardware
+        (``None`` = the paper's homogeneous cluster sized to the
+        workload).  Returns a
+        :class:`~repro.analysis.runner.MeasuredRun`.
         """
         from repro.analysis.runner import run_measured, traced_run
 
@@ -113,12 +117,14 @@ class Session:
                 self.tracer,
                 calibration=self.calibration,
                 cluster_factory=cluster_factory,
+                spec=spec,
             )
         return run_measured(
             workload,
             strategy,
             calibration=self.calibration,
             cluster_factory=cluster_factory,
+            spec=spec,
         )
 
     # -- sweeps --------------------------------------------------------

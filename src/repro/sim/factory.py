@@ -1,7 +1,7 @@
 """Engine selection: the columnar core by default, the scalar oracle on demand.
 
 Every experiment builds its engine through :func:`make_engine` (via
-:meth:`repro.hardware.cluster.Cluster.build`), so one switch flips the
+:meth:`repro.hardware.cluster.Cluster.from_spec`), so one switch flips the
 whole framework between the two cores:
 
 * ``columnar`` (default) — :class:`~repro.sim.columnar.ColumnarEngine`,

@@ -11,6 +11,7 @@ from repro.analysis.runner import (
 )
 from repro.dvs.strategy import StaticStrategy
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.util.units import MHZ
 from repro.workloads.micro import L2BoundMicro, MemoryBoundMicro
 from repro.workloads.nas_ft import NasFT
@@ -79,5 +80,5 @@ def test_cluster_too_small_rejected(small_ft):
         run_measured(
             small_ft,
             StaticStrategy(800 * MHZ),
-            cluster_factory=lambda: Cluster.build(2),
+            cluster_factory=lambda: Cluster.from_spec(ClusterSpec.homogeneous(2)),
         )

@@ -1,0 +1,118 @@
+"""ClusterSpec cache keys: order-sensitive across groups, stable across
+construction spelling, and additive to the legacy task-key payload."""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.parallel import SweepTask
+from repro.cache.keys import canonical_json, task_key
+from repro.hardware.scaling import CORE_IO, CORE_O3, tech_node
+from repro.hardware.spec import ClusterSpec, NodeSpec
+from repro.util.units import MHZ
+from repro.workloads.nas_ft import NasFT
+
+TECHS = [tech_node(45, "itrs"), tech_node(22, "itrs"), tech_node(8, "cons")]
+CORES = [CORE_O3, CORE_IO]
+
+
+def make_task(**kwargs):
+    kwargs.setdefault("frequency", 800 * MHZ)
+    return SweepTask(NasFT("S", n_ranks=4, iterations=2), "stat", **kwargs)
+
+
+class TestSpecKeyStability:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        count=st.integers(min_value=1, max_value=1024),
+        tech=st.sampled_from(TECHS),
+        core=st.sampled_from(CORES),
+    )
+    def test_key_ignores_kwarg_order_and_sequence_spelling(
+        self, count, tech, core
+    ):
+        a = ClusterSpec(
+            groups=(NodeSpec(count=count, tech=tech, core=core),)
+        )
+        b = ClusterSpec(
+            groups=[NodeSpec(core=core, tech=tech, count=count)]
+        )
+        assert a.cache_key() == b.cache_key()
+
+    def test_homogeneous_classmethod_keys_like_the_literal_spelling(self):
+        assert (
+            ClusterSpec.homogeneous(8, core=CORE_IO).cache_key()
+            == ClusterSpec(groups=(NodeSpec(count=8, core=CORE_IO),)).cache_key()
+        )
+
+    def test_key_is_the_canonical_json(self):
+        spec = ClusterSpec.homogeneous(4)
+        assert spec.cache_key() == canonical_json(spec)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        tech_a=st.sampled_from(TECHS),
+        tech_b=st.sampled_from(TECHS),
+        count=st.integers(min_value=1, max_value=64),
+    )
+    def test_group_order_is_part_of_the_key(self, tech_a, tech_b, count):
+        """Swapping two distinct groups moves ranks onto different
+        silicon — that must miss the cache."""
+        first = NodeSpec(count=count, tech=tech_a)
+        second = NodeSpec(count=count, tech=tech_b, core=CORE_IO)
+        forward = ClusterSpec(groups=(first, second))
+        backward = ClusterSpec(groups=(second, first))
+        assert forward.cache_key() != backward.cache_key()
+
+    def test_every_field_reaches_the_key(self):
+        base = ClusterSpec.homogeneous(4)
+        assert base.cache_key() != ClusterSpec.homogeneous(5).cache_key()
+        assert (
+            base.cache_key()
+            != ClusterSpec.homogeneous(4, tech=tech_node(22, "itrs")).cache_key()
+        )
+        assert (
+            base.cache_key()
+            != ClusterSpec.homogeneous(4, core=CORE_IO).cache_key()
+        )
+
+
+class TestTaskKeyCompat:
+    def test_specless_task_keys_are_unchanged(self):
+        """A task with ``spec=None`` must hash exactly like a pre-spec
+        task object that has no ``spec`` attribute at all — every cache
+        entry written before the spec layer stays reachable."""
+        task = make_task()
+        pre_spec = SimpleNamespace(
+            workload=task.workload,
+            strategy_kind=task.strategy_kind,
+            frequency=task.frequency,
+            regions=task.regions,
+            calibration=task.calibration,
+        )
+        assert not hasattr(pre_spec, "spec")
+        assert task_key(task) == task_key(pre_spec)
+
+    def test_spec_changes_the_key(self):
+        assert task_key(make_task()) != task_key(
+            make_task(spec=ClusterSpec.homogeneous(4))
+        )
+
+    def test_equal_specs_share_a_key(self):
+        assert task_key(make_task(spec=ClusterSpec.homogeneous(4))) == task_key(
+            make_task(spec=ClusterSpec.homogeneous(4))
+        )
+
+    def test_different_generations_get_different_keys(self):
+        itrs = make_task(
+            spec=ClusterSpec.homogeneous(4, tech=tech_node(22, "itrs"))
+        )
+        cons = make_task(
+            spec=ClusterSpec.homogeneous(4, tech=tech_node(22, "cons"))
+        )
+        assert task_key(itrs) != task_key(cons)
+
+    def test_undersized_spec_rejected_at_task_construction(self):
+        with pytest.raises(ValueError, match="workload needs"):
+            make_task(spec=ClusterSpec.homogeneous(2))

@@ -22,6 +22,7 @@ DOC_FILES = [
     "docs/CACHING.md",
     "docs/ENGINE.md",
     "docs/FAULTS.md",
+    "docs/SCALING.md",
     "docs/SERVING.md",
 ]
 

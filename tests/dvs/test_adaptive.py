@@ -6,6 +6,7 @@ from repro.analysis.runner import run_measured
 from repro.dvs.adaptive import AdaptiveConfig, AdaptiveController, AdaptiveStrategy
 from repro.dvs.cpufreq import CpuFreq
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.util.units import MHZ
 from repro.workloads.nas_ft import NasFT
 from repro.workloads.synthetic import SyntheticMix
@@ -70,7 +71,7 @@ def test_rejects_frequency_sensitive_region():
 
 
 def test_calibration_phases_progress():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
     ctl = AdaptiveController(cpufreq, 1400 * MHZ, 600 * MHZ)
 
@@ -87,7 +88,7 @@ def test_calibration_phases_progress():
 
 
 def test_exit_without_enter_raises():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
     ctl = AdaptiveController(cpufreq, 1400 * MHZ, 600 * MHZ)
 

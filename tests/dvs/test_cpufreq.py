@@ -4,12 +4,13 @@ import pytest
 
 from repro.dvs.cpufreq import CpuFreq
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.util.units import MHZ
 
 
 @pytest.fixture
 def cluster():
-    return Cluster.build(1)
+    return Cluster.from_spec(ClusterSpec.homogeneous(1))
 
 
 @pytest.fixture

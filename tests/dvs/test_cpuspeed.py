@@ -5,6 +5,7 @@ import pytest
 from repro.dvs.cpufreq import CpuFreq
 from repro.dvs.cpuspeed import CpuspeedConfig, CpuspeedDaemon
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.util.units import MHZ
 
 
@@ -25,7 +26,7 @@ def test_config_validation():
 
 
 def test_idle_cpu_steps_down_to_minimum():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster, interval=1.0)
     daemon.start(cluster.engine)
     cluster.engine.timeout(10.0)
@@ -36,7 +37,7 @@ def test_idle_cpu_steps_down_to_minimum():
 
 
 def test_busy_cpu_stays_at_maximum():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster)
     daemon.start(cluster.engine)
 
@@ -52,7 +53,7 @@ def test_busy_cpu_stays_at_maximum():
 
 def test_spinning_cpu_fools_the_daemon():
     """The paper's central artifact: busy-wait keeps cpuspeed at max."""
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster)
     daemon.start(cluster.engine)
     never = cluster.engine.event()
@@ -67,7 +68,7 @@ def test_spinning_cpu_fools_the_daemon():
 
 
 def test_daemon_rescales_up_after_idle_period():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster)
     daemon.start(cluster.engine)
     eng = cluster.engine
@@ -86,7 +87,7 @@ def test_daemon_rescales_up_after_idle_period():
 
 
 def test_daemon_stop_halts_decisions():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster)
     daemon.start(cluster.engine)
     cluster.engine.run(until=3.5)
@@ -98,7 +99,7 @@ def test_daemon_stop_halts_decisions():
 
 
 def test_daemon_cannot_start_twice():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     _, daemon = make_daemon(cluster)
     daemon.start(cluster.engine)
     with pytest.raises(RuntimeError):
@@ -107,7 +108,7 @@ def test_daemon_cannot_start_twice():
 
 def test_intermediate_utilization_holds_frequency():
     """Between thresholds the daemon leaves the frequency alone."""
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node, daemon = make_daemon(cluster, up_threshold=0.9, down_threshold=0.25)
     node.cpu.set_frequency(cluster.table.point_for(1000 * MHZ))
     daemon.start(cluster.engine)

@@ -5,6 +5,7 @@ import pytest
 from repro.dvs.ondemand import OndemandConfig, OndemandStrategy
 from repro.dvs.policy import cpuspeed_decision, proportional_decision
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.util.units import MHZ
 from repro.workloads.nas_ft import NasFT
 
@@ -59,7 +60,7 @@ def test_proportional_policy_validates():
 # ondemand strategy on the cluster
 # ---------------------------------------------------------------------------
 def test_ondemand_scales_idle_cluster_down():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     strat = OndemandStrategy(OndemandConfig(interval=0.1))
     strat.prepare(cluster)
     cluster.engine.timeout(2.0)

@@ -11,12 +11,13 @@ from repro.dvs import (
 )
 from repro.dvs.cpufreq import CpuFreq
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MHZ
 
 
 def test_static_strategy_sets_all_nodes():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     strat = StaticStrategy(800 * MHZ)
     strat.prepare(cluster)
     assert all(n.cpu.frequency == 800 * MHZ for n in cluster.nodes)
@@ -25,7 +26,7 @@ def test_static_strategy_sets_all_nodes():
 
 
 def test_cpuspeed_strategy_starts_daemons_at_max():
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
     strat = CpuspeedStrategy()
     strat.prepare(cluster)
     assert len(strat.daemons) == 3
@@ -38,7 +39,7 @@ def test_cpuspeed_strategy_starts_daemons_at_max():
 
 
 def test_dynamic_strategy_scales_inside_regions():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     strat = DynamicStrategy(base_frequency=1000 * MHZ)
     strat.prepare(cluster)
     seen = []
@@ -58,7 +59,7 @@ def test_dynamic_strategy_scales_inside_regions():
 
 
 def test_dynamic_strategy_custom_low_frequency():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     strat = DynamicStrategy(base_frequency=1400 * MHZ, low_frequency=800 * MHZ)
     strat.prepare(cluster)
 
@@ -74,7 +75,7 @@ def test_dynamic_strategy_custom_low_frequency():
 
 
 def test_dynamic_controller_region_filter():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
     ctl = DynamicController(cpufreq, 600 * MHZ, regions=["fft"])
 
@@ -92,7 +93,7 @@ def test_dynamic_controller_region_filter():
 
 
 def test_dynamic_controller_mismatched_exit_raises():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
     ctl = DynamicController(cpufreq, 600 * MHZ)
 
@@ -105,7 +106,7 @@ def test_dynamic_controller_mismatched_exit_raises():
 
 
 def test_dynamic_nested_regions_restore_in_order():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     cpufreq = CpuFreq(cluster.nodes[0], cluster.calibration)
     cpufreq.set_speed_now(1200 * MHZ)
     ctl = DynamicController(cpufreq, 600 * MHZ)
@@ -125,7 +126,7 @@ def test_dynamic_nested_regions_restore_in_order():
 
 
 def test_null_controller_is_free():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     ctl = NullController()
 
     def program():

@@ -1,0 +1,77 @@
+"""Tests for the techscaling experiment (scaled-down grids).
+
+Like the other experiment tests these check *shape*: which policy wins,
+how the ladder shrinks, and that the report plumbing (series naming,
+comparisons, verdict table) carries the grid faithfully.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.techscaling import run_report
+from repro.metrics.scaling import ScalingReport
+
+SMOKE = dict(iterations=1, n_ranks=4, sizes=(45, 8), projections=("itrs",))
+
+
+@pytest.fixture(scope="module")
+def smoke_result():
+    return run_experiment("techscaling", **SMOKE)
+
+
+class TestExperiment:
+    def test_series_named_per_generation_and_policy(self, smoke_result):
+        expected = {
+            f"{tech}:{policy}"
+            for tech in ("45nm/itrs", "8nm/itrs")
+            for policy in ("stat", "dyn", "cpuspeed")
+        }
+        assert expected <= set(smoke_result.series)
+
+    def test_normalization_is_per_generation(self, smoke_result):
+        # every generation's fastest static point is its own unit
+        for tech in ("45nm/itrs", "8nm/itrs"):
+            fastest = smoke_result.series[f"{tech}:stat"].points[-1]
+            assert fastest.energy == pytest.approx(1.0)
+            assert fastest.delay == pytest.approx(1.0)
+
+    def test_verdict_comparisons_cover_the_grid(self, smoke_result):
+        by_name = {c.quantity: c.measured for c in smoke_result.comparisons}
+        for tech in ("45nm/itrs", "8nm/itrs"):
+            assert by_name[f"{tech}:dvs_beats_cpuspeed_energy"] == 1.0
+            assert by_name[f"{tech}:dvs_beats_cpuspeed_ed2p"] == 1.0
+        # the ITRS shrink genuinely eats ladder rungs
+        assert by_name["45nm/itrs:ladder_rungs"] == 5.0
+        assert by_name["8nm/itrs:ladder_rungs"] == 4.0
+
+    def test_verdict_table_and_notes_present(self, smoke_result):
+        assert "45nm/itrs" in smoke_result.tables["verdicts"]
+        assert any("holds" in note for note in smoke_result.notes)
+        assert any("iterations" in note for note in smoke_result.notes)
+
+
+class TestRunReport:
+    def test_report_shape_and_verdicts(self):
+        report = run_report(**SMOKE)
+        assert isinstance(report, ScalingReport)
+        assert [v.tech for v in report.verdicts] == ["45nm/itrs", "8nm/itrs"]
+        assert report.holds_everywhere
+        base = report.verdict_for("45nm/itrs")
+        shrunk = report.verdict_for("8nm/itrs")
+        assert base.rungs == 5 and shrunk.rungs == 4
+        # frequencies scale up with the projection's clock factor
+        assert shrunk.fastest_mhz > base.fastest_mhz
+        # the winning margin narrows down the shrink (fewer slow rungs)
+        assert shrunk.dyn_energy > base.dyn_energy
+
+    def test_verdict_for_unknown_generation_raises(self):
+        report = run_report(**SMOKE)
+        with pytest.raises(KeyError, match="16nm/cons"):
+            report.verdict_for("16nm/cons")
+
+    def test_summary_lines_carry_every_generation(self):
+        report = run_report(**SMOKE)
+        lines = report.summary_lines()
+        assert report.label in lines[0]
+        assert len(lines) == 1 + len(report.verdicts)
+        assert all("rungs" in line for line in lines[1:])

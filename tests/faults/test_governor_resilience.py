@@ -17,6 +17,7 @@ from repro.faults import (
     TelemetryDropout,
 )
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.powercap import (
     CapGovernor,
     CapGovernorConfig,
@@ -41,7 +42,7 @@ def drive(
     compute for the whole run.  Work always outlasts ``seconds`` so the
     governor, not job completion, decides what each window sees.
     """
-    cluster = Cluster.build(n_nodes)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_nodes))
     FaultInjector(cluster, plan).install()
     governor = CapGovernor(
         cluster,

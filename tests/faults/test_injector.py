@@ -20,12 +20,13 @@ from repro.faults import (
     acceleration_for,
 )
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.hardware.reliability import ReliabilityModel
 from repro.powercap.telemetry import ClusterTelemetry
 
 
 def build(n_nodes: int, plan: FaultPlan) -> "tuple[Cluster, FaultInjector]":
-    cluster = Cluster.build(n_nodes)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_nodes))
     injector = FaultInjector(cluster, plan)
     injector.install()
     return cluster, injector
@@ -56,7 +57,7 @@ class TestCrash:
 
     def test_downtime_delays_the_work(self):
         def finish_time(plan: FaultPlan) -> float:
-            cluster = Cluster.build(1)
+            cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
             FaultInjector(cluster, plan).install()
             cpu = cluster.nodes[0].cpu
             cluster.engine.process(cpu.run_cycles(2.0 * cpu.frequency))
@@ -179,7 +180,7 @@ class TestDeterminism:
                 dropout_weight=1.0,
                 stuck_weight=1.0,
             )
-            cluster = Cluster.build(4)
+            cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
             injector = FaultInjector(cluster, plan)
             injector.install()
             for node in cluster.nodes:
@@ -197,13 +198,13 @@ class TestDeterminism:
 
 class TestGuards:
     def test_plan_beyond_cluster_size_rejected(self):
-        cluster = Cluster.build(2)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
         plan = FaultPlan(faults=(NodeCrash(5, at=0.0),))
         with pytest.raises(ValueError, match="node 5"):
             FaultInjector(cluster, plan)
 
     def test_double_install_rejected(self):
-        cluster = Cluster.build(1)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
         injector = FaultInjector(cluster, FaultPlan())
         injector.install()
         with pytest.raises(RuntimeError, match="already installed"):

@@ -5,13 +5,14 @@ import pytest
 from repro.hardware.activity import CpuActivity
 from repro.hardware.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.hardware.dvfs import PENTIUM_M_1400
 from repro.sim import TraceRecorder
 from repro.util.units import MIB, MHZ
 
 
 def test_cluster_build_defaults():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     assert cluster.n_nodes == 4
     assert cluster.table is PENTIUM_M_1400
     assert all(n.cpu.frequency == 1400 * MHZ for n in cluster.nodes)
@@ -19,11 +20,11 @@ def test_cluster_build_defaults():
 
 def test_cluster_rejects_empty():
     with pytest.raises(ValueError):
-        Cluster.build(0)
+        Cluster.from_spec(ClusterSpec.homogeneous(0))
 
 
 def test_idle_node_power_is_base_plus_cpu_idle():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     node = cluster.nodes[0]
     cal = cluster.calibration
     expected = cal.base_power + cal.cpu_max_power * cal.activity_factors[
@@ -33,7 +34,7 @@ def test_idle_node_power_is_base_plus_cpu_idle():
 
 
 def test_node_energy_integrates_cpu_work():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     eng = cluster.engine
     node = cluster.nodes[0]
 
@@ -49,7 +50,7 @@ def test_node_energy_integrates_cpu_work():
 
 
 def test_nic_power_appears_during_transfer():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     eng = cluster.engine
     sender, receiver = cluster.nodes
 
@@ -70,7 +71,7 @@ def test_nic_power_appears_during_transfer():
 
 
 def test_total_cluster_energy_sums_nodes():
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
     eng = cluster.engine
     eng.timeout(2.0)
     eng.run()
@@ -80,7 +81,7 @@ def test_total_cluster_energy_sums_nodes():
 
 
 def test_frequency_change_reflected_in_power():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     eng = cluster.engine
     node = cluster.nodes[0]
 
@@ -96,7 +97,7 @@ def test_frequency_change_reflected_in_power():
 
 def test_trace_records_power_changes():
     trace = TraceRecorder(categories=["node.power"])
-    cluster = Cluster.build(1, trace=trace)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1), trace=trace)
     eng = cluster.engine
     node = cluster.nodes[0]
 
@@ -112,7 +113,7 @@ def test_calibration_overrides():
     cal = DEFAULT_CALIBRATION.with_overrides(base_power=5.0)
     assert cal.base_power == 5.0
     assert cal.cpu_max_power == DEFAULT_CALIBRATION.cpu_max_power
-    cluster = Cluster.build(1, calibration=cal)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1), calibration=cal)
     node = cluster.nodes[0]
     idle_cpu = cal.cpu_max_power * cal.activity_factors[CpuActivity.IDLE]
     assert node.timeline.power_at(0.0) == pytest.approx(5.0 + idle_cpu)
@@ -128,14 +129,14 @@ def test_calibration_validation():
 
 
 def test_nodes_share_one_engine_and_fabric():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     engines = {n.engine for n in cluster.nodes}
     assert engines == {cluster.engine}
     assert cluster.fabric.n_nodes == 4
 
 
 def test_cluster_series_cached_until_any_node_timeline_changes():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     series = cluster.series()
     assert cluster.series() is series  # reused while no node changed
     cluster.nodes[1].timeline.set_power(1.0, 99.0)
@@ -145,7 +146,7 @@ def test_cluster_series_cached_until_any_node_timeline_changes():
 
 
 def test_cluster_aggregates_delegate_to_merged_series():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     for node in cluster.nodes:
         node.timeline.set_power(1.0, 10.0)
         node.timeline.set_power(3.0, 30.0)

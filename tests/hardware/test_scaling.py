@@ -1,0 +1,199 @@
+"""Tests for technology scaling: projection tables, ladder porting,
+core kinds, and calibration scaling."""
+
+import pytest
+
+from repro.hardware.calibration import DEFAULT_CALIBRATION
+from repro.hardware.dvfs import PENTIUM_M_1400
+from repro.hardware.scaling import (
+    CORE_IO,
+    CORE_KINDS,
+    CORE_O3,
+    CoreKind,
+    PROJECTIONS,
+    TECH_BASE,
+    TECH_NODES,
+    TECH_SIZES_NM,
+    TechNode,
+    scaled_calibration,
+    scaled_table,
+    tech_node,
+)
+
+
+class TestTechNode:
+    def test_base_node_has_unit_factors(self):
+        assert TECH_BASE.is_base
+        assert TECH_BASE.nm == 45
+        assert TECH_BASE.vdd_scale == 1.0
+        assert TECH_BASE.freq_scale == 1.0
+        assert TECH_BASE.power_scale == 1.0
+        assert TECH_BASE.vth_scale == 1.0
+        assert TECH_BASE.platform_power_scale == 1.0
+
+    def test_grid_covers_every_size_and_projection(self):
+        assert len(TECH_NODES) == len(TECH_SIZES_NM) * len(PROJECTIONS)
+        labels = [t.label for t in TECH_NODES]
+        assert len(set(labels)) == len(labels)
+        assert labels[0] == "45nm/itrs"
+
+    def test_tech_node_lookup_matches_grid(self):
+        for node in TECH_NODES:
+            assert tech_node(node.nm, node.projection) == node
+
+    def test_unknown_projection_rejected(self):
+        with pytest.raises(ValueError, match="projection"):
+            tech_node(45, "optimistic")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError, match="available sizes"):
+            tech_node(130)
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="projection"):
+            TechNode(45, "bad", 1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TechNode(45, "itrs", -1.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TechNode(45, "itrs", 1.0, 0.0, 1.0, 1.0)
+
+    def test_rail_falls_slower_than_itrs_vdd(self):
+        """The guard band is absolute, so the rail/vdd *ratio* worsens
+        down the ITRS shrink — the mechanism that eats ladder rungs."""
+        headroom = [
+            tech_node(nm, "itrs").vdd_scale * 1.484
+            - tech_node(nm, "itrs").min_voltage
+            for nm in TECH_SIZES_NM
+        ]
+        assert headroom == sorted(headroom, reverse=True)
+
+    def test_label_round_trip(self):
+        node = tech_node(22, "cons")
+        assert node.label == "22nm/cons"
+        assert str(node) == node.label
+
+
+class TestScaledTable:
+    def test_identity_at_base_tech(self):
+        assert scaled_table(PENTIUM_M_1400, TECH_BASE) is PENTIUM_M_1400
+        assert (
+            scaled_table(PENTIUM_M_1400, TECH_BASE, CORE_O3)
+            is PENTIUM_M_1400
+        )
+
+    def test_point_scaling_math(self):
+        tech = tech_node(22, "itrs")
+        table = scaled_table(PENTIUM_M_1400, tech)
+        base_fastest = PENTIUM_M_1400.fastest
+        assert table.fastest.frequency == pytest.approx(
+            base_fastest.frequency * tech.freq_scale
+        )
+        assert table.fastest.voltage == pytest.approx(
+            base_fastest.voltage * tech.vdd_scale
+        )
+
+    def test_itrs_ladder_loses_rungs_conservative_does_not(self):
+        base_rungs = len(PENTIUM_M_1400.points)
+        itrs_rungs = [
+            len(scaled_table(PENTIUM_M_1400, tech_node(nm, "itrs")).points)
+            for nm in TECH_SIZES_NM
+        ]
+        cons_rungs = [
+            len(scaled_table(PENTIUM_M_1400, tech_node(nm, "cons")).points)
+            for nm in TECH_SIZES_NM
+        ]
+        # aggressive voltage scaling genuinely shrinks the usable ladder
+        assert itrs_rungs[0] == base_rungs
+        assert itrs_rungs[-1] < base_rungs
+        assert itrs_rungs == sorted(itrs_rungs, reverse=True)
+        # conservative scaling keeps every rung on every generation
+        assert cons_rungs == [base_rungs] * len(TECH_SIZES_NM)
+
+    def test_rail_cuts_from_the_slow_end(self):
+        tech = tech_node(8, "itrs")
+        table = scaled_table(PENTIUM_M_1400, tech)
+        kept = len(table.points)
+        # the survivors are exactly the top of the scaled base ladder
+        expected = [
+            p.frequency * tech.freq_scale
+            for p in PENTIUM_M_1400.points[-kept:]
+        ]
+        assert [p.frequency for p in table.points] == pytest.approx(expected)
+        assert all(p.voltage >= tech.min_voltage for p in table.points)
+
+    def test_unportable_ladder_rejected(self):
+        hopeless = TechNode(8, "itrs", 0.1, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="rail"):
+            scaled_table(PENTIUM_M_1400, hopeless)
+
+    def test_io_core_scales_frequency_not_voltage(self):
+        table = scaled_table(PENTIUM_M_1400, TECH_BASE, CORE_IO)
+        assert table is not PENTIUM_M_1400
+        for scaled, base in zip(table.points, PENTIUM_M_1400.points):
+            assert scaled.frequency == pytest.approx(
+                base.frequency * CORE_IO.freq_factor
+            )
+            assert scaled.voltage == base.voltage
+
+
+class TestCoreKind:
+    def test_registry(self):
+        assert CORE_KINDS == {"o3": CORE_O3, "io": CORE_IO}
+
+    def test_reference_flags(self):
+        assert CORE_O3.is_reference
+        assert not CORE_IO.is_reference
+
+    def test_io_core_trades_power_for_cycles(self):
+        assert CORE_IO.power_factor < 1.0
+        assert CORE_IO.cycles_per_work > 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="name"):
+            CoreKind(name="", power_factor=1.0, cycles_per_work=1.0)
+        with pytest.raises(ValueError):
+            CoreKind(name="x", power_factor=0.0, cycles_per_work=1.0)
+        with pytest.raises(ValueError):
+            CoreKind(name="x", power_factor=1.0, cycles_per_work=-1.0)
+        with pytest.raises(ValueError):
+            CoreKind(
+                name="x", power_factor=1.0, cycles_per_work=1.0, freq_factor=0.0
+            )
+
+
+class TestScaledCalibration:
+    def test_identity_at_reference(self):
+        assert (
+            scaled_calibration(DEFAULT_CALIBRATION, TECH_BASE)
+            is DEFAULT_CALIBRATION
+        )
+
+    def test_cpu_power_rides_the_projection(self):
+        tech = tech_node(16, "itrs")
+        cal = scaled_calibration(DEFAULT_CALIBRATION, tech)
+        assert cal.cpu_max_power == pytest.approx(
+            DEFAULT_CALIBRATION.cpu_max_power * tech.power_scale
+        )
+        # the platform base scales slower than logic (sqrt of the factor)
+        assert cal.base_power == pytest.approx(
+            DEFAULT_CALIBRATION.base_power * tech.power_scale**0.5
+        )
+        assert cal.base_power / DEFAULT_CALIBRATION.base_power > (
+            cal.cpu_max_power / DEFAULT_CALIBRATION.cpu_max_power
+        )
+
+    def test_core_power_factor_composes(self):
+        tech = tech_node(16, "itrs")
+        o3 = scaled_calibration(DEFAULT_CALIBRATION, tech, CORE_O3)
+        io = scaled_calibration(DEFAULT_CALIBRATION, tech, CORE_IO)
+        assert io.cpu_max_power == pytest.approx(
+            o3.cpu_max_power * CORE_IO.power_factor
+        )
+        assert io.base_power == o3.base_power
+
+    def test_io_core_alone_breaks_identity(self):
+        cal = scaled_calibration(DEFAULT_CALIBRATION, TECH_BASE, CORE_IO)
+        assert cal is not DEFAULT_CALIBRATION
+        assert cal.cpu_max_power == pytest.approx(
+            DEFAULT_CALIBRATION.cpu_max_power * CORE_IO.power_factor
+        )

@@ -8,6 +8,7 @@ of each layer under injected faults.
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.acpi import SmartBattery
 from repro.sim import Engine, SimulationError
 from repro.simmpi import run_spmd
@@ -17,7 +18,7 @@ from repro.workloads.nas_ft import NasFT
 
 def test_rank_crash_mid_collective_propagates():
     """A rank dying inside an all-to-all must surface, not hang."""
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
 
     def program(comm):
         if comm.rank == 2:
@@ -32,7 +33,7 @@ def test_rank_crash_mid_collective_propagates():
 def test_deadlocked_job_is_detected_not_silent():
     """Two ranks both receiving first (no sends) deadlock; the launcher
     must raise rather than return bogus results."""
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         yield from comm.recv(source=1 - comm.rank, tag=7)
@@ -42,7 +43,7 @@ def test_deadlocked_job_is_detected_not_silent():
 
 
 def test_mismatched_collective_participation_deadlocks_loudly():
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
 
     def program(comm):
         if comm.rank != 2:  # rank 2 skips the barrier
@@ -57,7 +58,7 @@ def test_mismatched_collective_participation_deadlocks_loudly():
 def test_workload_exception_does_not_corrupt_later_runs():
     """After a failed run on one cluster, a fresh cluster behaves
     normally (no leaked global state)."""
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def bad(comm):
         yield comm.engine.timeout(0.01)
@@ -66,14 +67,14 @@ def test_workload_exception_does_not_corrupt_later_runs():
     with pytest.raises(ValueError):
         run_spmd(cluster, bad)
 
-    fresh = Cluster.build(2)
+    fresh = Cluster.from_spec(ClusterSpec.homogeneous(2))
     workload = NasFT("S", n_ranks=2, iterations=1)
     result = run_spmd(fresh, workload.bind_plain())
     assert result.duration > 0
 
 
 def test_battery_exhaustion_mid_run_raises():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     battery = SmartBattery(cluster.nodes[0], full_capacity_mwh=3, refresh_interval=1.0)
     battery.start()
 
@@ -86,7 +87,7 @@ def test_battery_exhaustion_mid_run_raises():
 
 
 def test_send_to_nonexistent_rank_fails_fast():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         yield from comm.send(None, dest=7, nbytes=0)
@@ -108,7 +109,7 @@ def test_interrupted_compute_phase_is_catchable_and_resumable():
     finish the remaining work correctly."""
     from repro.sim import Interrupt
 
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     eng = cluster.engine
     cpu = cluster.nodes[0].cpu
     log = []

@@ -11,6 +11,7 @@ from repro.analysis.runner import run_measured, static_crescendo
 from repro.dvs.strategy import DynamicStrategy, StaticStrategy
 from repro.hardware.calibration import DEFAULT_CALIBRATION
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.powerpack import PowerPackSession
 from repro.simmpi import run_spmd
 from repro.util.units import MHZ
@@ -92,7 +93,7 @@ def test_measurement_session_wraps_measured_run_consistently():
     within their stated error bounds, on a full application run."""
     workload = ParallelTranspose(matrix_n=12_000, grid_rows=5, grid_cols=3,
                                  iterations=2)
-    cluster = Cluster.build(workload.n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(workload.n_ranks))
     session = PowerPackSession(cluster)
     session.begin()
     result = run_spmd(cluster, workload.bind_plain())
@@ -108,7 +109,7 @@ def test_verify_and_synthetic_modes_have_same_communication_pattern():
     (up to payload sizing) the same bytes on the wire."""
     def run_mode(verify):
         workload = NasFT("S", n_ranks=4, verify=verify, iterations=2)
-        cluster = Cluster.build(4)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
         world_bytes = []
         result = run_spmd(cluster, workload.bind_plain())
         return cluster.fabric.bytes_transferred

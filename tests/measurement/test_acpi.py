@@ -3,13 +3,14 @@
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.acpi import BatteryReading, SmartBattery
 from repro.util.units import JOULES_PER_MWH
 
 
 @pytest.fixture
 def cluster():
-    return Cluster.build(1)
+    return Cluster.from_spec(ClusterSpec.homogeneous(1))
 
 
 def test_readings_quantized_to_mwh(cluster):
@@ -92,7 +93,7 @@ def test_reading_delta_arithmetic():
 
 
 def test_validation():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     with pytest.raises(ValueError):
         SmartBattery(cluster.nodes[0], full_capacity_mwh=0)
     with pytest.raises(ValueError):

@@ -3,12 +3,13 @@
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.baytech import BaytechOutlet, BaytechUnit
 
 
 @pytest.fixture
 def cluster():
-    return Cluster.build(2)
+    return Cluster.from_spec(ClusterSpec.homogeneous(2))
 
 
 def test_samples_report_interval_average(cluster):

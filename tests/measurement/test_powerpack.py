@@ -3,6 +3,7 @@
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.powerpack import PowerPackSession
 from repro.simmpi import run_spmd
 from repro.util.units import MIB
@@ -18,7 +19,7 @@ def busy_program(comm):
 
 
 def test_session_measures_a_job_within_instrument_error():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     session = PowerPackSession(cluster)
     session.begin()
     result = run_spmd(cluster, busy_program)
@@ -36,14 +37,14 @@ def test_session_measures_a_job_within_instrument_error():
 
 
 def test_settle_time_delays_measure_start():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     session = PowerPackSession(cluster, settle_time=300.0)
     session.begin()
     assert session.markers["measure_begin"] == pytest.approx(300.0)
 
 
 def test_markers_recorded_in_order():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     session = PowerPackSession(cluster)
     session.begin()
     cluster.engine.run(until=cluster.engine.now + 5.0)
@@ -57,7 +58,7 @@ def test_markers_recorded_in_order():
 
 
 def test_double_begin_rejected():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     session = PowerPackSession(cluster)
     session.begin()
     with pytest.raises(RuntimeError):
@@ -65,13 +66,13 @@ def test_double_begin_rejected():
 
 
 def test_finish_without_begin_rejected():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
     with pytest.raises(RuntimeError):
         PowerPackSession(cluster).finish()
 
 
 def test_per_node_battery_breakdown_sums_to_total():
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
     session = PowerPackSession(cluster)
     session.begin()
     result = run_spmd(cluster, busy_program, n_ranks=3)
@@ -81,6 +82,6 @@ def test_per_node_battery_breakdown_sums_to_total():
 
 
 def test_quantization_bound_scales_with_nodes():
-    cluster = Cluster.build(5)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(5))
     session = PowerPackSession(cluster)
     assert session.quantization_error_bound == pytest.approx(5 * 0.5 * 3.6)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.measurement.profiles import (
     PowerProfile,
     cluster_power_profile,
@@ -14,7 +15,7 @@ from repro.simmpi import run_spmd
 
 @pytest.fixture
 def busy_cluster():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         if comm.rank == 0:

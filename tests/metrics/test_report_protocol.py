@@ -1,4 +1,4 @@
-"""One report protocol, five reports: every metrics report exposes the
+"""One report protocol, six reports: every metrics report exposes the
 same machine face (``to_dict``/``to_json``) and human face
 (``summary_lines``), checked structurally via ``ReportProtocol``."""
 
@@ -12,6 +12,7 @@ from repro.metrics.chaos import ChaosReport
 from repro.metrics.ed2p import build_ed2p_report
 from repro.metrics.powercap import build_cap_report
 from repro.metrics.records import EnergyDelayPoint
+from repro.metrics.scaling import GenerationVerdict, ScalingReport
 from repro.metrics.serving import ServingReport, TierBreakdown
 
 
@@ -95,12 +96,48 @@ def serving_report():
     )
 
 
+def scaling_report():
+    return ScalingReport(
+        label="techscaling/ft.B.8",
+        workload="ft.B.8",
+        verdicts=(
+            GenerationVerdict(
+                tech="45nm/itrs",
+                nm=45,
+                projection="itrs",
+                rungs=5,
+                slowest_mhz=600.0,
+                fastest_mhz=1400.0,
+                dyn_label="dyn-1400",
+                dyn_energy=0.63,
+                dyn_delay=1.02,
+                cpuspeed_energy=0.97,
+                cpuspeed_delay=1.01,
+            ),
+            GenerationVerdict(
+                tech="8nm/itrs",
+                nm=8,
+                projection="itrs",
+                rungs=4,
+                slowest_mhz=3119.0,
+                fastest_mhz=5390.0,
+                dyn_label="dyn-5390",
+                dyn_energy=0.86,
+                dyn_delay=1.01,
+                cpuspeed_energy=0.96,
+                cpuspeed_delay=1.00,
+            ),
+        ),
+    )
+
+
 REPORTS = {
     "ed2p": ed2p_report,
     "powercap": powercap_report,
     "chaos": chaos_report,
     "attribution": attribution_report,
     "serving": serving_report,
+    "scaling": scaling_report,
 }
 
 
@@ -134,7 +171,9 @@ class TestProtocol:
 
 
 class TestRoundTrips:
-    @pytest.mark.parametrize("name", ["ed2p", "chaos", "attribution", "serving"])
+    @pytest.mark.parametrize(
+        "name", ["ed2p", "chaos", "attribution", "serving", "scaling"]
+    )
     def test_from_dict_inverts_to_dict(self, name):
         original = REPORTS[name]()
         assert type(original).from_dict(original.to_dict()) == original

@@ -6,6 +6,7 @@ from repro.hardware import PENTIUM_M_1400
 from repro.hardware.activity import CpuActivity
 from repro.hardware.calibration import DEFAULT_CALIBRATION
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.powercap import (
     ClusterTelemetry,
     NodeWindowSample,
@@ -126,7 +127,7 @@ class TestComputeIntensity:
 
 class TestClusterTelemetry:
     def test_windows_tile_the_run_and_report_true_power(self):
-        cluster = Cluster.build(2)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
         telemetry = ClusterTelemetry(cluster)
         engine = cluster.engine
 
@@ -159,12 +160,12 @@ class TestWindowGuards:
     def test_zero_length_window_returns_no_samples(self):
         # The governor fired twice at the same sim time: nothing was
         # measured, and a NaN from 0/0 must never reach the policies.
-        cluster = Cluster.build(2)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
         telemetry = ClusterTelemetry(cluster)
         assert telemetry.sample() == []
 
     def test_dark_node_reports_no_sample(self):
-        cluster = Cluster.build(2)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
         telemetry = ClusterTelemetry(cluster)
         cluster.nodes[0].faults.telemetry_dark = True
         cluster.engine.process(

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.serving.arrivals import MMPPArrivals, PoissonArrivals
 from repro.serving.policy import (
     CpuspeedServingPolicy,
@@ -13,7 +14,7 @@ from repro.serving.policy import (
 from repro.serving.runner import run_serving
 from repro.serving.spec import ServingWorkload, TierSpec
 
-LADDER = Cluster.build(1).table  # the Pentium-M frequency ladder
+LADDER = Cluster.from_spec(ClusterSpec.homogeneous(1)).table  # the Pentium-M frequency ladder
 
 
 def workload(**overrides):

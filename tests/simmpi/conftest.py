@@ -4,16 +4,17 @@ import pytest
 
 from repro.hardware.calibration import DEFAULT_CALIBRATION
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 
 
 @pytest.fixture
 def cluster4():
-    return Cluster.build(4)
+    return Cluster.from_spec(ClusterSpec.homogeneous(4))
 
 
 @pytest.fixture
 def cluster8():
-    return Cluster.build(8)
+    return Cluster.from_spec(ClusterSpec.homogeneous(8))
 
 
 def fast_calibration(**overrides):

@@ -4,13 +4,14 @@ import numpy as np
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MIB
 
 
 @pytest.mark.parametrize("size", [1, 2, 3, 4, 7, 8])
 def test_bcast_reaches_every_rank(size):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         payload = {"v": 99} if comm.rank == 2 % comm.size else None
@@ -23,7 +24,7 @@ def test_bcast_reaches_every_rank(size):
 
 @pytest.mark.parametrize("size", [1, 2, 4, 5, 8])
 def test_reduce_sums_to_root(size):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         value = np.full(4, float(comm.rank + 1))
@@ -38,7 +39,7 @@ def test_reduce_sums_to_root(size):
 
 @pytest.mark.parametrize("size", [1, 2, 4, 6])
 def test_allreduce_everyone_gets_sum(size):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         got = yield from comm.allreduce(comm.rank + 1)
@@ -50,7 +51,7 @@ def test_allreduce_everyone_gets_sum(size):
 
 
 def test_gather_collects_in_rank_order():
-    cluster = Cluster.build(5)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(5))
 
     def program(comm):
         got = yield from comm.gather(comm.rank * 2, root=3)
@@ -62,7 +63,7 @@ def test_gather_collects_in_rank_order():
 
 
 def test_scatter_distributes_in_rank_order():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
 
     def program(comm):
         values = [f"item{i}" for i in range(4)] if comm.rank == 1 else None
@@ -74,7 +75,7 @@ def test_scatter_distributes_in_rank_order():
 
 
 def test_scatter_validates_length():
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
 
     def program(comm):
         values = [1, 2] if comm.rank == 0 else None
@@ -86,7 +87,7 @@ def test_scatter_validates_length():
 
 @pytest.mark.parametrize("size", [1, 2, 4, 5])
 def test_allgather_everyone_has_all(size):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         got = yield from comm.allgather(comm.rank + 100)
@@ -99,7 +100,7 @@ def test_allgather_everyone_has_all(size):
 
 @pytest.mark.parametrize("size", [1, 2, 4, 8])
 def test_alltoall_transposes_data(size):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         outgoing = [f"{comm.rank}->{dst}" for dst in range(comm.size)]
@@ -113,7 +114,7 @@ def test_alltoall_transposes_data(size):
 
 def test_alltoall_synthetic_moves_right_volume():
     size = 4
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
     block = 1 * MIB
 
     def program(comm):
@@ -126,7 +127,7 @@ def test_alltoall_synthetic_moves_right_volume():
 
 
 def test_alltoall_requires_data_description():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         yield from comm.alltoall()
@@ -136,7 +137,7 @@ def test_alltoall_requires_data_description():
 
 
 def test_barrier_synchronises_ranks():
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
 
     def program(comm):
         # Rank 2 arrives late; nobody may leave before it arrives.
@@ -150,7 +151,7 @@ def test_barrier_synchronises_ranks():
 
 
 def test_barrier_single_rank_is_instant():
-    cluster = Cluster.build(1)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(1))
 
     def program(comm):
         yield from comm.barrier()
@@ -162,7 +163,7 @@ def test_barrier_single_rank_is_instant():
 
 def test_back_to_back_collectives_do_not_cross():
     """Two consecutive collectives use distinct tags and stay ordered."""
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
 
     def program(comm):
         first = yield from comm.allreduce(comm.rank)
@@ -176,7 +177,7 @@ def test_back_to_back_collectives_do_not_cross():
 def test_reduce_with_custom_op():
     from repro.simmpi.collectives import reduce as mpi_reduce
 
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
 
     def program(comm):
         got = yield from mpi_reduce(comm, comm.rank + 1, root=0, op=lambda a, b: a * b)
@@ -188,7 +189,7 @@ def test_reduce_with_custom_op():
 
 def test_bcast_synthetic_volume():
     size = 8
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
     block = 2 * MIB
 
     def program(comm):

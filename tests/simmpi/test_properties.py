@@ -9,6 +9,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 
 # Simulation-heavy properties: keep example counts moderate.
@@ -24,7 +25,7 @@ FAST = settings(max_examples=25, deadline=None)
 )
 def test_messages_never_reorder_within_source_tag(payload_sizes, tag):
     """Non-overtaking across a mix of eager and rendezvous messages."""
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         if comm.rank == 0:
@@ -48,7 +49,7 @@ def test_messages_never_reorder_within_source_tag(payload_sizes, tag):
 )
 def test_bcast_delivers_same_value_everywhere(size, root, value):
     root = root % size
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         payload = value if comm.rank == root else None
@@ -69,7 +70,7 @@ def test_bcast_delivers_same_value_everywhere(size, root, value):
     ),
 )
 def test_allreduce_sum_is_exactly_python_sum(size, values):
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
     local = values[:size]
 
     def program(comm):
@@ -90,7 +91,7 @@ def test_allreduce_sum_is_exactly_python_sum(size, values):
 def test_alltoall_is_a_transpose(size, seed):
     rng = np.random.default_rng(seed)
     matrix = rng.integers(0, 1000, size=(size, size))
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         outgoing = [int(matrix[comm.rank, dst]) for dst in range(comm.size)]
@@ -110,7 +111,7 @@ def test_alltoall_is_a_transpose(size, seed):
 def test_synthetic_volume_conservation(size, nbytes):
     """alltoall moves exactly p(p−1) blocks off-node, regardless of the
     eager/rendezvous split the size triggers."""
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         yield from comm.alltoall(nbytes_each=nbytes)
@@ -127,7 +128,7 @@ def test_synthetic_volume_conservation(size, nbytes):
     )
 )
 def test_barrier_release_time_is_last_arrival(delays):
-    cluster = Cluster.build(len(delays))
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(len(delays)))
 
     def program(comm):
         yield comm.engine.timeout(delays[comm.rank])
@@ -147,7 +148,7 @@ def test_barrier_release_time_is_last_arrival(delays):
 def test_gather_scatter_roundtrip(size, seed):
     rng = np.random.default_rng(seed)
     data = [int(v) for v in rng.integers(0, 10**6, size=size)]
-    cluster = Cluster.build(size)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(size))
 
     def program(comm):
         gathered = yield from comm.gather(data[comm.rank], root=0)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import ANY_SOURCE, ANY_TAG, payload_nbytes, run_spmd
 from repro.util.units import KIB, MIB
 
@@ -148,7 +149,7 @@ def test_sendrecv_exchange(cluster4):
 
 
 def test_eager_send_returns_before_recv_posted():
-    cluster = Cluster.build(2, calibration=fast_calibration())
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2), calibration=fast_calibration())
 
     def program(comm):
         if comm.rank == 0:
@@ -165,7 +166,7 @@ def test_eager_send_returns_before_recv_posted():
 
 
 def test_rendezvous_send_blocks_until_recv_posted():
-    cluster = Cluster.build(2, calibration=fast_calibration())
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2), calibration=fast_calibration())
     big = 1 * MIB  # above the 64 KiB eager threshold
 
     def program(comm):

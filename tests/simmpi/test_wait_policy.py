@@ -10,6 +10,7 @@ These pin down the mechanisms behind the paper's results:
 
 from repro.hardware.activity import CpuActivity
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MIB
 
@@ -17,7 +18,7 @@ from tests.simmpi.conftest import fast_calibration
 
 
 def test_receiver_busy_polls_while_data_flows():
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     states = []
 
     def program(comm):
@@ -46,7 +47,7 @@ def test_receiver_busy_polls_while_data_flows():
 def test_receiver_procstat_shows_busy_during_communication():
     """The cpuspeed-blinding artifact: a communication-bound rank is ~100%
     busy in /proc/stat."""
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
 
     def program(comm):
         if comm.rank == 0:
@@ -61,7 +62,7 @@ def test_receiver_procstat_shows_busy_during_communication():
 
 
 def test_waiter_with_no_traffic_blocks_after_spin():
-    cluster = Cluster.build(2, calibration=fast_calibration())
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2), calibration=fast_calibration())
     states = []
 
     def program(comm):
@@ -86,7 +87,7 @@ def test_waiter_with_no_traffic_blocks_after_spin():
 
 def test_waiter_spins_for_threshold_before_blocking():
     cal = fast_calibration(spin_block_threshold=0.5)
-    cluster = Cluster.build(2, calibration=cal)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2), calibration=cal)
     states = []
 
     def program(comm):
@@ -113,7 +114,7 @@ def test_waiter_spins_for_threshold_before_blocking():
 
 def test_infinite_spin_threshold_never_blocks():
     cal = fast_calibration(spin_block_threshold=float("inf"))
-    cluster = Cluster.build(2, calibration=cal)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2), calibration=cal)
     states = []
 
     def program(comm):
@@ -138,7 +139,7 @@ def test_infinite_spin_threshold_never_blocks():
 def test_backpressured_senders_idle_while_peer_transmits():
     """Incast: two senders to one root share the root's rx link; each is
     blocked (IDLE) for roughly half the wait — the transpose mechanism."""
-    cluster = Cluster.build(3)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(3))
 
     def program(comm):
         if comm.rank == 0:
@@ -161,7 +162,7 @@ def test_energy_of_communication_falls_with_frequency():
     delay impact (paper Fig 8 mechanism)."""
     results = {}
     for mhz in (1400, 600):
-        cluster = Cluster.build(2)
+        cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
         for node in cluster.nodes:
             node.cpu.set_frequency(cluster.table.point_for(mhz * 1e6))
 

@@ -1,0 +1,86 @@
+"""Convention guard: no new ``Cluster.build`` call sites.
+
+``Cluster.build`` is a deprecated shim over
+``Cluster.from_spec(ClusterSpec.homogeneous(n))`` kept one release for
+external callers.  Every internal call site was migrated in the spec
+refactor; this test scans every module under ``src/repro`` and fails on
+any ``Cluster.build(...)`` (or ``cls.build(...)``) call so the old
+entry point cannot creep back in while it still exists.
+
+Only the shim's own module may reference it, and only to define it.
+"""
+
+import ast
+from pathlib import Path
+
+#: receivers whose ``.build`` call means the deprecated constructor
+BANNED_RECEIVERS = frozenset({"Cluster", "cls"})
+
+#: the shim's home — definition allowed, calls still are not
+SHIM_FILE = "src/repro/hardware/cluster.py"
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _build_calls(tree, rel):
+    found = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "build"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in BANNED_RECEIVERS
+        ):
+            found.append(
+                f"{rel}:{node.lineno}: "
+                f"{node.func.value.id}.build() called"
+            )
+    return found
+
+
+def _violations():
+    found = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        rel = path.relative_to(REPO_ROOT).as_posix()
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=rel)
+        found.extend(_build_calls(tree, rel))
+    return found
+
+
+def test_no_cluster_build_calls_in_src():
+    violations = _violations()
+    assert not violations, (
+        "deprecated Cluster.build called inside src/repro (use "
+        "Cluster.from_spec(ClusterSpec.homogeneous(n)) instead):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_shim_still_exists_but_never_calls_itself():
+    """The shim must stay (one release of compatibility) — defined in
+    its module, called nowhere, not even recursively."""
+    path = REPO_ROOT / SHIM_FILE
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=SHIM_FILE)
+    defs = [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.FunctionDef) and node.name == "build"
+    ]
+    assert len(defs) == 1, "the deprecated shim must still be defined"
+    assert _build_calls(tree, SHIM_FILE) == []
+
+
+def test_guard_detects_the_call_it_bans():
+    """Self-check: the scanner flags both receiver spellings."""
+    offender = (
+        "def f(n):\n"
+        "    a = Cluster.build(n)\n"
+        "    b = cls.build(n, calibration=None)\n"
+        "    c = other.build(n)\n"  # unrelated receiver stays legal
+    )
+    hits = _build_calls(ast.parse(offender), "x.py")
+    assert hits == [
+        "x.py:2: Cluster.build() called",
+        "x.py:3: cls.build() called",
+    ]

@@ -76,6 +76,30 @@ class TestExports:
         assert repro.WorkerLostError is DeepLost
         assert repro.BACKENDS == ("serial", "process", "mpi")
 
+    def test_scaling_facade_names_are_the_canonical_objects(self):
+        from repro.hardware.cluster import Cluster as DeepCluster
+        from repro.hardware.scaling import (
+            TechNode as DeepTechNode,
+            scaled_table as deep_scaled_table,
+            tech_node as deep_tech_node,
+        )
+        from repro.hardware.spec import (
+            ClusterSpec as DeepSpec,
+            NodeSpec as DeepNodeSpec,
+        )
+        from repro.metrics.scaling import ScalingReport as DeepScalingReport
+
+        assert repro.Cluster is DeepCluster
+        assert repro.ClusterSpec is DeepSpec
+        assert repro.NodeSpec is DeepNodeSpec
+        assert repro.TechNode is DeepTechNode
+        assert repro.tech_node is deep_tech_node
+        assert repro.scaled_table is deep_scaled_table
+        assert repro.ScalingReport is DeepScalingReport
+        assert repro.CORE_IO.name == "io"
+        assert repro.CORE_O3.name == "o3"
+        assert len(repro.TECH_NODES) == 12
+
     def test_unknown_attribute_raises_attribute_error(self):
         with pytest.raises(AttributeError, match="no attribute"):
             repro.does_not_exist
@@ -127,6 +151,19 @@ class TestExports:
             "resolve_backend",
             "Tracer",
             "Workload",
+            "Cluster",
+            "ClusterSpec",
+            "NodeSpec",
+            "TechNode",
+            "CoreKind",
+            "CORE_O3",
+            "CORE_IO",
+            "TECH_NODES",
+            "tech_node",
+            "scaled_table",
+            "scaled_calibration",
+            "ScalingReport",
+            "build_scaling_report",
             "active_tracer",
             "build_attribution_report",
             "export_chrome_trace",

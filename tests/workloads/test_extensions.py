@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.runner import static_crescendo
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MHZ
 from repro.workloads.nas_ep import EP_CLASSES, NasEP, verify_ep
@@ -18,14 +19,14 @@ from repro.workloads.synthetic import SyntheticMix
 @pytest.mark.parametrize("n_ranks", [1, 2, 4])
 def test_ep_distributed_counts_match_single_pass(n_ranks):
     workload = NasEP("S", n_ranks=n_ranks, verify=True, pairs_override=4096)
-    cluster = Cluster.build(n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_ranks))
     result = run_spmd(cluster, workload.bind_plain())
     verify_ep(workload, result.returns)
 
 
 def test_ep_counts_identical_on_every_rank():
     workload = NasEP("S", n_ranks=4, verify=True, pairs_override=4096)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, workload.bind_plain())
     for counts in result.returns[1:]:
         np.testing.assert_array_equal(counts, result.returns[0])
@@ -59,14 +60,14 @@ def test_ep_is_dvs_unfavorable():
 @pytest.mark.parametrize("n_ranks", [1, 2, 4])
 def test_stencil_matches_single_array_reference(n_ranks):
     workload = HaloStencil(n=64, n_ranks=n_ranks, sweeps=5, verify=True)
-    cluster = Cluster.build(n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_ranks))
     result = run_spmd(cluster, workload.bind_plain())
     verify_stencil(workload, result.returns)
 
 
 def test_stencil_residuals_shared_across_ranks():
     workload = HaloStencil(n=32, n_ranks=4, sweeps=6, residual_every=2, verify=True)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, workload.bind_plain())
     residuals = [r["residuals"] for r in result.returns]
     assert len(residuals[0]) == 3
@@ -85,7 +86,7 @@ def test_stencil_validation():
 
 def test_stencil_halo_traffic_volume():
     workload = HaloStencil(n=512, n_ranks=4, sweeps=3, residual_every=10)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     run_spmd(cluster, workload.bind_plain())
     # Per sweep: 3 interior boundaries × 2 directions = 6 halo messages.
     expected = 3 * 6 * workload.halo_bytes
@@ -126,7 +127,7 @@ def test_pure_memory_mix_is_frequency_flat():
 
 def test_comm_mix_roughly_hits_target_share():
     mix = SyntheticMix(0.3, 0.2, 0.5, iteration_seconds=2.0, iterations=2, n_ranks=4)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, mix.bind_plain())
     # Total iteration time ≈ iteration_seconds within protocol overheads.
     assert result.duration == pytest.approx(2 * 2.0, rel=0.25)

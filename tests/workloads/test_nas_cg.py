@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.runner import static_crescendo
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MHZ
 from repro.workloads.nas_cg import CG_CLASSES, NasCG, laplacian_2d, verify_cg
@@ -29,14 +30,14 @@ def test_laplacian_row_structure():
 @pytest.mark.parametrize("n_ranks", [1, 2, 4])
 def test_distributed_cg_converges_to_scipy_solution(n_ranks):
     workload = NasCG("S", n_ranks=n_ranks, verify=True, grid=16, iterations=40)
-    cluster = Cluster.build(n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_ranks))
     result = run_spmd(cluster, workload.bind_plain())
     verify_cg(workload, result.returns)
 
 
 def test_residual_history_shared_and_decreasing():
     workload = NasCG("S", n_ranks=4, verify=True, grid=16, iterations=10)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, workload.bind_plain())
     residuals = result.returns[0]["residuals"]
     assert residuals[-1] < residuals[0]
@@ -46,7 +47,7 @@ def test_residual_history_shared_and_decreasing():
 
 def test_synthetic_mode_moves_allgather_volume():
     workload = NasCG("A", n_ranks=4, iterations=5)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     run_spmd(cluster, workload.bind_plain())
     # Ring allgather: (p-1) block sends per rank per iteration, plus the
     # two scalar allreduces (reduce tree + bcast ≈ 2(p-1) 8-byte messages).

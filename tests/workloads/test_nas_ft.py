@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.workloads.nas_ft import (
     FT_CLASSES,
@@ -24,21 +25,21 @@ def test_distributed_fft_matches_numpy(n_ranks):
     """The headline correctness test: real data through the simulated
     all-to-all equals numpy's fftn, for several decompositions."""
     workload = NasFT("S", n_ranks=n_ranks, verify=True)
-    cluster = Cluster.build(n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_ranks))
     result = run_spmd(cluster, workload.bind_plain(), n_ranks=n_ranks)
     verify_distributed_fft(workload, result.returns)
 
 
 def test_distributed_fft_class_w():
     workload = NasFT("W", n_ranks=4, verify=True)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, workload.bind_plain())
     verify_distributed_fft(workload, result.returns)
 
 
 def test_checksums_identical_across_ranks():
     workload = NasFT("S", n_ranks=4, verify=True)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     result = run_spmd(cluster, workload.bind_plain())
     sums = [r["checksums"] for r in result.returns]
     for other in sums[1:]:
@@ -61,7 +62,7 @@ def test_synthetic_mode_moves_class_volume():
     """Synthetic runs put the right number of bytes on the wire:
     iterations × p(p−1) × block."""
     workload = NasFT("S", n_ranks=4)  # synthetic
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     run_spmd(cluster, workload.bind_plain())
     transpose_bytes = (
         workload.problem.iterations * 4 * 3 * workload.alltoall_block_bytes
@@ -82,7 +83,7 @@ def test_cost_model_scales_with_class():
 
 def test_wrong_launch_width_rejected():
     workload = NasFT("S", n_ranks=4)
-    cluster = Cluster.build(8)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(8))
     with pytest.raises(ValueError, match="built for 4 ranks"):
         run_spmd(cluster, workload.bind_plain(), n_ranks=8)
 
@@ -91,7 +92,7 @@ def test_ft_communication_dominates_at_full_speed():
     """On the 100 Mb cluster the transpose dwarfs local compute — the slack
     the paper exploits.  Check the busy-state mix of a synthetic run."""
     workload = NasFT("S", n_ranks=8)
-    cluster = Cluster.build(8)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(8))
     result = run_spmd(cluster, workload.bind_plain())
     comm_time = result.duration
     # Local FFT+evolve compute at 1.4 GHz:

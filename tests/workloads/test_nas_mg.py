@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.runner import static_crescendo
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.util.units import MHZ
 from repro.workloads.nas_mg import NasMG, _prolong, _restrict, verify_mg
@@ -30,14 +31,14 @@ def test_levels_depend_on_decomposition():
 @pytest.mark.parametrize("n_ranks", [1, 2, 4])
 def test_distributed_vcycle_matches_reference(n_ranks):
     workload = NasMG(n=64, n_ranks=n_ranks, v_cycles=2, verify=True)
-    cluster = Cluster.build(n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(n_ranks))
     result = run_spmd(cluster, workload.bind_plain())
     verify_mg(workload, result.returns)
 
 
 def test_multiple_vcycles_verify():
     workload = NasMG(n=32, n_ranks=2, v_cycles=3, verify=True)
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     result = run_spmd(cluster, workload.bind_plain())
     verify_mg(workload, result.returns)
 
@@ -57,7 +58,7 @@ def test_halo_traffic_spans_all_levels():
     """Every level exchanges halos, so total messages exceed a single-
     level stencil's count and include tiny coarse-level messages."""
     workload = NasMG(n=256, n_ranks=4, v_cycles=1)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     run_spmd(cluster, workload.bind_plain())
     levels = workload.levels
     # Down: (levels-1) sweeps + 1 coarsest + (levels-1) up sweeps, each

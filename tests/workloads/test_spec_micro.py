@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.hardware.memory import PENTIUM_M_MEMORY
 from repro.simmpi import run_spmd
 from repro.util.units import KIB, MIB
@@ -17,7 +18,7 @@ from repro.workloads.spec_like import MgridLike, SwimLike
 
 
 def run_duration(workload, mhz=1400):
-    cluster = Cluster.build(workload.n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(workload.n_ranks))
     for node in cluster.nodes:
         node.cpu.set_frequency(cluster.table.point_for(mhz * 1e6))
     result = run_spmd(cluster, workload.bind_plain())
@@ -114,7 +115,7 @@ def test_register_micro_scales_exactly_with_frequency():
 
 def test_roundtrip_micro_moves_messages():
     micro = RoundtripMicro(message_bytes=256 * KIB, round_trips=5)
-    cluster = Cluster.build(2)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(2))
     run_spmd(cluster, micro.bind_plain())
     assert cluster.fabric.bytes_transferred == 2 * 5 * 256 * KIB
 
@@ -130,7 +131,7 @@ def test_strided_roundtrip_has_pack_cost():
 
 def test_roundtrip_requires_two_ranks():
     micro = RoundtripMicro(round_trips=1)
-    cluster = Cluster.build(4)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(4))
     with pytest.raises(ValueError, match="exactly 2 ranks"):
         run_spmd(cluster, micro.bind_plain(), n_ranks=4)
 

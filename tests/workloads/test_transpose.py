@@ -3,6 +3,7 @@
 import pytest
 
 from repro.hardware.cluster import Cluster
+from repro.hardware.spec import ClusterSpec
 from repro.simmpi import run_spmd
 from repro.workloads.transpose import ParallelTranspose, verify_transpose
 
@@ -48,14 +49,14 @@ def test_fixed_points_include_node_zero():
 def test_transpose_is_correct(n, rows, cols):
     """Real blocks through exchange + gather assemble to exactly A.T."""
     w = ParallelTranspose(n, rows, cols, verify=True)
-    cluster = Cluster.build(w.n_ranks)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(w.n_ranks))
     result = run_spmd(cluster, w.bind_plain())
     verify_transpose(w, result.returns)
 
 
 def test_transpose_multiple_iterations():
     w = ParallelTranspose(30, 3, 3, verify=True, iterations=3)
-    cluster = Cluster.build(9)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(9))
     result = run_spmd(cluster, w.bind_plain())
     verify_transpose(w, result.returns)
 
@@ -72,7 +73,7 @@ def test_verification_size_limit():
 
 def test_synthetic_volume_on_wire():
     w = ParallelTranspose(1200, 5, 3)
-    cluster = Cluster.build(15)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(15))
     run_spmd(cluster, w.bind_plain())
     exchange_msgs = sum(1 for r in range(15) if w.send_peer(r) is not None)
     gather_msgs = 14
@@ -84,7 +85,7 @@ def test_root_finishes_last_due_to_incast():
     """Step 3 serialises on the root's link: non-root ranks that sent
     early finish well before the root."""
     w = ParallelTranspose(2400, 5, 3)
-    cluster = Cluster.build(15)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(15))
 
     finish_times = {}
 
@@ -105,7 +106,7 @@ def test_root_finishes_last_due_to_incast():
 def test_nonroot_ranks_mostly_idle_blocked():
     """The load-imbalance slack: senders spend most of step 3 blocked."""
     w = ParallelTranspose(2400, 5, 3)
-    cluster = Cluster.build(15)
+    cluster = Cluster.from_spec(ClusterSpec.homogeneous(15))
     run_spmd(cluster, w.bind_plain())
     # Pick a rank that is neither root nor early in the gather queue.
     stats = cluster.nodes[14].procstat.snapshot()
