@@ -1,0 +1,86 @@
+"""Extension: the elastic control plane vs pure DVFS on a diurnal trace.
+
+One two-tier serving run per (budget depth, knob set): the full elastic
+plane (DVFS → core allocation → node gating) and its dvfs-only
+degeneration, each at a shallow budget (above the cluster's DVFS floor)
+and a deep one (below it).  The quantity of interest is the claim, not
+the wall time: at the shallow budget both governors comply; at the deep
+budget the elastic plane gates its way under a target the DVFS ladder
+cannot reach — while still serving every request through the drain.
+"""
+
+import time
+
+from benchmarks._harness import FULL_SCALE, run_once
+from repro.metrics.serving import build_serving_report
+from repro.serving.arrivals import DiurnalArrivals
+from repro.serving.elastic import ElasticServingPolicy
+from repro.serving.runner import run_serving
+from repro.serving.spec import ServingWorkload, TierSpec
+
+#: Above the 4-node DVFS floor (~38 W): any governor can comply.
+SHALLOW_WATTS = 42.0
+#: Below the floor: only gating reaches it.
+DEEP_WATTS = 26.0
+
+
+def _workload():
+    horizon = 16.0 if FULL_SCALE else 6.0
+    return ServingWorkload(
+        tiers=(
+            TierSpec("web", nodes=2, service_cycles=2.0e6),
+            TierSpec("app", nodes=2, service_cycles=4.0e6),
+        ),
+        arrivals=DiurnalArrivals(
+            base_rate=30.0, swing=0.6, period_s=horizon / 2.0, seed=7
+        ),
+        horizon_s=horizon,
+        name="bench-elastic",
+    )
+
+
+def bench_extension_elastic(benchmark):
+    def contend():
+        t0 = time.perf_counter()
+        reports = {}
+        for budget in (SHALLOW_WATTS, DEEP_WATTS):
+            for knobs in (None, ("dvfs",)):
+                kwargs = {} if knobs is None else {"knobs": knobs}
+                run = run_serving(
+                    _workload(),
+                    ElasticServingPolicy(budget_watts=budget, **kwargs),
+                )
+                key = (budget, "elastic" if knobs is None else "dvfs-only")
+                reports[key] = build_serving_report(run)
+        return {"reports": reports, "seconds": time.perf_counter() - t0}
+
+    result = run_once(benchmark, contend)
+    reports = result["reports"]
+    benchmark.extra_info["elastic"] = {
+        f"{label}@{budget:g}W": {
+            "watts": r.average_power_w,
+            "escalation": r.cap_escalation,
+            "met": r.average_power_w <= budget,
+        }
+        for (budget, label), r in reports.items()
+    }
+
+    # Nothing is ever dropped — gating drains, the runner re-enqueues.
+    for r in reports.values():
+        assert r.completed == r.n_requests and r.dropped == 0
+
+    # Shallow: both governors comply, and no node is ever gated (the
+    # blind first window may transiently touch the core knob — the
+    # safety-first allocation assumes worst-case all-ACTIVE power).
+    for label in ("elastic", "dvfs-only"):
+        shallow = reports[(SHALLOW_WATTS, label)]
+        assert shallow.average_power_w <= SHALLOW_WATTS
+        assert shallow.cap_escalation in ("dvfs", "cores")
+
+    # Deep: the elastic plane meets a budget DVFS alone cannot.
+    deep_elastic = reports[(DEEP_WATTS, "elastic")]
+    deep_dvfs = reports[(DEEP_WATTS, "dvfs-only")]
+    assert deep_elastic.average_power_w <= DEEP_WATTS
+    assert deep_elastic.cap_escalation == "gate"
+    assert deep_dvfs.average_power_w > DEEP_WATTS
+    assert deep_elastic.average_power_w < deep_dvfs.average_power_w

@@ -43,7 +43,7 @@ Layers (bottom-up), for when you do want the deep modules:
 
 from typing import TYPE_CHECKING
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: public name → defining module, the single source of truth for the
 #: lazy facade below.  Every entry is importable as ``from repro import
@@ -124,9 +124,15 @@ _EXPORTS = {
     "run_serving_sweep": "repro.serving.sweep",
     "ServingReport": "repro.metrics.serving",
     "build_serving_report": "repro.metrics.serving",
-    # power capping
+    # power capping (elastic control plane)
     "PowerBudget": "repro.powercap.budget",
     "PowerCapStrategy": "repro.powercap.strategy",
+    "Action": "repro.powercap.actions",
+    "GovernorPlan": "repro.powercap.actions",
+    "Actuator": "repro.powercap.actuators",
+    "ElasticPolicy": "repro.powercap.elastic",
+    "ELASTIC_KNOBS": "repro.powercap.elastic",
+    "ElasticServingPolicy": "repro.serving.elastic",
     # cache
     "RunCache": "repro.cache.store",
     "sweep_context": "repro.cache.context",
@@ -136,6 +142,8 @@ _EXPORTS = {
     "build_attribution_report": "repro.metrics.attribution",
     "ScalingReport": "repro.metrics.scaling",
     "build_scaling_report": "repro.metrics.scaling",
+    "KnobCell": "repro.metrics.knobmap",
+    "KnobMapReport": "repro.metrics.knobmap",
     # experiments
     "run_experiment": "repro.experiments.registry",
     "list_experiments": "repro.experiments.registry",
@@ -205,6 +213,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         AttributionReport,
         build_attribution_report,
     )
+    from repro.metrics.knobmap import KnobCell, KnobMapReport
     from repro.metrics.scaling import ScalingReport, build_scaling_report
     from repro.metrics.records import EnergyDelayPoint
     from repro.metrics.serving import ServingReport, build_serving_report
@@ -215,13 +224,17 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
         validate_chrome_trace,
     )
     from repro.obs.tracer import Tracer, active_tracer, tracing
+    from repro.powercap.actions import Action, GovernorPlan
+    from repro.powercap.actuators import Actuator
     from repro.powercap.budget import PowerBudget
+    from repro.powercap.elastic import ELASTIC_KNOBS, ElasticPolicy
     from repro.powercap.strategy import PowerCapStrategy
     from repro.serving.arrivals import (
         DiurnalArrivals,
         MMPPArrivals,
         PoissonArrivals,
     )
+    from repro.serving.elastic import ElasticServingPolicy
     from repro.serving.policy import TierDvsPolicy
     from repro.sim.columnar import ColumnarEngine, EngineStats
     from repro.sim.engine import Engine

@@ -46,7 +46,7 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help=(
             "experiment ids (fig1..fig8, table1..table3, headline, "
-            "powercap, chaos, serving, techscaling) or 'all'"
+            "powercap, chaos, serving, techscaling, knobmap) or 'all'"
         ),
     )
     parser.add_argument(
@@ -66,6 +66,31 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment keyword argument, e.g. --param iterations=2 "
             "(values parsed as Python literals; repeatable; applied to "
             "every selected experiment that accepts the keyword)"
+        ),
+    )
+    parser.add_argument(
+        "--budget-frac",
+        action="append",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help=(
+            "budget depth for the knobmap experiment, as a fraction of "
+            "the static-max reference draw (repeatable, e.g. "
+            "--budget-frac 0.9 --budget-frac 0.5; shorthand for "
+            "--param budget_fracs=...; ignored by experiments without "
+            "the keyword)"
+        ),
+    )
+    parser.add_argument(
+        "--knobs",
+        metavar="K1,K2",
+        default=None,
+        help=(
+            "comma-separated knob set for the knobmap elastic "
+            "contender, a subset of dvfs,cores,gate (shorthand for "
+            "--param knobs=...; ignored by experiments without the "
+            "keyword)"
         ),
     )
     parser.add_argument(
@@ -167,6 +192,28 @@ def parse_params(pairs: List[str]) -> dict:
     return out
 
 
+def merge_knob_flags(
+    params: dict,
+    budget_frac: Optional[List[float]],
+    knobs: Optional[str],
+) -> dict:
+    """Fold ``--budget-frac``/``--knobs`` into the ``--param`` kwargs.
+
+    The flags are shorthand: an explicit ``--param budget_fracs=...`` or
+    ``--param knobs=...`` always wins (setdefault semantics).
+    """
+    if budget_frac is not None:
+        if any(frac <= 0 for frac in budget_frac):
+            raise ValueError("--budget-frac must be > 0")
+        params.setdefault("budget_fracs", tuple(budget_frac))
+    if knobs is not None:
+        knob_list = tuple(k.strip() for k in knobs.split(",") if k.strip())
+        if not knob_list:
+            raise ValueError("--knobs needs a comma-separated knob list")
+        params.setdefault("knobs", knob_list)
+    return params
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -182,6 +229,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown experiment(s): {unknown}; use --list")
     try:
         params = parse_params(args.param)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        merge_knob_flags(params, args.budget_frac, args.knobs)
     except ValueError as exc:
         parser.error(str(exc))
 

@@ -19,6 +19,7 @@ from repro.experiments import (
     fig7,
     fig8,
     headline,
+    knobmap,
     powercap,
     serving,
     tables,
@@ -69,6 +70,7 @@ for _id, _runner in [
     ("headline", headline.run),
     ("powercap", powercap.run),
     ("chaos", chaos.run),
+    ("knobmap", knobmap.run),
     ("serving", serving.run),
     ("techscaling", techscaling.run),
 ]:

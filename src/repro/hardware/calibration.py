@@ -50,6 +50,10 @@ class Calibration:
     cpu_max_power: float = 21.0
     base_power: float = 8.2
     nic_active_power: float = 0.6
+    #: whole-node suspend-to-RAM draw while power-gated (DRAM refresh +
+    #: wake logic + PSU tare); must sit well below ``base_power`` for
+    #: the horizontal knob to beat the DVFS floor
+    gated_power: float = 2.4
     activity_factors: Mapping[CpuActivity, float] = field(
         default_factory=lambda: {
             CpuActivity.ACTIVE: 1.00,
@@ -95,6 +99,7 @@ class Calibration:
         check_positive("cpu_max_power", self.cpu_max_power)
         check_nonnegative("base_power", self.base_power)
         check_nonnegative("nic_active_power", self.nic_active_power)
+        check_nonnegative("gated_power", self.gated_power)
         check_nonnegative("proto_cycles_per_byte", self.proto_cycles_per_byte)
         check_nonnegative("serial_cycles_per_byte", self.serial_cycles_per_byte)
         check_nonnegative("message_overhead_cycles", self.message_overhead_cycles)
@@ -115,6 +120,7 @@ class Calibration:
             cpu=cpu,
             base_power=self.base_power,
             nic_active_power=self.nic_active_power,
+            gated_power=self.gated_power,
         )
 
     def with_overrides(self, **kwargs: object) -> "Calibration":

@@ -114,7 +114,13 @@ class SimCPU:
         # set_frequency never refuses unless an injector arms them.
         self._powered: bool = True
         self._gated: bool = False
+        self._suspended: bool = False
         self._power_restored: Event = engine.event()
+        #: powered-core fraction (repro.powercap's vertical knob): work
+        #: throughput and dynamic CPU power both scale by it.  1.0 (all
+        #: cores) is the exact no-op — ``f × 1.0 == f`` bitwise — so
+        #: full-core runs are float-identical to a scale-free CPU.
+        self._core_scale: float = 1.0
         #: when True, P-state transition requests are silently dropped
         #: (a stuck DVFS regulator); armed by the fault injector.
         self.dvfs_stuck: bool = False
@@ -155,6 +161,26 @@ class SimCPU:
     def powered(self) -> bool:
         """False while the node is failed-stop (crashed, drawing 0 W)."""
         return self._powered
+
+    @property
+    def suspended(self) -> bool:
+        """True while the node is *intentionally* power-gated.
+
+        Distinguishes an orderly :meth:`suspend` (platform keeps suspend
+        power, wake state retained) from a crash :meth:`power_off`
+        (drawing nothing).  Only meaningful while ``powered`` is False.
+        """
+        return self._suspended
+
+    @property
+    def core_allocation(self) -> float:
+        """Powered-core fraction in (0, 1] (1.0 = all cores)."""
+        return self._core_scale
+
+    @property
+    def effective_frequency(self) -> float:
+        """Work-retirement rate in Hz: clock × powered-core fraction."""
+        return self._point.frequency * self._core_scale
 
     @property
     def power_restored(self) -> Event:
@@ -254,6 +280,32 @@ class SimCPU:
         old_event.succeed(None)
         self._retime_inflight()
 
+    def suspend(self) -> None:
+        """Orderly power-gate (the control plane's horizontal knob).
+
+        Identical execution semantics to :meth:`power_off` — in-flight
+        work parks on the power-restored event and resumes after
+        :meth:`power_on` — but the platform stays in a suspend state:
+        the node draws its model's ``gated_power`` instead of nothing
+        (wake state is retained, so waking is a boot-latency penalty
+        rather than a full reboot).  Requires
+        :meth:`enable_power_gating` first, like a crash.
+        """
+        if not self._gated:
+            raise RuntimeError(
+                "suspend() without enable_power_gating(): running work "
+                "would keep executing through the gate"
+            )
+        if not self._powered:
+            return
+        self._close_segment()
+        self._powered = False
+        self._suspended = True
+        self._on_change()
+        old_event, self._freq_event = self._freq_event, self.engine.event()
+        old_event.succeed(None)
+        self._retime_inflight()
+
     def power_on(self, boot_point: Optional[OperatingPoint] = None) -> None:
         """Restart after a fail-stop outage.
 
@@ -267,12 +319,36 @@ class SimCPU:
         self.table.point_for(point.frequency)  # must be a legal point
         self._close_segment()
         self._powered = True
+        self._suspended = False
         if point.frequency != self._point.frequency:
             self._point = point
             self.transition_count += 1
         self._on_change()
         old_event, self._power_restored = self._power_restored, self.engine.event()
         old_event.succeed(None)
+
+    def set_core_allocation(self, fraction: float) -> None:
+        """Set the powered-core fraction (the vertical knob).
+
+        Behaves like a P-state change for in-flight work: the accounting
+        segment closes, waiters racing completion against rate changes
+        wake, and armed quanta re-time at the new effective rate using
+        the exact scalar expression — so a mid-quantum reallocation
+        lands completion on the same float the scalar walk computes.
+        Setting 1.0 restores full throughput and full dynamic power.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(
+                f"core allocation must be in (0, 1], got {fraction}"
+            )
+        if fraction == self._core_scale:
+            return
+        self._close_segment()
+        self._core_scale = fraction
+        self._on_change()
+        old_event, self._freq_event = self._freq_event, self.engine.event()
+        old_event.succeed(self._point)
+        self._retime_inflight()
 
     def finalize(self) -> None:
         """Close the open accounting segment (call at end of simulation)."""
@@ -319,7 +395,7 @@ class SimCPU:
                     yield self._power_restored
                     self.set_state(state, 1.0)
                     continue
-                freq = self._point.frequency
+                freq = self._point.frequency * self._core_scale
                 started = self.engine.now
                 done = self.engine.timeout(remaining / freq)
                 change = self._freq_event
@@ -354,7 +430,7 @@ class SimCPU:
             self.set_state(CpuActivity.IDLE, 1.0)
 
     def _arm_work(self, work: _CycleWork) -> None:
-        work.freq = self._point.frequency
+        work.freq = self._point.frequency * self._core_scale
         work.started = self.engine.now
         deadline = self.engine.timeout(work.remaining / work.freq)
         work.deadline = deadline

@@ -100,13 +100,16 @@ class Node:
 
     def _current_power(self) -> float:
         if not self.cpu.powered:
-            return 0.0
+            # Suspended (orderly power-gate) keeps the platform's wake
+            # state alive; a crash draws nothing at all.
+            return self.power_model.gated_power if self.cpu.suspended else 0.0
         return self.power_model.power(
             self.cpu.operating_point,
             self.cpu.state,
             self.cpu.utilization,
             nic_active=self._nic_active,
             floor=self.cpu.floor,
+            core_fraction=self.cpu.core_allocation,
         )
 
     def _update_power(self) -> None:

@@ -136,15 +136,23 @@ class NodePowerModel:
         measurement protocol).
     nic_active_power:
         Extra draw while the NIC is transmitting or receiving.
+    gated_power:
+        Whole-node draw while *power-gated* (suspend-to-RAM: DRAM
+        refresh + wake logic + PSU tare).  Well below ``base_power`` —
+        gating a node saves platform power that no frequency ladder can
+        reach, which is exactly why the elastic control plane's
+        horizontal knob wins at deep budget cuts.
     """
 
     cpu: CpuPowerModel
     base_power: float = 8.2
     nic_active_power: float = 0.6
+    gated_power: float = 2.4
 
     def __post_init__(self) -> None:
         check_nonnegative("base_power", self.base_power)
         check_nonnegative("nic_active_power", self.nic_active_power)
+        check_nonnegative("gated_power", self.gated_power)
 
     def power(
         self,
@@ -153,9 +161,18 @@ class NodePowerModel:
         utilization: float = 1.0,
         nic_active: bool = False,
         floor: CpuActivity = CpuActivity.IDLE,
+        core_fraction: float = 1.0,
     ) -> float:
-        """Instantaneous node power in watts."""
-        total = self.base_power + self.cpu.power(point, state, utilization, floor)
+        """Instantaneous node power in watts.
+
+        ``core_fraction`` scales the CPU term by the powered-core share
+        (per-core power gating: parked cores draw nothing).  The default
+        1.0 takes the exact legacy path.
+        """
+        cpu_watts = self.cpu.power(point, state, utilization, floor)
+        if core_fraction != 1.0:
+            cpu_watts = core_fraction * cpu_watts
+        total = self.base_power + cpu_watts
         if nic_active:
             total += self.nic_active_power
         return total

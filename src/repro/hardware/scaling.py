@@ -297,4 +297,5 @@ def scaled_calibration(
         * tech.power_scale
         * core.power_factor,
         base_power=calibration.base_power * tech.platform_power_scale,
+        gated_power=calibration.gated_power * tech.platform_power_scale,
     )

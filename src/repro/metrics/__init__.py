@@ -20,6 +20,7 @@ from repro.metrics.attribution import (
     build_attribution_report,
 )
 from repro.metrics.chaos import ChaosReport, build_chaos_report
+from repro.metrics.knobmap import KnobCell, KnobMapReport, best_knob
 from repro.metrics.powercap import PowerCapReport, build_cap_report
 from repro.metrics.protocol import ReportBase, ReportProtocol
 from repro.metrics.records import EnergyDelayPoint, normalize_points
@@ -57,6 +58,9 @@ __all__ = [
     "build_cap_report",
     "ChaosReport",
     "build_chaos_report",
+    "KnobCell",
+    "KnobMapReport",
+    "best_knob",
     "ServingReport",
     "TierBreakdown",
     "build_serving_report",

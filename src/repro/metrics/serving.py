@@ -145,10 +145,27 @@ class ServingReport(ReportBase):
     unattributed_energy_j: float  #: energy_j − request_energy_j (idle, base)
     energy_per_request_j: Optional[float]  #: energy_j / completed
     tiers: Tuple[TierBreakdown, ...]
+    #: governor feasibility ledger, populated when the policy embeds a
+    #: :class:`~repro.powercap.governor.CapGovernor` (elastic serving):
+    #: windows whose plan met the target / windows closed.  ``None``
+    #: for policies with no governor.
+    cap_feasible_windows: Optional[int] = None
+    cap_total_windows: Optional[int] = None
+    #: deepest knob the governor actually actuated over the run
+    #: (``"dvfs"``, ``"cores"``, or ``"gate"``; ``None`` = no governor)
+    cap_escalation: Optional[str] = None
 
     @property
     def average_power_w(self) -> float:
         return self.energy_j / self.duration_s
+
+    @property
+    def cap_feasible_fraction(self) -> Optional[float]:
+        """Share of governor windows with a feasible plan (None = no cap)."""
+        if self.cap_total_windows is None or not self.cap_total_windows:
+            return None
+        assert self.cap_feasible_windows is not None
+        return self.cap_feasible_windows / self.cap_total_windows
 
     def meets_slo(self, p99_slo_s: float) -> bool:
         """SLO verdict: every request served, p99 within the budget.
@@ -182,6 +199,9 @@ class ServingReport(ReportBase):
             "unattributed_energy_j": self.unattributed_energy_j,
             "energy_per_request_j": self.energy_per_request_j,
             "tiers": [tier.to_dict() for tier in self.tiers],
+            "cap_feasible_windows": self.cap_feasible_windows,
+            "cap_total_windows": self.cap_total_windows,
+            "cap_escalation": self.cap_escalation,
         }
 
     @classmethod
@@ -207,6 +227,21 @@ class ServingReport(ReportBase):
             tiers=tuple(
                 TierBreakdown.from_dict(t) for t in data.get("tiers", [])
             ),
+            cap_feasible_windows=(
+                None
+                if data.get("cap_feasible_windows") is None
+                else int(data["cap_feasible_windows"])
+            ),
+            cap_total_windows=(
+                None
+                if data.get("cap_total_windows") is None
+                else int(data["cap_total_windows"])
+            ),
+            cap_escalation=(
+                None
+                if data.get("cap_escalation") is None
+                else str(data["cap_escalation"])
+            ),
         )
 
     def summary_lines(self) -> List[str]:
@@ -228,6 +263,11 @@ class ServingReport(ReportBase):
                 else f"{self.energy_per_request_j:.3f} J/req"
             ),
         ]
+        if self.cap_total_windows is not None:
+            lines.append(
+                f"  cap plan feasible {self.cap_feasible_windows}/"
+                f"{self.cap_total_windows} windows"
+            )
         for tier in self.tiers:
             lines.append(
                 f"  tier {tier.tier}: {tier.served} served, "
@@ -248,6 +288,24 @@ def build_serving_report(run, label: Optional[str] = None) -> ServingReport:
     requests that later timed out or were dropped downstream — that
     work happened on the tier and belongs in its statistics.
     """
+    governor = getattr(run.policy, "governor", None)
+    windows = getattr(governor, "windows", None)
+    escalation = None
+    if governor is not None:
+        escalation = "dvfs"
+        for actuator in getattr(governor, "actuators", []):
+            log = getattr(actuator, "log", None)
+            if not log:
+                continue
+            kinds = getattr(actuator, "kinds", ())
+            names = {k.__name__ for k in kinds}
+            if "GateNode" in names and any(
+                entry[2] in ("gate", "drain") for entry in log
+            ):
+                escalation = "gate"
+                break
+            if "SetCoreAllocation" in names:
+                escalation = "cores"
     records = run.records
     completed = [r for r in records if r.status == "ok"]
     dropped = sum(1 for r in records if r.status == "dropped")
@@ -305,4 +363,11 @@ def build_serving_report(run, label: Optional[str] = None) -> ServingReport:
             energy / len(completed) if completed else None
         ),
         tiers=tuple(tiers),
+        cap_feasible_windows=(
+            None
+            if windows is None
+            else sum(1 for w in windows if w.feasible)
+        ),
+        cap_total_windows=None if windows is None else len(windows),
+        cap_escalation=escalation,
     )

@@ -13,12 +13,33 @@ Optimizing Performance in MPI Clusters*, and Krzywda et al.,
 Layers: :mod:`~repro.powercap.budget` (the spec),
 :mod:`~repro.powercap.telemetry` (windowed sampling + prediction),
 :mod:`~repro.powercap.policy` (uniform baseline vs slack-aware
-redistribution), :mod:`~repro.powercap.governor` (the control loop), and
+redistribution), :mod:`~repro.powercap.actions` /
+:mod:`~repro.powercap.actuators` (the typed action plans and the hands
+that execute them), :mod:`~repro.powercap.elastic` (the multi-knob
+policy: DVFS + core allocation + node gating),
+:mod:`~repro.powercap.governor` (the control loop), and
 :mod:`~repro.powercap.strategy` (composition with the paper's DVS
 strategies and the measurement pipeline).
 """
 
+from repro.powercap.actions import (
+    Action,
+    GateNode,
+    GovernorPlan,
+    SetCoreAllocation,
+    SetFreqCeiling,
+    WakeNode,
+)
+from repro.powercap.actuators import (
+    Actuator,
+    CoreAllocationActuator,
+    DvfsActuator,
+    NodeGateActuator,
+    default_actuators,
+    dispatch_plan,
+)
 from repro.powercap.budget import PowerBudget
+from repro.powercap.elastic import ELASTIC_KNOBS, ElasticPolicy, PlanContext
 from repro.powercap.governor import CapGovernor, CapGovernorConfig, GovernorWindow
 from repro.powercap.monitor import InvariantMonitor, InvariantViolation
 from repro.powercap.resilience import RepairEvent, ResilienceConfig
@@ -38,6 +59,21 @@ from repro.powercap.telemetry import (
 )
 
 __all__ = [
+    "Action",
+    "Actuator",
+    "CoreAllocationActuator",
+    "DvfsActuator",
+    "ELASTIC_KNOBS",
+    "ElasticPolicy",
+    "GateNode",
+    "GovernorPlan",
+    "NodeGateActuator",
+    "PlanContext",
+    "SetCoreAllocation",
+    "SetFreqCeiling",
+    "WakeNode",
+    "default_actuators",
+    "dispatch_plan",
     "PowerBudget",
     "CapGovernor",
     "CapGovernorConfig",

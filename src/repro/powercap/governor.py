@@ -19,12 +19,21 @@ Before the job starts, :meth:`start` installs a worst-case allocation
 (every node assumed fully active) so the run is compliant from t=0 — the
 governor then *relaxes* toward measured slack rather than chasing an
 initial violation.
+
+Since the control-plane refactor the governor no longer touches hardware
+itself: step 3 became *emit a* :class:`~repro.powercap.actions.GovernorPlan`
+*and route it through the registered*
+:mod:`~repro.powercap.actuators`.  With the default (legacy-compatible)
+policies every plan is pure DVFS and the control trajectory is
+bit-identical to the pre-refactor inline path; an
+:class:`~repro.powercap.elastic.ElasticPolicy` additionally emits core
+allocation and node gate/wake actions through the same loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional
+from typing import Dict, Generator, List, Optional, Sequence, Union
 
 from repro.dvs.capped import CappedCpuFreq
 from repro.hardware.activity import CpuActivity
@@ -35,7 +44,15 @@ from repro.sim.events import Event
 from repro.sim.process import Process
 from repro.util.validation import check_fraction, check_positive
 
+from repro.powercap.actions import GovernorPlan, SetFreqCeiling
+from repro.powercap.actuators import (
+    Actuator,
+    NodeGateActuator,
+    default_actuators,
+    dispatch_plan,
+)
 from repro.powercap.budget import PowerBudget
+from repro.powercap.elastic import ElasticPolicy, PlanContext
 from repro.powercap.monitor import InvariantMonitor
 from repro.powercap.policy import (
     CapAllocation,
@@ -144,16 +161,28 @@ class CapGovernor:
         self,
         cluster: Cluster,
         budget: PowerBudget,
-        policy: Optional[CapPolicy] = None,
+        policy: Optional[Union[CapPolicy, ElasticPolicy]] = None,
         config: Optional[CapGovernorConfig] = None,
         cpufreqs: Optional[Dict[int, CappedCpuFreq]] = None,
         resilience: Optional[ResilienceConfig] = None,
         monitor: Optional[InvariantMonitor] = None,
+        actuators: Optional[Sequence[Actuator]] = None,
+        wake_latency_s: float = 0.5,
     ):
         self.cluster = cluster
         self.budget = budget
         self.policy = policy or SlackRedistributionPolicy()
         self.config = config or CapGovernorConfig()
+        if isinstance(self.policy, ElasticPolicy) and resilience is not None:
+            # The resilient path's watchdog would declare an orderly
+            # gated node dead (dark + near-zero draw is exactly its
+            # crash signature); composing the two needs a gating-aware
+            # watchdog that does not exist yet.
+            raise ValueError(
+                "ElasticPolicy and ResilienceConfig cannot be combined: "
+                "the crash watchdog cannot tell an orderly gated node "
+                "from a dead one"
+            )
         #: ``None`` = legacy fair-weather control loop; a
         #: :class:`~repro.powercap.resilience.ResilienceConfig` enables
         #: the degraded-mode defenses (stale fallback, watchdog,
@@ -165,6 +194,30 @@ class CapGovernor:
             node.node_id: CappedCpuFreq(node, cluster.calibration)
             for node in cluster.nodes
         }
+        # What the governor *believes* it applied per node — shared by
+        # reference with the DVFS actuator, which records every ceiling
+        # it installs; the hardened path checks telemetry against it.
+        self._pending_target: Dict[int, float] = {}
+        if actuators is None:
+            actuators = default_actuators(
+                cluster,
+                self.cpufreqs,
+                self._pending_target,
+                wake_latency_s=wake_latency_s,
+            )
+        #: the control plane's hands, one per action kind it can execute
+        self.actuators: List[Actuator] = list(actuators)
+        self._routes: Dict[type, Actuator] = {
+            kind: actuator
+            for actuator in self.actuators
+            for kind in actuator.kinds
+        }
+        self._gate_actuator: Optional[NodeGateActuator] = next(
+            (a for a in self.actuators if isinstance(a, NodeGateActuator)),
+            None,
+        )
+        #: node ids the governor has gated and not yet seen powered again
+        self._gated: set = set()
         self._model = cluster.nodes[0].power_model
         self._table = cluster.table
         self._floor, self._ceiling = budget.resolve_bounds(self._table)
@@ -185,6 +238,17 @@ class CapGovernor:
             and self.policy._intensity_of is None
         ):
             self.policy._intensity_of = lambda s: self._demand_of(s.node_id)
+        if isinstance(self.policy, ElasticPolicy):
+            if self.policy._intensity_of is None:
+                self.policy._intensity_of = lambda s: self._demand_of(
+                    s.node_id
+                )
+            inner = self.policy.inner
+            if (
+                isinstance(inner, SlackRedistributionPolicy)
+                and inner._intensity_of is None
+            ):
+                inner._intensity_of = lambda s: self._demand_of(s.node_id)
         self._telemetry = ClusterTelemetry(cluster)
         self._process: Optional[Process] = None
         self._stopped = False
@@ -195,7 +259,6 @@ class CapGovernor:
         self._dark_count: Dict[int, int] = {}
         self._dead: set = set()
         self._stuck: Dict[int, StuckState] = {}
-        self._pending_target: Dict[int, float] = {}
         #: defensive actions taken by the hardened control path
         self.repair_log: List[RepairEvent] = []
 
@@ -257,20 +320,53 @@ class CapGovernor:
         return watts
 
     def _apply(self, allocation: CapAllocation) -> None:
-        """Install an allocation as per-node ceilings (daemon context)."""
-        for node_id, frequency in allocation.frequencies.items():
-            cpufreq = self.cpufreqs[node_id]
-            cpufreq.set_ceiling(frequency)
-            # For plain capped runs there is no inner controller to claim
-            # new headroom, so the governor drives the frequency to the
-            # ceiling itself; an inner controller's next request simply
-            # re-resolves against the new ceiling.
-            if cpufreq.current_frequency < frequency:
-                cpufreq.set_speed_now(frequency)
-            # What the governor *believes* it applied — the hardened path
-            # checks next window's telemetry against this to catch stuck
-            # regulators that dropped the request.
-            self._pending_target[node_id] = frequency
+        """Install a pure-DVFS allocation through the control plane."""
+        self._apply_plan(GovernorPlan.from_allocation(allocation))
+
+    def _apply_plan(self, plan: GovernorPlan) -> None:
+        """Route a plan's actions to their actuators (daemon context)."""
+        dispatch_plan(plan, self._routes)
+        self._gated.update(plan.gated_node_ids)
+
+    def _plan_elastic(self, samples: List[NodeWindowSample]) -> GovernorPlan:
+        """One elastic control decision: context assembly + policy.plan.
+
+        Reconciles the gating books first: a node the actuator finished
+        waking is powered again and must leave ``_gated`` *before* the
+        policy counts suspend reserves (its fresh telemetry sample is
+        already in ``samples`` — the cluster sampler saw it powered).
+        """
+        policy = self.policy
+        assert isinstance(policy, ElasticPolicy)
+        for nid in sorted(self._gated):
+            if self.cluster.nodes[nid].cpu.powered:
+                self._gated.discard(nid)
+                self._dark_count[nid] = 0
+        gate = self._gate_actuator
+        ctx = PlanContext(
+            samples=tuple(samples),
+            target_watts=self.target_watts,
+            table=self._table,
+            floor=self._floor,
+            ceiling=self._ceiling,
+            predict=self._predict,
+            base_power=self._model.base_power,
+            gated_draw_watts=self._model.gated_power,
+            wake_cost_watts=demand_power(
+                self._model, self._table, 1.0, self._floor
+            ),
+            gated=frozenset(self._gated),
+            waking=(
+                frozenset(gate.waking) if gate is not None else frozenset()
+            ),
+            core_allocation={
+                node.node_id: node.cpu.core_allocation
+                for node in self.cluster.nodes
+                if node.cpu.powered
+            },
+            protected=policy.protected,
+        )
+        return policy.plan(ctx)
 
     # ------------------------------------------------------------------
     def start(self, engine: Engine) -> Process:
@@ -340,18 +436,34 @@ class CapGovernor:
         avg = self.cluster.window_average_power(t0, t1)
         self._observe_demand(samples)
         if reallocate:
-            if self.resilience is not None:
+            if isinstance(self.policy, ElasticPolicy):
+                plan = self._plan_elastic(samples)
+                self._apply_plan(plan)
+                allocation = CapAllocation(
+                    frequencies=plan.frequencies,
+                    predicted_watts=plan.predicted_watts,
+                    feasible=plan.feasible,
+                )
+            elif self.resilience is not None:
                 allocation = self._allocate_resilient(samples, t0, t1)
+                self._apply(allocation)
             else:
+                target = self.target_watts
+                if self._gated:
+                    # Nodes someone gated out from under a legacy policy
+                    # still draw suspend power the cap must cover; the
+                    # guard keeps the no-gating path bit-identical
+                    # (``target - 0.0`` is not a float no-op in general).
+                    target -= self._model.gated_power * len(self._gated)
                 allocation = self.policy.allocate(
                     samples,
-                    self.target_watts,
+                    target,
                     self._table,
                     self._floor,
                     self._ceiling,
                     self._predict,
                 )
-            self._apply(allocation)
+                self._apply(allocation)
         else:
             allocation = CapAllocation(
                 frequencies={
@@ -416,15 +528,17 @@ class CapGovernor:
         Used on rejoin (and on a reboot seen only through the PDU): a
         restarted node boots at the ladder's fastest point regardless of
         the ceiling the governor had on the books, so an explicit
-        daemon-context down-switch is required — ``set_ceiling`` alone
-        no-ops when the bookkept ceiling did not change.
+        daemon-context down-switch is required — ``drive_down`` tells
+        the DVFS actuator to force the clock even when ``set_ceiling``
+        alone would no-op.
         """
-        cpufreq = self.cpufreqs[node_id]
-        floor = self._floor.frequency
-        cpufreq.set_ceiling(floor)
-        if cpufreq.current_frequency > floor:
-            cpufreq.set_speed_now(floor)
-        self._pending_target[node_id] = floor
+        self._routes[SetFreqCeiling].apply(
+            SetFreqCeiling(
+                node_id=node_id,
+                frequency=self._floor.frequency,
+                drive_down=True,
+            )
+        )
 
     def _worst_case_sample(
         self, node_id: int, t0: float, t1: float
@@ -515,6 +629,20 @@ class CapGovernor:
 
         for node in self.cluster.nodes:
             nid = node.node_id
+            if nid in self._gated:
+                if node.cpu.powered:
+                    # Woken since last window: back under normal control.
+                    self._gated.discard(nid)
+                else:
+                    # Orderly gated, not crashed: dark by design, drawing
+                    # exactly the platform's suspend power.  Budget that
+                    # draw and keep the watchdog/stale counters quiet —
+                    # without this carve the dead/stale machinery would
+                    # misclassify the node (the latent gating/telemetry
+                    # interaction this path now handles).
+                    carved[nid] = self._model.gated_power
+                    self._dark_count[nid] = 0
+                    continue
             sample = present.get(nid)
             if sample is None:
                 dark = self._dark_count.get(nid, 0) + 1

@@ -18,6 +18,7 @@ from repro.serving.arrivals import (
     MMPPArrivals,
     PoissonArrivals,
 )
+from repro.serving.elastic import ELASTIC_ALLOCATORS, ElasticServingPolicy
 from repro.serving.policy import (
     CpuspeedServingPolicy,
     PowerCapServingPolicy,
@@ -52,6 +53,8 @@ __all__ = [
     "CpuspeedServingPolicy",
     "PowerCapServingPolicy",
     "TierDvsPolicy",
+    "ELASTIC_ALLOCATORS",
+    "ElasticServingPolicy",
     "SERVING_POLICIES",
     "ServingTask",
     "ServingOutcome",

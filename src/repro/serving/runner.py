@@ -205,7 +205,22 @@ def run_serving(
     def server_process(tier: TierRuntime, node):
         next_tier = tiers[tier.index + 1] if tier.index + 1 < len(tiers) else None
         while True:
+            if not node.cpu.powered:
+                # Power-gated by an elastic control plane: don't drain
+                # the queue into a suspended node — live siblings take
+                # the work; this server rejoins after wake.
+                yield node.cpu.power_restored
+                continue
             live = yield tier.queue.get()
+            if not node.cpu.powered:
+                # The gate fell while this server was already waiting on
+                # the queue, and a put handed it a request anyway: push
+                # it back for a live sibling and park.  (Each parked
+                # sibling re-enqueues at most once per put, so the
+                # hand-back cascade terminates.)
+                enqueue(tier, live)
+                yield node.cpu.power_restored
+                continue
             now = engine.now
             if now - live.spec.arrival_s > workload.timeout_s:
                 resolve(live, "timeout")

@@ -23,7 +23,7 @@ import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.parallel import (
     _UNSET,
@@ -38,6 +38,7 @@ from repro.hardware.calibration import Calibration
 from repro.metrics.records import EnergyDelayPoint
 from repro.metrics.serving import ServingReport, build_serving_report
 from repro.obs.tracer import Tracer
+from repro.serving.elastic import ELASTIC_ALLOCATORS, ElasticServingPolicy
 from repro.serving.policy import (
     CpuspeedServingPolicy,
     PowerCapServingPolicy,
@@ -58,7 +59,7 @@ __all__ = [
 ]
 
 #: Policy recipes a :class:`ServingTask` can name.
-SERVING_POLICIES = ("static", "cpuspeed", "powercap", "tierdvs")
+SERVING_POLICIES = ("static", "cpuspeed", "powercap", "tierdvs", "elastic")
 
 #: ``meta`` tag marking a cache record as a serving outcome.
 _META_KIND = "serving-report"
@@ -69,8 +70,11 @@ class ServingTask:
     """One serving run (picklable, content-hashable).
 
     ``frequency`` applies to ``"static"`` (``None`` = ladder fastest);
-    ``budget_watts`` is required for ``"powercap"``; ``interval`` and
-    ``safety`` tune the control loops of ``"powercap"``/``"tierdvs"``.
+    ``budget_watts`` is required for ``"powercap"`` and ``"elastic"``;
+    ``interval`` and ``safety`` tune the control loops of
+    ``"powercap"``/``"tierdvs"``/``"elastic"``; ``knobs`` and
+    ``allocator`` select the elastic policy's knob set (``None`` = all
+    three) and inner DVFS allocator.
     """
 
     workload: ServingWorkload
@@ -80,13 +84,15 @@ class ServingTask:
     interval: float = 0.25
     safety: float = 1.5
     calibration: Optional[Calibration] = None
+    knobs: Optional[Tuple[str, ...]] = None
+    allocator: str = "redist"
 
     def __post_init__(self) -> None:
         check_in("policy", self.policy, SERVING_POLICIES)
-        if self.policy == "powercap" and self.budget_watts is None:
+        if self.policy in ("powercap", "elastic") and self.budget_watts is None:
             raise ValueError(
-                "powercap task needs budget_watts "
-                "(ServingTask(workload, 'powercap', budget_watts=...))"
+                f"{self.policy} task needs budget_watts "
+                f"(ServingTask(workload, {self.policy!r}, budget_watts=...))"
             )
         if self.budget_watts is not None:
             check_positive("budget_watts", self.budget_watts)
@@ -94,6 +100,9 @@ class ServingTask:
             check_positive("frequency", self.frequency)
         check_positive("interval", self.interval)
         check_positive("safety", self.safety)
+        check_in("allocator", self.allocator, ELASTIC_ALLOCATORS)
+        if self.knobs is not None and self.policy != "elastic":
+            raise ValueError("knobs only applies to the 'elastic' policy")
 
     def build_policy(self) -> ServingPolicy:
         if self.policy == "static":
@@ -105,6 +114,15 @@ class ServingTask:
             return PowerCapServingPolicy(
                 self.budget_watts, interval=self.interval
             )
+        if self.policy == "elastic":
+            assert self.budget_watts is not None
+            kwargs = {} if self.knobs is None else {"knobs": self.knobs}
+            return ElasticServingPolicy(
+                self.budget_watts,
+                interval=self.interval,
+                allocator=self.allocator,
+                **kwargs,
+            )
         return TierDvsPolicy(interval=self.interval, safety=self.safety)
 
     @property
@@ -113,6 +131,10 @@ class ServingTask:
             return f"static@{self.frequency / 1e6:.0f}MHz"
         if self.policy == "powercap":
             return f"powercap@{self.budget_watts:.0f}W"
+        if self.policy == "elastic":
+            # Delegate so sweep tables and the policy's own decision
+            # logs agree on the label, knob subset included.
+            return self.build_policy().name
         return self.policy
 
 

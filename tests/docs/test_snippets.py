@@ -20,6 +20,7 @@ DOC_FILES = [
     "docs/API.md",
     "docs/BACKENDS.md",
     "docs/CACHING.md",
+    "docs/ELASTIC.md",
     "docs/ENGINE.md",
     "docs/FAULTS.md",
     "docs/SCALING.md",

@@ -88,6 +88,59 @@ def test_no_cache_flag_disables_the_store(tmp_path, capsys):
     assert not list(tmp_path.iterdir())  # nothing written anywhere near us
 
 
+KNOBMAP_FAST = ["knobmap", "--no-cache", "--param", "horizon_s=4.0",
+                "--param", "base_rates=(30.0,)"]
+
+
+def test_budget_frac_flag_builds_the_ladder(capsys):
+    # Two depths -> two rows; the shallow one is feasible by DVFS alone.
+    args = KNOBMAP_FAST + ["--budget-frac", "0.9", "--budget-frac", "0.6"]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    rows = [line for line in out.splitlines() if line.startswith("30 ")]
+    assert len(rows) == 2
+    assert "0.9" in rows[0] and "yes" in rows[0]
+
+
+def test_knobs_flag_restricts_the_elastic_contender(capsys):
+    # dvfs-only elastic cannot meet a 0.6x budget: the cell must come
+    # back infeasible with no winning knob.
+    args = KNOBMAP_FAST + ["--budget-frac", "0.6", "--knobs", "dvfs"]
+    assert main(args) == 0
+    rows = [
+        line
+        for line in capsys.readouterr().out.splitlines()
+        if line.startswith("30 ")
+    ]
+    assert len(rows) == 1
+    assert "none" in rows[0] and "NO" in rows[0]
+
+
+def test_budget_frac_rejects_nonpositive(capsys):
+    with pytest.raises(SystemExit):
+        main(["knobmap", "--budget-frac", "-0.5"])
+    assert "--budget-frac must be > 0" in capsys.readouterr().err
+
+
+def test_knobs_rejects_an_empty_list(capsys):
+    with pytest.raises(SystemExit):
+        main(["knobmap", "--knobs", " , "])
+    assert "--knobs" in capsys.readouterr().err
+
+
+def test_param_wins_over_the_shorthand_flags():
+    # --param budget_fracs/knobs is the explicit spelling; the flags
+    # only fill the defaults in (setdefault semantics).
+    from repro.experiments.cli import merge_knob_flags
+
+    merged = merge_knob_flags(
+        {"budget_fracs": (0.5,)}, [0.9, 0.6], "dvfs,gate"
+    )
+    assert merged["budget_fracs"] == (0.5,)
+    assert merged["knobs"] == ("dvfs", "gate")
+    assert merge_knob_flags({}, [0.9], None) == {"budget_fracs": (0.9,)}
+
+
 def test_jobs_flag_matches_serial_output(tmp_path, capsys):
     params = ["--cache-dir", str(tmp_path / "a"), "--param", "passes=2"]
     assert main(["fig6"] + params) == 0

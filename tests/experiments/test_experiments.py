@@ -16,7 +16,8 @@ def test_registry_covers_every_table_and_figure():
     expected = (
         {f"fig{i}" for i in range(1, 9)}
         | {"table1", "table2", "table3"}
-        | {"headline", "powercap", "chaos", "serving", "techscaling"}
+        | {"headline", "powercap", "chaos", "serving", "techscaling",
+           "knobmap"}
     )
     assert set(EXPERIMENTS) == expected
 

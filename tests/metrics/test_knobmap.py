@@ -1,0 +1,90 @@
+"""KnobMapReport: cell semantics, best-knob resolution, and the grid."""
+
+import pytest
+
+from repro.metrics import KnobCell, KnobMapReport, best_knob
+
+
+def make_cell(rate, frac, *, met_elastic, met_dvfs, escalation):
+    best = best_knob(met_dvfs, met_elastic, escalation)
+    return KnobCell(
+        base_rate_rps=rate,
+        budget_frac=frac,
+        budget_watts=frac * 46.0,
+        policy_watts={"elastic@30W": 28.0, "elastic[dvfs]@30W": 38.0},
+        policy_met={
+            "elastic@30W": met_elastic,
+            "elastic[dvfs]@30W": met_dvfs,
+        },
+        elastic_escalation=escalation,
+        best_knob=best,
+        feasible=met_elastic or met_dvfs,
+        elastic_p99_s=0.02,
+    )
+
+
+def make_report():
+    return KnobMapReport(
+        label="knobmap",
+        workload="diurnal",
+        static_watts={"30": 46.0, "40": 47.0},
+        cells=(
+            make_cell(30.0, 0.9, met_elastic=True, met_dvfs=True,
+                      escalation="dvfs"),
+            make_cell(30.0, 0.8, met_elastic=True, met_dvfs=False,
+                      escalation="cores"),
+            make_cell(30.0, 0.6, met_elastic=True, met_dvfs=False,
+                      escalation="gate"),
+            make_cell(30.0, 0.35, met_elastic=False, met_dvfs=False,
+                      escalation="gate"),
+            make_cell(40.0, 0.9, met_elastic=True, met_dvfs=True,
+                      escalation="dvfs"),
+        ),
+    )
+
+
+class TestBestKnob:
+    def test_dvfs_wins_whenever_a_pure_dvfs_policy_meets(self):
+        # Even if elastic also met it via a deeper knob: cheapest wins.
+        assert best_knob(True, True, "gate") == "dvfs"
+
+    def test_elastic_escalation_names_the_winner_otherwise(self):
+        assert best_knob(False, True, "cores") == "cores"
+        assert best_knob(False, True, "gate") == "gate"
+
+    def test_none_when_nothing_meets(self):
+        assert best_knob(False, False, "gate") == "none"
+
+
+class TestReport:
+    def test_infeasible_cells(self):
+        report = make_report()
+        assert [c.budget_frac for c in report.infeasible_cells] == [0.35]
+
+    def test_elastic_only_cells_are_the_cores_and_gate_wins(self):
+        report = make_report()
+        assert [c.best_knob for c in report.elastic_only_cells] == [
+            "cores",
+            "gate",
+        ]
+
+    def test_cell_lookup_is_exact(self):
+        report = make_report()
+        assert report.cell(30.0, 0.8).best_knob == "cores"
+        with pytest.raises(KeyError):
+            report.cell(30.0, 0.7)
+
+    def test_summary_renders_the_rate_by_frac_grid(self):
+        lines = report = make_report().summary_lines()
+        text = "\n".join(lines)
+        assert "2 elastic-only" in text
+        assert "1 infeasible" in text
+        # Grid: both rates as rows; the missing (40, 0.35) cell dashes.
+        assert any("30" in line and "none" in line for line in lines)
+        assert any("40" in line and "-" in line for line in lines)
+
+    def test_round_trip_preserves_every_cell(self):
+        report = make_report()
+        clone = KnobMapReport.from_dict(report.to_dict())
+        assert clone == report
+        assert clone.cell(30.0, 0.6).elastic_escalation == "gate"

@@ -1,4 +1,4 @@
-"""One report protocol, six reports: every metrics report exposes the
+"""One report protocol, seven reports: every metrics report exposes the
 same machine face (``to_dict``/``to_json``) and human face
 (``summary_lines``), checked structurally via ``ReportProtocol``."""
 
@@ -10,6 +10,7 @@ from repro.metrics import ReportProtocol
 from repro.metrics.attribution import AttributionReport, AttributionRow
 from repro.metrics.chaos import ChaosReport
 from repro.metrics.ed2p import build_ed2p_report
+from repro.metrics.knobmap import KnobCell, KnobMapReport
 from repro.metrics.powercap import build_cap_report
 from repro.metrics.records import EnergyDelayPoint
 from repro.metrics.scaling import GenerationVerdict, ScalingReport
@@ -131,6 +132,33 @@ def scaling_report():
     )
 
 
+def knobmap_report():
+    def cell(rate, frac, best, feasible, escalation):
+        budget = frac * 46.0
+        return KnobCell(
+            base_rate_rps=rate,
+            budget_frac=frac,
+            budget_watts=budget,
+            policy_watts={"elastic@30W": 28.0, "powercap@30W": 38.0},
+            policy_met={"elastic@30W": feasible, "powercap@30W": False},
+            elastic_escalation=escalation,
+            best_knob=best,
+            feasible=feasible,
+            elastic_p99_s=0.021,
+        )
+
+    return KnobMapReport(
+        label="knobmap",
+        workload="diurnal two-tier serving",
+        static_watts={"30": 46.0},
+        cells=(
+            cell(30.0, 0.9, "dvfs", True, "dvfs"),
+            cell(30.0, 0.6, "gate", True, "gate"),
+            cell(30.0, 0.35, "none", False, "gate"),
+        ),
+    )
+
+
 REPORTS = {
     "ed2p": ed2p_report,
     "powercap": powercap_report,
@@ -138,6 +166,7 @@ REPORTS = {
     "attribution": attribution_report,
     "serving": serving_report,
     "scaling": scaling_report,
+    "knobmap": knobmap_report,
 }
 
 
@@ -172,7 +201,8 @@ class TestProtocol:
 
 class TestRoundTrips:
     @pytest.mark.parametrize(
-        "name", ["ed2p", "chaos", "attribution", "serving", "scaling"]
+        "name",
+        ["ed2p", "chaos", "attribution", "serving", "scaling", "knobmap"],
     )
     def test_from_dict_inverts_to_dict(self, name):
         original = REPORTS[name]()

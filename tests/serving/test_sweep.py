@@ -90,7 +90,9 @@ class TestTaskKey:
             task = ServingTask(
                 WORKLOAD,
                 policy,
-                budget_watts=50.0 if policy == "powercap" else None,
+                budget_watts=(
+                    50.0 if policy in ("powercap", "elastic") else None
+                ),
             )
             built = task.build_policy()
             assert policy in type(built).__name__.lower().replace(

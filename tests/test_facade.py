@@ -100,6 +100,26 @@ class TestExports:
         assert repro.CORE_O3.name == "o3"
         assert len(repro.TECH_NODES) == 12
 
+    def test_elastic_facade_names_are_the_canonical_objects(self):
+        from repro.metrics.knobmap import KnobMapReport as DeepKnobMap
+        from repro.powercap.actions import (
+            Action as DeepAction,
+            GovernorPlan as DeepPlan,
+        )
+        from repro.powercap.actuators import Actuator as DeepActuator
+        from repro.powercap.elastic import ElasticPolicy as DeepElastic
+        from repro.serving.elastic import (
+            ElasticServingPolicy as DeepServingElastic,
+        )
+
+        assert repro.Action is DeepAction
+        assert repro.GovernorPlan is DeepPlan
+        assert repro.Actuator is DeepActuator
+        assert repro.ElasticPolicy is DeepElastic
+        assert repro.ElasticServingPolicy is DeepServingElastic
+        assert repro.KnobMapReport is DeepKnobMap
+        assert repro.ELASTIC_KNOBS == ("dvfs", "cores", "gate")
+
     def test_unknown_attribute_raises_attribute_error(self):
         with pytest.raises(AttributeError, match="no attribute"):
             repro.does_not_exist
@@ -127,6 +147,14 @@ class TestExports:
             "PoissonArrivals",
             "PowerBudget",
             "PowerCapStrategy",
+            "Action",
+            "GovernorPlan",
+            "Actuator",
+            "ElasticPolicy",
+            "ELASTIC_KNOBS",
+            "ElasticServingPolicy",
+            "KnobCell",
+            "KnobMapReport",
             "RunCache",
             "ServingOutcome",
             "ServingReport",
